@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 6: misprediction ratios of the seven
+ * 2K-entry indirect-branch predictors over the benchmark suite, plus
+ * the suite averages the paper states in Section 5 (PPM-hyb 9.47%,
+ * Cascade 11.48%, TC-PIB 13.0%).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/budget.hh"
+#include "sim/experiment.hh"
+#include "workload/profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    const double scale = ibp::bench::traceScale(argc, argv);
+    ibp::bench::banner(
+        "Figure 6: misprediction ratios, 2K-entry predictors", scale);
+
+    const auto suite = ibp::workload::standardSuite();
+    const auto predictors = ibp::sim::figure6Predictors();
+
+    std::cout << "\nHardware budgets:\n";
+    ibp::sim::printBudgetTable(std::cout,
+                               ibp::sim::budgetTable(predictors));
+
+    ibp::sim::SuiteOptions options;
+    options.traceScale = scale;
+    const auto result =
+        ibp::sim::runSuite(suite, predictors, options);
+
+    std::cout << '\n';
+    ibp::sim::printSuiteTable(std::cout, result);
+
+    std::cout << "\nPaper-stated suite averages vs measured:\n";
+    const auto averages = result.averages();
+    for (std::size_t c = 0; c < predictors.size(); ++c)
+        ibp::bench::paperVsMeasured(
+            predictors[c], ibp::sim::paperAverageFor(predictors[c]),
+            averages[c]);
+
+    std::cout << "\nShape checks (see EXPERIMENTS.md):\n";
+    auto col = [&](const char *name) {
+        for (std::size_t c = 0; c < predictors.size(); ++c)
+            if (predictors[c] == name)
+                return averages[c];
+        return -1.0;
+    };
+    const double ppm = col("PPM-hyb");
+    const double cascade = col("Cascade");
+    const double tc = col("TC-PIB");
+    const double btb = col("BTB");
+    std::cout << "  PPM-hyb < Cascade        : "
+              << (ppm < cascade ? "yes" : "NO") << '\n';
+    std::cout << "  Cascade < TC-PIB         : "
+              << (cascade < tc ? "yes" : "NO") << '\n';
+    std::cout << "  BTB worst of the lineup  : "
+              << (btb >= ppm && btb >= cascade && btb >= tc ? "yes"
+                                                            : "NO")
+              << '\n';
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: lookup/update throughput of every
+ * predictor and the cost of the shared primitives (SFSXS hashing,
+ * trace generation, trace codecs).  These are engineering numbers for
+ * users embedding the library, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/sfsxs.hh"
+#include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/factory.hh"
+#include "trace/trace_io.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+const ibp::trace::TraceBuffer &
+sharedTrace()
+{
+    static const ibp::trace::TraceBuffer trace = [] {
+        auto profile = ibp::workload::smokeProfile();
+        profile.records = 200'000;
+        return ibp::sim::generateTrace(profile);
+    }();
+    return trace;
+}
+
+void
+predictorThroughput(benchmark::State &state, const char *name)
+{
+    ibp::trace::TraceBuffer trace = sharedTrace(); // copy, rewindable
+    auto predictor = ibp::sim::makePredictor(name);
+    ibp::sim::Engine engine;
+    std::uint64_t branches = 0;
+    for (auto _ : state) {
+        trace.rewind();
+        const auto metrics = engine.run(trace, *predictor);
+        branches += metrics.branches;
+        benchmark::DoNotOptimize(metrics.indirectMisses.events());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(branches));
+}
+
+} // namespace
+
+#define PREDICTOR_BENCH(tag, name)                                     \
+    static void BM_##tag(benchmark::State &state)                      \
+    {                                                                  \
+        predictorThroughput(state, name);                              \
+    }                                                                  \
+    BENCHMARK(BM_##tag)->Unit(benchmark::kMillisecond)
+
+PREDICTOR_BENCH(Btb, "BTB");
+PREDICTOR_BENCH(Btb2b, "BTB2b");
+PREDICTOR_BENCH(Gap, "GAp");
+PREDICTOR_BENCH(TargetCache, "TC-PIB");
+PREDICTOR_BENCH(Dpath, "Dpath");
+PREDICTOR_BENCH(Cascade, "Cascade");
+PREDICTOR_BENCH(PpmHyb, "PPM-hyb");
+PREDICTOR_BENCH(PpmPib, "PPM-PIB");
+PREDICTOR_BENCH(FilteredPpm, "Filtered-PPM");
+
+static void
+BM_SfsxsHash(benchmark::State &state)
+{
+    ibp::core::Sfsxs hash(ibp::core::SfsxsConfig{});
+    ibp::pred::SymbolHistory phr(10, 10,
+                                 ibp::pred::StreamSel::MtIndirect);
+    ibp::trace::BranchRecord r;
+    r.kind = ibp::trace::BranchKind::IndirectJmp;
+    r.multiTarget = true;
+    std::uint64_t pc = 0x120000040;
+    for (auto _ : state) {
+        r.target = 0x120000000 + (pc % 4096) * 4;
+        phr.observe(r);
+        const auto word = hash.hashWord(phr, pc);
+        benchmark::DoNotOptimize(hash.index(word, 10));
+        pc += 68;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SfsxsHash);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto profile = ibp::workload::smokeProfile();
+    for (auto _ : state) {
+        auto program = ibp::workload::synthesize(profile.program);
+        auto trace = program.collect(50'000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+static void
+BM_BinaryTraceRoundTrip(benchmark::State &state)
+{
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    for (auto _ : state) {
+        std::stringstream ss;
+        ibp::trace::TraceWriter writer(ss);
+        trace.rewind();
+        ibp::trace::pump(trace, writer);
+        ibp::trace::TraceReader reader(ss);
+        ibp::trace::TraceBuffer out;
+        benchmark::DoNotOptimize(ibp::trace::pump(reader, out));
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(sharedTrace().size()));
+}
+BENCHMARK(BM_BinaryTraceRoundTrip)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the table/figure-regenerating bench binaries.
+ *
+ * Every bench accepts an optional trace-scale argument (argv[1] or the
+ * IBP_TRACE_SCALE environment variable, default 1.0) multiplying each
+ * profile's record count, so quick smoke runs and full-fidelity runs
+ * use the same binaries.
+ */
+
+#ifndef IBP_BENCH_BENCH_UTIL_HH_
+#define IBP_BENCH_BENCH_UTIL_HH_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ibp::bench {
+
+/** Resolve the trace scale from argv/environment. */
+inline double
+traceScale(int argc, char **argv, double fallback = 1.0)
+{
+    if (argc > 1)
+        return std::atof(argv[1]);
+    if (const char *env = std::getenv("IBP_TRACE_SCALE"))
+        return std::atof(env);
+    return fallback;
+}
+
+/** Print a banner line for a bench. */
+inline void
+banner(const std::string &what, double scale)
+{
+    std::printf("=== %s (trace scale %.2f) ===\n", what.c_str(), scale);
+}
+
+/** Print one paper-vs-measured comparison row. */
+inline void
+paperVsMeasured(const std::string &label, double paper, double measured)
+{
+    if (paper >= 0)
+        std::printf("%-18s paper %6.2f%%   measured %6.2f%%\n",
+                    label.c_str(), paper, measured);
+    else
+        std::printf("%-18s paper   n/a    measured %6.2f%%\n",
+                    label.c_str(), measured);
+}
+
+} // namespace ibp::bench
+
+#endif // IBP_BENCH_BENCH_UTIL_HH_

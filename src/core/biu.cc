@@ -1,0 +1,59 @@
+#include "core/biu.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::core {
+
+Biu::Biu(const BiuConfig &config)
+    : config_(config),
+      table_(config.infinite
+                 ? 1
+                 : std::max<std::size_t>(1,
+                                         config.entries / config.ways),
+             config.infinite ? 1 : config.ways)
+{
+    fatal_if(!config.infinite && config.entries % config.ways != 0,
+             "finite BIU: entries must be a multiple of ways");
+}
+
+BiuEntry &
+Biu::lookup(trace::Addr pc)
+{
+    if (config_.infinite)
+        return map_[pc]; // default-constructs at Strongly PIB
+
+    const std::uint64_t set = (pc >> 2) % table_.sets();
+    const std::uint64_t tag =
+        util::foldXor(pc >> 2, 48, config_.tagBits);
+    if (BiuEntry *entry = table_.lookup(set, tag))
+        return *entry;
+    if (table_.setOccupancy(set) == table_.ways())
+        ++evictions_;
+    return table_.insert(set, tag, BiuEntry{});
+}
+
+std::size_t
+Biu::capacity() const
+{
+    return config_.infinite ? map_.size() : config_.entries;
+}
+
+std::uint64_t
+Biu::storageBits() const
+{
+    // MT bit + 2-bit selection counter per entry (+ tag when finite).
+    const std::uint64_t entry_bits =
+        3 + (config_.infinite ? 0 : config_.tagBits);
+    return capacity() * entry_bits;
+}
+
+void
+Biu::reset()
+{
+    map_.clear();
+    table_.reset();
+    evictions_ = 0;
+}
+
+} // namespace ibp::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Branch Identification Unit (paper Figures 3-4).
+ *
+ * Indexed by branch address at fetch, the BIU flags indirect branches,
+ * carries the compiler's single-/multi-target annotation bit, and (for
+ * the hybrid PPM) holds the per-branch correlation-selection counter.
+ *
+ * The paper's evaluation assumes an infinite BIU and names the finite
+ * case as future work; both are provided here.  The finite BIU is a
+ * tagged set-associative structure whose evictions lose a branch's
+ * learned correlation preference (it re-initializes to Strongly PIB on
+ * re-allocation) — bench_ablation_biu measures that cost.
+ */
+
+#ifndef IBP_CORE_BIU_HH_
+#define IBP_CORE_BIU_HH_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/correlation.hh"
+#include "trace/branch_record.hh"
+#include "util/table.hh"
+
+namespace ibp::core {
+
+/** BIU sizing. */
+struct BiuConfig
+{
+    bool infinite = true;      ///< the paper's evaluation assumption
+    std::size_t entries = 512; ///< finite variant geometry
+    std::size_t ways = 4;
+    unsigned tagBits = 16;
+};
+
+/** One BIU entry. */
+struct BiuEntry
+{
+    bool multiTarget = false;
+    SelectionCounter selection;
+};
+
+/** The BIU. */
+class Biu
+{
+  public:
+    explicit Biu(const BiuConfig &config);
+
+    /**
+     * Find (or allocate) the entry for the branch at @p pc.  A finite
+     * BIU may evict another branch's entry; fresh entries start at
+     * Strongly PIB with the MT bit clear.
+     */
+    BiuEntry &lookup(trace::Addr pc);
+
+    /** Number of allocations that evicted a live entry (finite only). */
+    std::uint64_t evictions() const { return evictions_; }
+
+    /** Tracked branches (infinite) or geometry entries (finite). */
+    std::size_t capacity() const;
+
+    /**
+     * Storage cost in bits.  The infinite BIU reports its current
+     * footprint; budget accounting treats it as free metadata, as the
+     * paper does for all predictors.
+     */
+    std::uint64_t storageBits() const;
+
+    void reset();
+
+  private:
+    BiuConfig config_;
+    std::unordered_map<trace::Addr, BiuEntry> map_;
+    util::AssocTable<BiuEntry> table_;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace ibp::core
+
+#endif // IBP_CORE_BIU_HH_

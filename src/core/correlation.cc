@@ -1,0 +1,17 @@
+#include "core/correlation.hh"
+
+namespace ibp::core {
+
+const char *
+correlationStateName(CorrelationState state)
+{
+    switch (state) {
+      case CorrelationState::StronglyPb:  return "strong-PB";
+      case CorrelationState::WeaklyPb:    return "weak-PB";
+      case CorrelationState::WeaklyPib:   return "weak-PIB";
+      case CorrelationState::StronglyPib: return "strong-PIB";
+    }
+    return "?";
+}
+
+} // namespace ibp::core

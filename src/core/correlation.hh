@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-branch correlation-selection state machines (paper Figure 5).
+ *
+ * Each multi-target indirect branch owns a 2-bit up/down saturating
+ * counter choosing which path-history register (PB or PIB) drives its
+ * PPM lookup:
+ *
+ *   00 Strongly PB -- 01 Weakly PB -- 10 Weakly PIB -- 11 Strongly PIB
+ *
+ * Correct predictions move toward the strong end of the current side;
+ * mispredictions move toward the other side.  The PIB-biased machine
+ * punishes the PB side harder: a single misprediction in 00 jumps to
+ * 10 and in 01 jumps to 11, which stops aliasing-induced flapping
+ * between the two weak states for strongly PIB-correlated branches.
+ * All counters initialize to Strongly PIB (the paper's choice).
+ */
+
+#ifndef IBP_CORE_CORRELATION_HH_
+#define IBP_CORE_CORRELATION_HH_
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ibp::core {
+
+/** Which Figure-5 state machine a counter follows. */
+enum class SelectionMode : std::uint8_t { Normal, PibBiased };
+
+/** The four correlation states, by counter value. */
+enum class CorrelationState : std::uint8_t
+{
+    StronglyPb = 0,
+    WeaklyPb = 1,
+    WeaklyPib = 2,
+    StronglyPib = 3,
+};
+
+/** Printable state name. */
+const char *correlationStateName(CorrelationState state);
+
+/** One per-branch correlation-selection counter. */
+class SelectionCounter
+{
+  public:
+    /** Counters initialize to Strongly PIB correlated. */
+    SelectionCounter() = default;
+
+    /** True: the branch should use the PIB register. */
+    bool usePib() const { return value_ >= 2; }
+
+    CorrelationState
+    state() const
+    {
+        return static_cast<CorrelationState>(value_);
+    }
+
+    /** Raw 2-bit value (00..11 as in Figure 5). */
+    unsigned value() const { return value_; }
+
+    /** Force a state (tests / BIU re-initialization). */
+    void
+    set(CorrelationState state)
+    {
+        value_ = static_cast<unsigned>(state);
+    }
+
+    /**
+     * Advance the state machine after a prediction resolves.
+     * @param correct whether the overall prediction was correct
+     * @param mode    Normal or PibBiased (Figure 5 top / bottom)
+     */
+    void
+    update(bool correct, SelectionMode mode)
+    {
+        if (correct) {
+            // Reinforce the current side toward its strong state.
+            if (usePib()) {
+                if (value_ < 3)
+                    ++value_;
+            } else {
+                if (value_ > 0)
+                    --value_;
+            }
+            return;
+        }
+        if (usePib()) {
+            // Mispredicted on the PIB side: one step toward PB.
+            --value_;
+            return;
+        }
+        // Mispredicted on the PB side.
+        if (mode == SelectionMode::PibBiased) {
+            // 00 -> 10, 01 -> 11: jump across in a single step.
+            value_ += 2;
+        } else {
+            ++value_;
+        }
+    }
+
+  private:
+    unsigned value_ = 3; ///< Strongly PIB
+};
+
+} // namespace ibp::core
+
+#endif // IBP_CORE_CORRELATION_HH_

@@ -1,0 +1,124 @@
+#include "core/filtered_ppm.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::core {
+
+FilteredPpm::FilteredPpm(const FilteredPpmConfig &config, std::string name)
+    : config_(config),
+      name_(name.empty() ? std::string("Filtered-") +
+                               (config.ppm.variant == PpmVariant::PibOnly
+                                    ? "PPM-PIB"
+                                    : "PPM-hyb")
+                         : std::move(name)),
+      filter_(std::max<std::size_t>(1,
+                                    config.filterEntries /
+                                        config.filterWays),
+              config.filterWays),
+      ppm_(config.ppm)
+{
+    fatal_if(config.filterEntries % config.filterWays != 0,
+             "FilteredPpm filter entries must be a multiple of ways");
+}
+
+std::uint64_t
+FilteredPpm::filterSet(trace::Addr pc) const
+{
+    return (pc >> 2) % filter_.sets();
+}
+
+std::uint64_t
+FilteredPpm::filterTag(trace::Addr pc) const
+{
+    return util::foldXor(pc >> 2, 48, config_.filterTagBits);
+}
+
+pred::Prediction
+FilteredPpm::predict(trace::Addr pc)
+{
+    const FilterEntry *fentry =
+        filter_.lookup(filterSet(pc), filterTag(pc));
+    lastFilter = fentry ? pred::Prediction{fentry->entry.valid,
+                                           fentry->entry.target}
+                        : pred::Prediction{};
+
+    ++servedTotal;
+    // Branches stay in the filter until proven polymorphic; only the
+    // promoted ones touch (and train) the Markov tables.  A branch
+    // with no filter entry at all (cold, or repeatedly evicted by set
+    // conflicts) must be served by the PPM stack — otherwise a
+    // conflict-thrashed branch would be predicted by nobody.
+    ppmPredicted = !fentry || fentry->provenPolymorphic;
+    if (!ppmPredicted) {
+        lastPpm = {};
+        ++servedByFilter;
+        return lastFilter;
+    }
+    lastPpm = ppm_.predict(pc);
+    return lastPpm.valid ? lastPpm : lastFilter;
+}
+
+void
+FilteredPpm::update(trace::Addr pc, trace::Addr target)
+{
+    FilterEntry *fentry = filter_.lookup(filterSet(pc), filterTag(pc));
+    if (fentry) {
+        const bool filter_right = fentry->entry.valid &&
+                                  fentry->entry.target == target;
+        if (!filter_right) {
+            // Promotion: leaky promotes at the first filter miss,
+            // strict only once the hysteresis counter is exhausted
+            // (persistent misbehaviour).
+            if (config_.mode == pred::FilterMode::Leaky ||
+                fentry->entry.counter.value() == 0)
+                fentry->provenPolymorphic = true;
+        }
+        fentry->entry.train(target);
+    } else {
+        FilterEntry fresh;
+        fresh.entry.train(target);
+        filter_.insert(filterSet(pc), filterTag(pc), fresh);
+    }
+
+    if (ppmPredicted)
+        ppm_.update(pc, target);
+}
+
+void
+FilteredPpm::observe(const trace::BranchRecord &record)
+{
+    ppm_.observe(record);
+}
+
+std::uint64_t
+FilteredPpm::storageBits() const
+{
+    const std::uint64_t filter_bits =
+        config_.filterEntries *
+        (pred::TargetEntry::bits() + config_.filterTagBits + 1);
+    return filter_bits + ppm_.storageBits();
+}
+
+void
+FilteredPpm::reset()
+{
+    filter_.reset();
+    ppm_.reset();
+    lastFilter = {};
+    lastPpm = {};
+    ppmPredicted = false;
+    servedByFilter = 0;
+    servedTotal = 0;
+}
+
+double
+FilteredPpm::filterServeRatio() const
+{
+    return servedTotal == 0
+               ? 0.0
+               : static_cast<double>(servedByFilter) /
+                     static_cast<double>(servedTotal);
+}
+
+} // namespace ibp::core

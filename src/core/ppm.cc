@@ -1,0 +1,149 @@
+#include "core/ppm.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::core {
+
+Ppm::Ppm(const PpmConfig &config)
+    : config_(config), hash_(config.hash),
+      accesses_(config.hash.order + 1), misses_(config.hash.order + 1)
+{
+    const unsigned m = config_.hash.order;
+    std::vector<std::size_t> entries = config_.tableEntries;
+    if (entries.empty()) {
+        // Default geometric split: order j gets 2^j entries, which for
+        // m = 10 totals 2046 — the paper's "10 Markov predictors with
+        // total 2K entries".
+        for (unsigned j = m; j >= 1; --j)
+            entries.push_back(std::size_t{1} << j);
+    }
+    fatal_if(entries.size() != m,
+             "PPM table geometry must list one size per order (",
+             m, "), got ", entries.size());
+
+    tables_.reserve(m);
+    for (unsigned i = 0; i < m; ++i) {
+        MarkovConfig mc;
+        mc.order = m - i;
+        mc.entries = entries[i];
+        mc.tagged = config_.tagged;
+        mc.ways = config_.ways;
+        mc.tagBits = config_.tagBits;
+        mc.votingTargets = config_.votingTargets;
+        tables_.emplace_back(mc);
+    }
+    lastIndices.resize(m, 0);
+}
+
+std::uint64_t
+Ppm::tagFor(trace::Addr pc, std::uint64_t word) const
+{
+    // The tag identifies the branch (and a little extra path) within a
+    // set, de-aliasing different branches that share a hashed path.
+    return util::foldXor(pc >> 2, 32, config_.tagBits) ^
+           util::foldXor(word, hash_.wordBits(), config_.tagBits);
+}
+
+pred::Prediction
+Ppm::predict(const pred::SymbolHistory &phr, trace::Addr pc)
+{
+    const unsigned m = config_.hash.order;
+    const std::uint64_t word = hash_.hashWord(phr, pc);
+    lastTag = config_.tagged ? tagFor(pc, word) : 0;
+
+    lastValid = false;
+    lastOrder_ = 0;
+    pred::Prediction result;
+
+    // Fallback used by the confidence policy: the highest-order valid
+    // (but unconfident) state, taken only if nothing confident exists.
+    pred::Prediction fallback;
+    unsigned fallback_order = 0;
+
+    for (unsigned i = 0; i < m; ++i) {
+        const unsigned j = m - i;
+        lastIndices[i] = hash_.index(word, j);
+        if (result.valid)
+            continue;
+        const MarkovProbe probe =
+            tables_[i].probe(lastIndices[i], lastTag);
+        if (!probe.valid)
+            continue;
+        if (config_.selectPolicy == SelectPolicy::HighestValid ||
+            probe.confident) {
+            result = {true, probe.target};
+            lastOrder_ = j;
+        } else if (!fallback.valid) {
+            fallback = {true, probe.target};
+            fallback_order = j;
+        }
+    }
+    if (!result.valid && fallback.valid) {
+        result = fallback;
+        lastOrder_ = fallback_order;
+    }
+
+    if (!result.valid && config_.orderZero && zeroValid) {
+        result = {true, zeroTarget};
+        lastOrder_ = 0;
+    }
+
+    accesses_.sample(lastOrder_);
+    lastValid = result.valid;
+    lastTarget = result.target;
+    return result;
+}
+
+void
+Ppm::update(trace::Addr target)
+{
+    const unsigned m = config_.hash.order;
+    if (lastValid && lastTarget != target)
+        misses_.sample(lastOrder_);
+    else if (!lastValid)
+        misses_.sample(lastOrder_);
+
+    // Update exclusion: train the deciding order and everything above
+    // it.  When nothing predicted (lastOrder_ == 0) every table is
+    // trained, seeding the stack.  The inclusive policy (paper §6
+    // "modify the update protocol") trains every order always.
+    for (unsigned i = 0; i < m; ++i) {
+        const unsigned j = m - i;
+        if (config_.updatePolicy == UpdatePolicy::Exclusion &&
+            j < lastOrder_)
+            break;
+        tables_[i].train(lastIndices[i], lastTag, target);
+    }
+
+    if (config_.orderZero) {
+        zeroValid = true;
+        zeroTarget = target;
+    }
+}
+
+std::uint64_t
+Ppm::storageBits() const
+{
+    std::uint64_t bits = 0;
+    for (const auto &table : tables_)
+        bits += table.storageBits();
+    if (config_.orderZero)
+        bits += 1 + 64;
+    return bits;
+}
+
+void
+Ppm::reset()
+{
+    for (auto &table : tables_)
+        table.reset();
+    accesses_.reset();
+    misses_.reset();
+    lastValid = false;
+    lastOrder_ = 0;
+    zeroValid = false;
+    zeroTarget = 0;
+}
+
+} // namespace ibp::core

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The order-m PPM predictor core (paper Figures 2-3).
+ *
+ * A stack of Markov predictors of orders m..1 (the paper's 2K-entry
+ * configuration is "10 Markov predictors", i.e. no order-0 table; an
+ * optional order-0 most-recent-target fallback is available).  All
+ * tables are probed in parallel with SFSXS indices derived from one
+ * path-history register; the highest order whose selected entry is
+ * valid provides the prediction.  Updates follow the update-exclusion
+ * policy: only the order that made the prediction and all higher
+ * orders are trained.
+ *
+ * The class is PHR-agnostic: the caller passes a SymbolHistory at
+ * predict time, which is what lets PPM-hyb drive one shared table
+ * stack from two different registers (PB and PIB).
+ */
+
+#ifndef IBP_CORE_PPM_HH_
+#define IBP_CORE_PPM_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/markov_table.hh"
+#include "core/sfsxs.hh"
+#include "predictors/path_history.hh"
+#include "predictors/predictor.hh"
+#include "util/histogram.hh"
+
+namespace ibp::core {
+
+/**
+ * Update protocol across the Markov orders (paper Section 6 names
+ * "modify the update protocol" as future work).
+ */
+enum class UpdatePolicy : std::uint8_t
+{
+    Exclusion, ///< the paper's choice: decider and higher orders only
+    All,       ///< inclusive: every order trains on every branch
+};
+
+/**
+ * How the winning order is chosen (paper Section 6: "assign
+ * confidence on the prediction of different Markov components").
+ */
+enum class SelectPolicy : std::uint8_t
+{
+    HighestValid, ///< the paper's choice: top order with a valid state
+    Confidence,   ///< top order whose entry counter is confident;
+                  ///< falls back to the highest valid entry otherwise
+};
+
+/** PPM core parameters. */
+struct PpmConfig
+{
+    SfsxsConfig hash; ///< order m lives here (hash.order)
+
+    /**
+     * Entries per Markov table, index 0 = order m down to order 1.
+     * Empty: the default geometric split, 2^j entries for order j
+     * (orders 10..1 then total 2046 ~ the paper's 2K).
+     */
+    std::vector<std::size_t> tableEntries;
+
+    bool tagged = false;  ///< tagged Markov tables (paper future work)
+    std::size_t ways = 2;
+    unsigned tagBits = 8;
+
+    /** Targets per Markov state (>1 = §4's rejected voting design). */
+    unsigned votingTargets = 1;
+
+    bool orderZero = false; ///< add a most-recent-target fallback
+
+    UpdatePolicy updatePolicy = UpdatePolicy::Exclusion;
+    SelectPolicy selectPolicy = SelectPolicy::HighestValid;
+};
+
+/** The PPM Markov-table stack. */
+class Ppm
+{
+  public:
+    explicit Ppm(const PpmConfig &config);
+
+    /**
+     * Probe all orders with SFSXS indices from @p phr.  Caches the
+     * per-order indices and the deciding order for the following
+     * update().
+     * @return the highest-order valid prediction, or invalid if every
+     *         selected state is empty (and no order-0 fallback).
+     */
+    pred::Prediction predict(const pred::SymbolHistory &phr,
+                             trace::Addr pc);
+
+    /**
+     * Train with the resolved target under update exclusion, using
+     * the slots captured by the preceding predict().
+     */
+    void update(trace::Addr target);
+
+    /** Order that produced the last prediction (0 = none/fallback). */
+    unsigned lastOrder() const { return lastOrder_; }
+
+    /** Per-order access counts (order j at bucket j; 0 = fallback). */
+    const util::Histogram &accessHistogram() const { return accesses_; }
+    /** Per-order miss counts. */
+    const util::Histogram &missHistogram() const { return misses_; }
+
+    unsigned order() const { return config_.hash.order; }
+    const Sfsxs &hash() const { return hash_; }
+    const MarkovTable &table(std::size_t i) const { return tables_[i]; }
+    std::size_t tableCount() const { return tables_.size(); }
+
+    /** Total table storage in bits. */
+    std::uint64_t storageBits() const;
+
+    void reset();
+
+  private:
+    std::uint64_t tagFor(trace::Addr pc, std::uint64_t word) const;
+
+    PpmConfig config_;
+    Sfsxs hash_;
+    std::vector<MarkovTable> tables_; ///< [0] = order m ... [m-1] = 1
+
+    // Slots captured at predict time.
+    std::vector<std::uint64_t> lastIndices;
+    std::uint64_t lastTag = 0;
+    unsigned lastOrder_ = 0;
+    bool lastValid = false;
+    trace::Addr lastTarget = 0;
+
+    // Order-0 fallback state.
+    bool zeroValid = false;
+    trace::Addr zeroTarget = 0;
+
+    util::Histogram accesses_;
+    util::Histogram misses_;
+};
+
+} // namespace ibp::core
+
+#endif // IBP_CORE_PPM_HH_

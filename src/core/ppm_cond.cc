@@ -1,0 +1,103 @@
+#include "core/ppm_cond.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::core {
+
+PpmCond::PpmCond(unsigned order)
+    : order_(order), models_(order + 1)
+{
+    fatal_if(order > 32, "PpmCond order out of range: ", order);
+}
+
+std::uint64_t
+PpmCond::patternFor(unsigned j) const
+{
+    // Bit i of the pattern is the outcome i steps back, so a state
+    // written oldest-to-newest like "101" is literally 0b101.
+    std::uint64_t pattern = 0;
+    for (unsigned i = 0; i < j; ++i)
+        if (history_[i])
+            pattern |= std::uint64_t{1} << i;
+    return pattern;
+}
+
+bool
+PpmCond::predict(bool &outcome)
+{
+    lastOrder_ = -1;
+    for (int j = static_cast<int>(order_); j >= 0; --j) {
+        if (bitsSeen < static_cast<std::uint64_t>(j))
+            continue; // pattern not yet complete at this order
+        const auto &model = models_[j];
+        const auto it = model.find(patternFor(j));
+        if (it == model.end() || it->second.total() == 0)
+            continue;
+        // Majority vote; ties predict taken.
+        outcome = it->second.one >= it->second.zero;
+        lastOrder_ = j;
+        return true;
+    }
+    return false;
+}
+
+void
+PpmCond::update(bool outcome)
+{
+    // Update exclusion: only the deciding order and the orders above
+    // it are trained.  A standalone update (no preceding predict, or a
+    // predict that found nothing) trains every order.
+    const unsigned start = lastOrder_ > 0
+                               ? static_cast<unsigned>(lastOrder_)
+                               : 0;
+    for (unsigned j = start; j <= order_; ++j) {
+        if (bitsSeen < j)
+            continue;
+        TransitionCounts &counts = models_[j][patternFor(j)];
+        if (outcome)
+            ++counts.one;
+        else
+            ++counts.zero;
+    }
+
+    history_.push_front(outcome);
+    if (history_.size() > order_)
+        history_.pop_back();
+    ++bitsSeen;
+    lastOrder_ = -1;
+}
+
+bool
+PpmCond::predictAndUpdate(bool outcome, bool &predicted)
+{
+    const bool made = predict(predicted);
+    update(outcome);
+    return made;
+}
+
+TransitionCounts
+PpmCond::counts(unsigned j, std::uint64_t pattern) const
+{
+    panic_if(j > order_, "PpmCond order out of range");
+    const auto it = models_[j].find(pattern);
+    return it == models_[j].end() ? TransitionCounts{} : it->second;
+}
+
+std::size_t
+PpmCond::states(unsigned j) const
+{
+    panic_if(j > order_, "PpmCond order out of range");
+    return models_[j].size();
+}
+
+void
+PpmCond::reset()
+{
+    history_.clear();
+    for (auto &model : models_)
+        model.clear();
+    lastOrder_ = -1;
+    bitsSeen = 0;
+}
+
+} // namespace ibp::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PPM for conditional-branch direction prediction (paper Section 3,
+ * Figure 1; after Chen, Coffey & Mudge).
+ *
+ * An order-m PPM over the binary outcome alphabet: m+1 exact Markov
+ * models (orders m..0) with frequency counts per (pattern, next-bit)
+ * transition.  The highest order whose current pattern has been seen
+ * makes the prediction by majority count; updates follow the
+ * update-exclusion policy.  This class exists to validate the
+ * algorithm against the paper's worked example (input 01010110101,
+ * 3rd-order state 101 -> predict 0) and to let the library double as a
+ * conditional-direction predictor.
+ */
+
+#ifndef IBP_CORE_PPM_COND_HH_
+#define IBP_CORE_PPM_COND_HH_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ibp::core {
+
+/** Frequency counts of the two outgoing transitions of one state. */
+struct TransitionCounts
+{
+    std::uint64_t zero = 0;
+    std::uint64_t one = 0;
+
+    std::uint64_t total() const { return zero + one; }
+};
+
+/** Order-m PPM direction predictor with exact frequency counts. */
+class PpmCond
+{
+  public:
+    explicit PpmCond(unsigned order);
+
+    /**
+     * Predict the next outcome from the current history.
+     * @param outcome out-parameter with the predicted bit
+     * @retval false no model (not even order 0) has data yet
+     */
+    bool predict(bool &outcome);
+
+    /** Order that produced the last prediction (m..0; -1 = none). */
+    int lastOrder() const { return lastOrder_; }
+
+    /** Record the resolved outcome (update exclusion + history). */
+    void update(bool outcome);
+
+    /** Convenience: predict, then update; returns the prediction. */
+    bool predictAndUpdate(bool outcome, bool &predicted);
+
+    unsigned order() const { return order_; }
+
+    /**
+     * Frequency counts of state @p pattern in the order-@p j model
+     * (pattern uses bit i for the outcome i steps back, i.e. the
+     * most recent outcome is bit 0).
+     */
+    TransitionCounts counts(unsigned j, std::uint64_t pattern) const;
+
+    /** Number of states with data in the order-@p j model. */
+    std::size_t states(unsigned j) const;
+
+    void reset();
+
+  private:
+    std::uint64_t patternFor(unsigned j) const;
+
+    unsigned order_;
+    std::deque<bool> history_; ///< front = most recent
+    std::vector<std::unordered_map<std::uint64_t, TransitionCounts>>
+        models_; ///< index j = order j
+    int lastOrder_ = -1;
+    std::uint64_t bitsSeen = 0;
+};
+
+} // namespace ibp::core
+
+#endif // IBP_CORE_PPM_COND_HH_

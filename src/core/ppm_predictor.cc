@@ -1,0 +1,113 @@
+#include "core/ppm_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::core {
+
+namespace {
+
+std::string
+variantName(PpmVariant variant)
+{
+    switch (variant) {
+      case PpmVariant::PibOnly:      return "PPM-PIB";
+      case PpmVariant::Hybrid:       return "PPM-hyb";
+      case PpmVariant::HybridBiased: return "PPM-hyb-biased";
+    }
+    return "PPM-?";
+}
+
+} // namespace
+
+PpmPredictor::PpmPredictor(const PpmPredictorConfig &config,
+                           std::string name)
+    : config_(config),
+      name_(name.empty() ? variantName(config.variant)
+                         : std::move(name)),
+      ppm_(config.ppm),
+      pbPhr(config.ppm.hash.order, config.phrBitsPerTarget,
+            config.pbStream),
+      pibPhr(config.ppm.hash.order, config.phrBitsPerTarget,
+             config.pibStream),
+      biu_(config.biu)
+{
+}
+
+pred::Prediction
+PpmPredictor::predict(trace::Addr pc)
+{
+    bool use_pib = true;
+    if (config_.variant != PpmVariant::PibOnly) {
+        BiuEntry &entry = biu_.lookup(pc);
+        entry.multiTarget = true; // learned at first fetch in hardware
+        use_pib = entry.selection.usePib();
+    }
+    ++selectTotal;
+    if (use_pib)
+        ++pibSelected;
+
+    lastPrediction = ppm_.predict(use_pib ? pibPhr : pbPhr, pc);
+    return lastPrediction;
+}
+
+void
+PpmPredictor::update(trace::Addr pc, trace::Addr target)
+{
+    ppm_.update(target);
+    if (config_.variant != PpmVariant::PibOnly) {
+        const bool correct = lastPrediction.hit(target);
+        biu_.lookup(pc).selection.update(correct, selectionMode());
+    }
+}
+
+void
+PpmPredictor::observe(const trace::BranchRecord &record)
+{
+    pbPhr.observe(record);
+    pibPhr.observe(record);
+}
+
+std::uint64_t
+PpmPredictor::storageBits() const
+{
+    std::uint64_t bits = ppm_.storageBits() + pibPhr.storageBits();
+    if (config_.variant != PpmVariant::PibOnly)
+        bits += pbPhr.storageBits() + biu_.storageBits();
+    return bits;
+}
+
+void
+PpmPredictor::reset()
+{
+    ppm_.reset();
+    pbPhr.reset();
+    pibPhr.reset();
+    biu_.reset();
+    lastPrediction = {};
+    pibSelected = 0;
+    selectTotal = 0;
+}
+
+double
+PpmPredictor::pibSelectRatio() const
+{
+    return selectTotal == 0
+               ? 0.0
+               : static_cast<double>(pibSelected) /
+                     static_cast<double>(selectTotal);
+}
+
+PpmPredictorConfig
+paperPpmConfig(PpmVariant variant)
+{
+    PpmPredictorConfig config;
+    config.variant = variant;
+    config.ppm.hash.order = 10;
+    config.ppm.hash.selectBits = 10;
+    config.ppm.hash.foldBits = 5;
+    config.ppm.hash.highOrderSelect = true;
+    config.phrBitsPerTarget = 10; // two 100-bit PHRs
+    return config;
+}
+
+} // namespace ibp::core

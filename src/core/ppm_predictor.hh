@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The paper's complete PPM indirect-branch predictors (Figure 4).
+ *
+ * Three variants share one Markov-table stack:
+ *  - PPM-PIB: a single PIB path-history register (1-level predictor);
+ *  - PPM-hyb: two registers (PB = all-branch path, PIB = indirect-only
+ *    path) with a per-branch 2-bit selection counter in the BIU
+ *    choosing between them (2-level predictor);
+ *  - PPM-hyb-biased: PPM-hyb with the PIB-biased selection machine.
+ *
+ * The Figure-6 configuration is order 10, two 100-bit PHRs (10 targets
+ * x 10 low-order bits), 2K total Markov entries, SFSXS indexing, and
+ * per-branch selection counters.
+ */
+
+#ifndef IBP_CORE_PPM_PREDICTOR_HH_
+#define IBP_CORE_PPM_PREDICTOR_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "core/biu.hh"
+#include "core/correlation.hh"
+#include "core/ppm.hh"
+#include "predictors/path_history.hh"
+#include "predictors/predictor.hh"
+
+namespace ibp::core {
+
+/** Which front-end drives the shared PPM stack. */
+enum class PpmVariant : std::uint8_t
+{
+    PibOnly,      ///< PPM-PIB
+    Hybrid,       ///< PPM-hyb
+    HybridBiased, ///< PPM-hyb-biased
+};
+
+/** Full predictor configuration. */
+struct PpmPredictorConfig
+{
+    PpmVariant variant = PpmVariant::Hybrid;
+    PpmConfig ppm; ///< order/hash/tables
+
+    unsigned phrBitsPerTarget = 10; ///< symbol width per PHR slot
+    pred::StreamSel pbStream = pred::StreamSel::AllBranches;
+    pred::StreamSel pibStream = pred::StreamSel::MtIndirect;
+
+    BiuConfig biu; ///< selection-counter home (hybrid variants)
+};
+
+/** The complete PPM predictor. */
+class PpmPredictor : public pred::IndirectPredictor
+{
+  public:
+    explicit PpmPredictor(const PpmPredictorConfig &config,
+                          std::string name = "");
+
+    std::string name() const override { return name_; }
+    pred::Prediction predict(trace::Addr pc) override;
+    void update(trace::Addr pc, trace::Addr target) override;
+    void observe(const trace::BranchRecord &record) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    /** The Markov stack (per-order stats live here). */
+    const Ppm &core() const { return ppm_; }
+
+    /** The BIU (selection counters; finite-BIU eviction stats). */
+    const Biu &biu() const { return biu_; }
+
+    /** Fraction of predictions that used the PIB register. */
+    double pibSelectRatio() const;
+
+  private:
+    SelectionMode
+    selectionMode() const
+    {
+        return config_.variant == PpmVariant::HybridBiased
+                   ? SelectionMode::PibBiased
+                   : SelectionMode::Normal;
+    }
+
+    PpmPredictorConfig config_;
+    std::string name_;
+    Ppm ppm_;
+    pred::SymbolHistory pbPhr;
+    pred::SymbolHistory pibPhr;
+    Biu biu_;
+
+    pred::Prediction lastPrediction;
+    std::uint64_t pibSelected = 0;
+    std::uint64_t selectTotal = 0;
+};
+
+/** The paper's Figure-6 2K-entry PPM-hyb configuration. */
+PpmPredictorConfig paperPpmConfig(PpmVariant variant);
+
+} // namespace ibp::core
+
+#endif // IBP_CORE_PPM_PREDICTOR_HH_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Select-Fold-Shift-XOR-Select (SFSXS) indexing function (paper Fig. 2).
+ *
+ * From each of the m targets in the path-history register the function
+ * Selects the low @c selectBits bits (above address alignment), Folds
+ * them down to @c foldBits bits by XOR, Shifts the folded value left
+ * by the target's recency (the most recent target gets the largest
+ * shift, so it dominates the high end of the word), and XORs all the
+ * shifted values into one word of width foldBits + m - 1.  The final
+ * Select takes the j highest-order bits of that word as the index for
+ * the j-th order Markov predictor — the alternative low-order select
+ * mentioned in the paper's Section 4 is available as a config flag and
+ * ablated in bench_ablation_hash.
+ */
+
+#ifndef IBP_CORE_SFSXS_HH_
+#define IBP_CORE_SFSXS_HH_
+
+#include <cstdint>
+
+#include "predictors/path_history.hh"
+
+namespace ibp::core {
+
+/** SFSXS parameters. */
+struct SfsxsConfig
+{
+    unsigned order = 10;      ///< m: targets consumed from the PHR
+    unsigned selectBits = 10; ///< bits selected from each target
+    unsigned foldBits = 5;    ///< folded symbol width
+    bool highOrderSelect = true; ///< final select: high (paper) or low
+    bool xorPc = false;          ///< optionally mix the branch pc in
+};
+
+/** The SFSXS hash. */
+class Sfsxs
+{
+  public:
+    explicit Sfsxs(const SfsxsConfig &config);
+
+    /** Width of the pre-select hash word: foldBits + order - 1. */
+    unsigned wordBits() const { return wordBits_; }
+
+    /**
+     * The full hash word for a path-history register (and optional
+     * pc, mixed in when configured).
+     */
+    std::uint64_t hashWord(const pred::SymbolHistory &phr,
+                           trace::Addr pc) const;
+
+    /**
+     * The index for the order-@p j Markov predictor, in [0, 2^j).
+     * Requires 1 <= j <= order.
+     */
+    std::uint64_t index(std::uint64_t hash_word, unsigned j) const;
+
+    const SfsxsConfig &config() const { return config_; }
+
+  private:
+    SfsxsConfig config_;
+    unsigned wordBits_;
+};
+
+} // namespace ibp::core
+
+#endif // IBP_CORE_SFSXS_HH_

@@ -1,0 +1,91 @@
+#include "predictors/btb.hh"
+
+namespace ibp::pred {
+
+Btb::Btb(std::size_t entries)
+    : table_(entries)
+{
+}
+
+std::uint64_t
+Btb::indexFor(trace::Addr pc) const
+{
+    return (pc >> 2) % table_.size();
+}
+
+Prediction
+Btb::predict(trace::Addr pc)
+{
+    const Entry &entry = table_.at(indexFor(pc));
+    return {entry.valid, entry.target};
+}
+
+void
+Btb::update(trace::Addr pc, trace::Addr target)
+{
+    Entry &entry = table_.at(indexFor(pc));
+    entry.valid = true;
+    entry.target = target;
+}
+
+void
+Btb::observe(const trace::BranchRecord &record)
+{
+    (void)record; // no path state
+}
+
+std::uint64_t
+Btb::storageBits() const
+{
+    return table_.size() * (1 + 64);
+}
+
+void
+Btb::reset()
+{
+    table_.reset();
+}
+
+Btb2b::Btb2b(std::size_t entries)
+    : table_(entries)
+{
+}
+
+std::uint64_t
+Btb2b::indexFor(trace::Addr pc) const
+{
+    return (pc >> 2) % table_.size();
+}
+
+Prediction
+Btb2b::predict(trace::Addr pc)
+{
+    const TargetEntry &entry = table_.at(indexFor(pc));
+    return {entry.valid, entry.target};
+}
+
+void
+Btb2b::update(trace::Addr pc, trace::Addr target)
+{
+    table_.at(indexFor(pc)).train(target);
+}
+
+void
+Btb2b::observe(const trace::BranchRecord &record)
+{
+    (void)record;
+}
+
+std::uint64_t
+Btb2b::storageBits() const
+{
+    return table_.size() * TargetEntry::bits();
+}
+
+void
+Btb2b::reset()
+{
+    table_.reset();
+}
+
+} // namespace ibp::pred

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Branch Target Buffer baselines.
+ *
+ * BTB: a tagless table of most-recent targets indexed by branch pc;
+ * the predicted target is replaced on every mispredict (Lee & Smith).
+ *
+ * BTB2b: the Calder & Grunwald refinement — a 2-bit up/down counter
+ * per entry delays target replacement until two consecutive
+ * mispredictions, exploiting the target locality of C++ virtual calls.
+ */
+
+#ifndef IBP_PREDICTORS_BTB_HH_
+#define IBP_PREDICTORS_BTB_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "predictors/predictor.hh"
+#include "util/bitops.hh"
+#include "util/table.hh"
+
+namespace ibp::pred {
+
+/** Tagless most-recent-target BTB. */
+class Btb : public IndirectPredictor
+{
+  public:
+    /** @param entries table size (any positive count). */
+    explicit Btb(std::size_t entries);
+
+    std::string name() const override { return "BTB"; }
+    Prediction predict(trace::Addr pc) override;
+    void update(trace::Addr pc, trace::Addr target) override;
+    void observe(const trace::BranchRecord &record) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        trace::Addr target = 0;
+    };
+
+    std::uint64_t indexFor(trace::Addr pc) const;
+
+    util::DirectTable<Entry> table_;
+};
+
+/** Tagless BTB with 2-bit replacement hysteresis. */
+class Btb2b : public IndirectPredictor
+{
+  public:
+    explicit Btb2b(std::size_t entries);
+
+    std::string name() const override { return "BTB2b"; }
+    Prediction predict(trace::Addr pc) override;
+    void update(trace::Addr pc, trace::Addr target) override;
+    void observe(const trace::BranchRecord &record) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t indexFor(trace::Addr pc) const;
+
+    util::DirectTable<TargetEntry> table_;
+};
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_BTB_HH_

@@ -1,0 +1,130 @@
+#include "predictors/cascade.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+Cascade::Cascade(const CascadeConfig &config, std::string name)
+    : config_(config), name_(std::move(name)),
+      filter_(std::max<std::size_t>(1,
+                                    config.filterEntries /
+                                        config.filterWays),
+              config.filterWays),
+      main_(config.main, "Cascade-main")
+{
+    fatal_if(config.filterEntries % config.filterWays != 0,
+             "Cascade filter entries must be a multiple of ways");
+}
+
+std::uint64_t
+Cascade::filterSet(trace::Addr pc) const
+{
+    return (pc >> 2) % filter_.sets();
+}
+
+std::uint64_t
+Cascade::filterTag(trace::Addr pc) const
+{
+    return util::foldXor(pc >> 2, 48, config_.filterTagBits);
+}
+
+Prediction
+Cascade::predict(trace::Addr pc)
+{
+    const FilterEntry *fentry =
+        filter_.lookup(filterSet(pc), filterTag(pc));
+    lastFilter = fentry ? Prediction{fentry->entry.valid,
+                                     fentry->entry.target}
+                        : Prediction{};
+    // A saturated hysteresis counter on a branch never yet caught
+    // mispredicting marks a monomorphic/low-entropy branch: the
+    // filter keeps serving it, isolating it from the path-indexed
+    // main tables.  Proven-polymorphic branches always defer to the
+    // main predictor.
+    const bool filter_confident =
+        fentry && !fentry->provenPolymorphic &&
+        fentry->entry.counter.saturatedHigh();
+    lastMain = main_.predict(pc);
+
+    ++servedTotal;
+    if (filter_confident) {
+        ++servedByFilter;
+        return lastFilter;
+    }
+    if (lastMain.valid)
+        return lastMain;
+    ++servedByFilter;
+    return lastFilter;
+}
+
+void
+Cascade::update(trace::Addr pc, trace::Addr target)
+{
+    const bool filter_right = lastFilter.hit(target);
+
+    // Stage 1: the filter always learns.
+    FilterEntry *fentry = filter_.lookup(filterSet(pc), filterTag(pc));
+    if (fentry) {
+        if (!filter_right)
+            fentry->provenPolymorphic = true;
+        fentry->entry.train(target);
+    } else {
+        FilterEntry fresh;
+        fresh.entry.train(target);
+        filter_.insert(filterSet(pc), filterTag(pc), fresh);
+    }
+
+    // Stage 2: any filter failure — wrong target, cold miss, or a
+    // set-conflict eviction — leaks the branch into the main
+    // predictor.  (Branches that keep conflicting in the filter must
+    // end up *somewhere*.)  Strict mode additionally requires the
+    // branch to be proven polymorphic before it may allocate
+    // main-table space.
+    bool train_main = !filter_right;
+    if (config_.mode == FilterMode::Strict)
+        train_main = train_main && fentry && fentry->provenPolymorphic;
+    if (train_main) {
+        main_.updateWithAllocate(pc, target, true);
+    } else if (lastMain.valid) {
+        // Keep existing main entries coherent without allocating.
+        main_.updateWithAllocate(pc, target, false);
+    }
+}
+
+void
+Cascade::observe(const trace::BranchRecord &record)
+{
+    main_.observe(record);
+}
+
+std::uint64_t
+Cascade::storageBits() const
+{
+    const std::uint64_t filter_bits =
+        config_.filterEntries *
+        (TargetEntry::bits() + config_.filterTagBits + 1);
+    return filter_bits + main_.storageBits();
+}
+
+void
+Cascade::reset()
+{
+    filter_.reset();
+    main_.reset();
+    lastFilter = {};
+    lastMain = {};
+    servedByFilter = 0;
+    servedTotal = 0;
+}
+
+double
+Cascade::filterServeRatio() const
+{
+    return servedTotal == 0
+               ? 0.0
+               : static_cast<double>(servedByFilter) /
+                     static_cast<double>(servedTotal);
+}
+
+} // namespace ibp::pred

@@ -1,0 +1,193 @@
+#include "predictors/cond.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries)
+{
+}
+
+bool
+BimodalPredictor::predict(trace::Addr pc)
+{
+    return table_.at((pc >> 2) % table_.size()).counter.high();
+}
+
+void
+BimodalPredictor::update(trace::Addr pc, bool taken)
+{
+    auto &counter = table_.at((pc >> 2) % table_.size()).counter;
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+}
+
+std::uint64_t
+BimodalPredictor::storageBits() const
+{
+    return table_.size() * 2;
+}
+
+void
+BimodalPredictor::reset()
+{
+    table_.reset();
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits)
+    : table_(entries), historyBits(history_bits)
+{
+    panic_if(history_bits == 0 || history_bits > 32,
+             "gshare history width out of range");
+}
+
+std::uint64_t
+GsharePredictor::indexFor(trace::Addr pc) const
+{
+    return ((pc >> 2) ^ history_) % table_.size();
+}
+
+bool
+GsharePredictor::predict(trace::Addr pc)
+{
+    lastIndex = indexFor(pc);
+    return table_.at(lastIndex).counter.high();
+}
+
+void
+GsharePredictor::update(trace::Addr pc, bool taken)
+{
+    (void)pc;
+    auto &counter = table_.at(lastIndex).counter;
+    if (taken)
+        counter.increment();
+    else
+        counter.decrement();
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               util::maskLow(historyBits);
+}
+
+std::uint64_t
+GsharePredictor::storageBits() const
+{
+    return table_.size() * 2 + historyBits;
+}
+
+void
+GsharePredictor::reset()
+{
+    table_.reset();
+    history_ = 0;
+    lastIndex = 0;
+}
+
+PpmDirectionPredictor::PpmDirectionPredictor(unsigned order,
+                                             std::size_t entries)
+    : order_(order)
+{
+    fatal_if(order == 0 || order > 32,
+             "PPM-cond order out of range: ", order);
+    // Geometric split like the indirect PPM: order j gets a share
+    // proportional to 2^j, normalized to the entry budget.
+    std::uint64_t weight_total = 0;
+    for (unsigned j = 1; j <= order; ++j)
+        weight_total += std::uint64_t{1} << j;
+    tables_.reserve(order);
+    for (unsigned i = 0; i < order; ++i) {
+        const unsigned j = order - i;
+        const auto share = std::max<std::size_t>(
+            2, entries * (std::uint64_t{1} << j) / weight_total);
+        tables_.emplace_back(share);
+    }
+    lastIndices.resize(order, 0);
+}
+
+std::uint64_t
+PpmDirectionPredictor::indexFor(trace::Addr pc, unsigned j) const
+{
+    // Hash the last j outcomes with the pc; unlike the indirect
+    // predictor, the pc is essential here (a direction history alone
+    // says nothing about which branch is predicted).
+    const std::uint64_t pattern =
+        history_ & util::maskLow(j);
+    std::uint64_t h = (pc >> 2) ^ (pattern * 0x9e3779b97f4a7c15ULL);
+    h ^= h >> 29;
+    return h;
+}
+
+bool
+PpmDirectionPredictor::predict(trace::Addr pc)
+{
+    lastOrder_ = 0;
+    bool outcome = true;
+    bool decided = false;
+    for (unsigned i = 0; i < order_; ++i) {
+        const unsigned j = order_ - i;
+        lastIndices[i] = indexFor(pc, j) % tables_[i].size();
+        if (decided)
+            continue;
+        const Entry &entry = tables_[i].at(lastIndices[i]);
+        if (!entry.valid)
+            continue;
+        outcome = entry.counter.high();
+        lastOrder_ = j;
+        decided = true;
+    }
+    return outcome;
+}
+
+void
+PpmDirectionPredictor::update(trace::Addr pc, bool taken)
+{
+    (void)pc;
+    // Update exclusion across the orders (paper Section 3).
+    for (unsigned i = 0; i < order_; ++i) {
+        const unsigned j = order_ - i;
+        if (j < lastOrder_)
+            break;
+        Entry &entry = tables_[i].at(lastIndices[i]);
+        entry.valid = true;
+        if (taken)
+            entry.counter.increment();
+        else
+            entry.counter.decrement();
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+std::uint64_t
+PpmDirectionPredictor::storageBits() const
+{
+    std::uint64_t bits = order_; // history register
+    for (const auto &table : tables_)
+        bits += table.size() * 3; // valid + 2-bit counter
+    return bits;
+}
+
+void
+PpmDirectionPredictor::reset()
+{
+    for (auto &table : tables_)
+        table.reset();
+    history_ = 0;
+    lastOrder_ = 0;
+}
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &name)
+{
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (name == "PPM-cond")
+        return std::make_unique<PpmDirectionPredictor>();
+    fatal("unknown direction predictor: ", name);
+}
+
+} // namespace ibp::pred

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Conditional-branch direction predictors.
+ *
+ * The paper's Section 3 develops PPM for conditional branches (after
+ * Chen, Coffey & Mudge) before specializing it to indirect targets;
+ * and its Section 1 motivation — fetch-stream quality on deeply
+ * pipelined superscalars — involves the whole front end.  This module
+ * provides the direction-predictor substrate used by the front-end
+ * model (sim/frontend.hh): the classic bimodal table, a two-level
+ * gshare, and an order-m PPM direction predictor built on the exact
+ * frequency-count models of core/ppm_cond.hh (hashed per-branch, so it
+ * is implementable, unlike the unbounded textbook form).
+ */
+
+#ifndef IBP_PREDICTORS_COND_HH_
+#define IBP_PREDICTORS_COND_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "util/sat_counter.hh"
+#include "util/table.hh"
+
+namespace ibp::pred {
+
+/** Abstract direction predictor for conditional branches. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Short display name. */
+    virtual std::string name() const = 0;
+
+    /** Predict taken/not-taken for the conditional at @p pc. */
+    virtual bool predict(trace::Addr pc) = 0;
+
+    /**
+     * Train with the resolved direction.  Always called immediately
+     * after predict() for the same branch.
+     */
+    virtual void update(trace::Addr pc, bool taken) = 0;
+
+    /** Storage cost in bits. */
+    virtual std::uint64_t storageBits() const = 0;
+
+    virtual void reset() = 0;
+};
+
+/** Classic bimodal: a table of 2-bit counters indexed by pc. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries = 2048);
+
+    std::string name() const override { return "bimodal"; }
+    bool predict(trace::Addr pc) override;
+    void update(trace::Addr pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+  private:
+    struct Entry
+    {
+        util::SatCounter counter{2, 2}; // weakly taken
+    };
+    util::DirectTable<Entry> table_;
+};
+
+/** Two-level gshare: global history XOR pc into 2-bit counters. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    GsharePredictor(std::size_t entries = 2048,
+                    unsigned history_bits = 11);
+
+    std::string name() const override { return "gshare"; }
+    bool predict(trace::Addr pc) override;
+    void update(trace::Addr pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    std::uint64_t history() const { return history_; }
+
+  private:
+    struct Entry
+    {
+        util::SatCounter counter{2, 2};
+    };
+    std::uint64_t indexFor(trace::Addr pc) const;
+
+    util::DirectTable<Entry> table_;
+    unsigned historyBits;
+    std::uint64_t history_ = 0;
+    std::uint64_t lastIndex = 0;
+};
+
+/**
+ * Order-m PPM direction predictor (paper Section 3 made
+ * implementable): m+1 tables of 2-bit counters, table j indexed by a
+ * hash of the pc and the last j global outcomes, probed highest order
+ * first; a counter that has never been trained at that slot escapes
+ * to the next lower order via a valid bit; update exclusion applies.
+ */
+class PpmDirectionPredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param order   highest history length m
+     * @param entries total counter budget across all orders
+     */
+    PpmDirectionPredictor(unsigned order = 8,
+                          std::size_t entries = 2048);
+
+    std::string name() const override { return "PPM-cond"; }
+    bool predict(trace::Addr pc) override;
+    void update(trace::Addr pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    /** Order that produced the last prediction (m..0). */
+    unsigned lastOrder() const { return lastOrder_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        util::SatCounter counter{2, 1};
+    };
+
+    std::uint64_t indexFor(trace::Addr pc, unsigned j) const;
+
+    unsigned order_;
+    std::vector<util::DirectTable<Entry>> tables_; ///< [0]=order m
+    std::vector<std::uint64_t> lastIndices;
+    std::uint64_t history_ = 0; ///< global outcome shift register
+    unsigned lastOrder_ = 0;
+};
+
+/** Build a direction predictor by name ("bimodal", "gshare",
+ *  "PPM-cond"); fatal() on unknown names. */
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &name);
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_COND_HH_

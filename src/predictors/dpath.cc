@@ -1,0 +1,193 @@
+#include "predictors/dpath.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+PathComponent::PathComponent(const PathComponentConfig &config)
+    : config_(config),
+      history_(config.historyBits, config.bitsPerTarget, config.stream),
+      direct_(config.tagged ? 1 : config.entries),
+      assoc_(config.tagged ? std::max<std::size_t>(
+                                 1, config.entries / config.ways)
+                           : 1,
+             config.tagged ? config.ways : 1)
+{
+    fatal_if(config.entries == 0, "PathComponent needs entries");
+    fatal_if(config.tagged && config.entries % config.ways != 0,
+             "tagged PathComponent: entries must be a multiple of ways");
+}
+
+namespace {
+
+/** SplitMix64 finalizer: scrambles every history bit into the hash. */
+constexpr std::uint64_t
+scramble(std::uint64_t value)
+{
+    value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    value = (value ^ (value >> 27)) * 0x94d049bb133111ebULL;
+    return value ^ (value >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+PathComponent::indexHash(trace::Addr pc) const
+{
+    // Driesen & Holzle's reverse-interleaved index, two interleaves
+    // deep: first the recorded targets' bits are interleaved across
+    // targets (bit 0 of every target, then bit 1, ...), so truncation
+    // keeps a little of *every* target on the path; then the result
+    // is interleaved with branch-address bits, so a 2^k-entry PHT
+    // grants only ~k/2 bits to the path.  This is deliberately weaker
+    // than gshare's full-register XOR — path reach survives, but at a
+    // fraction of a bit per target, which is the design point the
+    // paper's Dpath/Cascade occupy.
+    const unsigned per = config_.bitsPerTarget;
+    const unsigned targets = config_.historyBits / per;
+    const std::uint64_t hist = history_.value();
+    std::uint64_t across = 0;
+    unsigned out_bit = 0;
+    for (unsigned i = 0; i < per && out_bit < 32; ++i)
+        for (unsigned t = 0; t < targets && out_bit < 32;
+             ++t, ++out_bit)
+            if ((hist >> (t * per + i)) & 1)
+                across |= std::uint64_t{1} << out_bit;
+    return util::interleaveBits(pc >> 2, across, 16);
+}
+
+std::uint64_t
+PathComponent::tagHash(trace::Addr pc) const
+{
+    // Tags identify the *branch*, as in Driesen & Holzle's tagged
+    // PHTs; path context is discriminated only through the index.
+    // (Mixing history into the tag would give the tagged tables far
+    // more path reach than the paper's design had.)
+    return util::foldXor(pc >> 2, 32, config_.tagBits);
+}
+
+Prediction
+PathComponent::predict(trace::Addr pc)
+{
+    if (!config_.tagged) {
+        lastIndex = indexHash(pc) % direct_.size();
+        const TargetEntry &entry = direct_.at(lastIndex);
+        return {entry.valid, entry.target};
+    }
+    lastSet = indexHash(pc) % assoc_.sets();
+    lastTag = tagHash(pc);
+    const TargetEntry *entry = assoc_.lookup(lastSet, lastTag);
+    if (!entry)
+        return {};
+    return {entry->valid, entry->target};
+}
+
+void
+PathComponent::update(trace::Addr target, bool allocate)
+{
+    if (!config_.tagged) {
+        direct_.at(lastIndex).train(target);
+        return;
+    }
+    TargetEntry *entry = assoc_.lookup(lastSet, lastTag);
+    if (entry) {
+        entry->train(target);
+    } else if (allocate) {
+        TargetEntry fresh;
+        fresh.train(target);
+        assoc_.insert(lastSet, lastTag, fresh);
+    }
+}
+
+void
+PathComponent::observe(const trace::BranchRecord &record)
+{
+    history_.observe(record);
+}
+
+std::uint64_t
+PathComponent::storageBits() const
+{
+    const std::uint64_t entry_bits =
+        TargetEntry::bits() + (config_.tagged ? config_.tagBits : 0);
+    return config_.entries * entry_bits + config_.historyBits;
+}
+
+void
+PathComponent::reset()
+{
+    history_.reset();
+    direct_.reset();
+    assoc_.reset();
+}
+
+Dpath::Dpath(const DpathConfig &config, std::string name)
+    : config_(config), name_(std::move(name)),
+      short_(config.shortPath), long_(config.longPath),
+      selector_(config.selectorEntries)
+{
+}
+
+Prediction
+Dpath::predict(trace::Addr pc)
+{
+    lastShort = short_.predict(pc);
+    lastLong = long_.predict(pc);
+    const Selector &sel =
+        selector_.at((pc >> 2) % selector_.size());
+    // Counter high half selects the long-path component; fall back to
+    // whichever component has an entry when the chosen one is cold.
+    const bool choose_long = sel.counter.high();
+    const Prediction &chosen = choose_long ? lastLong : lastShort;
+    const Prediction &other = choose_long ? lastShort : lastLong;
+    return chosen.valid ? chosen : other;
+}
+
+void
+Dpath::update(trace::Addr pc, trace::Addr target)
+{
+    updateWithAllocate(pc, target, true);
+}
+
+void
+Dpath::updateWithAllocate(trace::Addr pc, trace::Addr target,
+                          bool allocate)
+{
+    const bool short_right = lastShort.hit(target);
+    const bool long_right = lastLong.hit(target);
+    Selector &sel = selector_.at((pc >> 2) % selector_.size());
+    if (long_right && !short_right)
+        sel.counter.increment();
+    else if (short_right && !long_right)
+        sel.counter.decrement();
+
+    short_.update(target, allocate);
+    long_.update(target, allocate);
+}
+
+void
+Dpath::observe(const trace::BranchRecord &record)
+{
+    short_.observe(record);
+    long_.observe(record);
+}
+
+std::uint64_t
+Dpath::storageBits() const
+{
+    return short_.storageBits() + long_.storageBits() +
+           config_.selectorEntries * 2;
+}
+
+void
+Dpath::reset()
+{
+    short_.reset();
+    long_.reset();
+    selector_.reset();
+    lastShort = {};
+    lastLong = {};
+}
+
+} // namespace ibp::pred

@@ -1,0 +1,68 @@
+#include "predictors/gap.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+Gap::Gap(const GapConfig &config, std::string name)
+    : config_(config), name_(std::move(name)),
+      history_(config.historyBits, config.bitsPerTarget, config.stream)
+{
+    fatal_if(config.numPhts == 0, "GAp needs at least one PHT");
+    fatal_if(config.entriesPerPht == 0, "GAp needs non-empty PHTs");
+    phts_.reserve(config.numPhts);
+    for (std::size_t i = 0; i < config.numPhts; ++i)
+        phts_.emplace_back(config.entriesPerPht);
+}
+
+Gap::Slot
+Gap::slotFor(trace::Addr pc) const
+{
+    // Per-address table selection uses pc bits above the ones the
+    // gshare index consumes, so neighbouring branches spread across
+    // PHTs.
+    const std::uint64_t hashed = (pc >> 2) ^ history_.value();
+    Slot slot;
+    slot.index = hashed % config_.entriesPerPht;
+    slot.pht = ((pc >> 2) / config_.entriesPerPht) % config_.numPhts;
+    return slot;
+}
+
+Prediction
+Gap::predict(trace::Addr pc)
+{
+    lastSlot = slotFor(pc);
+    const TargetEntry &entry = phts_[lastSlot.pht].at(lastSlot.index);
+    return {entry.valid, entry.target};
+}
+
+void
+Gap::update(trace::Addr pc, trace::Addr target)
+{
+    (void)pc; // trained at the slot captured by the preceding predict()
+    phts_[lastSlot.pht].at(lastSlot.index).train(target);
+}
+
+void
+Gap::observe(const trace::BranchRecord &record)
+{
+    history_.observe(record);
+}
+
+std::uint64_t
+Gap::storageBits() const
+{
+    return config_.numPhts * config_.entriesPerPht * TargetEntry::bits() +
+           config_.historyBits;
+}
+
+void
+Gap::reset()
+{
+    history_.reset();
+    for (auto &pht : phts_)
+        pht.reset();
+}
+
+} // namespace ibp::pred

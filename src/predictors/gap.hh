@@ -1,0 +1,69 @@
+/**
+ * @file
+ * GAp two-level indirect-branch predictor (Driesen & Holzle).
+ *
+ * A global path-history register records a few low-order bits of each
+ * recent target; a gshare hash of the register and the branch pc
+ * indexes per-address pattern history tables holding {target, 2-bit
+ * replacement counter} entries.  The paper's Figure-6 configuration is
+ * 2 tagless 1K-entry PHTs with a 10-bit register (5 targets x 2 bits).
+ */
+
+#ifndef IBP_PREDICTORS_GAP_HH_
+#define IBP_PREDICTORS_GAP_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predictors/path_history.hh"
+#include "predictors/predictor.hh"
+#include "util/table.hh"
+
+namespace ibp::pred {
+
+/** Configuration of one GAp predictor. */
+struct GapConfig
+{
+    std::size_t numPhts = 2;        ///< per-address PHT count
+    std::size_t entriesPerPht = 1024;
+    unsigned historyBits = 10;      ///< PHR width
+    unsigned bitsPerTarget = 2;     ///< symbol width shifted per branch
+    StreamSel stream = StreamSel::MtIndirect;
+};
+
+/** Two-level GAp predictor with gshare indexing. */
+class Gap : public IndirectPredictor
+{
+  public:
+    explicit Gap(const GapConfig &config, std::string name = "GAp");
+
+    std::string name() const override { return name_; }
+    Prediction predict(trace::Addr pc) override;
+    void update(trace::Addr pc, trace::Addr target) override;
+    void observe(const trace::BranchRecord &record) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    /** The history register (exposed for tests). */
+    const ShiftHistory &history() const { return history_; }
+
+  private:
+    struct Slot
+    {
+        std::size_t pht;
+        std::uint64_t index;
+    };
+
+    Slot slotFor(trace::Addr pc) const;
+
+    GapConfig config_;
+    std::string name_;
+    ShiftHistory history_;
+    std::vector<util::DirectTable<TargetEntry>> phts_;
+    Slot lastSlot{0, 0};
+};
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_GAP_HH_

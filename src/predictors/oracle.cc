@@ -1,0 +1,79 @@
+#include "predictors/oracle.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
+
+Oracle::Oracle(const OracleConfig &config, std::string name)
+    : config_(config),
+      name_(name.empty()
+                ? std::string("Oracle-") + streamName(config.stream) +
+                      "@" + std::to_string(config.pathLength)
+                : std::move(name))
+{
+    fatal_if(config.pathLength == 0, "oracle needs path length >= 1");
+}
+
+std::uint64_t
+Oracle::contextKey(trace::Addr pc) const
+{
+    std::uint64_t h = config_.usePc ? pc : 0;
+    for (trace::Addr t : window_)
+        h = mix(h, t);
+    // Hash collisions over 64 bits are negligible at trace scale.
+    return h;
+}
+
+Prediction
+Oracle::predict(trace::Addr pc)
+{
+    lastKey = contextKey(pc);
+    auto it = table_.find(lastKey);
+    if (it == table_.end())
+        return {};
+    return {true, it->second};
+}
+
+void
+Oracle::update(trace::Addr pc, trace::Addr target)
+{
+    (void)pc;
+    table_[lastKey] = target;
+}
+
+void
+Oracle::observe(const trace::BranchRecord &record)
+{
+    if (!inStream(config_.stream, record))
+        return;
+    window_.push_back(record.target);
+    if (window_.size() > config_.pathLength)
+        window_.pop_front();
+}
+
+std::uint64_t
+Oracle::storageBits() const
+{
+    return table_.size() * (64 + 64);
+}
+
+void
+Oracle::reset()
+{
+    window_.clear();
+    table_.clear();
+    lastKey = 0;
+}
+
+} // namespace ibp::pred

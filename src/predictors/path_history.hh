@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Path-history registers.
+ *
+ * Every two-level predictor in the paper records a few low-order bits
+ * of the targets of some *stream* of branches.  Which stream is the
+ * defining knob: the Target Cache work (Chang et al.) showed that
+ * per-benchmark predictability depends strongly on whether the history
+ * holds all branches (PB), indirect branches only (PIB), or
+ * calls/returns; the paper's PPM-hyb selects between PB and PIB
+ * dynamically per branch.
+ *
+ * Two register flavours are provided:
+ *  - ShiftHistory: a packed shift register of totalBits (GAp, TC,
+ *    Dpath, Cascade) — new symbols shift in at the low end;
+ *  - SymbolHistory: the last N symbols kept whole (the PPM predictor's
+ *    PHR, whose SFSXS hash needs per-target symbols).
+ */
+
+#ifndef IBP_PREDICTORS_PATH_HISTORY_HH_
+#define IBP_PREDICTORS_PATH_HISTORY_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+/** Which branches contribute symbols to a history register. */
+enum class StreamSel : std::uint8_t
+{
+    AllBranches,  ///< every branch (PB path)
+    AllIndirect,  ///< jmp + jsr + ret
+    MtIndirect,   ///< multi-target jmp + jsr (PIB path)
+    CallsReturns, ///< jsr + ret
+};
+
+/** Printable stream name. */
+const char *streamName(StreamSel stream);
+
+/** True iff @p record belongs to @p stream. */
+bool inStream(StreamSel stream, const trace::BranchRecord &record);
+
+/**
+ * The path symbol a record contributes: low bits of the resolved next
+ * address, above the 2 alignment bits.  For a conditional branch the
+ * resolved address encodes the direction, which is the information a
+ * hardware PHR captures.
+ */
+constexpr std::uint64_t
+pathSymbol(const trace::BranchRecord &record, unsigned bits)
+{
+    return util::selectLow(record.nextPc() >> 2, bits);
+}
+
+/** Packed shift-register path history. */
+class ShiftHistory
+{
+  public:
+    /**
+     * @param total_bits register width (e.g. 10 for the paper's GAp)
+     * @param bits_per_target symbol width shifted in per branch
+     * @param stream which branches contribute
+     */
+    ShiftHistory(unsigned total_bits, unsigned bits_per_target,
+                 StreamSel stream)
+        : totalBits(total_bits), symbolBits(bits_per_target),
+          stream_(stream)
+    {
+        panic_if(total_bits == 0 || total_bits > 64,
+                 "ShiftHistory width out of range: ", total_bits);
+        panic_if(bits_per_target == 0 || bits_per_target > total_bits,
+                 "ShiftHistory symbol width out of range");
+    }
+
+    /** Advance on a retired branch (no-op outside the stream). */
+    void
+    observe(const trace::BranchRecord &record)
+    {
+        if (!inStream(stream_, record))
+            return;
+        value_ = ((value_ << symbolBits) |
+                  pathSymbol(record, symbolBits)) &
+                 util::maskLow(totalBits);
+    }
+
+    /** The packed register contents. */
+    std::uint64_t value() const { return value_; }
+
+    unsigned bits() const { return totalBits; }
+    StreamSel stream() const { return stream_; }
+
+    void reset() { value_ = 0; }
+
+  private:
+    unsigned totalBits;
+    unsigned symbolBits;
+    StreamSel stream_;
+    std::uint64_t value_ = 0;
+};
+
+/** Whole-symbol path history (the PPM predictor's PHR). */
+class SymbolHistory
+{
+  public:
+    /**
+     * @param length number of targets retained (the PPM order m)
+     * @param bits_per_symbol low-order bits kept per target
+     * @param stream which branches contribute
+     */
+    SymbolHistory(unsigned length, unsigned bits_per_symbol,
+                  StreamSel stream)
+        : symbolBits(bits_per_symbol), stream_(stream),
+          symbols_(length, 0)
+    {
+        panic_if(length == 0, "SymbolHistory needs length >= 1");
+        panic_if(bits_per_symbol == 0 || bits_per_symbol > 32,
+                 "SymbolHistory symbol width out of range");
+    }
+
+    void
+    observe(const trace::BranchRecord &record)
+    {
+        if (!inStream(stream_, record))
+            return;
+        // Shift: index 0 is the most recent target.
+        for (std::size_t i = symbols_.size() - 1; i > 0; --i)
+            symbols_[i] = symbols_[i - 1];
+        symbols_[0] =
+            static_cast<std::uint32_t>(pathSymbol(record, symbolBits));
+    }
+
+    /** The @p i-th most recent symbol (0 = most recent). */
+    std::uint32_t
+    symbol(std::size_t i) const
+    {
+        panic_if(i >= symbols_.size(), "SymbolHistory index out of range");
+        return symbols_[i];
+    }
+
+    unsigned length() const
+    {
+        return static_cast<unsigned>(symbols_.size());
+    }
+    unsigned bitsPerSymbol() const { return symbolBits; }
+    StreamSel stream() const { return stream_; }
+
+    /** Total register cost in bits. */
+    std::uint64_t
+    storageBits() const
+    {
+        return static_cast<std::uint64_t>(symbols_.size()) * symbolBits;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : symbols_)
+            s = 0;
+    }
+
+  private:
+    unsigned symbolBits;
+    StreamSel stream_;
+    std::vector<std::uint32_t> symbols_;
+};
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_PATH_HISTORY_HH_

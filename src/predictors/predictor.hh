@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The common indirect-branch predictor interface and the shared
+ * target-entry update policy.
+ *
+ * Engine contract (see sim/engine.cc): for every multi-target indirect
+ * branch the engine calls predict(pc), then update(pc, actual); for
+ * *every* retired branch (including that one) it then calls
+ * observe(record).  update() therefore always sees the same history
+ * state as the predict() it follows, and history registers advance in
+ * observe() — which matches the paper's protocol where "the update
+ * step starts by shifting the actual target into the PHR" *after* the
+ * tables were trained with the pre-shift indices.
+ */
+
+#ifndef IBP_PREDICTORS_PREDICTOR_HH_
+#define IBP_PREDICTORS_PREDICTOR_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/branch_record.hh"
+#include "util/sat_counter.hh"
+
+namespace ibp::pred {
+
+/** Result of a target lookup. */
+struct Prediction
+{
+    bool valid = false;       ///< false: the predictor abstains
+    trace::Addr target = 0;
+
+    bool
+    hit(trace::Addr actual) const
+    {
+        return valid && target == actual;
+    }
+};
+
+/** Abstract indirect-branch target predictor. */
+class IndirectPredictor
+{
+  public:
+    virtual ~IndirectPredictor() = default;
+
+    /** Short display name ("BTB2b", "PPM-hyb", ...). */
+    virtual std::string name() const = 0;
+
+    /** Look up the predicted target of the MT indirect branch @p pc. */
+    virtual Prediction predict(trace::Addr pc) = 0;
+
+    /**
+     * Train with the resolved target of the branch just predicted.
+     * Always called immediately after predict() for the same branch.
+     */
+    virtual void update(trace::Addr pc, trace::Addr target) = 0;
+
+    /** Observe every retired branch (advances path histories). */
+    virtual void observe(const trace::BranchRecord &record) = 0;
+
+    /** Storage cost in bits, for hardware-budget accounting. */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Clear all state (tables, histories, counters). */
+    virtual void reset() = 0;
+};
+
+/**
+ * A BTB-like prediction entry: most-recent target plus the 2-bit
+ * up/down counter the paper uses to gate target replacement ("the
+ * target is updated on two consecutive misses").
+ */
+struct TargetEntry
+{
+    bool valid = false;
+    trace::Addr target = 0;
+    util::SatCounter counter{2, 1};
+
+    /** Train with the resolved target under the hysteresis policy. */
+    void
+    train(trace::Addr actual)
+    {
+        if (!valid) {
+            valid = true;
+            target = actual;
+            counter.set(1);
+            return;
+        }
+        if (target == actual) {
+            counter.increment();
+            return;
+        }
+        if (counter.value() == 0) {
+            target = actual;
+            counter.set(1);
+        } else {
+            counter.decrement();
+        }
+    }
+
+    /** Storage cost of one entry in bits (target field width 64). */
+    static constexpr std::uint64_t
+    bits()
+    {
+        return 1 + 64 + 2;
+    }
+};
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_PREDICTOR_HH_

@@ -1,0 +1,40 @@
+#include "predictors/ras.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+ReturnAddressStack::ReturnAddressStack(std::size_t depth)
+    : stack_(depth, 0)
+{
+    panic_if(depth == 0, "RAS needs depth >= 1");
+}
+
+void
+ReturnAddressStack::push(trace::Addr return_addr)
+{
+    stack_[top_] = return_addr;
+    top_ = (top_ + 1) % stack_.size();
+    if (live_ < stack_.size())
+        ++live_;
+}
+
+bool
+ReturnAddressStack::pop(trace::Addr &predicted)
+{
+    if (live_ == 0)
+        return false;
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    predicted = stack_[top_];
+    --live_;
+    return true;
+}
+
+void
+ReturnAddressStack::reset()
+{
+    top_ = 0;
+    live_ = 0;
+}
+
+} // namespace ibp::pred

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Return Address Stack (Kaeli & Emma).
+ *
+ * Subroutine returns are indirect branches with perfectly structured
+ * history: the matching call pushed the correct target.  The paper
+ * excludes `ret` from the indirect-predictor workload because a RAS
+ * predicts it accurately; this implementation lets the simulation
+ * engine demonstrate that claim and report return accuracy separately.
+ */
+
+#ifndef IBP_PREDICTORS_RAS_HH_
+#define IBP_PREDICTORS_RAS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace ibp::pred {
+
+/** Fixed-depth circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::size_t depth = 16);
+
+    /** Push the return address of a call. */
+    void push(trace::Addr return_addr);
+
+    /**
+     * Pop and return the predicted return target.
+     * @param predicted out-parameter with the popped address
+     * @retval false the stack was empty (no prediction)
+     */
+    bool pop(trace::Addr &predicted);
+
+    /** Current number of live entries (<= depth). */
+    std::size_t size() const { return live_; }
+    std::size_t depth() const { return stack_.size(); }
+    bool empty() const { return live_ == 0; }
+
+    /** Storage cost in bits. */
+    std::uint64_t
+    storageBits() const
+    {
+        return stack_.size() * 64;
+    }
+
+    void reset();
+
+  private:
+    std::vector<trace::Addr> stack_;
+    std::size_t top_ = 0;  ///< index of the next free slot
+    std::size_t live_ = 0; ///< valid entries (saturates at depth)
+};
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_RAS_HH_

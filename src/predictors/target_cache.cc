@@ -1,0 +1,55 @@
+#include "predictors/target_cache.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+TargetCache::TargetCache(const TargetCacheConfig &config, std::string name)
+    : config_(config),
+      name_(name.empty()
+                ? std::string("TC-") + streamName(config.stream)
+                : std::move(name)),
+      history_(config.historyBits, config.bitsPerTarget, config.stream),
+      table_(config.entries)
+{
+    fatal_if(config.entries == 0, "TargetCache needs entries");
+}
+
+Prediction
+TargetCache::predict(trace::Addr pc)
+{
+    lastIndex = ((pc >> 2) ^ history_.value()) % table_.size();
+    const Entry &entry = table_.at(lastIndex);
+    return {entry.valid, entry.target};
+}
+
+void
+TargetCache::update(trace::Addr pc, trace::Addr target)
+{
+    (void)pc;
+    Entry &entry = table_.at(lastIndex);
+    entry.valid = true;
+    entry.target = target;
+}
+
+void
+TargetCache::observe(const trace::BranchRecord &record)
+{
+    history_.observe(record);
+}
+
+std::uint64_t
+TargetCache::storageBits() const
+{
+    return table_.size() * (1 + 64) + config_.historyBits;
+}
+
+void
+TargetCache::reset()
+{
+    history_.reset();
+    table_.reset();
+    lastIndex = 0;
+}
+
+} // namespace ibp::pred

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Target Cache predictor (Chang, Hao & Patt, ISCA '97).
+ *
+ * A single tagless table of most-recent targets, indexed by a gshare
+ * hash of the branch pc and a path-history register whose *stream* is
+ * selectable — the Target Cache's defining feature.  The paper's
+ * Figure-6 configuration (TC-PIB) is a 2K-entry table with an 11-bit
+ * register of indirect-branch targets, 2 low-order bits each.
+ */
+
+#ifndef IBP_PREDICTORS_TARGET_CACHE_HH_
+#define IBP_PREDICTORS_TARGET_CACHE_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "predictors/path_history.hh"
+#include "predictors/predictor.hh"
+#include "util/table.hh"
+
+namespace ibp::pred {
+
+/** Target Cache configuration. */
+struct TargetCacheConfig
+{
+    std::size_t entries = 2048;
+    unsigned historyBits = 11;
+    unsigned bitsPerTarget = 2;
+    StreamSel stream = StreamSel::MtIndirect;
+};
+
+/** Tagless Target Cache with selectable correlation stream. */
+class TargetCache : public IndirectPredictor
+{
+  public:
+    explicit TargetCache(const TargetCacheConfig &config,
+                         std::string name = "");
+
+    std::string name() const override { return name_; }
+    Prediction predict(trace::Addr pc) override;
+    void update(trace::Addr pc, trace::Addr target) override;
+    void observe(const trace::BranchRecord &record) override;
+    std::uint64_t storageBits() const override;
+    void reset() override;
+
+    const ShiftHistory &history() const { return history_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        trace::Addr target = 0;
+    };
+
+    TargetCacheConfig config_;
+    std::string name_;
+    ShiftHistory history_;
+    util::DirectTable<Entry> table_;
+    std::uint64_t lastIndex = 0;
+};
+
+} // namespace ibp::pred
+
+#endif // IBP_PREDICTORS_TARGET_CACHE_HH_

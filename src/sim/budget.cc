@@ -1,0 +1,35 @@
+#include "sim/budget.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ibp::sim {
+
+std::vector<BudgetRow>
+budgetTable(const std::vector<std::string> &names,
+            const FactoryOptions &options)
+{
+    std::vector<BudgetRow> rows;
+    rows.reserve(names.size());
+    for (const auto &name : names) {
+        const auto predictor = makePredictor(name, options);
+        rows.push_back({predictor->name(), predictor->storageBits()});
+    }
+    return rows;
+}
+
+void
+printBudgetTable(std::ostream &out, const std::vector<BudgetRow> &rows)
+{
+    out << std::left << std::setw(18) << "predictor"
+        << std::right << std::setw(12) << "bits"
+        << std::setw(10) << "KiB" << '\n';
+    for (const auto &row : rows) {
+        out << std::left << std::setw(18) << row.name
+            << std::right << std::setw(12) << row.bits
+            << std::setw(10) << std::fixed << std::setprecision(1)
+            << row.kib() << '\n';
+    }
+}
+
+} // namespace ibp::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Hardware-budget accounting.
+ *
+ * The paper's comparison holds the entry count constant (2K) across
+ * predictors; this module makes the resulting bit budgets explicit so
+ * the "approximately the same hardware budget" claim can be audited
+ * per configuration.
+ */
+
+#ifndef IBP_SIM_BUDGET_HH_
+#define IBP_SIM_BUDGET_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/factory.hh"
+
+namespace ibp::sim {
+
+/** One predictor's storage footprint. */
+struct BudgetRow
+{
+    std::string name;
+    std::uint64_t bits = 0;
+
+    double kib() const { return static_cast<double>(bits) / 8192.0; }
+};
+
+/** Footprints for a list of predictor names (factory configs). */
+std::vector<BudgetRow> budgetTable(const std::vector<std::string> &names,
+                                   const FactoryOptions &options = {});
+
+/** Render the table ("name  bits  KiB") to a stream. */
+void printBudgetTable(std::ostream &out,
+                      const std::vector<BudgetRow> &rows);
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_BUDGET_HH_

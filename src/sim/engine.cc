@@ -1,0 +1,50 @@
+#include "sim/engine.hh"
+
+namespace ibp::sim {
+
+Engine::Engine(const EngineConfig &config)
+    : config_(config)
+{
+}
+
+RunMetrics
+Engine::run(trace::BranchSource &source,
+            pred::IndirectPredictor &predictor)
+{
+    RunMetrics metrics;
+    pred::ReturnAddressStack ras(config_.rasDepth);
+
+    trace::BranchRecord record;
+    while (source.next(record)) {
+        ++metrics.branches;
+
+        if (record.isPredictedIndirect()) {
+            ++metrics.mtIndirect;
+            const pred::Prediction prediction =
+                predictor.predict(record.pc);
+            const bool miss = !prediction.hit(record.target);
+            metrics.indirectMisses.sample(miss);
+            metrics.noPrediction.sample(!prediction.valid);
+            if (config_.perSiteStats) {
+                SiteMetrics &site = metrics.perSite[record.pc];
+                site.misses.sample(miss);
+                site.lastTarget = record.target;
+            }
+            predictor.update(record.pc, record.target);
+        } else if (record.kind == trace::BranchKind::Return &&
+                   config_.useRas) {
+            trace::Addr predicted = 0;
+            const bool got = ras.pop(predicted);
+            metrics.returnMisses.sample(!got ||
+                                        predicted != record.target);
+        }
+
+        if (record.call && config_.useRas)
+            ras.push(record.pc + 4);
+
+        predictor.observe(record);
+    }
+    return metrics;
+}
+
+} // namespace ibp::sim

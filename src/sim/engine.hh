@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The trace-driven simulation engine.
+ *
+ * Drives one indirect predictor over a branch stream exactly as the
+ * paper's methodology prescribes: returns go to a RAS, single-target
+ * indirect branches are excluded (link-time-resolvable GOT/DLL stubs),
+ * and every multi-target jmp/jsr is predicted at fetch and trained at
+ * resolve.  Per-branch ordering is predict -> update -> observe, so
+ * table training uses pre-shift history and the actual target enters
+ * the PHRs afterwards ("the update step starts by shifting the actual
+ * target into the PHR").
+ */
+
+#ifndef IBP_SIM_ENGINE_HH_
+#define IBP_SIM_ENGINE_HH_
+
+#include <cstdint>
+
+#include "predictors/predictor.hh"
+#include "predictors/ras.hh"
+#include "sim/metrics.hh"
+#include "trace/trace_buffer.hh"
+
+namespace ibp::sim {
+
+/** Engine options. */
+struct EngineConfig
+{
+    bool useRas = true;        ///< predict returns with a RAS
+    std::size_t rasDepth = 16;
+    bool perSiteStats = false; ///< collect the per-site breakdown
+};
+
+/** The trace-driven engine. */
+class Engine
+{
+  public:
+    explicit Engine(const EngineConfig &config = {});
+
+    /**
+     * Run @p predictor over @p source until exhaustion.
+     * @return the collected metrics
+     */
+    RunMetrics run(trace::BranchSource &source,
+                   pred::IndirectPredictor &predictor);
+
+  private:
+    EngineConfig config_;
+};
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_ENGINE_HH_

@@ -1,0 +1,176 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "workload/program.hh"
+
+namespace ibp::sim {
+
+std::vector<double>
+SuiteResult::averages() const
+{
+    std::vector<double> avg(predictorNames.size(), 0.0);
+    if (cells.empty())
+        return avg;
+    for (const auto &row : cells)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            avg[c] += row[c].missPercent;
+    for (auto &a : avg)
+        a /= static_cast<double>(cells.size());
+    return avg;
+}
+
+const CellResult &
+SuiteResult::cell(const std::string &row, const std::string &col) const
+{
+    for (std::size_t r = 0; r < rowNames.size(); ++r) {
+        if (rowNames[r] != row)
+            continue;
+        for (std::size_t c = 0; c < predictorNames.size(); ++c)
+            if (predictorNames[c] == col)
+                return cells[r][c];
+    }
+    fatal("no suite cell (", row, ", ", col, ")");
+}
+
+trace::TraceBuffer
+generateTrace(const workload::BenchmarkProfile &profile,
+              double trace_scale)
+{
+    fatal_if(trace_scale <= 0, "trace scale must be positive");
+    workload::Program program = workload::synthesize(profile.program);
+    const auto records = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(profile.records) * trace_scale));
+    return program.collect(records);
+}
+
+RunMetrics
+runOne(const workload::BenchmarkProfile &profile,
+       const std::string &predictor_name, const SuiteOptions &options)
+{
+    trace::TraceBuffer buffer =
+        generateTrace(profile, options.traceScale);
+    auto predictor = makePredictor(predictor_name, options.factory);
+    Engine engine(options.engine);
+    return engine.run(buffer, *predictor);
+}
+
+SuiteResult
+runSuite(const std::vector<workload::BenchmarkProfile> &profiles,
+         const std::vector<std::string> &predictor_names,
+         const SuiteOptions &options)
+{
+    SuiteResult result;
+    result.predictorNames = predictor_names;
+    for (const auto &profile : profiles) {
+        result.rowNames.push_back(profile.fullName());
+        trace::TraceBuffer buffer =
+            generateTrace(profile, options.traceScale);
+
+        std::vector<CellResult> row;
+        row.reserve(predictor_names.size());
+        for (const auto &name : predictor_names) {
+            auto predictor = makePredictor(name, options.factory);
+            Engine engine(options.engine);
+            buffer.rewind();
+            const RunMetrics metrics = engine.run(buffer, *predictor);
+            CellResult cell;
+            cell.missPercent = metrics.missPercent();
+            cell.noPredictionPercent = metrics.noPrediction.percent();
+            cell.predictions = metrics.mtIndirect;
+            row.push_back(cell);
+        }
+        result.cells.push_back(std::move(row));
+    }
+    return result;
+}
+
+SeedSweepResult
+runSeedSweep(const std::vector<workload::BenchmarkProfile> &profiles,
+             const std::vector<std::string> &predictor_names,
+             const SuiteOptions &options, unsigned num_seeds)
+{
+    fatal_if(num_seeds == 0, "seed sweep needs at least one seed");
+    SeedSweepResult sweep;
+    sweep.predictorNames = predictor_names;
+
+    for (unsigned s = 0; s < num_seeds; ++s) {
+        std::vector<workload::BenchmarkProfile> reseeded = profiles;
+        for (auto &profile : reseeded)
+            profile.program.seed ^=
+                0x9e3779b97f4a7c15ULL * (s + 1) >> 7;
+        const SuiteResult result =
+            runSuite(reseeded, predictor_names, options);
+        sweep.perSeed.push_back(result.averages());
+    }
+
+    const auto cols = predictor_names.size();
+    sweep.mean.assign(cols, 0.0);
+    sweep.stddev.assign(cols, 0.0);
+    for (const auto &row : sweep.perSeed)
+        for (std::size_t c = 0; c < cols; ++c)
+            sweep.mean[c] += row[c];
+    for (auto &m : sweep.mean)
+        m /= static_cast<double>(num_seeds);
+    if (num_seeds > 1) {
+        for (const auto &row : sweep.perSeed)
+            for (std::size_t c = 0; c < cols; ++c) {
+                const double d = row[c] - sweep.mean[c];
+                sweep.stddev[c] += d * d;
+            }
+        for (auto &sd : sweep.stddev)
+            sd = std::sqrt(sd / static_cast<double>(num_seeds - 1));
+    }
+    return sweep;
+}
+
+void
+printSuiteTable(std::ostream &out, const SuiteResult &result)
+{
+    constexpr int kLabelWidth = 12;
+    constexpr int kCellWidth = 10;
+
+    out << std::left << std::setw(kLabelWidth) << "benchmark"
+        << std::right;
+    for (const auto &name : result.predictorNames)
+        out << std::setw(kCellWidth)
+            << (name.size() > std::size_t(kCellWidth - 1)
+                    ? name.substr(0, kCellWidth - 1)
+                    : name);
+    out << '\n';
+
+    for (std::size_t r = 0; r < result.rowNames.size(); ++r) {
+        out << std::left << std::setw(kLabelWidth) << result.rowNames[r]
+            << std::right << std::fixed << std::setprecision(2);
+        for (const auto &cell : result.cells[r])
+            out << std::setw(kCellWidth) << cell.missPercent;
+        out << '\n';
+    }
+
+    out << std::left << std::setw(kLabelWidth) << "average"
+        << std::right << std::fixed << std::setprecision(2);
+    for (double avg : result.averages())
+        out << std::setw(kCellWidth) << avg;
+    out << '\n';
+}
+
+double
+paperAverageFor(const std::string &predictor)
+{
+    // Suite averages the paper states explicitly (Section 5): PPM-hyb
+    // 9.47%, Cascade 11.48%, TC-PIB 13.0%.  The remaining predictors'
+    // averages are only plotted, not printed, so no number is
+    // reproduced for them.
+    if (predictor == "PPM-hyb")
+        return 9.47;
+    if (predictor == "Cascade")
+        return 11.48;
+    if (predictor == "TC-PIB")
+        return 13.0;
+    return -1.0;
+}
+
+} // namespace ibp::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Suite runner and table rendering: the machinery behind every
+ * Figure/Table-regenerating bench binary.
+ *
+ * A suite run generates each benchmark profile's trace once and plays
+ * it through a list of factory-built predictors, producing the
+ * benchmark x predictor misprediction matrix the paper plots.
+ */
+
+#ifndef IBP_SIM_EXPERIMENT_HH_
+#define IBP_SIM_EXPERIMENT_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/factory.hh"
+#include "sim/metrics.hh"
+#include "workload/profiles.hh"
+
+namespace ibp::sim {
+
+/** Suite-run options. */
+struct SuiteOptions
+{
+    double traceScale = 1.0; ///< multiplies each profile's record count
+    FactoryOptions factory;
+    EngineConfig engine;
+};
+
+/** One (benchmark, predictor) cell of the result matrix. */
+struct CellResult
+{
+    double missPercent = 0;
+    double noPredictionPercent = 0;
+    std::uint64_t predictions = 0;
+};
+
+/** The full matrix. */
+struct SuiteResult
+{
+    std::vector<std::string> predictorNames; ///< columns
+    std::vector<std::string> rowNames;       ///< benchmark runs
+    std::vector<std::vector<CellResult>> cells; ///< [row][col]
+
+    /** Column arithmetic means (the paper's "average" bars). */
+    std::vector<double> averages() const;
+
+    /** Cell lookup by names; fatal() if absent. */
+    const CellResult &cell(const std::string &row,
+                           const std::string &col) const;
+};
+
+/** Generate a profile's trace (honouring the scale factor). */
+trace::TraceBuffer generateTrace(const workload::BenchmarkProfile &,
+                                 double trace_scale = 1.0);
+
+/** Run one profile x one predictor; returns the full metrics. */
+RunMetrics runOne(const workload::BenchmarkProfile &profile,
+                  const std::string &predictor_name,
+                  const SuiteOptions &options = {});
+
+/** Run the full matrix. */
+SuiteResult runSuite(const std::vector<workload::BenchmarkProfile> &,
+                     const std::vector<std::string> &predictor_names,
+                     const SuiteOptions &options = {});
+
+/** Mean and spread of suite averages over re-seeded workloads. */
+struct SeedSweepResult
+{
+    std::vector<std::string> predictorNames;
+    std::vector<double> mean;   ///< suite-average miss% per predictor
+    std::vector<double> stddev;
+    /** Per-seed suite averages, [seed][predictor]. */
+    std::vector<std::vector<double>> perSeed;
+};
+
+/**
+ * Re-run the whole suite @p num_seeds times with perturbed workload
+ * seeds (the profiles' structure is identical; only the RNG streams
+ * change) and report the mean and standard deviation of each
+ * predictor's suite average.  Used to show the Figure-6 ordering is a
+ * property of the workload statistics, not of one lucky seed.
+ */
+SeedSweepResult
+runSeedSweep(const std::vector<workload::BenchmarkProfile> &,
+             const std::vector<std::string> &predictor_names,
+             const SuiteOptions &options, unsigned num_seeds);
+
+/** Render the matrix as a fixed-width ASCII table with averages. */
+void printSuiteTable(std::ostream &out, const SuiteResult &result);
+
+/**
+ * The paper's published per-predictor suite averages (Figure 6 / 7 /
+ * Section 5 text), for paper-vs-measured reporting.  Returns a
+ * negative value when the paper gives no number for @p predictor.
+ */
+double paperAverageFor(const std::string &predictor);
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_EXPERIMENT_HH_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Predictor factory: builds every predictor the paper evaluates, in
+ * its Figure-6 2K-entry configuration, by name.  A size scale knob
+ * supports the table-size ablation the paper defers to future work.
+ */
+
+#ifndef IBP_SIM_FACTORY_HH_
+#define IBP_SIM_FACTORY_HH_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "predictors/predictor.hh"
+
+namespace ibp::sim {
+
+/** Factory options. */
+struct FactoryOptions
+{
+    /** Multiplies every prediction-table entry count (>= 0.01). */
+    double sizeScale = 1.0;
+};
+
+/**
+ * Build a predictor by display name.  Recognized names:
+ * BTB, BTB2b, GAp, TC-PIB, TC-PB, Dpath, Cascade, Cascade-strict,
+ * PPM-hyb, PPM-PIB, PPM-hyb-biased, PPM-tagged, Filtered-PPM,
+ * PPM-gshare (SFSXS with pc mixed in), PPM-low (low-order select),
+ * Oracle-PIB@<k>.  fatal() on an unknown name.
+ */
+std::unique_ptr<pred::IndirectPredictor>
+makePredictor(std::string_view name, const FactoryOptions &options = {});
+
+/** True iff makePredictor() accepts @p name. */
+bool knownPredictor(std::string_view name);
+
+/** The Figure-6 predictor line-up, in the paper's order. */
+std::vector<std::string> figure6Predictors();
+
+/** The Figure-7 PPM-variant line-up. */
+std::vector<std::string> figure7Predictors();
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_FACTORY_HH_

@@ -1,0 +1,106 @@
+#include "sim/frontend.hh"
+
+#include <cmath>
+
+#include "predictors/btb.hh"
+#include "util/logging.hh"
+
+namespace ibp::sim {
+
+Frontend::Frontend(const FrontendConfig &config)
+    : config_(config)
+{
+    fatal_if(config.fetchWidth == 0, "fetch width must be positive");
+    fatal_if(config.instructionsPerBranch < 1.0,
+             "instructions per branch must be >= 1");
+}
+
+FrontendMetrics
+Frontend::run(trace::BranchSource &source,
+              pred::IndirectPredictor &indirect)
+{
+    FrontendMetrics metrics;
+    auto direction =
+        pred::makeDirectionPredictor(config_.directionPredictor);
+    pred::ReturnAddressStack ras(config_.rasDepth);
+    std::unordered_set<trace::Addr> seen_st;
+    pred::Btb fast_btb(config_.overrideBtbEntries);
+
+    std::uint64_t redirects = 0;
+    std::uint64_t override_bubbles = 0;
+    trace::BranchRecord record;
+    while (source.next(record)) {
+        switch (record.kind) {
+          case trace::BranchKind::CondDirect: {
+            ++metrics.condBranches;
+            const bool predicted = direction->predict(record.pc);
+            if (predicted != record.taken) {
+                ++metrics.condMisses;
+                ++redirects;
+            }
+            direction->update(record.pc, record.taken);
+            break;
+          }
+          case trace::BranchKind::UncondDirect:
+            // Target known at decode: never a redirect.
+            break;
+          case trace::BranchKind::IndirectJmp:
+          case trace::BranchKind::IndirectCall: {
+            if (record.multiTarget) {
+                ++metrics.indirectBranches;
+                pred::Prediction fast;
+                if (config_.pipelinedIndirect)
+                    fast = fast_btb.predict(record.pc);
+                const pred::Prediction p = indirect.predict(record.pc);
+                if (!p.hit(record.target)) {
+                    ++metrics.indirectMisses;
+                    ++redirects;
+                } else if (config_.pipelinedIndirect &&
+                           !fast.hit(record.target)) {
+                    // Final prediction correct but the 1-cycle BTB had
+                    // already fetched down the wrong path: the late
+                    // override costs a short bubble.
+                    ++metrics.overrides;
+                    ++override_bubbles;
+                }
+                if (config_.pipelinedIndirect)
+                    fast_btb.update(record.pc, record.target);
+                indirect.update(record.pc, record.target);
+            } else if (!seen_st.count(record.pc)) {
+                // Single-target: one cold BTB miss, then resolved.
+                seen_st.insert(record.pc);
+                ++metrics.stColdMisses;
+                ++redirects;
+            }
+            break;
+          }
+          case trace::BranchKind::Return: {
+            ++metrics.returns;
+            trace::Addr predicted = 0;
+            const bool got = ras.pop(predicted);
+            if (!got || predicted != record.target) {
+                ++metrics.returnMisses;
+                ++redirects;
+            }
+            break;
+          }
+        }
+
+        if (record.call)
+            ras.push(record.pc + 4);
+        indirect.observe(record);
+        ++metrics.instructions; // the branch itself
+        metrics.instructions += static_cast<std::uint64_t>(
+            config_.instructionsPerBranch - 1.0);
+    }
+
+    const std::uint64_t fetch_cycles =
+        (metrics.instructions + config_.fetchWidth - 1) /
+        config_.fetchWidth;
+    metrics.cycles = fetch_cycles +
+                     redirects * config_.mispredictPenalty +
+                     override_bubbles * config_.overridePenalty;
+    return metrics;
+}
+
+} // namespace ibp::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Front-end fetch model.
+ *
+ * The paper motivates indirect-branch prediction by its effect on
+ * wide-issue, deeply pipelined fetch (Section 1, citing Chang et al.
+ * for the performance impact).  This model turns misprediction counts
+ * into cycles: an in-order fetch engine of configurable width pays a
+ * fixed redirect penalty for every mispredicted conditional direction,
+ * multi-target indirect target, or return — the classic
+ * trace-driven IPC approximation (no wrong-path modelling).
+ *
+ * Direct branches/calls are treated as predicted perfectly (their
+ * targets are known at decode in 1998-era front ends); single-target
+ * indirect branches are treated as BTB-resolved after first sight.
+ */
+
+#ifndef IBP_SIM_FRONTEND_HH_
+#define IBP_SIM_FRONTEND_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "predictors/cond.hh"
+#include "predictors/predictor.hh"
+#include "predictors/ras.hh"
+#include "trace/trace_buffer.hh"
+
+namespace ibp::sim {
+
+/** Front-end parameters. */
+struct FrontendConfig
+{
+    unsigned fetchWidth = 4;        ///< instructions per cycle
+    unsigned mispredictPenalty = 8; ///< redirect penalty in cycles
+    /** Non-branch instructions accompanying each branch record. */
+    double instructionsPerBranch = 5.0;
+    std::string directionPredictor = "gshare";
+    std::size_t rasDepth = 16;
+
+    /**
+     * Model the paper's Section-4 observation that a 2-level predictor
+     * (BIU access + table access) "may have to be pipelined into two
+     * phases": a single-cycle BTB supplies the initial target and the
+     * main predictor overrides it one cycle later.  An override that
+     * corrects a wrong initial target costs @c overridePenalty cycles;
+     * a wrong final prediction still costs the full redirect penalty.
+     */
+    bool pipelinedIndirect = false;
+    unsigned overridePenalty = 1;
+    std::size_t overrideBtbEntries = 2048;
+};
+
+/** What the fetch model measured. */
+struct FrontendMetrics
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMisses = 0;
+    std::uint64_t indirectBranches = 0; ///< MT jmp/jsr
+    std::uint64_t indirectMisses = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t returnMisses = 0;
+    std::uint64_t stColdMisses = 0;
+    /** Late-but-correct overrides (pipelined mode only). */
+    std::uint64_t overrides = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Mispredictions per kilo-instruction, by class. */
+    double mpkiCond() const { return perKi(condMisses); }
+    double mpkiIndirect() const { return perKi(indirectMisses); }
+    double mpkiReturn() const { return perKi(returnMisses); }
+
+  private:
+    double
+    perKi(std::uint64_t events) const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(events) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/** The fetch model. */
+class Frontend
+{
+  public:
+    explicit Frontend(const FrontendConfig &config = {});
+
+    /**
+     * Run the fetch model over @p source with @p indirect predicting
+     * the multi-target indirect branches.
+     */
+    FrontendMetrics run(trace::BranchSource &source,
+                        pred::IndirectPredictor &indirect);
+
+  private:
+    FrontendConfig config_;
+};
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_FRONTEND_HH_

@@ -1,0 +1,23 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+namespace ibp::sim {
+
+std::vector<std::pair<trace::Addr, std::uint64_t>>
+RunMetrics::worstSites(std::size_t n) const
+{
+    std::vector<std::pair<trace::Addr, std::uint64_t>> ranked;
+    ranked.reserve(perSite.size());
+    for (const auto &[pc, site] : perSite)
+        ranked.emplace_back(pc, site.misses.events());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    if (ranked.size() > n)
+        ranked.resize(n);
+    return ranked;
+}
+
+} // namespace ibp::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Metrics collected by one simulation run.
+ *
+ * The paper's headline metric is the misprediction ratio over dynamic
+ * multi-target jmp/jsr branches; return (RAS) accuracy and abstention
+ * rates are tracked separately, and an optional per-site breakdown
+ * supports the paper's per-branch analyses (e.g. perl's three hot
+ * aliasing branches).
+ */
+
+#ifndef IBP_SIM_METRICS_HH_
+#define IBP_SIM_METRICS_HH_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "util/stats.hh"
+
+namespace ibp::sim {
+
+/** Per-site outcome counters. */
+struct SiteMetrics
+{
+    util::Ratio misses;
+    trace::Addr lastTarget = 0;
+};
+
+/** Everything measured during one engine run. */
+struct RunMetrics
+{
+    /** MT jmp/jsr mispredictions / executions — the paper's metric. */
+    util::Ratio indirectMisses;
+    /** Subset of mispredictions where the predictor abstained. */
+    util::Ratio noPrediction;
+    /** Return mispredictions under the RAS. */
+    util::Ratio returnMisses;
+
+    std::uint64_t branches = 0;       ///< all records consumed
+    std::uint64_t mtIndirect = 0;     ///< predicted branch count
+
+    /** Per-site breakdown (populated when the engine is asked to). */
+    std::map<trace::Addr, SiteMetrics> perSite;
+
+    /** Misprediction ratio in percent (the Figure 6/7 number). */
+    double missPercent() const { return indirectMisses.percent(); }
+
+    /**
+     * The @p n sites with the most mispredictions, as (pc, misses)
+     * pairs sorted descending.  Empty unless per-site stats were on.
+     */
+    std::vector<std::pair<trace::Addr, std::uint64_t>>
+    worstSites(std::size_t n) const;
+};
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_METRICS_HH_

@@ -1,0 +1,34 @@
+#include "trace/branch_record.hh"
+
+#include <cstdio>
+
+namespace ibp::trace {
+
+const char *
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::CondDirect:   return "cond";
+      case BranchKind::UncondDirect: return "br";
+      case BranchKind::IndirectJmp:  return "jmp";
+      case BranchKind::IndirectCall: return "jsr";
+      case BranchKind::Return:       return "ret";
+    }
+    return "?";
+}
+
+std::string
+toString(const BranchRecord &record)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s pc=0x%llx target=0x%llx %s%s%s",
+                  branchKindName(record.kind),
+                  static_cast<unsigned long long>(record.pc),
+                  static_cast<unsigned long long>(record.target),
+                  record.taken ? "T" : "N",
+                  record.multiTarget ? " MT" : "",
+                  record.call ? " C" : "");
+    return buf;
+}
+
+} // namespace ibp::trace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * In-memory branch trace plus the streaming sink/source interfaces the
+ * generator, codecs and simulation engine share.
+ */
+
+#ifndef IBP_TRACE_TRACE_BUFFER_HH_
+#define IBP_TRACE_TRACE_BUFFER_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace ibp::trace {
+
+/** Anything that consumes a stream of branch records. */
+class BranchSink
+{
+  public:
+    virtual ~BranchSink() = default;
+
+    /** Deliver one record. */
+    virtual void push(const BranchRecord &record) = 0;
+};
+
+/** Anything that produces a stream of branch records. */
+class BranchSource
+{
+  public:
+    virtual ~BranchSource() = default;
+
+    /**
+     * Fetch the next record.
+     * @param record out-parameter receiving the record
+     * @retval true a record was produced
+     * @retval false the stream is exhausted
+     */
+    virtual bool next(BranchRecord &record) = 0;
+};
+
+/**
+ * A whole trace held in memory.  Fine for this project's scales
+ * (tens of millions of records); larger runs should stream through
+ * TraceWriter/TraceReader instead.
+ */
+class TraceBuffer : public BranchSink, public BranchSource
+{
+  public:
+    TraceBuffer() = default;
+
+    explicit TraceBuffer(std::vector<BranchRecord> records)
+        : records_(std::move(records))
+    {}
+
+    void push(const BranchRecord &record) override
+    {
+        records_.push_back(record);
+    }
+
+    bool
+    next(BranchRecord &record) override
+    {
+        if (cursor_ >= records_.size())
+            return false;
+        record = records_[cursor_++];
+        return true;
+    }
+
+    /** Restart iteration from the beginning. */
+    void rewind() { cursor_ = 0; }
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const BranchRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+    const std::vector<BranchRecord> &records() const { return records_; }
+
+    void
+    clear()
+    {
+        records_.clear();
+        cursor_ = 0;
+    }
+
+  private:
+    std::vector<BranchRecord> records_;
+    std::size_t cursor_ = 0;
+};
+
+/**
+ * Adapter exposing a callback as a BranchSink (handy in tests and in
+ * the trace tools, which want to fan one stream out to several
+ * consumers).
+ */
+class CallbackSink : public BranchSink
+{
+  public:
+    using Fn = std::function<void(const BranchRecord &)>;
+
+    explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+
+    void push(const BranchRecord &record) override { fn_(record); }
+
+  private:
+    Fn fn_;
+};
+
+/**
+ * A filtering source: forwards only records matching a predicate.
+ * Used e.g. to present "MT indirect branches only" views of a trace.
+ */
+class FilterSource : public BranchSource
+{
+  public:
+    using Predicate = std::function<bool(const BranchRecord &)>;
+
+    FilterSource(BranchSource &inner, Predicate pred)
+        : inner_(inner), pred_(std::move(pred))
+    {}
+
+    bool
+    next(BranchRecord &record) override
+    {
+        while (inner_.next(record))
+            if (pred_(record))
+                return true;
+        return false;
+    }
+
+  private:
+    BranchSource &inner_;
+    Predicate pred_;
+};
+
+} // namespace ibp::trace
+
+#endif // IBP_TRACE_TRACE_BUFFER_HH_

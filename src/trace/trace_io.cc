@@ -1,0 +1,226 @@
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp::trace {
+
+namespace {
+
+/// Record flag byte: kind in bits 0..2, taken bit 3, MT bit 4,
+/// call bit 5.
+constexpr unsigned kKindMask = 0x7;
+constexpr unsigned kTakenBit = 1u << 3;
+constexpr unsigned kMtBit = 1u << 4;
+constexpr unsigned kCallBit = 1u << 5;
+
+std::uint8_t
+packFlags(const BranchRecord &record)
+{
+    std::uint8_t flags =
+        static_cast<std::uint8_t>(record.kind) & kKindMask;
+    if (record.taken)
+        flags |= kTakenBit;
+    if (record.multiTarget)
+        flags |= kMtBit;
+    if (record.call)
+        flags |= kCallBit;
+    return flags;
+}
+
+bool
+unpackFlags(std::uint8_t flags, BranchRecord &record)
+{
+    unsigned kind = flags & kKindMask;
+    if (kind > static_cast<unsigned>(BranchKind::Return))
+        return false;
+    record.kind = static_cast<BranchKind>(kind);
+    record.taken = flags & kTakenBit;
+    record.multiTarget = flags & kMtBit;
+    record.call = flags & kCallBit;
+    return true;
+}
+
+} // namespace
+
+std::size_t
+writeVarint(std::ostream &out, std::uint64_t value)
+{
+    std::size_t n = 0;
+    do {
+        std::uint8_t byte = value & 0x7f;
+        value >>= 7;
+        if (value)
+            byte |= 0x80;
+        out.put(static_cast<char>(byte));
+        ++n;
+    } while (value);
+    return n;
+}
+
+bool
+readVarint(std::istream &in, std::uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        int c = in.get();
+        if (c == std::char_traits<char>::eof()) {
+            fatal_if(shift != 0, "truncated varint in binary trace");
+            return false;
+        }
+        fatal_if(shift >= 64, "varint overflow in binary trace");
+        value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return true;
+        shift += 7;
+    }
+}
+
+TraceWriter::TraceWriter(std::ostream &out)
+    : out_(out)
+{
+    writeVarint(out_, kTraceMagic);
+    writeVarint(out_, kTraceVersion);
+}
+
+void
+TraceWriter::push(const BranchRecord &record)
+{
+    out_.put(static_cast<char>(packFlags(record)));
+    const std::int64_t pc_delta =
+        static_cast<std::int64_t>(record.pc - lastPc);
+    const std::int64_t target_delta =
+        static_cast<std::int64_t>(record.target - record.pc);
+    writeVarint(out_, zigZagEncode(pc_delta));
+    writeVarint(out_, zigZagEncode(target_delta));
+    lastPc = record.pc;
+    ++count_;
+}
+
+TraceReader::TraceReader(std::istream &in)
+    : in_(in)
+{
+    std::uint64_t magic = 0;
+    std::uint64_t version = 0;
+    fatal_if(!readVarint(in_, magic) || magic != kTraceMagic,
+             "not a binary branch trace (bad magic)");
+    fatal_if(!readVarint(in_, version), "truncated trace header");
+    fatal_if(version > kTraceVersion, "trace format version ", version,
+             " is newer than this reader (", kTraceVersion, ")");
+}
+
+bool
+TraceReader::next(BranchRecord &record)
+{
+    int flags = in_.get();
+    if (flags == std::char_traits<char>::eof())
+        return false;
+    fatal_if(!unpackFlags(static_cast<std::uint8_t>(flags), record),
+             "corrupt branch record flags 0x",
+             std::hex, flags, " at record ", std::dec, count_);
+    std::uint64_t pc_delta = 0;
+    std::uint64_t target_delta = 0;
+    fatal_if(!readVarint(in_, pc_delta) || !readVarint(in_, target_delta),
+             "truncated branch record at index ", count_);
+    record.pc = lastPc + static_cast<Addr>(zigZagDecode(pc_delta));
+    record.target =
+        record.pc + static_cast<Addr>(zigZagDecode(target_delta));
+    lastPc = record.pc;
+    ++count_;
+    return true;
+}
+
+void
+TextTraceWriter::push(const BranchRecord &record)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s 0x%llx 0x%llx %c%s%s\n",
+                  branchKindName(record.kind),
+                  static_cast<unsigned long long>(record.pc),
+                  static_cast<unsigned long long>(record.target),
+                  record.taken ? 'T' : 'N',
+                  record.multiTarget ? " MT" : "",
+                  record.call ? " C" : "");
+    out_ << buf;
+}
+
+bool
+parseTraceLine(const std::string &line, BranchRecord &record)
+{
+    std::istringstream is(line);
+    std::string kind, pc, target, dir;
+    if (!(is >> kind >> pc >> target >> dir))
+        return false;
+
+    if (kind == "cond")
+        record.kind = BranchKind::CondDirect;
+    else if (kind == "br")
+        record.kind = BranchKind::UncondDirect;
+    else if (kind == "jmp")
+        record.kind = BranchKind::IndirectJmp;
+    else if (kind == "jsr")
+        record.kind = BranchKind::IndirectCall;
+    else if (kind == "ret")
+        record.kind = BranchKind::Return;
+    else
+        return false;
+
+    try {
+        record.pc = std::stoull(pc, nullptr, 0);
+        record.target = std::stoull(target, nullptr, 0);
+    } catch (...) {
+        return false;
+    }
+
+    if (dir == "T")
+        record.taken = true;
+    else if (dir == "N")
+        record.taken = false;
+    else
+        return false;
+
+    record.multiTarget = false;
+    record.call = false;
+    std::string flag;
+    while (is >> flag) {
+        if (flag == "MT")
+            record.multiTarget = true;
+        else if (flag == "C")
+            record.call = true;
+        else
+            return false;
+    }
+    return true;
+}
+
+bool
+TextTraceReader::next(BranchRecord &record)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_;
+        if (line.empty() || line[0] == '#')
+            continue;
+        fatal_if(!parseTraceLine(line, record),
+                 "malformed trace line ", line_, ": ", line);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+pump(BranchSource &source, BranchSink &sink)
+{
+    BranchRecord record;
+    std::uint64_t n = 0;
+    while (source.next(record)) {
+        sink.push(record);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace ibp::trace

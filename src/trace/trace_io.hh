@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace container codecs.
+ *
+ * Two interchangeable formats:
+ *
+ *  - Binary ("IBPT"): a compact stream using zig-zag delta + LEB128
+ *    varint coding of addresses — fittingly, the reproduction of a
+ *    data-compression paper stores its traces compressed.  Typical
+ *    records take 3-6 bytes instead of 18.
+ *
+ *  - Text: one record per line, greppable, for debugging and tests.
+ *
+ * Both are strictly streaming: writers are BranchSinks, readers are
+ * BranchSources, and neither buffers the whole trace.
+ */
+
+#ifndef IBP_TRACE_TRACE_IO_HH_
+#define IBP_TRACE_TRACE_IO_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "trace/branch_record.hh"
+#include "trace/trace_buffer.hh"
+
+namespace ibp::trace {
+
+/** Magic number at the start of every binary trace. */
+inline constexpr std::uint32_t kTraceMagic = 0x54504249; // "IBPT" LE
+/** Current binary format version. */
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/** ZigZag-encode a signed delta so small magnitudes stay small. */
+constexpr std::uint64_t
+zigZagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+/** Inverse of zigZagEncode(). */
+constexpr std::int64_t
+zigZagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+/** Write an unsigned LEB128 varint. @return bytes written. */
+std::size_t writeVarint(std::ostream &out, std::uint64_t value);
+
+/**
+ * Read an unsigned LEB128 varint.
+ * @retval true on success
+ * @retval false on clean EOF at a record boundary
+ * A truncated varint mid-value is a fatal() (corrupt input).
+ */
+bool readVarint(std::istream &in, std::uint64_t &value);
+
+/** Streaming binary trace writer. */
+class TraceWriter : public BranchSink
+{
+  public:
+    /** Writes the header immediately. */
+    explicit TraceWriter(std::ostream &out);
+
+    void push(const BranchRecord &record) override;
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::ostream &out_;
+    Addr lastPc = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming binary trace reader. */
+class TraceReader : public BranchSource
+{
+  public:
+    /** Validates the header; fatal() on a foreign or newer file. */
+    explicit TraceReader(std::istream &in);
+
+    bool next(BranchRecord &record) override;
+
+    /** Records read so far. */
+    std::uint64_t count() const { return count_; }
+
+  private:
+    std::istream &in_;
+    Addr lastPc = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming text trace writer (one record per line). */
+class TextTraceWriter : public BranchSink
+{
+  public:
+    explicit TextTraceWriter(std::ostream &out) : out_(out) {}
+
+    void push(const BranchRecord &record) override;
+
+  private:
+    std::ostream &out_;
+};
+
+/** Streaming text trace reader; skips blank and '#' comment lines. */
+class TextTraceReader : public BranchSource
+{
+  public:
+    explicit TextTraceReader(std::istream &in) : in_(in) {}
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    std::istream &in_;
+    std::uint64_t line_ = 0;
+};
+
+/** Parse one text-format line. @retval false if line is malformed. */
+bool parseTraceLine(const std::string &line, BranchRecord &record);
+
+/** Copy @p source into @p sink. @return number of records copied. */
+std::uint64_t pump(BranchSource &source, BranchSink &sink);
+
+} // namespace ibp::trace
+
+#endif // IBP_TRACE_TRACE_IO_HH_

@@ -1,0 +1,107 @@
+#include "trace/trace_stats.hh"
+
+namespace ibp::trace {
+
+std::size_t
+TraceStats::staticMtSites() const
+{
+    std::size_t n = 0;
+    for (const auto &[pc, site] : sites)
+        if (site.multiTarget && (site.kind == BranchKind::IndirectJmp ||
+                                 site.kind == BranchKind::IndirectCall))
+            ++n;
+    return n;
+}
+
+double
+TraceStats::monomorphicSiteFraction(double threshold) const
+{
+    std::size_t mt = 0;
+    std::size_t mono = 0;
+    for (const auto &[pc, site] : sites) {
+        if (!site.multiTarget)
+            continue;
+        if (site.kind != BranchKind::IndirectJmp &&
+            site.kind != BranchKind::IndirectCall)
+            continue;
+        ++mt;
+        if (site.monomorphic(threshold))
+            ++mono;
+    }
+    return mt == 0 ? 0.0
+                   : static_cast<double>(mono) / static_cast<double>(mt);
+}
+
+double
+TraceStats::meanDynamicArity() const
+{
+    double weighted = 0;
+    std::uint64_t total = 0;
+    for (const auto &[pc, site] : sites) {
+        if (!site.multiTarget)
+            continue;
+        if (site.kind != BranchKind::IndirectJmp &&
+            site.kind != BranchKind::IndirectCall)
+            continue;
+        weighted += static_cast<double>(site.arity()) *
+                    static_cast<double>(site.executions);
+        total += site.executions;
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+void
+StatsCollector::push(const BranchRecord &record)
+{
+    ++stats_.totalBranches;
+    switch (record.kind) {
+      case BranchKind::CondDirect:
+        ++stats_.condBranches;
+        break;
+      case BranchKind::UncondDirect:
+        ++stats_.uncondDirect;
+        break;
+      case BranchKind::Return:
+        ++stats_.returns;
+        break;
+      case BranchKind::IndirectJmp:
+        ++stats_.indirectJmp;
+        if (record.multiTarget)
+            ++stats_.mtIndirect;
+        else
+            ++stats_.stIndirect;
+        break;
+      case BranchKind::IndirectCall:
+        ++stats_.indirectJsr;
+        if (record.multiTarget)
+            ++stats_.mtIndirect;
+        else
+            ++stats_.stIndirect;
+        break;
+    }
+
+    SiteStats &site = stats_.sites[record.pc];
+    if (site.executions == 0) {
+        site.pc = record.pc;
+        site.kind = record.kind;
+        site.multiTarget = record.multiTarget;
+    }
+    ++site.executions;
+    // Conditional branches contribute their resolved next-pc so the
+    // target distribution reflects direction behaviour too.
+    site.targets.sample(record.nextPc());
+}
+
+TraceStats
+characterize(TraceBuffer &buffer)
+{
+    StatsCollector collector;
+    buffer.rewind();
+    BranchRecord record;
+    while (buffer.next(record))
+        collector.push(record);
+    buffer.rewind();
+    return collector.stats();
+}
+
+} // namespace ibp::trace

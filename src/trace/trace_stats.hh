@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace characterization in the style of the paper's Table 1, plus the
+ * per-site breakdowns (arity, entropy, monomorphism) the paper's
+ * analysis sections rely on.
+ */
+
+#ifndef IBP_TRACE_TRACE_STATS_HH_
+#define IBP_TRACE_TRACE_STATS_HH_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "trace/trace_buffer.hh"
+#include "util/stats.hh"
+
+namespace ibp::trace {
+
+/** Dynamic and static characterization of one branch site. */
+struct SiteStats
+{
+    Addr pc = 0;
+    BranchKind kind = BranchKind::CondDirect;
+    bool multiTarget = false;
+    std::uint64_t executions = 0;
+    util::FrequencyMap targets;
+
+    /** Distinct dynamic targets observed. */
+    std::size_t arity() const { return targets.arity(); }
+
+    /** Shannon entropy (bits) of the target distribution. */
+    double targetEntropy() const { return targets.entropyBits(); }
+
+    /**
+     * True when one target dominates, the paper's working notion of a
+     * monomorphic branch (footnote 2: "mostly accesses one target").
+     */
+    bool
+    monomorphic(double threshold = 0.99) const
+    {
+        return targets.modeFraction() >= threshold;
+    }
+};
+
+/** Whole-trace characterization (Table 1 row + extras). */
+struct TraceStats
+{
+    std::uint64_t totalBranches = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t uncondDirect = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t indirectJmp = 0;       ///< all dynamic jmp
+    std::uint64_t indirectJsr = 0;       ///< all dynamic jsr
+    std::uint64_t mtIndirect = 0;        ///< dynamic MT jmp+jsr (Table 1)
+    std::uint64_t stIndirect = 0;        ///< dynamic ST jmp+jsr
+
+    std::map<Addr, SiteStats> sites;
+
+    /** Number of static MT indirect sites. */
+    std::size_t staticMtSites() const;
+
+    /** Fraction of MT indirect sites that are monomorphic. */
+    double monomorphicSiteFraction(double threshold = 0.99) const;
+
+    /** Mean target arity over MT indirect sites (dynamic weighting). */
+    double meanDynamicArity() const;
+
+    /**
+     * Approximate instruction count: the paper reports millions of
+     * instructions; a trace only holds branches, so we scale by the
+     * synthetic workload's branch density (instructions per branch).
+     */
+    std::uint64_t
+    approxInstructions(double instructions_per_branch) const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(totalBranches) * instructions_per_branch);
+    }
+};
+
+/** Streaming stats collector (a BranchSink). */
+class StatsCollector : public BranchSink
+{
+  public:
+    void push(const BranchRecord &record) override;
+
+    const TraceStats &stats() const { return stats_; }
+
+  private:
+    TraceStats stats_;
+};
+
+/** Convenience: characterize an in-memory trace. */
+TraceStats characterize(TraceBuffer &buffer);
+
+} // namespace ibp::trace
+
+#endif // IBP_TRACE_TRACE_STATS_HH_

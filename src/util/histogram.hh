@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-bucket histogram for per-order access/miss distributions and
+ * other small integer-keyed tallies.
+ */
+
+#ifndef IBP_UTIL_HISTOGRAM_HH_
+#define IBP_UTIL_HISTOGRAM_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ibp::util {
+
+/**
+ * A histogram over the integer domain [0, buckets).  Samples outside
+ * the domain are clamped into the last bucket (and counted).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets)
+        : counts_(buckets, 0)
+    {
+        panic_if(buckets == 0, "Histogram needs at least one bucket");
+    }
+
+    void
+    sample(std::size_t bucket, std::uint64_t weight = 1)
+    {
+        if (bucket >= counts_.size()) {
+            bucket = counts_.size() - 1;
+            ++clamped_;
+        }
+        counts_[bucket] += weight;
+    }
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t count(std::size_t bucket) const
+    {
+        panic_if(bucket >= counts_.size(), "Histogram bucket out of range");
+        return counts_[bucket];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (auto c : counts_)
+            sum += c;
+        return sum;
+    }
+
+    /** Fraction of all samples that fell in @p bucket (0 if empty). */
+    double
+    fraction(std::size_t bucket) const
+    {
+        std::uint64_t sum = total();
+        return sum == 0 ? 0.0
+                        : static_cast<double>(count(bucket)) /
+                              static_cast<double>(sum);
+    }
+
+    /** How many samples were clamped into the last bucket. */
+    std::uint64_t clamped() const { return clamped_; }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        clamped_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t clamped_ = 0;
+};
+
+} // namespace ibp::util
+
+#endif // IBP_UTIL_HISTOGRAM_HH_

@@ -1,0 +1,61 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ibp::util {
+
+namespace {
+
+std::atomic<std::size_t> warn_count{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &where, const std::string &what)
+{
+    std::FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
+    if (where.empty())
+        std::fprintf(out, "%s: %s\n", levelName(level), what.c_str());
+    else
+        std::fprintf(out, "%s: %s (%s)\n", levelName(level), what.c_str(),
+                     where.c_str());
+    std::fflush(out);
+    if (level == LogLevel::Warn)
+        warn_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+logFailure(LogLevel level, const std::string &where, const std::string &what)
+{
+    logMessage(level, where, what);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+std::size_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+void
+resetWarnCount()
+{
+    warn_count.store(0, std::memory_order_relaxed);
+}
+
+} // namespace ibp::util

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 idiom.
+ *
+ * panic()  - an internal invariant of the library was violated (a bug in
+ *            this code base).  Aborts so a debugger/core dump is useful.
+ * fatal()  - the simulation cannot continue because of a user error (bad
+ *            configuration, malformed trace file, ...).  Exits cleanly
+ *            with a non-zero status.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef IBP_UTIL_LOGGING_HH_
+#define IBP_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ibp::util {
+
+/** Severity classes understood by logMessage(). */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit one formatted message to stderr (or stdout for Inform).
+ *
+ * @param level severity class; Fatal exits, Panic aborts
+ * @param where "file:line" location string (may be empty)
+ * @param what  the message body
+ */
+[[noreturn]] void logFailure(LogLevel level, const std::string &where,
+                             const std::string &what);
+void logMessage(LogLevel level, const std::string &where,
+                const std::string &what);
+
+/** Number of warn() calls issued so far (useful for tests). */
+std::size_t warnCount();
+
+/** Reset the warn() counter (tests only). */
+void resetWarnCount();
+
+namespace detail {
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace ibp::util
+
+#define IBP_STRINGIZE_IMPL(x) #x
+#define IBP_STRINGIZE(x) IBP_STRINGIZE_IMPL(x)
+#define IBP_WHERE __FILE__ ":" IBP_STRINGIZE(__LINE__)
+
+/** Abort: internal invariant violated (library bug). */
+#define panic(...)                                                         \
+    ::ibp::util::logFailure(::ibp::util::LogLevel::Panic, IBP_WHERE,       \
+                            ::ibp::util::detail::concat(__VA_ARGS__))
+
+/** Exit(1): unrecoverable user error (bad config, bad input file). */
+#define fatal(...)                                                         \
+    ::ibp::util::logFailure(::ibp::util::LogLevel::Fatal, IBP_WHERE,       \
+                            ::ibp::util::detail::concat(__VA_ARGS__))
+
+/** Continue, but tell the user something looks wrong. */
+#define warn(...)                                                          \
+    ::ibp::util::logMessage(::ibp::util::LogLevel::Warn, IBP_WHERE,        \
+                            ::ibp::util::detail::concat(__VA_ARGS__))
+
+/** Plain status output. */
+#define inform(...)                                                        \
+    ::ibp::util::logMessage(::ibp::util::LogLevel::Inform, "",             \
+                            ::ibp::util::detail::concat(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+/** fatal() unless the given condition holds. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond)                                                          \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+#endif // IBP_UTIL_LOGGING_HH_

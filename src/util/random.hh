@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Every benchmark profile seeds its own generator so traces are fully
+ * reproducible across runs and platforms.  The generator is
+ * xoshiro256** seeded through SplitMix64 (the reference construction).
+ */
+
+#ifndef IBP_UTIL_RANDOM_HH_
+#define IBP_UTIL_RANDOM_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ibp::util {
+
+/** SplitMix64 step; used to expand a single seed into a full state. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator.  Satisfies the essentials of
+ * UniformRandomBitGenerator but is header-only and stable across
+ * standard-library versions (std::mt19937 would also be stable, this
+ * is simply smaller and faster).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x1b1998ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a single 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next 64 raw bits. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result =
+            rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Lemire-style rejection-free-enough multiply-shift; the tiny
+        // modulo bias of the plain multiply is irrelevant for workload
+        // synthesis, but reject to keep the property tests exact.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = (*this)();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range: lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Draw an index according to non-negative weights.  A zero total
+     * weight is a caller bug.
+     */
+    std::size_t
+    weighted(const std::vector<double> &weights)
+    {
+        double total = 0;
+        for (double w : weights)
+            total += w;
+        panic_if(total <= 0, "Rng::weighted: non-positive total weight");
+        double x = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            x -= weights[i];
+            if (x < 0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state{};
+};
+
+} // namespace ibp::util
+
+#endif // IBP_UTIL_RANDOM_HH_

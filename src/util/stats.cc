@@ -1,0 +1,73 @@
+#include "util/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ibp::util {
+
+std::uint64_t
+FrequencyMap::total() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &[key, count] : counts_)
+        sum += count;
+    return sum;
+}
+
+std::uint64_t
+FrequencyMap::count(std::uint64_t key) const
+{
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+FrequencyMap::mode() const
+{
+    std::uint64_t best_key = 0;
+    std::uint64_t best_count = 0;
+    for (const auto &[key, count] : counts_) {
+        if (count > best_count) {
+            best_count = count;
+            best_key = key;
+        }
+    }
+    return best_key;
+}
+
+double
+FrequencyMap::modeFraction() const
+{
+    std::uint64_t sum = total();
+    if (sum == 0)
+        return 0;
+    std::uint64_t best = 0;
+    for (const auto &[key, count] : counts_)
+        if (count > best)
+            best = count;
+    return static_cast<double>(best) / static_cast<double>(sum);
+}
+
+double
+FrequencyMap::entropyBits() const
+{
+    std::uint64_t sum = total();
+    if (sum == 0)
+        return 0;
+    double entropy = 0;
+    for (const auto &[key, count] : counts_) {
+        double p = static_cast<double>(count) / static_cast<double>(sum);
+        entropy -= p * std::log2(p);
+    }
+    return entropy;
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace ibp::util

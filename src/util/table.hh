@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Table templates shared by the predictors.
+ *
+ * DirectTable<Entry> models a tagless, direct-mapped prediction table
+ * (BTB, PHT, Markov table).  AssocTable<Entry> models a tagged,
+ * set-associative table with true-LRU replacement (the Cascade
+ * predictor's PHTs and the tagged PPM variant).
+ */
+
+#ifndef IBP_UTIL_TABLE_HH_
+#define IBP_UTIL_TABLE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::util {
+
+/**
+ * Tagless direct-mapped table.  The caller supplies a pre-computed
+ * index; the table only validates it.  Entries are default-constructed.
+ */
+template <typename Entry>
+class DirectTable
+{
+  public:
+    explicit DirectTable(std::size_t entries)
+        : entries_(entries)
+    {
+        panic_if(entries == 0, "DirectTable needs at least one entry");
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+    Entry &
+    at(std::uint64_t index)
+    {
+        panic_if(index >= entries_.size(), "DirectTable index ", index,
+                 " out of range (size ", entries_.size(), ")");
+        return entries_[index];
+    }
+
+    const Entry &
+    at(std::uint64_t index) const
+    {
+        panic_if(index >= entries_.size(), "DirectTable index ", index,
+                 " out of range (size ", entries_.size(), ")");
+        return entries_[index];
+    }
+
+    void
+    reset()
+    {
+        for (auto &e : entries_)
+            e = Entry{};
+    }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Tagged, set-associative table with true-LRU replacement.
+ *
+ * Any positive set count is allowed (callers reduce their hash modulo
+ * sets()), which lets budget-constrained geometries like the Cascade
+ * predictor's 240-set PHTs be modelled exactly.  Lookup/insert use a
+ * (set index, tag) pair computed by the caller so different predictors
+ * can use different index/tag hash functions.
+ */
+template <typename Entry>
+class AssocTable
+{
+  public:
+    AssocTable(std::size_t sets, std::size_t ways)
+        : numSets(sets), numWays(ways), lines_(sets * ways)
+    {
+        panic_if(sets == 0 || ways == 0, "AssocTable: empty geometry");
+    }
+
+    std::size_t sets() const { return numSets; }
+    std::size_t ways() const { return numWays; }
+    std::size_t size() const { return lines_.size(); }
+
+    /**
+     * Find the entry with @p tag in @p set and promote it to MRU.
+     * @return pointer to the entry, or nullptr on miss.
+     */
+    Entry *
+    lookup(std::uint64_t set, std::uint64_t tag)
+    {
+        Line *line = findLine(set, tag);
+        if (!line)
+            return nullptr;
+        touch(set, line);
+        return &line->entry;
+    }
+
+    /** Find without updating LRU state (for probes/tests). */
+    const Entry *
+    peek(std::uint64_t set, std::uint64_t tag) const
+    {
+        const Line *line =
+            const_cast<AssocTable *>(this)->findLine(set, tag);
+        return line ? &line->entry : nullptr;
+    }
+
+    /**
+     * Insert @p entry with @p tag into @p set, evicting the LRU way if
+     * the set is full.  The inserted line becomes MRU.
+     * @return reference to the stored entry.
+     */
+    Entry &
+    insert(std::uint64_t set, std::uint64_t tag, Entry entry)
+    {
+        panic_if(set >= numSets, "AssocTable set out of range");
+        Line *victim = nullptr;
+        std::uint64_t oldest = 0;
+        bool first = true;
+        for (std::size_t w = 0; w < numWays; ++w) {
+            Line &line = lineAt(set, w);
+            if (!line.valid) {
+                victim = &line;
+                break;
+            }
+            if (first || line.lastUse < oldest) {
+                oldest = line.lastUse;
+                victim = &line;
+                first = false;
+            }
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->entry = std::move(entry);
+        touch(set, victim);
+        return victim->entry;
+    }
+
+    /** Number of valid lines in one set. */
+    std::size_t
+    setOccupancy(std::uint64_t set) const
+    {
+        panic_if(set >= numSets, "AssocTable set out of range");
+        std::size_t n = 0;
+        for (std::size_t w = 0; w < numWays; ++w)
+            if (lines_[set * numWays + w].valid)
+                ++n;
+        return n;
+    }
+
+    /** Number of valid lines across the whole table. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &line : lines_)
+            if (line.valid)
+                ++n;
+        return n;
+    }
+
+    void
+    reset()
+    {
+        for (auto &line : lines_)
+            line = Line{};
+        clock_ = 0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        Entry entry{};
+    };
+
+    Line &
+    lineAt(std::uint64_t set, std::size_t way)
+    {
+        return lines_[set * numWays + way];
+    }
+
+    Line *
+    findLine(std::uint64_t set, std::uint64_t tag)
+    {
+        panic_if(set >= numSets, "AssocTable set out of range");
+        for (std::size_t w = 0; w < numWays; ++w) {
+            Line &line = lineAt(set, w);
+            if (line.valid && line.tag == tag)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    void
+    touch(std::uint64_t set, Line *line)
+    {
+        (void)set;
+        line->lastUse = ++clock_;
+    }
+
+    std::size_t numSets;
+    std::size_t numWays;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace ibp::util
+
+#endif // IBP_UTIL_TABLE_HH_

@@ -1,0 +1,126 @@
+#include "workload/behavior.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace ibp::workload {
+
+std::uint64_t
+mixHash(std::uint64_t key, std::uint64_t value)
+{
+    // One round of SplitMix-style mixing keyed by the site.
+    std::uint64_t z = key ^ (value + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::size_t
+MonomorphicBehavior::nextTarget(const PathState &path,
+                                std::size_t num_targets, util::Rng &rng)
+{
+    (void)path;
+    if (num_targets > 1 && noise_ > 0 && rng.chance(noise_))
+        return 1 + rng.below(num_targets - 1);
+    return 0;
+}
+
+std::size_t
+PhasedBehavior::nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng)
+{
+    (void)path;
+    if (num_targets > 1 && rng.chance(switchProb)) {
+        // Move to a different target so a change is always observable.
+        std::size_t next = rng.below(num_targets - 1);
+        current_ = next >= current_ ? next + 1 : next;
+    }
+    if (current_ >= num_targets)
+        current_ = 0;
+    return current_;
+}
+
+PathCorrelatedBehavior::PathCorrelatedBehavior(StreamKind stream,
+                                               unsigned order,
+                                               unsigned symbol_bits,
+                                               double noise,
+                                               std::uint64_t site_key,
+                                               unsigned offset)
+    : stream_(stream), order_(order), symbolBits(symbol_bits),
+      noise_(noise), siteKey(site_key), offset_(offset)
+{
+    panic_if(order == 0, "PathCorrelatedBehavior needs order >= 1");
+    panic_if(symbol_bits == 0 || symbol_bits > 10,
+             "symbol quantization out of range: ", symbol_bits);
+    panic_if(offset + order > 32,
+             "path correlation reaches beyond the tracked path depth");
+}
+
+std::size_t
+PathCorrelatedBehavior::nextTarget(const PathState &path,
+                                   std::size_t num_targets, util::Rng &rng)
+{
+    if (num_targets <= 1)
+        return 0;
+    if (noise_ > 0 && rng.chance(noise_))
+        return rng.below(num_targets);
+    std::uint64_t h = siteKey;
+    for (unsigned i = offset_; i < offset_ + order_; ++i) {
+        // Addresses are 4-byte aligned; skip the always-zero bits so
+        // the quantized symbol actually carries path information.
+        std::uint64_t sym =
+            util::selectLow(path.recent(stream_, i) >> 2, symbolBits);
+        h = mixHash(h, sym + 1);
+    }
+    return h % num_targets;
+}
+
+std::string
+PathCorrelatedBehavior::name() const
+{
+    std::string name =
+        (stream_ == StreamKind::AllBranches ? "pb-k" : "pib-k") +
+        std::to_string(order_);
+    if (offset_ > 0)
+        name += "@" + std::to_string(offset_);
+    return name;
+}
+
+SelfCorrelatedBehavior::SelfCorrelatedBehavior(unsigned order, double noise,
+                                               std::uint64_t site_key)
+    : order_(order), noise_(noise), siteKey(site_key)
+{
+    panic_if(order == 0, "SelfCorrelatedBehavior needs order >= 1");
+}
+
+std::size_t
+SelfCorrelatedBehavior::nextTarget(const PathState &path,
+                                   std::size_t num_targets, util::Rng &rng)
+{
+    (void)path;
+    if (num_targets <= 1)
+        return 0;
+    std::size_t choice;
+    if (noise_ > 0 && rng.chance(noise_)) {
+        choice = rng.below(num_targets);
+    } else {
+        std::uint64_t h = siteKey;
+        for (std::size_t i = 0; i < order_ && i < own_.size(); ++i)
+            h = mixHash(h, own_[own_.size() - 1 - i] + 1);
+        choice = h % num_targets;
+    }
+    own_.push_back(choice);
+    if (own_.size() > order_)
+        own_.pop_front();
+    return choice;
+}
+
+std::size_t
+UniformBehavior::nextTarget(const PathState &path, std::size_t num_targets,
+                            util::Rng &rng)
+{
+    (void)path;
+    return num_targets <= 1 ? 0 : rng.below(num_targets);
+}
+
+} // namespace ibp::workload

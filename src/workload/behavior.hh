@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Target-selection behaviours for synthetic branch sites.
+ *
+ * The paper's benchmarks differ in *how* each indirect branch's target
+ * depends on recent control-flow history: some branches are
+ * monomorphic, some have low entropy (the target changes rarely), and
+ * the interesting ones correlate with either the all-branch path (PB)
+ * or the indirect-branch-only path (PIB) at some order k
+ * (Kalamatianos & Kaeli's companion TR, ref [12]).  Each behaviour
+ * below realizes one of these statistical classes with explicit knobs,
+ * which is what lets the synthetic suite reproduce the paper's
+ * predictor ranking without the original Alpha traces.
+ */
+
+#ifndef IBP_WORKLOAD_BEHAVIOR_HH_
+#define IBP_WORKLOAD_BEHAVIOR_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "util/random.hh"
+
+namespace ibp::workload {
+
+/** Which global path stream a correlated behaviour reads. */
+enum class StreamKind : std::uint8_t
+{
+    AllBranches, ///< every branch contributes a symbol (PB)
+    MtIndirect,  ///< only multi-target indirect branches (PIB)
+};
+
+/**
+ * The walker-maintained ground-truth path state behaviours may read.
+ * Symbols are the low bits of each branch's resolved next address,
+ * which is exactly the information hardware path-history registers
+ * capture.
+ */
+class PathState
+{
+  public:
+    explicit PathState(std::size_t depth = 32) : depth_(depth) {}
+
+    /** Append one symbol to the stream (oldest falls off). */
+    void
+    push(StreamKind stream, std::uint64_t symbol)
+    {
+        auto &q = queue(stream);
+        q.push_back(symbol);
+        if (q.size() > depth_)
+            q.pop_front();
+    }
+
+    /**
+     * The @p i-th most recent symbol of a stream (0 = most recent).
+     * Returns 0 when the stream is shorter than i+1 (cold start).
+     */
+    std::uint64_t
+    recent(StreamKind stream, std::size_t i) const
+    {
+        const auto &q = queue(stream);
+        if (i >= q.size())
+            return 0;
+        return q[q.size() - 1 - i];
+    }
+
+    std::size_t length(StreamKind stream) const
+    {
+        return queue(stream).size();
+    }
+
+  private:
+    std::deque<std::uint64_t> &
+    queue(StreamKind stream)
+    {
+        return stream == StreamKind::AllBranches ? pb_ : pib_;
+    }
+    const std::deque<std::uint64_t> &
+    queue(StreamKind stream) const
+    {
+        return stream == StreamKind::AllBranches ? pb_ : pib_;
+    }
+
+    std::size_t depth_;
+    std::deque<std::uint64_t> pb_;
+    std::deque<std::uint64_t> pib_;
+};
+
+/**
+ * Abstract target-selection process.  Given the current path state and
+ * the site's target count, yields the index of the next target.
+ */
+class Behavior
+{
+  public:
+    virtual ~Behavior() = default;
+
+    /**
+     * Choose the next target index.
+     * @param path  ground-truth path state
+     * @param num_targets the site's target-set size (>= 1)
+     * @param rng   the walker's RNG (for noise draws)
+     */
+    virtual std::size_t nextTarget(const PathState &path,
+                                   std::size_t num_targets,
+                                   util::Rng &rng) = 0;
+
+    /** Behaviour class name, for debug dumps. */
+    virtual std::string name() const = 0;
+};
+
+/** Always target 0, with a small noise probability of straying. */
+class MonomorphicBehavior : public Behavior
+{
+  public:
+    explicit MonomorphicBehavior(double noise = 0.0) : noise_(noise) {}
+
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override { return "monomorphic"; }
+
+  private:
+    double noise_;
+};
+
+/**
+ * Low-entropy behaviour: the target stays fixed for a geometrically
+ * distributed dwell, then moves to a fresh random target.  These are
+ * the branches a plain BTB (and the Cascade filter) predicts well.
+ */
+class PhasedBehavior : public Behavior
+{
+  public:
+    /** @param mean_dwell expected executions between target changes */
+    explicit PhasedBehavior(double mean_dwell)
+        : switchProb(mean_dwell > 1 ? 1.0 / mean_dwell : 1.0)
+    {}
+
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override { return "phased"; }
+
+  private:
+    double switchProb;
+    std::size_t current_ = 0;
+};
+
+/**
+ * Path-correlated behaviour: the target is a fixed (site-keyed) hash
+ * of @c order symbols of one stream starting @c offset symbols back,
+ * quantized to @c symbolBits bits each, with probability @c noise of
+ * a uniform draw instead.  An order-k PIB behaviour is exactly an
+ * order-k Markov source over the indirect-target alphabet — the
+ * structure PPM is designed to capture.  A non-zero offset creates
+ * *long-range* correlation (the informative targets sit deep in the
+ * path), which separates predictors by history reach: a site with
+ * offset 7 is invisible to a 5-target history but learnable by the
+ * paper's order-10 PPM.
+ */
+class PathCorrelatedBehavior : public Behavior
+{
+  public:
+    PathCorrelatedBehavior(StreamKind stream, unsigned order,
+                           unsigned symbol_bits, double noise,
+                           std::uint64_t site_key, unsigned offset = 0);
+
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override;
+
+    StreamKind stream() const { return stream_; }
+    unsigned order() const { return order_; }
+    unsigned offset() const { return offset_; }
+
+  private:
+    StreamKind stream_;
+    unsigned order_;
+    unsigned symbolBits;
+    double noise_;
+    std::uint64_t siteKey;
+    unsigned offset_;
+};
+
+/**
+ * Self-correlated behaviour: the next target depends on the site's own
+ * last @c order target indices (a per-branch Markov chain, e.g. a
+ * state machine driven switch).  Global-history predictors capture it
+ * indirectly when the site is hot.
+ */
+class SelfCorrelatedBehavior : public Behavior
+{
+  public:
+    SelfCorrelatedBehavior(unsigned order, double noise,
+                           std::uint64_t site_key);
+
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override { return "self"; }
+
+  private:
+    unsigned order_;
+    double noise_;
+    std::uint64_t siteKey;
+    std::deque<std::size_t> own_;
+};
+
+/** Uniformly random target: the unpredictable-entropy floor. */
+class UniformBehavior : public Behavior
+{
+  public:
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override { return "uniform"; }
+};
+
+/** Mixing function used by the correlated behaviours (splittable). */
+std::uint64_t mixHash(std::uint64_t key, std::uint64_t value);
+
+} // namespace ibp::workload
+
+#endif // IBP_WORKLOAD_BEHAVIOR_HH_

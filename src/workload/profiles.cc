@@ -1,0 +1,521 @@
+#include "workload/profiles.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::workload {
+
+namespace {
+
+using BC = BehaviorClass;
+
+/**
+ * Profile architecture
+ * --------------------
+ * Path predictors only work because program paths recur; entropy in a
+ * real program is concentrated in a few input-dependent branches while
+ * the rest of the control flow is deterministic given recent history.
+ * Every profile is therefore built as an ungated dispatch loop whose
+ * stations execute once per pass, containing:
+ *
+ *  - one (or two) DRIVER sites: uniform-random small-arity switches —
+ *    the "program input".  Everything else is a deterministic (up to
+ *    site noise) function of the recent path, so the distinct-window
+ *    count stays bounded and learnable.
+ *  - HOT correlated sites (PIB/PB/self) placed right after the driver
+ *    so their order-k windows reach the informative targets.
+ *  - a MONOMORPHIC population: frequent, easy, but their training
+ *    traffic pollutes tagless tables (the Cascade-filter prey).
+ *  - PHASED sites: low-entropy targets that drift occasionally.
+ *  - RARE sites (tiny heat) and ST call sites for static-site and
+ *    BIU pressure.
+ *
+ * Ordering in the sites vector is the station order in the loop.
+ */
+
+HotSiteSpec
+site(BC behavior, bool call, std::size_t count, std::size_t targets,
+     unsigned order, double noise, double heat, unsigned symbol_bits = 2,
+     double dwell = 1000.0)
+{
+    HotSiteSpec s;
+    s.behavior = behavior;
+    s.call = call;
+    s.count = count;
+    s.numTargets = targets;
+    s.order = order;
+    s.symbolBits = symbol_bits;
+    s.noise = noise;
+    s.heat = heat;
+    s.meanDwell = dwell;
+    return s;
+}
+
+/** The entropy source: a uniform-random multi-way switch. */
+HotSiteSpec
+driver(std::size_t targets, std::size_t count = 1)
+{
+    return site(BC::Uniform, false, count, targets, 1, 0.0, 1.0);
+}
+
+/** Frequent monomorphic MT switch sites (easy but polluting). */
+HotSiteSpec
+mono(std::size_t count, double noise = 0.002)
+{
+    return site(BC::Monomorphic, false, count, 2, 1, noise, 1.0);
+}
+
+/** Low-entropy phased sites: the target drifts every ~dwell execs. */
+HotSiteSpec
+phased(std::size_t count, double dwell, std::size_t targets = 6)
+{
+    return site(BC::Phased, true, count, targets, 1, 0.0, 1.0, 2,
+                dwell);
+}
+
+/** Rarely-executed monomorphic call sites (static-site pressure). */
+HotSiteSpec
+rare(std::size_t count)
+{
+    return site(BC::Monomorphic, true, count, 2, 1, 0.001, 0.005);
+}
+
+/** Single-target call sites (GOT/DLL-stub-like; MT bit stays clear). */
+HotSiteSpec
+stCalls(std::size_t count)
+{
+    return site(BC::Monomorphic, true, count, 1, 1, 0.0, 1.0);
+}
+
+/** Hot PIB-correlated switch/call site. */
+HotSiteSpec
+pib(std::size_t count, unsigned order, std::size_t targets,
+    double noise, bool call = false, unsigned symbol_bits = 2)
+{
+    return site(BC::PibCorrelated, call, count, targets, order, noise,
+                1.0, symbol_bits);
+}
+
+/** Deep PIB site: the informative targets sit @p offset symbols back
+ *  in the path — beyond short history registers, within PPM's reach. */
+HotSiteSpec
+deepPib(std::size_t count, unsigned offset, unsigned order,
+        std::size_t targets, double noise, bool call = false,
+        unsigned symbol_bits = 1)
+{
+    auto s = site(BC::PibCorrelated, call, count, targets, order,
+                  noise, 1.0, symbol_bits);
+    s.offset = offset;
+    return s;
+}
+
+/** Hot PB-correlated site (reads conditional outcomes too). */
+HotSiteSpec
+pb(std::size_t count, unsigned order, std::size_t targets, double noise,
+   bool call = false)
+{
+    return site(BC::PbCorrelated, call, count, targets, order, noise,
+                1.0);
+}
+
+/** Self-correlated switch (per-branch Markov chain). */
+HotSiteSpec
+self(std::size_t count, unsigned order, std::size_t targets,
+     double noise)
+{
+    return site(BC::SelfCorrelated, false, count, targets, order, noise,
+                1.0);
+}
+
+BenchmarkProfile
+base(std::string benchmark, std::string input, std::string language,
+     std::string note, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.benchmark = std::move(benchmark);
+    p.input = std::move(input);
+    p.language = std::move(language);
+    p.note = std::move(note);
+    p.records = 1'200'000;
+    p.instructionsPerBranch = 5.0;
+    p.program.seed = seed;
+    p.program.helperFunctions = 10;
+    p.program.helperBlocks = 3;
+    p.program.caseChainLen = 2;
+    // Mostly-skewed conditionals: real programs' conds are biased, and
+    // low cond entropy keeps PB windows learnable.  The conds read by
+    // PB-correlated sites still carry their ~0.7 bits of information.
+    p.program.caseCondBias = 0.8;
+    p.program.helperCondBias = 0.85;
+    return p;
+}
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+standardSuite()
+{
+    std::vector<BenchmarkProfile> suite;
+
+    // Station layout conventions:
+    //  - driver first; a 7-long monomorphic buffer isolates the deep
+    //    site (offset 7) from everything informative;
+    //  - polymorphic sites are interleaved with monomorphic ones so a
+    //    10-target window rarely holds more than 2-3 high-entropy
+    //    targets (real code spreads dispatch sites through straight-
+    //    line code; bunching them would explode context counts);
+    //  - the low-entropy tail (phased / rare / ST) closes the loop.
+
+    {
+        // perl: hot high-arity PIB sites under heavy context pressure
+        // (wide driver, high arity, big static population): the
+        // tagless pc-less Markov tables alias; TC/Dpath/Cascade cope
+        // better (paper Section 5 attributes PPM's perl losses to
+        // exactly this).
+        auto p = base("perl", "", "C",
+                      "hot aliasing PIB sites; Cascade/TC/Dpath win",
+                      0x9e01);
+        // Unbiased conditionals: the PB path is pure noise here,
+        // so hybrid selection flaps while PIB-only stays clean.
+        p.program.caseCondBias = 0.5;
+        p.program.helperCondBias = 0.5;
+        p.program.sites = {
+            driver(4),
+            pib(3, 3, 8, 0.012),
+            pib(1, 2, 4, 0.015),
+            mono(5),
+            phased(3, 2000),
+            rare(16),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // gcc: broad mix of orders, streams and arities; many static
+        // sites create table pressure for everyone; one deep site
+        // rewards long history.
+        auto p = base("gcc", "", "C",
+                      "broad mixed-correlation switch-heavy mix",
+                      0x9e02);
+        p.records = 1'400'000;
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.02),
+            pb(1, 2, 6, 0.015),
+            mono(1),
+            pib(1, 2, 6, 0.015),
+            mono(1),
+            pb(1, 4, 6, 0.015),
+            mono(1),
+            pib(1, 2, 6, 0.015),
+            self(1, 2, 2, 0.015),
+            mono(1),
+            pb(1, 2, 6, 0.015),
+            phased(3, 2000),
+            rare(14),
+            stCalls(6),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // edg.exp: C++ front end; type-test conditionals drive the
+        // dispatch, so PB correlation dominates.
+        auto p = base("edg", "exp", "C++",
+                      "PB-dominant virtual dispatch", 0x9e03);
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01, true),
+            pb(1, 2, 6, 0.015, true),
+            mono(1),
+            pb(1, 2, 6, 0.015, true),
+            mono(1),
+            pb(1, 2, 6, 0.015, true),
+            pib(1, 3, 6, 0.015, true),
+            mono(1),
+            pib(1, 3, 6, 0.015, true),
+            rare(10),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // edg.inp: same front end, input with a large monomorphic/
+        // low-entropy population -> the Cascade filter pays off here.
+        auto p = base("edg", "inp", "C++",
+                      "monomorphic-heavy; filtering wins", 0x9e04);
+        p.program.sites = {
+            driver(3),
+            mono(6),
+            pb(1, 2, 6, 0.015, true),
+            mono(4),
+            pb(1, 2, 6, 0.015, true),
+            mono(4),
+            pib(1, 3, 6, 0.015, true),
+            phased(6, 1500),
+            rare(20),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // edg.pic: PIB-dominant input with one deep site only the
+        // long PPM history reaches.
+        auto p = base("edg", "pic", "C++",
+                      "PIB-dominant dispatch", 0x9e05);
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01, true),
+            pib(1, 2, 4, 0.012, true),
+            mono(1),
+            pib(1, 2, 4, 0.012, true),
+            mono(1),
+            pib(1, 3, 4, 0.012, true),
+            pb(1, 2, 6, 0.015, true),
+            rare(8),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // eon: C++ renderer; strongly PIB-correlated at short AND
+        // long range, low noise -> PPM-PIB and the biased selector
+        // shine; the deep site outruns every fixed-length history.
+        auto p = base("eon", "", "C++",
+                      "strong long-range PIB correlation", 0x9e06);
+        // Unbiased conditionals: the PB path is pure noise here,
+        // so hybrid selection flaps while PIB-only stays clean.
+        p.program.caseCondBias = 0.5;
+        p.program.helperCondBias = 0.5;
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.008, true),
+            pib(1, 2, 8, 0.008, true),
+            mono(1),
+            pib(1, 2, 8, 0.008, true),
+            mono(1),
+            pib(1, 4, 8, 0.008, true),
+            stCalls(2),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // eqn: equation typesetter; mostly easy branches plus a noisy
+        // correlated minority -> filtering (Cascade) is competitive.
+        auto p = base("eqn", "", "C",
+                      "mono/phased heavy; filtering wins", 0x9e07);
+        p.program.sites = {
+            driver(2),
+            mono(4),
+            pib(1, 2, 6, 0.03),
+            mono(3),
+            pib(1, 2, 6, 0.03),
+            mono(3),
+            pb(1, 2, 6, 0.03),
+            phased(5, 1500),
+            rare(10),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // gs.pb: postscript interpreter; switch dispatch with
+        // self-correlated operator streams; hardest of the suite.
+        auto p = base("gs", "pb", "C",
+                      "interpreter dispatch, self+PIB correlated",
+                      0x9e08);
+        p.program.sites = {
+            driver(3),
+            mono(2),
+            self(1, 1, 2, 0.02),
+            mono(2),
+            pib(1, 2, 6, 0.015),
+            mono(1),
+            pib(1, 2, 6, 0.015),
+            phased(2, 2000),
+            rare(10),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // gs.tig: second interpreter input, slightly easier.
+        auto p = base("gs", "tig", "C",
+                      "interpreter dispatch, lighter operator mix",
+                      0x9e09);
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01),
+            self(1, 1, 2, 0.02),
+            mono(1),
+            pib(1, 3, 6, 0.015),
+            mono(1),
+            pib(1, 3, 6, 0.015),
+            pb(1, 2, 6, 0.02),
+            rare(8),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // ixx.lay: IDL parser; strongly PIB plus a weak hard-to-
+        // predict PB site whose mispredictions flap the selection
+        // counters -> the PIB-biased state machine helps.
+        auto p = base("ixx", "lay", "C++",
+                      "strong PIB + weak PB flappers; biased wins",
+                      0x9e0a);
+        // Unbiased conditionals: the PB path is pure noise here,
+        // so hybrid selection flaps while PIB-only stays clean.
+        p.program.caseCondBias = 0.5;
+        p.program.helperCondBias = 0.5;
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01, true),
+            pib(1, 3, 6, 0.012, true),
+            mono(1),
+            pib(1, 3, 6, 0.012, true),
+            mono(1),
+            pib(1, 3, 6, 0.012, true),
+            pib(1, 1, 2, 0.35, true),
+            rare(6),
+            stCalls(2),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // ixx.wid: as ixx.lay with deeper PIB orders.
+        auto p = base("ixx", "wid", "C++",
+                      "strong PIB + weak PB flappers; biased wins",
+                      0x9e0b);
+        // Unbiased conditionals: the PB path is pure noise here,
+        // so hybrid selection flaps while PIB-only stays clean.
+        p.program.caseCondBias = 0.5;
+        p.program.helperCondBias = 0.5;
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01, true),
+            pib(1, 4, 6, 0.012, true),
+            mono(1),
+            pib(1, 4, 6, 0.012, true),
+            mono(1),
+            pib(1, 4, 6, 0.012, true),
+            pib(1, 1, 2, 0.40, true),
+            rare(6),
+            stCalls(2),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // photon: near-deterministic short-order PIB correlation with
+        // a slowly drifting phase as the only entropy; the paper's
+        // PIB@8 oracle reaches ~99.1% accuracy here and TC-PIB is the
+        // only predictor beating PPM.
+        auto p = base("photon", "", "C++",
+                      "near-deterministic PIB; TC-PIB edges PPM",
+                      0x9e0c);
+        p.records = 1'000'000;
+        p.program.sites = {
+            phased(1, 4000, 4),
+            pib(1, 2, 5, 0.003),
+            pib(1, 3, 5, 0.003),
+            pib(1, 4, 5, 0.003),
+            pib(1, 5, 5, 0.003),
+            stCalls(2),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // troff.lle: text formatter, PB-dominant with one deep PIB
+        // site.
+        auto p = base("troff", "lle", "C",
+                      "PB-dominant formatting loop", 0x9e0d);
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.02),
+            pb(1, 2, 6, 0.015),
+            mono(1),
+            pb(1, 2, 6, 0.015),
+            mono(1),
+            pb(1, 2, 6, 0.015),
+            pb(1, 4, 6, 0.015),
+            pib(1, 2, 6, 0.02),
+            phased(2, 2500),
+            rare(8),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // troff.gcc
+        auto p = base("troff", "gcc", "C",
+                      "PB-dominant formatting loop", 0x9e0e);
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01),
+            pb(1, 3, 6, 0.015),
+            mono(1),
+            pb(1, 3, 6, 0.015),
+            mono(1),
+            pb(1, 3, 6, 0.015),
+            pib(1, 2, 6, 0.015),
+            rare(10),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+    {
+        // troff.ped
+        auto p = base("troff", "ped", "C",
+                      "PB-dominant formatting loop", 0x9e0f);
+        p.program.sites = {
+            driver(4),
+            mono(7),
+            deepPib(1, 7, 1, 6, 0.01),
+            pb(1, 2, 6, 0.012),
+            mono(1),
+            pb(1, 2, 6, 0.012),
+            mono(1),
+            pb(1, 4, 6, 0.015),
+            pib(1, 2, 6, 0.015),
+            rare(6),
+            stCalls(4),
+        };
+        suite.push_back(std::move(p));
+    }
+
+    return suite;
+}
+
+const BenchmarkProfile *
+findProfile(const std::vector<BenchmarkProfile> &suite,
+            std::string_view full_name)
+{
+    for (const auto &profile : suite)
+        if (profile.fullName() == full_name)
+            return &profile;
+    return nullptr;
+}
+
+BenchmarkProfile
+smokeProfile()
+{
+    auto p = base("smoke", "", "C",
+                  "tiny strongly correlated test workload", 0x51);
+    p.records = 50'000;
+    p.program.sites = {
+        driver(2),
+        pib(2, 2, 6, 0.005),
+        pb(1, 2, 6, 0.005, true),
+        stCalls(2),
+    };
+    return p;
+}
+
+} // namespace ibp::workload

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The standard benchmark suite: one calibrated synthetic profile per
+ * benchmark run the paper evaluates (Table 1 / Figures 6-7).
+ *
+ * Each profile is a ProgramConfig whose site mix realizes the
+ * qualitative character the paper reports for that benchmark
+ * (which correlation type dominates, how much aliasing pressure,
+ * whether a filter would help, ...).  EXPERIMENTS.md records the
+ * paper-vs-measured numbers per profile.
+ */
+
+#ifndef IBP_WORKLOAD_PROFILES_HH_
+#define IBP_WORKLOAD_PROFILES_HH_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/program.hh"
+
+namespace ibp::workload {
+
+/** One benchmark run of the suite. */
+struct BenchmarkProfile
+{
+    std::string benchmark; ///< e.g. "perl"
+    std::string input;     ///< e.g. "primes" ("" when single-input)
+    std::string language;  ///< "C" or "C++" (Table 1 flavour)
+    std::string note;      ///< one-line character description
+
+    /** Branch records emitted at scale 1. */
+    std::uint64_t records = 0;
+    /** Synthetic instructions per branch (Table 1 instruction count). */
+    double instructionsPerBranch = 5.0;
+
+    SynthesisParams program;
+
+    std::string
+    fullName() const
+    {
+        return input.empty() ? benchmark : benchmark + "." + input;
+    }
+};
+
+/** All benchmark runs, in the paper's Figure 6/7 order. */
+std::vector<BenchmarkProfile> standardSuite();
+
+/**
+ * Find a profile by full name ("perl", "gs.tig", ...).
+ * @return nullptr when absent.
+ */
+const BenchmarkProfile *findProfile(const std::vector<BenchmarkProfile> &,
+                                    std::string_view full_name);
+
+/**
+ * A small smoke-test profile (fast, strongly PIB-correlated) used by
+ * unit/integration tests and the quickstart example.
+ */
+BenchmarkProfile smokeProfile();
+
+} // namespace ibp::workload
+
+#endif // IBP_WORKLOAD_PROFILES_HH_

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the synthetic target-selection behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "workload/behavior.hh"
+
+namespace {
+
+using namespace ibp::workload;
+
+TEST(PathState, RecentOrderIsNewestFirst)
+{
+    PathState path(4);
+    path.push(StreamKind::AllBranches, 10);
+    path.push(StreamKind::AllBranches, 20);
+    path.push(StreamKind::AllBranches, 30);
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 0), 30u);
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 1), 20u);
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 2), 10u);
+}
+
+TEST(PathState, ColdStartReadsZero)
+{
+    PathState path;
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 0), 0u);
+    EXPECT_EQ(path.recent(StreamKind::MtIndirect, 5), 0u);
+}
+
+TEST(PathState, StreamsAreIndependent)
+{
+    PathState path;
+    path.push(StreamKind::AllBranches, 1);
+    path.push(StreamKind::MtIndirect, 2);
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 0), 1u);
+    EXPECT_EQ(path.recent(StreamKind::MtIndirect, 0), 2u);
+    EXPECT_EQ(path.length(StreamKind::AllBranches), 1u);
+    EXPECT_EQ(path.length(StreamKind::MtIndirect), 1u);
+}
+
+TEST(PathState, DepthBounded)
+{
+    PathState path(3);
+    for (int i = 0; i < 10; ++i)
+        path.push(StreamKind::AllBranches, i);
+    EXPECT_EQ(path.length(StreamKind::AllBranches), 3u);
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 0), 9u);
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 2), 7u);
+    // Beyond retained depth: cold-start zero.
+    EXPECT_EQ(path.recent(StreamKind::AllBranches, 3), 0u);
+}
+
+TEST(MonomorphicBehavior, AlwaysZeroWithoutNoise)
+{
+    MonomorphicBehavior b(0.0);
+    PathState path;
+    ibp::util::Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(b.nextTarget(path, 8, rng), 0u);
+}
+
+TEST(MonomorphicBehavior, NoiseStrays)
+{
+    MonomorphicBehavior b(0.5);
+    PathState path;
+    ibp::util::Rng rng(2);
+    int strays = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::size_t t = b.nextTarget(path, 4, rng);
+        EXPECT_LT(t, 4u);
+        if (t != 0)
+            ++strays;
+    }
+    EXPECT_GT(strays, 300);
+    EXPECT_LT(strays, 700);
+}
+
+TEST(MonomorphicBehavior, SingleTargetIgnoresNoise)
+{
+    MonomorphicBehavior b(1.0);
+    PathState path;
+    ibp::util::Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(b.nextTarget(path, 1, rng), 0u);
+}
+
+TEST(PhasedBehavior, DwellsThenMoves)
+{
+    PhasedBehavior b(50.0);
+    PathState path;
+    ibp::util::Rng rng(4);
+    std::size_t last = b.nextTarget(path, 6, rng);
+    int switches = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const std::size_t t = b.nextTarget(path, 6, rng);
+        EXPECT_LT(t, 6u);
+        if (t != last)
+            ++switches;
+        last = t;
+    }
+    // Expected ~100 switches at mean dwell 50.
+    EXPECT_GT(switches, 40);
+    EXPECT_LT(switches, 250);
+}
+
+TEST(PathCorrelatedBehavior, DeterministicGivenPath)
+{
+    PathCorrelatedBehavior b(StreamKind::MtIndirect, 3, 2, 0.0, 0xabc);
+    ibp::util::Rng rng(5);
+    PathState path;
+    path.push(StreamKind::MtIndirect, 0x120000010);
+    path.push(StreamKind::MtIndirect, 0x120000024);
+    path.push(StreamKind::MtIndirect, 0x120000038);
+    const std::size_t first = b.nextTarget(path, 8, rng);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(b.nextTarget(path, 8, rng), first);
+}
+
+TEST(PathCorrelatedBehavior, DependsOnThePath)
+{
+    PathCorrelatedBehavior b(StreamKind::MtIndirect, 2, 3, 0.0, 0xabc);
+    ibp::util::Rng rng(6);
+    // Count distinct outputs over distinct paths: must exceed 1.
+    std::set<std::size_t> outputs;
+    for (std::uint64_t s = 0; s < 16; ++s) {
+        PathState path;
+        path.push(StreamKind::MtIndirect, 0x100 + 4 * s);
+        path.push(StreamKind::MtIndirect, 0x200 + 8 * s);
+        outputs.insert(b.nextTarget(path, 16, rng));
+    }
+    EXPECT_GT(outputs.size(), 2u);
+}
+
+TEST(PathCorrelatedBehavior, IgnoresOtherStream)
+{
+    PathCorrelatedBehavior b(StreamKind::MtIndirect, 2, 3, 0.0, 0x77);
+    ibp::util::Rng rng(7);
+    PathState a;
+    a.push(StreamKind::MtIndirect, 0x1230);
+    a.push(StreamKind::MtIndirect, 0x4560);
+    PathState c;
+    c.push(StreamKind::MtIndirect, 0x1230);
+    c.push(StreamKind::MtIndirect, 0x4560);
+    c.push(StreamKind::AllBranches, 0x9990); // extra PB noise
+    EXPECT_EQ(b.nextTarget(a, 8, rng), b.nextTarget(c, 8, rng));
+}
+
+TEST(PathCorrelatedBehavior, SiteKeysDecorrelate)
+{
+    PathCorrelatedBehavior b1(StreamKind::MtIndirect, 2, 3, 0.0, 1);
+    PathCorrelatedBehavior b2(StreamKind::MtIndirect, 2, 3, 0.0, 2);
+    ibp::util::Rng rng(8);
+    int differ = 0;
+    for (std::uint64_t s = 0; s < 64; ++s) {
+        PathState path;
+        path.push(StreamKind::MtIndirect, 0x1000 + 4 * s);
+        path.push(StreamKind::MtIndirect, 0x2000 + 12 * s);
+        if (b1.nextTarget(path, 16, rng) != b2.nextTarget(path, 16, rng))
+            ++differ;
+    }
+    EXPECT_GT(differ, 32);
+}
+
+TEST(PathCorrelatedBehavior, NameEncodesStreamAndOrder)
+{
+    PathCorrelatedBehavior pb(StreamKind::AllBranches, 4, 2, 0.0, 0);
+    PathCorrelatedBehavior pib(StreamKind::MtIndirect, 7, 2, 0.0, 0);
+    EXPECT_EQ(pb.name(), "pb-k4");
+    EXPECT_EQ(pib.name(), "pib-k7");
+}
+
+TEST(SelfCorrelatedBehavior, DeterministicChainWithoutNoise)
+{
+    SelfCorrelatedBehavior a(2, 0.0, 0x5);
+    SelfCorrelatedBehavior b(2, 0.0, 0x5);
+    PathState path;
+    ibp::util::Rng rng_a(9);
+    ibp::util::Rng rng_b(9);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.nextTarget(path, 12, rng_a),
+                  b.nextTarget(path, 12, rng_b));
+}
+
+TEST(UniformBehavior, CoversTargets)
+{
+    UniformBehavior b;
+    PathState path;
+    ibp::util::Rng rng(10);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++seen[b.nextTarget(path, 5, rng)];
+    for (int count : seen)
+        EXPECT_GT(count, 700);
+}
+
+TEST(MixHash, KeySensitivity)
+{
+    int differ = 0;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        if (mixHash(1, v) != mixHash(2, v))
+            ++differ;
+    EXPECT_EQ(differ, 64);
+}
+
+} // namespace

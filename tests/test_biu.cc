@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Branch Identification Unit (infinite and finite).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/biu.hh"
+
+namespace {
+
+using namespace ibp::core;
+
+TEST(BiuInfinite, AllocatesOnFirstLookup)
+{
+    Biu biu(BiuConfig{});
+    BiuEntry &entry = biu.lookup(0x1000);
+    EXPECT_FALSE(entry.multiTarget);
+    EXPECT_EQ(entry.selection.state(), CorrelationState::StronglyPib);
+    EXPECT_EQ(biu.capacity(), 1u);
+}
+
+TEST(BiuInfinite, StateSticksPerBranch)
+{
+    Biu biu(BiuConfig{});
+    biu.lookup(0x1000).selection.update(false, SelectionMode::Normal);
+    biu.lookup(0x1000).multiTarget = true;
+    EXPECT_EQ(biu.lookup(0x1000).selection.state(),
+              CorrelationState::WeaklyPib);
+    EXPECT_TRUE(biu.lookup(0x1000).multiTarget);
+    // A different branch has pristine state.
+    EXPECT_EQ(biu.lookup(0x2000).selection.state(),
+              CorrelationState::StronglyPib);
+}
+
+TEST(BiuInfinite, NeverEvicts)
+{
+    Biu biu(BiuConfig{});
+    for (std::uint64_t pc = 0; pc < 10000; pc += 4)
+        biu.lookup(0x120000000 + pc);
+    EXPECT_EQ(biu.evictions(), 0u);
+    EXPECT_EQ(biu.capacity(), 2500u);
+}
+
+TEST(BiuFinite, CapacityIsGeometry)
+{
+    BiuConfig config;
+    config.infinite = false;
+    config.entries = 16;
+    config.ways = 4;
+    Biu biu(config);
+    EXPECT_EQ(biu.capacity(), 16u);
+}
+
+TEST(BiuFinite, HitsKeepState)
+{
+    BiuConfig config;
+    config.infinite = false;
+    config.entries = 16;
+    config.ways = 4;
+    Biu biu(config);
+    biu.lookup(0x120000040).selection.update(false,
+                                             SelectionMode::Normal);
+    EXPECT_EQ(biu.lookup(0x120000040).selection.state(),
+              CorrelationState::WeaklyPib);
+    EXPECT_EQ(biu.evictions(), 0u);
+}
+
+TEST(BiuFinite, EvictionLosesLearnedState)
+{
+    BiuConfig config;
+    config.infinite = false;
+    config.entries = 4;
+    config.ways = 1; // direct mapped: easy conflicts
+    Biu biu(config);
+
+    // Train branch A away from the initial state.
+    biu.lookup(0x120000040).selection.update(false,
+                                             SelectionMode::Normal);
+    biu.lookup(0x120000040).selection.update(false,
+                                             SelectionMode::Normal);
+    ASSERT_EQ(biu.lookup(0x120000040).selection.state(),
+              CorrelationState::WeaklyPb);
+
+    // Flood the whole table with other branches.
+    for (std::uint64_t i = 1; i <= 64; ++i)
+        biu.lookup(0x120000040 + i * 16);
+    EXPECT_GT(biu.evictions(), 0u);
+
+    // A's entry is gone: state re-initializes to Strongly PIB.
+    EXPECT_EQ(biu.lookup(0x120000040).selection.state(),
+              CorrelationState::StronglyPib);
+}
+
+TEST(BiuFinite, StorageBitsIncludeTags)
+{
+    BiuConfig config;
+    config.infinite = false;
+    config.entries = 512;
+    config.ways = 4;
+    config.tagBits = 16;
+    Biu biu(config);
+    EXPECT_EQ(biu.storageBits(), 512u * 19u);
+}
+
+TEST(Biu, ResetClearsEverything)
+{
+    Biu biu(BiuConfig{});
+    biu.lookup(0x1000).multiTarget = true;
+    biu.reset();
+    EXPECT_EQ(biu.capacity(), 0u);
+    EXPECT_FALSE(biu.lookup(0x1000).multiTarget);
+}
+
+} // namespace

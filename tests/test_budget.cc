@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for hardware-budget accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/budget.hh"
+
+namespace {
+
+using namespace ibp::sim;
+
+TEST(Budget, TableHasOneRowPerName)
+{
+    const auto rows = budgetTable({"BTB", "BTB2b", "PPM-hyb"});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "BTB");
+    EXPECT_EQ(rows[2].name, "PPM-hyb");
+    for (const auto &row : rows)
+        EXPECT_GT(row.bits, 0u);
+}
+
+TEST(Budget, KnownFootprints)
+{
+    const auto rows = budgetTable({"BTB", "BTB2b", "TC-PIB"});
+    EXPECT_EQ(rows[0].bits, 2048u * 65u);
+    EXPECT_EQ(rows[1].bits, 2048u * 67u);
+    EXPECT_EQ(rows[2].bits, 2048u * 65u + 11u);
+}
+
+TEST(Budget, KibConversion)
+{
+    BudgetRow row{"x", 8192};
+    EXPECT_DOUBLE_EQ(row.kib(), 1.0);
+}
+
+TEST(Budget, PpmBudgetNearTwoKEntries)
+{
+    const auto rows = budgetTable({"PPM-hyb", "BTB2b"});
+    // PPM-hyb uses 2046 entries vs BTB2b's 2048 — within 1%.
+    const double ratio = static_cast<double>(rows[0].bits) /
+                         static_cast<double>(rows[1].bits);
+    EXPECT_NEAR(ratio, 1.0, 0.01);
+}
+
+TEST(Budget, PrintedTableContainsNamesAndHeader)
+{
+    std::ostringstream os;
+    printBudgetTable(os, budgetTable({"BTB", "Cascade"}));
+    const std::string text = os.str();
+    EXPECT_NE(text.find("predictor"), std::string::npos);
+    EXPECT_NE(text.find("BTB"), std::string::npos);
+    EXPECT_NE(text.find("Cascade"), std::string::npos);
+    EXPECT_NE(text.find("KiB"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the conditional-direction predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/cond.hh"
+
+namespace {
+
+using namespace ibp::pred;
+
+TEST(Bimodal, StartsWeaklyTaken)
+{
+    BimodalPredictor p(64);
+    EXPECT_TRUE(p.predict(0x1000));
+}
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor p(64);
+    for (int i = 0; i < 10; ++i) {
+        p.predict(0x1000);
+        p.update(0x1000, false);
+    }
+    EXPECT_FALSE(p.predict(0x1000));
+    for (int i = 0; i < 10; ++i) {
+        p.predict(0x1000);
+        p.update(0x1000, true);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+}
+
+TEST(Bimodal, HysteresisSurvivesOneDeviation)
+{
+    BimodalPredictor p(64);
+    for (int i = 0; i < 5; ++i)
+        p.update(0x1000, true);
+    p.update(0x1000, false);
+    EXPECT_TRUE(p.predict(0x1000));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BimodalPredictor p(64);
+    int misses = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool taken = i % 2 == 0;
+        if (p.predict(0x1000) != taken)
+            ++misses;
+        p.update(0x1000, taken);
+    }
+    EXPECT_GT(misses, 400); // alternation defeats a 2-bit counter
+}
+
+TEST(Bimodal, StorageAndReset)
+{
+    BimodalPredictor p(2048);
+    EXPECT_EQ(p.storageBits(), 4096u);
+    p.update(0x1000, false);
+    p.update(0x1000, false);
+    p.update(0x1000, false);
+    p.reset();
+    EXPECT_TRUE(p.predict(0x1000)); // back to weakly taken
+}
+
+TEST(Gshare, LearnsAlternation)
+{
+    GsharePredictor p(256, 8);
+    int late_misses = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool taken = i % 2 == 0;
+        const bool predicted = p.predict(0x1000);
+        if (i > 200 && predicted != taken)
+            ++late_misses;
+        p.update(0x1000, taken);
+    }
+    EXPECT_LT(late_misses, 10);
+}
+
+TEST(Gshare, LearnsPeriodThree)
+{
+    GsharePredictor p(256, 8);
+    const bool pattern[3] = {true, true, false};
+    int late_misses = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool taken = pattern[i % 3];
+        const bool predicted = p.predict(0x1000);
+        if (i > 500 && predicted != taken)
+            ++late_misses;
+        p.update(0x1000, taken);
+    }
+    EXPECT_LT(late_misses, 10);
+}
+
+TEST(Gshare, HistoryShiftsPerUpdate)
+{
+    GsharePredictor p(256, 8);
+    EXPECT_EQ(p.history(), 0u);
+    p.predict(0x1000);
+    p.update(0x1000, true);
+    EXPECT_EQ(p.history(), 1u);
+    p.predict(0x1000);
+    p.update(0x1000, false);
+    EXPECT_EQ(p.history(), 2u);
+}
+
+TEST(Gshare, ResetForgets)
+{
+    GsharePredictor p(256, 8);
+    p.predict(0x1000);
+    p.update(0x1000, true);
+    p.reset();
+    EXPECT_EQ(p.history(), 0u);
+}
+
+TEST(PpmDirection, LearnsAlternation)
+{
+    PpmDirectionPredictor p(8, 2048);
+    int late_misses = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool taken = i % 2 == 0;
+        const bool predicted = p.predict(0x1000);
+        if (i > 200 && predicted != taken)
+            ++late_misses;
+        p.update(0x1000, taken);
+    }
+    EXPECT_LT(late_misses, 10);
+}
+
+TEST(PpmDirection, LearnsLongPeriodBeyondShortHistory)
+{
+    // Period-7 pattern: needs >= 6 bits of history to disambiguate.
+    PpmDirectionPredictor p(8, 4096);
+    const bool pattern[7] = {true,  true, false, true,
+                             false, false, true};
+    int late_misses = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = pattern[i % 7];
+        const bool predicted = p.predict(0x1000);
+        if (i > 2000 && predicted != taken)
+            ++late_misses;
+        p.update(0x1000, taken);
+    }
+    EXPECT_LT(late_misses, 40);
+}
+
+TEST(PpmDirection, PredictsFromHighOrderWhenWarm)
+{
+    PpmDirectionPredictor p(4, 512);
+    for (int i = 0; i < 100; ++i) {
+        p.predict(0x1000);
+        p.update(0x1000, i % 2 == 0);
+    }
+    p.predict(0x1000);
+    EXPECT_EQ(p.lastOrder(), 4u);
+}
+
+TEST(PpmDirection, SeparatesBranches)
+{
+    PpmDirectionPredictor p(4, 2048);
+    int late_misses = 0;
+    for (int i = 0; i < 2000; ++i) {
+        // Branch A always taken, branch B never.
+        const bool pa = p.predict(0x1000);
+        if (i > 200 && !pa)
+            ++late_misses;
+        p.update(0x1000, true);
+        const bool pb = p.predict(0x2040);
+        if (i > 200 && pb)
+            ++late_misses;
+        p.update(0x2040, false);
+    }
+    EXPECT_LT(late_misses, 20);
+}
+
+TEST(PpmDirection, StorageWithinBudget)
+{
+    PpmDirectionPredictor p(8, 2048);
+    // 3 bits per entry + history; geometric split stays near budget.
+    EXPECT_LT(p.storageBits(), 2048u * 3u * 2u);
+    EXPECT_GT(p.storageBits(), 2048u);
+}
+
+TEST(PpmDirection, ResetForgets)
+{
+    PpmDirectionPredictor p(4, 512);
+    for (int i = 0; i < 20; ++i) {
+        p.predict(0x1000);
+        p.update(0x1000, false);
+    }
+    p.reset();
+    p.predict(0x1000);
+    EXPECT_EQ(p.lastOrder(), 0u); // cold: nothing valid
+}
+
+TEST(DirectionFactory, BuildsAllNames)
+{
+    for (const char *name : {"bimodal", "gshare", "PPM-cond"}) {
+        auto p = makeDirectionPredictor(name);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p->name(), name);
+        EXPECT_GT(p->storageBits(), 0u);
+    }
+}
+
+} // namespace

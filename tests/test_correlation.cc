@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Exhaustive tests of the Figure-5 correlation-selection state
+ * machines (normal and PIB-biased).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/correlation.hh"
+
+namespace {
+
+using namespace ibp::core;
+
+SelectionCounter
+at(CorrelationState state)
+{
+    SelectionCounter c;
+    c.set(state);
+    return c;
+}
+
+TEST(SelectionCounter, InitializesStronglyPib)
+{
+    SelectionCounter c;
+    EXPECT_EQ(c.state(), CorrelationState::StronglyPib);
+    EXPECT_TRUE(c.usePib());
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SelectionCounter, UsePibBoundary)
+{
+    EXPECT_FALSE(at(CorrelationState::StronglyPb).usePib());
+    EXPECT_FALSE(at(CorrelationState::WeaklyPb).usePib());
+    EXPECT_TRUE(at(CorrelationState::WeaklyPib).usePib());
+    EXPECT_TRUE(at(CorrelationState::StronglyPib).usePib());
+}
+
+struct Transition
+{
+    CorrelationState from;
+    bool correct;
+    SelectionMode mode;
+    CorrelationState to;
+};
+
+/** The complete Figure-5 transition tables, both machines. */
+const Transition kTable[] = {
+    // Normal machine, correct predictions reinforce the current side.
+    {CorrelationState::StronglyPb, true, SelectionMode::Normal,
+     CorrelationState::StronglyPb},
+    {CorrelationState::WeaklyPb, true, SelectionMode::Normal,
+     CorrelationState::StronglyPb},
+    {CorrelationState::WeaklyPib, true, SelectionMode::Normal,
+     CorrelationState::StronglyPib},
+    {CorrelationState::StronglyPib, true, SelectionMode::Normal,
+     CorrelationState::StronglyPib},
+    // Normal machine, mispredictions step toward the other side.
+    {CorrelationState::StronglyPb, false, SelectionMode::Normal,
+     CorrelationState::WeaklyPb},
+    {CorrelationState::WeaklyPb, false, SelectionMode::Normal,
+     CorrelationState::WeaklyPib},
+    {CorrelationState::WeaklyPib, false, SelectionMode::Normal,
+     CorrelationState::WeaklyPb},
+    {CorrelationState::StronglyPib, false, SelectionMode::Normal,
+     CorrelationState::WeaklyPib},
+    // Biased machine: corrects identical to normal...
+    {CorrelationState::StronglyPb, true, SelectionMode::PibBiased,
+     CorrelationState::StronglyPb},
+    {CorrelationState::WeaklyPb, true, SelectionMode::PibBiased,
+     CorrelationState::StronglyPb},
+    {CorrelationState::WeaklyPib, true, SelectionMode::PibBiased,
+     CorrelationState::StronglyPib},
+    {CorrelationState::StronglyPib, true, SelectionMode::PibBiased,
+     CorrelationState::StronglyPib},
+    // ...mispredicts on the PIB side identical to normal...
+    {CorrelationState::WeaklyPib, false, SelectionMode::PibBiased,
+     CorrelationState::WeaklyPb},
+    {CorrelationState::StronglyPib, false, SelectionMode::PibBiased,
+     CorrelationState::WeaklyPib},
+    // ...but PB-side mispredicts jump across (paper: "from Strongly
+    // PB to Weakly PIB or from Weakly PB to Strongly PIB").
+    {CorrelationState::StronglyPb, false, SelectionMode::PibBiased,
+     CorrelationState::WeaklyPib},
+    {CorrelationState::WeaklyPb, false, SelectionMode::PibBiased,
+     CorrelationState::StronglyPib},
+};
+
+class TransitionTest : public ::testing::TestWithParam<Transition>
+{
+};
+
+TEST_P(TransitionTest, MatchesFigure5)
+{
+    const Transition &t = GetParam();
+    SelectionCounter c = at(t.from);
+    c.update(t.correct, t.mode);
+    EXPECT_EQ(c.state(), t.to)
+        << correlationStateName(t.from) << " + "
+        << (t.correct ? "correct" : "miss") << " -> expected "
+        << correlationStateName(t.to) << ", got "
+        << correlationStateName(c.state());
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure5, TransitionTest,
+                         ::testing::ValuesIn(kTable));
+
+TEST(SelectionCounter, BiasedRecoversPibInOneMiss)
+{
+    // The scenario the paper built the biased machine for: a strongly
+    // PIB branch knocked into PB territory by aliasing must get back
+    // to a PIB state after a single PB-side misprediction.
+    SelectionCounter c = at(CorrelationState::WeaklyPb);
+    c.update(false, SelectionMode::PibBiased);
+    EXPECT_TRUE(c.usePib());
+    EXPECT_EQ(c.state(), CorrelationState::StronglyPib);
+}
+
+TEST(SelectionCounter, NormalNeedsTwoMissesToFlipSides)
+{
+    SelectionCounter c = at(CorrelationState::StronglyPb);
+    c.update(false, SelectionMode::Normal);
+    EXPECT_FALSE(c.usePib());
+    c.update(false, SelectionMode::Normal);
+    EXPECT_TRUE(c.usePib());
+}
+
+TEST(SelectionCounter, LongCorrectRunSaturates)
+{
+    SelectionCounter c = at(CorrelationState::WeaklyPb);
+    for (int i = 0; i < 10; ++i)
+        c.update(true, SelectionMode::Normal);
+    EXPECT_EQ(c.state(), CorrelationState::StronglyPb);
+}
+
+TEST(CorrelationStateNames, Stable)
+{
+    EXPECT_STREQ(correlationStateName(CorrelationState::StronglyPb),
+                 "strong-PB");
+    EXPECT_STREQ(correlationStateName(CorrelationState::WeaklyPb),
+                 "weak-PB");
+    EXPECT_STREQ(correlationStateName(CorrelationState::WeaklyPib),
+                 "weak-PIB");
+    EXPECT_STREQ(correlationStateName(CorrelationState::StronglyPib),
+                 "strong-PIB");
+}
+
+} // namespace

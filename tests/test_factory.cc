@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the predictor factory and its paper configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/factory.hh"
+
+namespace {
+
+using namespace ibp::sim;
+
+TEST(Factory, BuildsEveryKnownName)
+{
+    for (const char *name :
+         {"BTB", "BTB2b", "GAp", "TC-PIB", "TC-PB", "Dpath", "Cascade",
+          "Cascade-strict", "PPM-hyb", "PPM-PIB", "PPM-hyb-biased",
+          "PPM-tagged", "PPM-gshare", "PPM-low", "Filtered-PPM",
+          "Oracle-PIB@8"}) {
+        EXPECT_TRUE(knownPredictor(name)) << name;
+        auto predictor = makePredictor(name);
+        ASSERT_NE(predictor, nullptr) << name;
+        EXPECT_EQ(predictor->name(), name);
+    }
+}
+
+TEST(Factory, UnknownNameIsNotKnown)
+{
+    EXPECT_FALSE(knownPredictor("TAGE"));
+    EXPECT_FALSE(knownPredictor(""));
+}
+
+TEST(Factory, Figure6LineupMatchesPaperOrder)
+{
+    const auto names = figure6Predictors();
+    ASSERT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.front(), "BTB");
+    EXPECT_EQ(names.back(), "PPM-hyb");
+}
+
+TEST(Factory, Figure7LineupIsThePpmVariants)
+{
+    const auto names = figure7Predictors();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "PPM-hyb");
+    EXPECT_EQ(names[1], "PPM-PIB");
+    EXPECT_EQ(names[2], "PPM-hyb-biased");
+}
+
+TEST(Factory, BudgetsAreComparable)
+{
+    // The paper's premise: all Figure-6 predictors sit near the same
+    // hardware budget (2K entries).  Entry payloads differ (counters,
+    // tags), so allow a 2x band around the plain 2K-entry BTB2b.
+    const auto reference = makePredictor("BTB2b")->storageBits();
+    for (const auto &name : figure6Predictors()) {
+        const auto bits = makePredictor(name)->storageBits();
+        EXPECT_GT(bits, reference / 2) << name;
+        EXPECT_LT(bits, reference * 2) << name;
+    }
+}
+
+TEST(Factory, SizeScaleShrinksTables)
+{
+    FactoryOptions half;
+    half.sizeScale = 0.5;
+    for (const char *name : {"BTB", "TC-PIB", "GAp", "PPM-hyb"}) {
+        const auto full = makePredictor(name)->storageBits();
+        const auto small = makePredictor(name, half)->storageBits();
+        EXPECT_LT(small, full) << name;
+        EXPECT_GT(small, full / 4) << name;
+    }
+}
+
+TEST(Factory, SizeScaleGrowsTables)
+{
+    FactoryOptions big;
+    big.sizeScale = 4.0;
+    for (const char *name : {"BTB2b", "Dpath", "Cascade", "PPM-hyb"}) {
+        EXPECT_GT(makePredictor(name, big)->storageBits(),
+                  makePredictor(name)->storageBits())
+            << name;
+    }
+}
+
+TEST(Factory, OracleDepthParsed)
+{
+    auto oracle = makePredictor("Oracle-PIB@12");
+    EXPECT_EQ(oracle->name(), "Oracle-PIB@12");
+}
+
+TEST(Factory, PredictorsStartCold)
+{
+    for (const auto &name : figure6Predictors()) {
+        auto predictor = makePredictor(name);
+        EXPECT_FALSE(predictor->predict(0x120000040).valid) << name;
+    }
+}
+
+} // namespace

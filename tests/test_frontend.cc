@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the front-end fetch model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/factory.hh"
+#include "sim/frontend.hh"
+#include "workload/profiles.hh"
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace ibp::sim;
+using ibp::trace::BranchKind;
+using ibp::trace::BranchRecord;
+using ibp::trace::TraceBuffer;
+
+BranchRecord
+make(BranchKind kind, ibp::trace::Addr pc, ibp::trace::Addr target,
+     bool taken = true, bool mt = false, bool call = false)
+{
+    BranchRecord r;
+    r.kind = kind;
+    r.pc = pc;
+    r.target = target;
+    r.taken = taken;
+    r.multiTarget = mt;
+    r.call = call;
+    return r;
+}
+
+TEST(Frontend, PerfectStreamRunsAtFetchWidth)
+{
+    // Unconditional direct branches only: no redirects possible.
+    TraceBuffer buf;
+    for (int i = 0; i < 100; ++i)
+        buf.push(make(BranchKind::UncondDirect, 0x1000, 0x2000));
+
+    FrontendConfig config;
+    config.fetchWidth = 4;
+    config.instructionsPerBranch = 4.0;
+    Frontend frontend(config);
+    auto indirect = makePredictor("BTB");
+    const auto metrics = frontend.run(buf, *indirect);
+
+    EXPECT_EQ(metrics.instructions, 400u);
+    EXPECT_EQ(metrics.cycles, 100u); // 400 / 4, zero penalties
+    EXPECT_DOUBLE_EQ(metrics.ipc(), 4.0);
+}
+
+TEST(Frontend, EachRedirectCostsThePenalty)
+{
+    // A single always-mispredicting indirect branch.
+    TraceBuffer buf;
+    for (int i = 0; i < 10; ++i)
+        buf.push(make(BranchKind::IndirectJmp, 0x1000,
+                      0x2000 + i * 64, true, true));
+
+    FrontendConfig config;
+    config.fetchWidth = 4;
+    config.mispredictPenalty = 8;
+    config.instructionsPerBranch = 4.0;
+    Frontend frontend(config);
+    auto indirect = makePredictor("BTB");
+    const auto metrics = frontend.run(buf, *indirect);
+
+    EXPECT_EQ(metrics.indirectBranches, 10u);
+    EXPECT_EQ(metrics.indirectMisses, 10u); // target changes each time
+    EXPECT_EQ(metrics.cycles, 10u + 10u * 8u);
+}
+
+TEST(Frontend, StBranchesCostOneColdMissEach)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 20; ++i)
+        buf.push(make(BranchKind::IndirectCall, 0x1000, 0x9000, true,
+                      /*mt=*/false, /*call=*/true));
+
+    Frontend frontend;
+    auto indirect = makePredictor("BTB");
+    const auto metrics = frontend.run(buf, *indirect);
+    EXPECT_EQ(metrics.stColdMisses, 1u);
+    EXPECT_EQ(metrics.indirectBranches, 0u);
+}
+
+TEST(Frontend, BalancedReturnsPredictPerfectly)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 50; ++i) {
+        buf.push(make(BranchKind::UncondDirect, 0x100, 0x1000, true,
+                      false, /*call=*/true));
+        buf.push(make(BranchKind::Return, 0x1100, 0x104));
+    }
+    Frontend frontend;
+    auto indirect = makePredictor("BTB");
+    const auto metrics = frontend.run(buf, *indirect);
+    EXPECT_EQ(metrics.returns, 50u);
+    EXPECT_EQ(metrics.returnMisses, 0u);
+}
+
+TEST(Frontend, BiasedConditionalsMostlyPredicted)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 2000; ++i)
+        buf.push(make(BranchKind::CondDirect, 0x1000, 0x2000,
+                      /*taken=*/i % 10 != 0));
+    Frontend frontend;
+    auto indirect = makePredictor("BTB");
+    const auto metrics = frontend.run(buf, *indirect);
+    EXPECT_EQ(metrics.condBranches, 2000u);
+    // A gshare should get well under the 10% static-miss floor wrong.
+    EXPECT_LT(metrics.condMisses, 450u);
+    EXPECT_GT(metrics.mpkiCond(), 0.0);
+}
+
+TEST(Frontend, BetterIndirectPredictorMeansFewerCycles)
+{
+    const auto profile = ibp::workload::smokeProfile();
+    auto trace = generateTrace(profile);
+
+    Frontend frontend;
+    auto btb = makePredictor("BTB");
+    trace.rewind();
+    const auto with_btb = frontend.run(trace, *btb);
+
+    auto ppm = makePredictor("PPM-hyb");
+    trace.rewind();
+    const auto with_ppm = frontend.run(trace, *ppm);
+
+    EXPECT_LT(with_ppm.indirectMisses, with_btb.indirectMisses);
+    EXPECT_LT(with_ppm.cycles, with_btb.cycles);
+    EXPECT_GT(with_ppm.ipc(), with_btb.ipc());
+    // Same instruction stream measured both times.
+    EXPECT_EQ(with_ppm.instructions, with_btb.instructions);
+}
+
+TEST(Frontend, PipelinedOverrideCostsBubbles)
+{
+    // A strictly alternating two-target branch: PPM-like predictors
+    // nail it, but the 1-cycle BTB always fetches the stale target,
+    // so every correct prediction in pipelined mode is an override.
+    TraceBuffer buf;
+    for (int i = 0; i < 1000; ++i)
+        buf.push(make(BranchKind::IndirectJmp, 0x120000040,
+                      i % 2 ? 0x120002008 : 0x120002004, true, true));
+
+    auto run = [&](bool pipelined) {
+        FrontendConfig config;
+        config.pipelinedIndirect = pipelined;
+        config.overridePenalty = 1;
+        Frontend frontend(config);
+        auto indirect = makePredictor("TC-PIB");
+        buf.rewind();
+        return frontend.run(buf, *indirect);
+    };
+
+    const auto flat = run(false);
+    const auto staged = run(true);
+    EXPECT_EQ(flat.overrides, 0u);
+    EXPECT_GT(staged.overrides, 800u); // alternation defeats the BTB
+    EXPECT_EQ(staged.cycles, flat.cycles + staged.overrides);
+    EXPECT_LT(staged.ipc(), flat.ipc());
+}
+
+TEST(Frontend, PipelinedMonomorphicBranchNeverOverrides)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 500; ++i)
+        buf.push(make(BranchKind::IndirectJmp, 0x120000040,
+                      0x120002000, true, true));
+    FrontendConfig config;
+    config.pipelinedIndirect = true;
+    Frontend frontend(config);
+    auto indirect = makePredictor("TC-PIB");
+    const auto metrics = frontend.run(buf, *indirect);
+    // After the cold start, fast and slow predictors always agree.
+    EXPECT_LE(metrics.overrides, 2u);
+}
+
+TEST(Frontend, MpkiDenominatorIsInstructions)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 100; ++i)
+        buf.push(make(BranchKind::IndirectJmp, 0x1000, 0x2000 + i * 64,
+                      true, true));
+    FrontendConfig config;
+    config.instructionsPerBranch = 10.0;
+    Frontend frontend(config);
+    auto indirect = makePredictor("BTB");
+    const auto metrics = frontend.run(buf, *indirect);
+    // 100 misses over 1000 instructions = 100 MPKI.
+    EXPECT_NEAR(metrics.mpkiIndirect(), 100.0, 1e-9);
+}
+
+} // namespace

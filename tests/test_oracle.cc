@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the infinite-table oracle predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/oracle.hh"
+
+namespace {
+
+using namespace ibp::pred;
+using ibp::trace::BranchKind;
+using ibp::trace::BranchRecord;
+
+BranchRecord
+mtJmp(ibp::trace::Addr pc, ibp::trace::Addr target)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.kind = BranchKind::IndirectJmp;
+    r.multiTarget = true;
+    return r;
+}
+
+TEST(Oracle, ColdMiss)
+{
+    Oracle oracle(OracleConfig{});
+    EXPECT_FALSE(oracle.predict(0x1000).valid);
+}
+
+TEST(Oracle, NameEncodesConfig)
+{
+    OracleConfig config;
+    config.pathLength = 8;
+    Oracle oracle(config);
+    EXPECT_EQ(oracle.name(), "Oracle-PIB@8");
+}
+
+TEST(Oracle, PerfectOnDeterministicOrderKSource)
+{
+    // Target = f(last 2 indirect targets): an oracle with path length
+    // >= 2 must reach zero misses after each context is seen once.
+    OracleConfig config;
+    config.pathLength = 2;
+    Oracle oracle(config);
+
+    const ibp::trace::Addr pc = 0x120000040;
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    int late_misses = 0;
+    std::uint64_t lcg = 99;
+    for (int i = 0; i < 5000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        // 4 contexts x deterministic target.
+        const ibp::trace::Addr target =
+            0x120002000 + ((h1 ^ (h2 >> 3) ^ 0x5) % 7) * 64;
+        const Prediction p = oracle.predict(pc);
+        if (i > 3000 && p.target != target)
+            ++late_misses;
+        oracle.update(pc, target);
+        const auto rec = mtJmp(pc, target);
+        oracle.observe(rec);
+        h2 = h1;
+        h1 = target;
+        // Interleave an unrelated context branch.
+        if (lcg >> 63) {
+            const auto noise =
+                mtJmp(0x120000900, 0x120009000 + (lcg % 4) * 64);
+            oracle.observe(noise);
+            h2 = h1;
+            h1 = noise.target;
+        }
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(Oracle, TooShortPathCannotLearnLongCorrelation)
+{
+    // Same source, but path length 1 < correlation order 2: contexts
+    // collide and the oracle keeps missing.
+    OracleConfig config;
+    config.pathLength = 1;
+    Oracle oracle(config);
+
+    const ibp::trace::Addr pc = 0x120000040;
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    int late_misses = 0;
+    std::uint64_t lcg = 99;
+    for (int i = 0; i < 5000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        const ibp::trace::Addr target =
+            0x120002000 + ((h1 ^ (h2 >> 3) ^ 0x5) % 7) * 64;
+        const Prediction p = oracle.predict(pc);
+        if (i > 3000 && p.target != target)
+            ++late_misses;
+        oracle.update(pc, target);
+        oracle.observe(mtJmp(pc, target));
+        h2 = h1;
+        h1 = target;
+        if (lcg >> 63) {
+            const auto noise =
+                mtJmp(0x120000900, 0x120009000 + (lcg % 4) * 64);
+            oracle.observe(noise);
+            h2 = h1;
+            h1 = noise.target;
+        }
+    }
+    // Path length 1 sees only h1: the h2-dependence keeps biting.
+    EXPECT_GT(late_misses, 100);
+}
+
+TEST(Oracle, PcDistinguishesBranches)
+{
+    OracleConfig config;
+    config.pathLength = 1;
+    config.usePc = true;
+    Oracle oracle(config);
+    oracle.predict(0x1000);
+    oracle.update(0x1000, 0x2000);
+    oracle.predict(0x1004);
+    oracle.update(0x1004, 0x3000);
+    EXPECT_EQ(oracle.predict(0x1000).target, 0x2000u);
+    EXPECT_EQ(oracle.predict(0x1004).target, 0x3000u);
+    EXPECT_EQ(oracle.contexts(), 2u);
+}
+
+TEST(Oracle, StorageGrowsWithContexts)
+{
+    Oracle oracle(OracleConfig{});
+    EXPECT_EQ(oracle.storageBits(), 0u);
+    oracle.predict(0x1000);
+    oracle.update(0x1000, 0x2000);
+    EXPECT_GT(oracle.storageBits(), 0u);
+}
+
+TEST(Oracle, ResetForgets)
+{
+    Oracle oracle(OracleConfig{});
+    oracle.predict(0x1000);
+    oracle.update(0x1000, 0x2000);
+    oracle.reset();
+    EXPECT_EQ(oracle.contexts(), 0u);
+    EXPECT_FALSE(oracle.predict(0x1000).valid);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the conditional-branch PPM, including an exact
+ * reproduction of the paper's Figure-1 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ppm_cond.hh"
+
+namespace {
+
+using namespace ibp::core;
+
+/** Feed a 0/1 string into the model (training only, no exclusion). */
+void
+train(PpmCond &ppm, const std::string &bits)
+{
+    for (char c : bits)
+        ppm.update(c == '1');
+}
+
+TEST(PpmCond, Figure1WorkedExample)
+{
+    // Input sequence from the paper: 01010110101, 3rd-order model.
+    PpmCond ppm(3);
+    train(ppm, "01010110101");
+
+    // "Pattern 010 has followed 101 twice, while pattern 011 has
+    //  followed 101 only once."  In transition-count terms, state 101
+    //  saw next-bit 0 twice and next-bit 1 once.
+    const TransitionCounts c101 = ppm.counts(3, 0b101);
+    EXPECT_EQ(c101.zero, 2u);
+    EXPECT_EQ(c101.one, 1u);
+
+    // "the model has recorded transitions to 4 out of the possible 8
+    //  states" — i.e. 4 distinct source states have counts.
+    EXPECT_EQ(ppm.states(3), 4u);
+
+    // "the predictor has arrived at state 101 ... the next state
+    //  should be 010 and the predicted bit will be 0."
+    bool predicted = true;
+    ASSERT_TRUE(ppm.predict(predicted));
+    EXPECT_FALSE(predicted);
+    EXPECT_EQ(ppm.lastOrder(), 3);
+}
+
+TEST(PpmCond, Figure1StateInventory)
+{
+    PpmCond ppm(3);
+    train(ppm, "01010110101");
+    // The four source states: 010, 101, 011, 110.
+    EXPECT_GT(ppm.counts(3, 0b010).total(), 0u);
+    EXPECT_GT(ppm.counts(3, 0b101).total(), 0u);
+    EXPECT_GT(ppm.counts(3, 0b011).total(), 0u);
+    EXPECT_GT(ppm.counts(3, 0b110).total(), 0u);
+    // And no others.
+    EXPECT_EQ(ppm.counts(3, 0b000).total(), 0u);
+    EXPECT_EQ(ppm.counts(3, 0b111).total(), 0u);
+    EXPECT_EQ(ppm.counts(3, 0b001).total(), 0u);
+    EXPECT_EQ(ppm.counts(3, 0b100).total(), 0u);
+}
+
+TEST(PpmCond, Figure1Transitions)
+{
+    PpmCond ppm(3);
+    train(ppm, "01010110101");
+    // 010 -> 101 three times (next bit 1).
+    EXPECT_EQ(ppm.counts(3, 0b010).one, 3u);
+    EXPECT_EQ(ppm.counts(3, 0b010).zero, 0u);
+    // 011 -> 110 once (next bit 0)... the state written "011"
+    // (oldest->newest) is followed by 0 once.
+    EXPECT_EQ(ppm.counts(3, 0b011).zero, 1u);
+    // 110 -> 101 once (next bit 1).
+    EXPECT_EQ(ppm.counts(3, 0b110).one, 1u);
+}
+
+TEST(PpmCond, NoPredictionBeforeAnyData)
+{
+    PpmCond ppm(3);
+    bool out = false;
+    EXPECT_FALSE(ppm.predict(out));
+    EXPECT_EQ(ppm.lastOrder(), -1);
+}
+
+TEST(PpmCond, OrderZeroPredictsMajority)
+{
+    PpmCond ppm(2);
+    train(ppm, "111");
+    // History 11 was never followed by anything at order 2... it was:
+    // after "111" the state 11 has one transition.  Use a fresh
+    // pattern to force the fallback: feed 0 bits only then ask.
+    PpmCond zeros(2);
+    train(zeros, "000");
+    bool out = true;
+    ASSERT_TRUE(zeros.predict(out));
+    EXPECT_FALSE(out);
+}
+
+TEST(PpmCond, EscapesToLowerOrder)
+{
+    PpmCond ppm(4);
+    // Alternating bits: state (0101) at order 4 exists, but craft a
+    // history the order-4 model has never seen by training short.
+    train(ppm, "0011");
+    // Current history is 0011 (oldest->newest); order-4 pattern was
+    // only just completed and never used as a source.  The predictor
+    // must escape to a lower order and still answer.
+    bool out = false;
+    ASSERT_TRUE(ppm.predict(out));
+    EXPECT_LT(ppm.lastOrder(), 4);
+}
+
+TEST(PpmCond, LearnsAlternation)
+{
+    PpmCond ppm(3);
+    // Train on a long alternating sequence.
+    for (int i = 0; i < 50; ++i)
+        ppm.update(i % 2 == 0);
+    bool out;
+    ASSERT_TRUE(ppm.predict(out));
+    // Last bit was i=49 -> false; alternation predicts true.
+    EXPECT_TRUE(out);
+    int misses = 0;
+    for (int i = 50; i < 150; ++i) {
+        bool predicted;
+        ppm.predictAndUpdate(i % 2 == 0, predicted);
+        if (predicted != (i % 2 == 0))
+            ++misses;
+    }
+    EXPECT_EQ(misses, 0);
+}
+
+TEST(PpmCond, LearnsPeriodThreePattern)
+{
+    PpmCond ppm(5);
+    const std::string period = "110";
+    for (int i = 0; i < 60; ++i)
+        ppm.update(period[i % 3] == '1');
+    int misses = 0;
+    for (int i = 60; i < 160; ++i) {
+        bool predicted;
+        ppm.predictAndUpdate(period[i % 3] == '1', predicted);
+        if (predicted != (period[i % 3] == '1'))
+            ++misses;
+    }
+    EXPECT_EQ(misses, 0);
+}
+
+TEST(PpmCond, UpdateExclusionSkipsLowerOrders)
+{
+    PpmCond ppm(2);
+    train(ppm, "1101");
+    // Make a prediction (decided at some order p), then update;
+    // orders below p must not have gained counts for this step.
+    bool out;
+    ASSERT_TRUE(ppm.predict(out));
+    const int decider = ppm.lastOrder();
+    const std::uint64_t before0 = ppm.counts(0, 0).total();
+    ppm.update(true);
+    const std::uint64_t after0 = ppm.counts(0, 0).total();
+    if (decider > 0)
+        EXPECT_EQ(after0, before0); // order 0 excluded
+    else
+        EXPECT_EQ(after0, before0 + 1);
+}
+
+TEST(PpmCond, TieBreaksTaken)
+{
+    PpmCond ppm(1);
+    // State 0 followed once by 1 and once by 0: tie.
+    train(ppm, "0100");
+    // History now ...0, state 0 at order 1: counts one=1 (0->1),
+    // zero=1 (0->0).
+    ASSERT_EQ(ppm.counts(1, 0b0).one, 1u);
+    ASSERT_EQ(ppm.counts(1, 0b0).zero, 1u);
+    bool out = false;
+    ASSERT_TRUE(ppm.predict(out));
+    EXPECT_EQ(ppm.lastOrder(), 1);
+    EXPECT_TRUE(out);
+}
+
+TEST(PpmCond, ResetForgets)
+{
+    PpmCond ppm(3);
+    train(ppm, "010101");
+    ppm.reset();
+    bool out;
+    EXPECT_FALSE(ppm.predict(out));
+    EXPECT_EQ(ppm.states(3), 0u);
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the complete PPM predictor variants (paper Figure 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ppm_predictor.hh"
+
+namespace {
+
+using namespace ibp::core;
+using ibp::pred::Prediction;
+using ibp::trace::BranchKind;
+using ibp::trace::BranchRecord;
+
+BranchRecord
+mtJmp(ibp::trace::Addr pc, ibp::trace::Addr target)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.kind = BranchKind::IndirectJmp;
+    r.multiTarget = true;
+    return r;
+}
+
+BranchRecord
+cond(ibp::trace::Addr pc, ibp::trace::Addr target, bool taken)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.kind = BranchKind::CondDirect;
+    r.taken = taken;
+    return r;
+}
+
+PpmPredictorConfig
+smallConfig(PpmVariant variant)
+{
+    PpmPredictorConfig config = paperPpmConfig(variant);
+    config.ppm.hash.order = 4;
+    return config;
+}
+
+TEST(PpmPredictor, NamesFollowVariant)
+{
+    EXPECT_EQ(PpmPredictor(smallConfig(PpmVariant::Hybrid)).name(),
+              "PPM-hyb");
+    EXPECT_EQ(PpmPredictor(smallConfig(PpmVariant::PibOnly)).name(),
+              "PPM-PIB");
+    EXPECT_EQ(
+        PpmPredictor(smallConfig(PpmVariant::HybridBiased)).name(),
+        "PPM-hyb-biased");
+}
+
+TEST(PpmPredictor, ColdMissThenLearn)
+{
+    PpmPredictor ppm(smallConfig(PpmVariant::Hybrid));
+    const ibp::trace::Addr pc = 0x120000040;
+    EXPECT_FALSE(ppm.predict(pc).valid);
+    ppm.update(pc, 0x120002000);
+    ppm.observe(mtJmp(pc, 0x120002000));
+    // Different history now, but repeating the loop converges.
+    int late_misses = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Prediction p = ppm.predict(pc);
+        if (i > 50 && p.target != 0x120002000u)
+            ++late_misses;
+        ppm.update(pc, 0x120002000);
+        ppm.observe(mtJmp(pc, 0x120002000));
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(PpmPredictor, LearnsPibCorrelatedPattern)
+{
+    // Target = f(previous indirect target): PIB order 1.
+    PpmPredictor ppm(smallConfig(PpmVariant::PibOnly));
+    const ibp::trace::Addr pc = 0x120000040;
+    const ibp::trace::Addr markers[2] = {0x120001004, 0x120001148};
+    const ibp::trace::Addr targets[2] = {0x120002000, 0x120003000};
+    int late_misses = 0;
+    int state = 7;
+    for (int i = 0; i < 4000; ++i) {
+        state = state * 1103515245 + 12345;
+        const int phase = (state >> 16) & 1;
+        ppm.observe(mtJmp(0x120000900, markers[phase]));
+        const Prediction p = ppm.predict(pc);
+        if (i > 3000 && p.target != targets[phase])
+            ++late_misses;
+        ppm.update(pc, targets[phase]);
+        ppm.observe(mtJmp(pc, targets[phase]));
+    }
+    EXPECT_LT(late_misses, 30);
+}
+
+TEST(PpmPredictor, HybridLearnsPbCorrelatedPattern)
+{
+    // Target determined by the direction of a preceding conditional:
+    // invisible to the PIB register, learnable through PB.  The
+    // hybrid's selection counter must discover that.
+    PpmPredictor hyb(smallConfig(PpmVariant::Hybrid));
+    PpmPredictor pib(smallConfig(PpmVariant::PibOnly));
+    const ibp::trace::Addr pc = 0x120000040;
+    const ibp::trace::Addr targets[2] = {0x120002000, 0x120003000};
+    int hyb_late = 0;
+    int pib_late = 0;
+    int state = 3;
+    for (int i = 0; i < 6000; ++i) {
+        state = state * 1103515245 + 12345;
+        const int phase = (state >> 16) & 1;
+        const auto c = cond(0x120000900, 0x120000a00, phase == 1);
+        hyb.observe(c);
+        pib.observe(c);
+        const Prediction ph = hyb.predict(pc);
+        const Prediction pp = pib.predict(pc);
+        if (i > 5000) {
+            hyb_late += ph.target != targets[phase];
+            pib_late += pp.target != targets[phase];
+        }
+        hyb.update(pc, targets[phase]);
+        pib.update(pc, targets[phase]);
+        const auto r = mtJmp(pc, targets[phase]);
+        hyb.observe(r);
+        pib.observe(r);
+    }
+    // PIB-only sees only the branch's own (independently random)
+    // target stream -> ~50% misses over the 1000 scored iterations.
+    EXPECT_GT(pib_late, 350);
+    // The hybrid switches this branch to PB history; collisions in
+    // the small tagless tables cost something, but it must beat the
+    // PIB-only variant decisively.
+    EXPECT_LT(hyb_late, 300);
+    EXPECT_LT(hyb_late * 2, pib_late);
+    EXPECT_LT(hyb.pibSelectRatio(), 0.6);
+}
+
+TEST(PpmPredictor, PibOnlyIgnoresBiu)
+{
+    PpmPredictor ppm(smallConfig(PpmVariant::PibOnly));
+    ppm.predict(0x1000);
+    ppm.update(0x1000, 0x2000);
+    // No BIU entries were allocated for the 1-level predictor.
+    EXPECT_EQ(ppm.biu().capacity(), 0u);
+}
+
+TEST(PpmPredictor, HybridAllocatesBiuEntries)
+{
+    PpmPredictor ppm(smallConfig(PpmVariant::Hybrid));
+    ppm.predict(0x1000);
+    ppm.update(0x1000, 0x2000);
+    ppm.predict(0x2000);
+    ppm.update(0x2000, 0x3000);
+    EXPECT_EQ(ppm.biu().capacity(), 2u);
+}
+
+TEST(PpmPredictor, StorageBitsHybridVsPib)
+{
+    PpmPredictor hyb(smallConfig(PpmVariant::Hybrid));
+    PpmPredictor pib(smallConfig(PpmVariant::PibOnly));
+    // Hybrid carries two PHRs + BIU counters; PIB-only carries one.
+    EXPECT_GT(hyb.storageBits(), pib.storageBits());
+}
+
+TEST(PpmPredictor, PaperConfigBudget)
+{
+    const PpmPredictorConfig config =
+        paperPpmConfig(PpmVariant::Hybrid);
+    PpmPredictor ppm(config);
+    // 2046 Markov entries x 67 bits + 2 x 100-bit PHRs.
+    EXPECT_EQ(ppm.storageBits(), 2046u * 67u + 200u);
+}
+
+TEST(PpmPredictor, ResetForgets)
+{
+    PpmPredictor ppm(smallConfig(PpmVariant::Hybrid));
+    ppm.predict(0x1000);
+    ppm.update(0x1000, 0x2000);
+    ppm.observe(mtJmp(0x1000, 0x2000));
+    ppm.reset();
+    EXPECT_FALSE(ppm.predict(0x1000).valid);
+    EXPECT_EQ(ppm.biu().capacity(), 1u); // just the re-probe above
+    EXPECT_EQ(ppm.core().accessHistogram().total(), 1u);
+}
+
+TEST(PpmPredictor, BiasedVariantUsesBiasedMachine)
+{
+    // Drive a branch into a PB state, then mispredict once: the
+    // biased variant must be back on PIB, the normal hybrid not.
+    PpmPredictorConfig config = smallConfig(PpmVariant::HybridBiased);
+    PpmPredictor biased(config);
+    PpmPredictor normal(smallConfig(PpmVariant::Hybrid));
+
+    auto drive = [](PpmPredictor &p) {
+        const ibp::trace::Addr pc = 0x120000040;
+        // Two mispredictions: strongly PIB -> weakly PB (both modes).
+        p.predict(pc);
+        p.update(pc, 0x120002000);
+        p.predict(pc);
+        p.update(pc, 0x120007000);
+        p.predict(pc);
+        p.update(pc, 0x120008000);
+        // One more misprediction from the PB side.
+        p.predict(pc);
+        p.update(pc, 0x120009000);
+        return p.pibSelectRatio();
+    };
+    // Just exercise both; detailed state transitions are covered by
+    // the correlation tests.  The biased run must select PIB at least
+    // as often as the normal run.
+    EXPECT_GE(drive(biased), drive(normal));
+}
+
+} // namespace

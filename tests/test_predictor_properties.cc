@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cross-predictor property suite: behavioural invariants every
+ * registered predictor must satisfy, driven through the factory so a
+ * newly added predictor is covered automatically once it is
+ * registered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/factory.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using namespace ibp::sim;
+
+const std::vector<std::string> &
+allPredictors()
+{
+    static const std::vector<std::string> names = {
+        "BTB", "BTB2b", "GAp", "TC-PIB", "TC-PB", "TC-IND", "Dpath",
+        "Cascade", "Cascade-strict", "PPM-hyb", "PPM-PIB",
+        "PPM-hyb-biased", "PPM-tagged", "PPM-gshare", "PPM-low",
+        "PPM-inclusive", "PPM-confidence", "PPM-vote2", "PPM-vote4",
+        "Filtered-PPM", "Oracle-PIB@4",
+    };
+    return names;
+}
+
+const ibp::trace::TraceBuffer &
+sharedTrace()
+{
+    static const ibp::trace::TraceBuffer trace = [] {
+        auto profile = ibp::workload::smokeProfile();
+        profile.records = 30000;
+        return generateTrace(profile);
+    }();
+    return trace;
+}
+
+class PredictorPropertyTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PredictorPropertyTest, ColdStartAbstains)
+{
+    auto predictor = makePredictor(GetParam());
+    EXPECT_FALSE(predictor->predict(0x120000040).valid);
+}
+
+TEST_P(PredictorPropertyTest, NameRoundTripsThroughFactory)
+{
+    auto predictor = makePredictor(GetParam());
+    EXPECT_EQ(predictor->name(), GetParam());
+    EXPECT_TRUE(knownPredictor(GetParam()));
+}
+
+TEST_P(PredictorPropertyTest, DeterministicAcrossIdenticalRuns)
+{
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    Engine engine;
+
+    auto first = makePredictor(GetParam());
+    trace.rewind();
+    const RunMetrics a = engine.run(trace, *first);
+
+    auto second = makePredictor(GetParam());
+    trace.rewind();
+    const RunMetrics b = engine.run(trace, *second);
+
+    EXPECT_EQ(a.indirectMisses.events(), b.indirectMisses.events());
+    EXPECT_EQ(a.indirectMisses.total(), b.indirectMisses.total());
+}
+
+TEST_P(PredictorPropertyTest, ResetRestoresColdBehaviour)
+{
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    Engine engine;
+
+    auto fresh = makePredictor(GetParam());
+    trace.rewind();
+    const RunMetrics cold = engine.run(trace, *fresh);
+
+    auto reused = makePredictor(GetParam());
+    trace.rewind();
+    engine.run(trace, *reused);
+    reused->reset();
+    trace.rewind();
+    const RunMetrics after_reset = engine.run(trace, *reused);
+
+    EXPECT_EQ(after_reset.indirectMisses.events(),
+              cold.indirectMisses.events());
+}
+
+TEST_P(PredictorPropertyTest, MissesNeverExceedPredictions)
+{
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    auto predictor = makePredictor(GetParam());
+    Engine engine;
+    trace.rewind();
+    const RunMetrics metrics = engine.run(trace, *predictor);
+    EXPECT_LE(metrics.indirectMisses.events(),
+              metrics.indirectMisses.total());
+    EXPECT_LE(metrics.noPrediction.events(),
+              metrics.indirectMisses.total());
+    // Abstentions are a subset of the misses.
+    EXPECT_LE(metrics.noPrediction.events(),
+              metrics.indirectMisses.events());
+    EXPECT_EQ(metrics.indirectMisses.total(), metrics.mtIndirect);
+}
+
+TEST_P(PredictorPropertyTest, BeatsAbstainingOnCorrelatedWork)
+{
+    // Every real predictor must end well under 100% on the smoke
+    // trace (i.e. it learns *something*).
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    auto predictor = makePredictor(GetParam());
+    Engine engine;
+    trace.rewind();
+    const RunMetrics metrics = engine.run(trace, *predictor);
+    EXPECT_LT(metrics.missPercent(), 60.0);
+}
+
+TEST_P(PredictorPropertyTest, ReportsAPositiveBudget)
+{
+    auto predictor = makePredictor(GetParam());
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    Engine engine;
+    trace.rewind();
+    engine.run(trace, *predictor);
+    EXPECT_GT(predictor->storageBits(), 0u);
+}
+
+TEST_P(PredictorPropertyTest, SurvivesDegenerateInputs)
+{
+    // A hostile mini-stream: same pc, wild targets, interleaved
+    // non-indirect records.  Nothing should trip an assertion.
+    auto predictor = makePredictor(GetParam());
+    ibp::trace::BranchRecord r;
+    for (int i = 0; i < 2000; ++i) {
+        r.pc = 0x120000040;
+        r.target = 0x120000000 + (i * 2654435761u % (1 << 24));
+        r.kind = i % 3 == 0 ? ibp::trace::BranchKind::CondDirect
+                            : ibp::trace::BranchKind::IndirectJmp;
+        r.multiTarget = r.kind == ibp::trace::BranchKind::IndirectJmp;
+        r.taken = i % 2;
+        if (r.multiTarget) {
+            r.taken = true;
+            predictor->predict(r.pc);
+            predictor->update(r.pc, r.target);
+        }
+        predictor->observe(r);
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredictors, PredictorPropertyTest,
+    ::testing::ValuesIn(allPredictors()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the standard benchmark suite definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/trace_stats.hh"
+#include "workload/profiles.hh"
+#include "workload/program.hh"
+
+namespace {
+
+using namespace ibp::workload;
+
+TEST(Profiles, SuiteHasFifteenRuns)
+{
+    const auto suite = standardSuite();
+    EXPECT_EQ(suite.size(), 15u);
+}
+
+TEST(Profiles, NamesAreUniqueAndWellFormed)
+{
+    const auto suite = standardSuite();
+    std::set<std::string> names;
+    for (const auto &profile : suite) {
+        EXPECT_FALSE(profile.benchmark.empty());
+        EXPECT_TRUE(names.insert(profile.fullName()).second)
+            << "duplicate " << profile.fullName();
+    }
+}
+
+TEST(Profiles, CoversThePaperBenchmarks)
+{
+    const auto suite = standardSuite();
+    for (const char *name :
+         {"perl", "gcc", "edg.exp", "edg.inp", "edg.pic", "eon", "eqn",
+          "gs.pb", "gs.tig", "ixx.lay", "ixx.wid", "photon",
+          "troff.lle", "troff.gcc", "troff.ped"}) {
+        EXPECT_NE(findProfile(suite, name), nullptr) << name;
+    }
+}
+
+TEST(Profiles, FindProfileMissReturnsNull)
+{
+    const auto suite = standardSuite();
+    EXPECT_EQ(findProfile(suite, "doom"), nullptr);
+}
+
+TEST(Profiles, EveryProfileSynthesizes)
+{
+    for (const auto &profile : standardSuite()) {
+        Program program = synthesize(profile.program);
+        EXPECT_GT(program.blockCount(), 0u) << profile.fullName();
+        EXPECT_GT(profile.records, 100000u) << profile.fullName();
+        EXPECT_GT(profile.instructionsPerBranch, 1.0);
+    }
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &profile : standardSuite())
+        EXPECT_TRUE(seeds.insert(profile.program.seed).second)
+            << profile.fullName();
+}
+
+TEST(Profiles, TracesHaveReasonableMtIndirectShare)
+{
+    // Every profile must exercise MT indirect branches heavily enough
+    // for the misprediction ratios to be meaningful, without drowning
+    // out the conditional stream PB correlation relies on.
+    for (const auto &profile : standardSuite()) {
+        Program program = synthesize(profile.program);
+        auto trace = program.collect(60000);
+        const auto stats = ibp::trace::characterize(trace);
+        const double share = static_cast<double>(stats.mtIndirect) /
+                             static_cast<double>(stats.totalBranches);
+        EXPECT_GT(share, 0.05) << profile.fullName();
+        EXPECT_LT(share, 0.60) << profile.fullName();
+    }
+}
+
+TEST(Profiles, MonomorphicHeavyProfilesLookThePart)
+{
+    const auto suite = standardSuite();
+    const auto *eqn = findProfile(suite, "eqn");
+    ASSERT_NE(eqn, nullptr);
+
+    // eqn is built monomorphic/low-entropy heavy (the Cascade-filter
+    // story): well over half of its static MT sites are monomorphic.
+    Program program = synthesize(eqn->program);
+    auto trace = program.collect(150000);
+    const auto stats = ibp::trace::characterize(trace);
+    EXPECT_GT(stats.monomorphicSiteFraction(0.95), 0.55);
+}
+
+TEST(Profiles, SmokeProfileIsSmallAndValid)
+{
+    const auto smoke = smokeProfile();
+    EXPECT_LT(smoke.records, 100000u);
+    Program program = synthesize(smoke.program);
+    auto trace = program.collect(smoke.records);
+    EXPECT_EQ(trace.size(), smoke.records);
+}
+
+} // namespace

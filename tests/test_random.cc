@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the deterministic RNG the workload substrate relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hh"
+
+namespace {
+
+using ibp::util::Rng;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(a());
+    a.reseed(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsZero)
+{
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversTheRange)
+{
+    Rng rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.below(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 300); // ~500 expected per bucket
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(6);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(8);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(11);
+    std::vector<int> seen(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++seen[rng.weighted({1.0, 2.0, 7.0})];
+    EXPECT_NEAR(seen[0] / 30000.0, 0.1, 0.02);
+    EXPECT_NEAR(seen[1] / 30000.0, 0.2, 0.02);
+    EXPECT_NEAR(seen[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(Rng, WeightedZeroWeightNeverPicked)
+{
+    Rng rng(12);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_NE(rng.weighted({1.0, 0.0, 1.0}), 1u);
+}
+
+TEST(SplitMix64, KnownNonZeroAndDistinct)
+{
+    std::uint64_t s = 0;
+    const auto a = ibp::util::splitMix64(s);
+    const auto b = ibp::util::splitMix64(s);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, b);
+}
+
+} // namespace

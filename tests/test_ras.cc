@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the return-address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "predictors/ras.hh"
+
+namespace {
+
+using ibp::pred::ReturnAddressStack;
+using ibp::trace::Addr;
+
+TEST(Ras, EmptyPopFails)
+{
+    ReturnAddressStack ras(4);
+    Addr out = 0;
+    EXPECT_TRUE(ras.empty());
+    EXPECT_FALSE(ras.pop(out));
+}
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    Addr out = 0;
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 0x300u);
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 0x200u);
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 0x100u);
+    EXPECT_FALSE(ras.pop(out));
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300); // overwrites the oldest (0x100)
+    EXPECT_EQ(ras.size(), 2u);
+    Addr out = 0;
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 0x300u);
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 0x200u);
+    EXPECT_FALSE(ras.pop(out));
+}
+
+TEST(Ras, InterleavedPushPop)
+{
+    ReturnAddressStack ras(8);
+    Addr out = 0;
+    ras.push(1);
+    ras.push(2);
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 2u);
+    ras.push(3);
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 3u);
+    ASSERT_TRUE(ras.pop(out));
+    EXPECT_EQ(out, 1u);
+}
+
+TEST(Ras, SizeSaturatesAtDepth)
+{
+    ReturnAddressStack ras(3);
+    for (int i = 0; i < 10; ++i)
+        ras.push(i);
+    EXPECT_EQ(ras.size(), 3u);
+    EXPECT_EQ(ras.depth(), 3u);
+}
+
+TEST(Ras, PerfectOnBalancedCallsAtDepthLimit)
+{
+    ReturnAddressStack ras(16);
+    // A call tree of depth exactly 16: all returns predicted right.
+    std::vector<Addr> model;
+    for (Addr d = 0; d < 16; ++d) {
+        ras.push(0x1000 + d * 4);
+        model.push_back(0x1000 + d * 4);
+    }
+    while (!model.empty()) {
+        Addr out = 0;
+        ASSERT_TRUE(ras.pop(out));
+        EXPECT_EQ(out, model.back());
+        model.pop_back();
+    }
+}
+
+TEST(Ras, StorageBits)
+{
+    ReturnAddressStack ras(16);
+    EXPECT_EQ(ras.storageBits(), 16u * 64u);
+}
+
+TEST(Ras, ResetEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x100);
+    ras.reset();
+    Addr out = 0;
+    EXPECT_FALSE(ras.pop(out));
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the N-bit up/down saturating counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace {
+
+using ibp::util::SatCounter;
+
+TEST(SatCounter, DefaultIsTwoBitZero)
+{
+    SatCounter c;
+    EXPECT_EQ(c.bits(), 2u);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.max(), 3u);
+    EXPECT_TRUE(c.saturatedLow());
+    EXPECT_FALSE(c.high());
+}
+
+TEST(SatCounter, IncrementSaturates)
+{
+    SatCounter c(2, 2);
+    EXPECT_TRUE(c.increment());
+    EXPECT_EQ(c.value(), 3u);
+    EXPECT_TRUE(c.saturatedHigh());
+    EXPECT_FALSE(c.increment());
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, DecrementSaturates)
+{
+    SatCounter c(2, 1);
+    EXPECT_TRUE(c.decrement());
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.decrement());
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, HighHalf)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.high()); // 0
+    c.increment();
+    EXPECT_FALSE(c.high()); // 1
+    c.increment();
+    EXPECT_TRUE(c.high()); // 2
+    c.increment();
+    EXPECT_TRUE(c.high()); // 3
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter c(2, 99);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(3);
+    c.set(100);
+    EXPECT_EQ(c.value(), 7u);
+    c.set(5);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, Equality)
+{
+    EXPECT_EQ(SatCounter(2, 1), SatCounter(2, 1));
+    EXPECT_NE(SatCounter(2, 1), SatCounter(2, 2));
+}
+
+/** Property sweep over widths: invariants of a random walk. */
+class SatCounterWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidthTest, RandomWalkStaysInRange)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits);
+    const unsigned top = (1u << bits) - 1;
+    EXPECT_EQ(c.max(), top);
+    std::uint64_t state = bits * 977;
+    for (int i = 0; i < 2000; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        if (state >> 63)
+            c.increment();
+        else
+            c.decrement();
+        EXPECT_LE(c.value(), top);
+        EXPECT_EQ(c.high(), c.value() > top / 2);
+    }
+}
+
+TEST_P(SatCounterWidthTest, FullRampUpAndDown)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits);
+    const unsigned top = (1u << bits) - 1;
+    for (unsigned i = 0; i < top; ++i)
+        EXPECT_TRUE(c.increment());
+    EXPECT_TRUE(c.saturatedHigh());
+    for (unsigned i = 0; i < top; ++i)
+        EXPECT_TRUE(c.decrement());
+    EXPECT_TRUE(c.saturatedLow());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+} // namespace

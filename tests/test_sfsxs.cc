@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the Select-Fold-Shift-XOR-Select hash (paper Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/sfsxs.hh"
+#include "util/bitops.hh"
+
+namespace {
+
+using namespace ibp::core;
+using ibp::pred::StreamSel;
+using ibp::pred::SymbolHistory;
+using ibp::trace::BranchKind;
+using ibp::trace::BranchRecord;
+
+SymbolHistory
+historyOf(const std::vector<std::uint32_t> &symbols_msb_last,
+          unsigned length, unsigned bits)
+{
+    // Feed targets so that the last pushed symbol is most recent.
+    SymbolHistory phr(length, bits, StreamSel::MtIndirect);
+    for (auto sym : symbols_msb_last) {
+        BranchRecord r;
+        r.kind = BranchKind::IndirectJmp;
+        r.multiTarget = true;
+        r.target = static_cast<std::uint64_t>(sym) << 2; // undo >>2
+        r.taken = true;
+        phr.observe(r);
+    }
+    return phr;
+}
+
+TEST(Sfsxs, WordWidth)
+{
+    Sfsxs hash(SfsxsConfig{10, 10, 5, true, false});
+    EXPECT_EQ(hash.wordBits(), 14u); // 5 + 10 - 1
+}
+
+TEST(Sfsxs, WorkedExampleOrder3)
+{
+    // Order 3, select 10, fold 5.  Hand-computed:
+    //   sym0 (most recent) = 0b1100111010 -> fold 0b11001^0b11010=0b00011
+    //   sym1               = 0b0000000001 -> fold 0b00001
+    //   sym2               = 0b1111100000 -> fold 0b11111^0b00000=0b11111
+    //   word = (0b00011<<2) ^ (0b00001<<1) ^ 0b11111
+    //        = 0b0001100 ^ 0b0000010 ^ 0b0011111 = 0b0010001
+    Sfsxs hash(SfsxsConfig{3, 10, 5, true, false});
+    const auto phr = historyOf({0b1111100000, 0b0000000001,
+                                0b1100111010}, 3, 10);
+    ASSERT_EQ(phr.symbol(0), 0b1100111010u);
+    const std::uint64_t word = hash.hashWord(phr, 0);
+    EXPECT_EQ(word, 0b0010001u);
+    // High-order select: order-3 index = top 3 of 7 bits.
+    EXPECT_EQ(hash.index(word, 3), 0b001u);
+    EXPECT_EQ(hash.index(word, 1), 0b0u);
+    EXPECT_EQ(hash.index(word, 2), 0b00u);
+}
+
+TEST(Sfsxs, LowOrderSelectVariant)
+{
+    Sfsxs hash(SfsxsConfig{3, 10, 5, false, false});
+    const auto phr = historyOf({0b1111100000, 0b0000000001,
+                                0b1100111010}, 3, 10);
+    const std::uint64_t word = hash.hashWord(phr, 0);
+    EXPECT_EQ(hash.index(word, 3), word & 0x7u);
+}
+
+TEST(Sfsxs, IndexInRange)
+{
+    Sfsxs hash(SfsxsConfig{10, 10, 5, true, false});
+    SymbolHistory phr(10, 10, StreamSel::MtIndirect);
+    for (int i = 0; i < 50; ++i) {
+        BranchRecord r;
+        r.kind = BranchKind::IndirectJmp;
+        r.multiTarget = true;
+        r.target = 0x120000000 + 4 * (i * 37 % 1021);
+        phr.observe(r);
+        const std::uint64_t word = hash.hashWord(phr, 0);
+        for (unsigned j = 1; j <= 10; ++j)
+            EXPECT_LT(hash.index(word, j), 1ull << j);
+    }
+}
+
+TEST(Sfsxs, MostRecentTargetDominatesHighOrders)
+{
+    // Changing only the most recent target must change the top-order
+    // index (it owns the largest shift).
+    Sfsxs hash(SfsxsConfig{10, 10, 5, true, false});
+    // Note: the two most-recent symbols must differ *after* folding
+    // (e.g. 0b1010101010 and 0b0101010101 both fold to 0b11111).
+    auto a = historyOf({1, 2, 3, 4, 5, 6, 7, 8, 9, 0b1010101010}, 10,
+                       10);
+    auto b = historyOf({1, 2, 3, 4, 5, 6, 7, 8, 9, 0b0000000011}, 10,
+                       10);
+    EXPECT_NE(hash.hashWord(a, 0), hash.hashWord(b, 0));
+}
+
+TEST(Sfsxs, PcMixingChangesWord)
+{
+    Sfsxs plain(SfsxsConfig{10, 10, 5, true, false});
+    Sfsxs mixed(SfsxsConfig{10, 10, 5, true, true});
+    const auto phr = historyOf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 10, 10);
+    // Without pc mixing, the pc argument is ignored.
+    EXPECT_EQ(plain.hashWord(phr, 0x120000040),
+              plain.hashWord(phr, 0x120009999));
+    // With mixing, two different branches get different words.
+    EXPECT_NE(mixed.hashWord(phr, 0x120000040),
+              mixed.hashWord(phr, 0x120000964));
+}
+
+TEST(Sfsxs, ZeroHistoryHashesToZeroWithoutPc)
+{
+    Sfsxs hash(SfsxsConfig{10, 10, 5, true, false});
+    SymbolHistory phr(10, 10, StreamSel::MtIndirect);
+    EXPECT_EQ(hash.hashWord(phr, 0x120000040), 0u);
+}
+
+TEST(Sfsxs, DistributesAcrossTableForRandomPaths)
+{
+    // Sanity: the order-10 index should spread over its 1024-entry
+    // space for varied paths (not collapse onto a few slots).
+    Sfsxs hash(SfsxsConfig{10, 10, 5, true, false});
+    SymbolHistory phr(10, 10, StreamSel::MtIndirect);
+    std::set<std::uint64_t> indices;
+    std::uint64_t lcg = 1;
+    for (int i = 0; i < 2000; ++i) {
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        BranchRecord r;
+        r.kind = BranchKind::IndirectJmp;
+        r.multiTarget = true;
+        r.target = 0x120000000 + (lcg % 4096) * 4;
+        phr.observe(r);
+        indices.insert(hash.index(hash.hashWord(phr, 0), 10));
+    }
+    EXPECT_GT(indices.size(), 500u);
+}
+
+} // namespace

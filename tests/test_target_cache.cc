@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Target Cache predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/target_cache.hh"
+
+namespace {
+
+using namespace ibp::pred;
+using ibp::trace::BranchKind;
+using ibp::trace::BranchRecord;
+
+BranchRecord
+mtJmp(ibp::trace::Addr pc, ibp::trace::Addr target)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.kind = BranchKind::IndirectJmp;
+    r.multiTarget = true;
+    return r;
+}
+
+TargetCacheConfig
+smallConfig(StreamSel stream = StreamSel::MtIndirect)
+{
+    TargetCacheConfig config;
+    config.entries = 128;
+    config.historyBits = 11;
+    config.bitsPerTarget = 2;
+    config.stream = stream;
+    return config;
+}
+
+TEST(TargetCache, ColdMiss)
+{
+    TargetCache tc(smallConfig());
+    EXPECT_FALSE(tc.predict(0x1000).valid);
+}
+
+TEST(TargetCache, NameReflectsStream)
+{
+    EXPECT_EQ(TargetCache(smallConfig()).name(), "TC-PIB");
+    EXPECT_EQ(TargetCache(smallConfig(StreamSel::AllBranches)).name(),
+              "TC-PB");
+    EXPECT_EQ(TargetCache(smallConfig(), "custom").name(), "custom");
+}
+
+TEST(TargetCache, ImmediateReplacement)
+{
+    TargetCache tc(smallConfig());
+    tc.predict(0x1000);
+    tc.update(0x1000, 0x2000);
+    EXPECT_EQ(tc.predict(0x1000).target, 0x2000u);
+    tc.predict(0x1000);
+    tc.update(0x1000, 0x3000);
+    EXPECT_EQ(tc.predict(0x1000).target, 0x3000u);
+}
+
+TEST(TargetCache, SeparatesContextsByHistory)
+{
+    TargetCache tc(smallConfig());
+    const ibp::trace::Addr pc = 0x120000040;
+    auto run = [&](ibp::trace::Addr context, ibp::trace::Addr target) {
+        tc.observe(mtJmp(0x120000900, context));
+        const Prediction p = tc.predict(pc);
+        tc.update(pc, target);
+        tc.observe(mtJmp(pc, target));
+        return p;
+    };
+    for (int i = 0; i < 20; ++i) {
+        run(0x120001004, 0x120002000);
+        run(0x120001148, 0x120003000);
+    }
+    EXPECT_EQ(run(0x120001004, 0x120002000).target, 0x120002000u);
+    EXPECT_EQ(run(0x120001148, 0x120003000).target, 0x120003000u);
+}
+
+TEST(TargetCache, PcDisambiguatesBranchesWithSameHistory)
+{
+    // gshare XORs the pc in, so two branches with identical history
+    // normally land in different entries — the property the paper's
+    // perl analysis credits for TC beating the pc-less PPM hash there.
+    TargetCache tc(smallConfig());
+    const ibp::trace::Addr pc_a = 0x120000040;
+    const ibp::trace::Addr pc_b = 0x120000044;
+    tc.predict(pc_a);
+    tc.update(pc_a, 0x120002000);
+    tc.predict(pc_b);
+    tc.update(pc_b, 0x120003000);
+    EXPECT_EQ(tc.predict(pc_a).target, 0x120002000u);
+    EXPECT_EQ(tc.predict(pc_b).target, 0x120003000u);
+}
+
+TEST(TargetCache, PbStreamObservesConditionals)
+{
+    TargetCache tc(smallConfig(StreamSel::AllBranches));
+    BranchRecord cond;
+    cond.kind = BranchKind::CondDirect;
+    cond.pc = 0x120000100;
+    cond.target = 0x120000204; // symbol bits above alignment nonzero
+    cond.taken = true;
+    tc.observe(cond);
+    EXPECT_NE(tc.history().value(), 0u);
+
+    TargetCache pib(smallConfig(StreamSel::MtIndirect));
+    pib.observe(cond);
+    EXPECT_EQ(pib.history().value(), 0u);
+}
+
+TEST(TargetCache, StorageBits)
+{
+    TargetCache tc(smallConfig());
+    EXPECT_EQ(tc.storageBits(), 128u * 65u + 11u);
+}
+
+TEST(TargetCache, PaperConfigStorage)
+{
+    TargetCacheConfig config; // paper's 2K TC-PIB
+    TargetCache tc(config);
+    EXPECT_EQ(tc.storageBits(), 2048u * 65u + 11u);
+}
+
+TEST(TargetCache, ResetForgets)
+{
+    TargetCache tc(smallConfig());
+    tc.observe(mtJmp(0x1000, 0x120000004));
+    tc.predict(0x1000);
+    tc.update(0x1000, 0x2000);
+    tc.reset();
+    EXPECT_EQ(tc.history().value(), 0u);
+    EXPECT_FALSE(tc.predict(0x1000).valid);
+}
+
+} // namespace

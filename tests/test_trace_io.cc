@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Round-trip and robustness tests for the binary and text trace
+ * codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_io.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ibp::trace;
+
+BranchRecord
+randomRecord(ibp::util::Rng &rng)
+{
+    BranchRecord r;
+    r.pc = 0x120000000ULL + rng.below(1 << 22) * 4;
+    r.target = 0x120000000ULL + rng.below(1 << 22) * 4;
+    r.kind = static_cast<BranchKind>(rng.below(5));
+    r.taken = r.kind == BranchKind::CondDirect ? rng.chance(0.5) : true;
+    r.multiTarget = (r.kind == BranchKind::IndirectJmp ||
+                     r.kind == BranchKind::IndirectCall) &&
+                    rng.chance(0.7);
+    r.call = r.kind == BranchKind::IndirectCall ||
+             (r.kind == BranchKind::UncondDirect && rng.chance(0.3));
+    return r;
+}
+
+TEST(Varint, RoundTripKnownValues)
+{
+    for (std::uint64_t v :
+         {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+          0xffffffffULL, ~0ULL}) {
+        std::stringstream ss;
+        writeVarint(ss, v);
+        std::uint64_t out = 0;
+        ASSERT_TRUE(readVarint(ss, out));
+        EXPECT_EQ(out, v);
+    }
+}
+
+TEST(Varint, SizeIsMinimal)
+{
+    std::stringstream ss;
+    EXPECT_EQ(writeVarint(ss, 0), 1u);
+    EXPECT_EQ(writeVarint(ss, 127), 1u);
+    EXPECT_EQ(writeVarint(ss, 128), 2u);
+    EXPECT_EQ(writeVarint(ss, ~0ULL), 10u);
+}
+
+TEST(Varint, CleanEofReturnsFalse)
+{
+    std::stringstream ss;
+    std::uint64_t out = 0;
+    EXPECT_FALSE(readVarint(ss, out));
+}
+
+TEST(ZigZag, RoundTrip)
+{
+    for (std::int64_t v :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+          std::int64_t{2}, std::int64_t{-2}, std::int64_t{1000000},
+          std::int64_t{-1000000}, INT64_MAX, INT64_MIN}) {
+        EXPECT_EQ(zigZagDecode(zigZagEncode(v)), v);
+    }
+}
+
+TEST(ZigZag, SmallMagnitudesStaySmall)
+{
+    EXPECT_EQ(zigZagEncode(0), 0u);
+    EXPECT_EQ(zigZagEncode(-1), 1u);
+    EXPECT_EQ(zigZagEncode(1), 2u);
+    EXPECT_EQ(zigZagEncode(-2), 3u);
+}
+
+TEST(BinaryTrace, EmptyRoundTrip)
+{
+    std::stringstream ss;
+    {
+        TraceWriter writer(ss);
+        EXPECT_EQ(writer.count(), 0u);
+    }
+    TraceReader reader(ss);
+    BranchRecord r;
+    EXPECT_FALSE(reader.next(r));
+}
+
+TEST(BinaryTrace, RoundTripPreservesEverything)
+{
+    ibp::util::Rng rng(77);
+    std::vector<BranchRecord> records;
+    for (int i = 0; i < 5000; ++i)
+        records.push_back(randomRecord(rng));
+
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    for (const auto &r : records)
+        writer.push(r);
+    EXPECT_EQ(writer.count(), records.size());
+
+    TraceReader reader(ss);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_EQ(reader.count(), records.size());
+}
+
+TEST(BinaryTrace, CompressionBeatsNaiveEncoding)
+{
+    // Delta+varint coding of loopy address streams should be well
+    // under the naive 17 bytes per record.
+    ibp::util::Rng rng(3);
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    BranchRecord r;
+    for (int i = 0; i < 1000; ++i) {
+        r.pc = 0x120000000ULL + (i % 32) * 16;
+        r.target = r.pc + 64;
+        r.kind = BranchKind::CondDirect;
+        r.taken = rng.chance(0.5);
+        writer.push(r);
+    }
+    EXPECT_LT(ss.str().size(), 1000u * 8);
+}
+
+TEST(TextTrace, RoundTrip)
+{
+    ibp::util::Rng rng(5);
+    std::vector<BranchRecord> records;
+    for (int i = 0; i < 200; ++i)
+        records.push_back(randomRecord(rng));
+
+    std::stringstream ss;
+    TextTraceWriter writer(ss);
+    for (const auto &r : records)
+        writer.push(r);
+
+    TextTraceReader reader(ss);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST(TextTrace, SkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header comment\n"
+                         "\n"
+                         "jmp 0x1000 0x2000 T MT\n"
+                         "# trailing comment\n");
+    TextTraceReader reader(ss);
+    BranchRecord out;
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.kind, BranchKind::IndirectJmp);
+    EXPECT_EQ(out.pc, 0x1000u);
+    EXPECT_EQ(out.target, 0x2000u);
+    EXPECT_TRUE(out.multiTarget);
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST(ParseTraceLine, RejectsMalformedInput)
+{
+    BranchRecord r;
+    EXPECT_FALSE(parseTraceLine("", r));
+    EXPECT_FALSE(parseTraceLine("bogus 0x1 0x2 T", r));
+    EXPECT_FALSE(parseTraceLine("jmp 0x1 0x2 X", r));
+    EXPECT_FALSE(parseTraceLine("jmp zzz 0x2 T", r));
+    EXPECT_FALSE(parseTraceLine("jmp 0x1 0x2 T WTF", r));
+    EXPECT_FALSE(parseTraceLine("jmp 0x1 0x2", r));
+}
+
+TEST(ParseTraceLine, AcceptsAllFlags)
+{
+    BranchRecord r;
+    ASSERT_TRUE(parseTraceLine("jsr 0x10 0x20 T MT C", r));
+    EXPECT_TRUE(r.multiTarget);
+    EXPECT_TRUE(r.call);
+    ASSERT_TRUE(parseTraceLine("cond 0x10 0x20 N", r));
+    EXPECT_FALSE(r.taken);
+    EXPECT_FALSE(r.multiTarget);
+    EXPECT_FALSE(r.call);
+}
+
+TEST(Pump, CopiesEverything)
+{
+    TraceBuffer in;
+    ibp::util::Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        in.push(randomRecord(rng));
+    TraceBuffer out;
+    EXPECT_EQ(pump(in, out), 50u);
+    EXPECT_EQ(out.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(BinaryTrace, BinaryToTextToBinary)
+{
+    ibp::util::Rng rng(13);
+    TraceBuffer original;
+    for (int i = 0; i < 300; ++i)
+        original.push(randomRecord(rng));
+
+    std::stringstream bin1;
+    TraceWriter bw(bin1);
+    original.rewind();
+    pump(original, bw);
+
+    TraceReader br(bin1);
+    std::stringstream text;
+    TextTraceWriter tw(text);
+    pump(br, tw);
+
+    TextTraceReader tr(text);
+    TraceBuffer roundtrip;
+    pump(tr, roundtrip);
+
+    ASSERT_EQ(roundtrip.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(roundtrip[i], original[i]);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the Table-1-style trace characterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+
+namespace {
+
+using namespace ibp::trace;
+
+BranchRecord
+make(Addr pc, Addr target, BranchKind kind, bool mt = false,
+     bool taken = true)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.kind = kind;
+    r.multiTarget = mt;
+    r.taken = taken;
+    return r;
+}
+
+TEST(TraceStats, CountsByKind)
+{
+    TraceBuffer buf;
+    buf.push(make(0x10, 0x20, BranchKind::CondDirect));
+    buf.push(make(0x14, 0x30, BranchKind::UncondDirect));
+    buf.push(make(0x18, 0x40, BranchKind::IndirectJmp, true));
+    buf.push(make(0x1c, 0x50, BranchKind::IndirectCall, true));
+    buf.push(make(0x20, 0x60, BranchKind::IndirectCall, false));
+    buf.push(make(0x24, 0x70, BranchKind::Return));
+
+    const TraceStats stats = characterize(buf);
+    EXPECT_EQ(stats.totalBranches, 6u);
+    EXPECT_EQ(stats.condBranches, 1u);
+    EXPECT_EQ(stats.uncondDirect, 1u);
+    EXPECT_EQ(stats.indirectJmp, 1u);
+    EXPECT_EQ(stats.indirectJsr, 2u);
+    EXPECT_EQ(stats.returns, 1u);
+    EXPECT_EQ(stats.mtIndirect, 2u);
+    EXPECT_EQ(stats.stIndirect, 1u);
+}
+
+TEST(TraceStats, SiteTracking)
+{
+    TraceBuffer buf;
+    buf.push(make(0x10, 0x100, BranchKind::IndirectJmp, true));
+    buf.push(make(0x10, 0x200, BranchKind::IndirectJmp, true));
+    buf.push(make(0x10, 0x100, BranchKind::IndirectJmp, true));
+
+    const TraceStats stats = characterize(buf);
+    ASSERT_EQ(stats.sites.size(), 1u);
+    const SiteStats &site = stats.sites.at(0x10);
+    EXPECT_EQ(site.executions, 3u);
+    EXPECT_EQ(site.arity(), 2u);
+    EXPECT_GT(site.targetEntropy(), 0.9);
+    EXPECT_FALSE(site.monomorphic());
+}
+
+TEST(TraceStats, MonomorphicSiteDetection)
+{
+    TraceBuffer buf;
+    for (int i = 0; i < 200; ++i)
+        buf.push(make(0x10, 0x100, BranchKind::IndirectCall, true));
+    buf.push(make(0x10, 0x200, BranchKind::IndirectCall, true));
+
+    const TraceStats stats = characterize(buf);
+    const SiteStats &site = stats.sites.at(0x10);
+    EXPECT_TRUE(site.monomorphic(0.99));
+    EXPECT_FALSE(site.monomorphic(0.999));
+    EXPECT_EQ(stats.staticMtSites(), 1u);
+    EXPECT_DOUBLE_EQ(stats.monomorphicSiteFraction(0.99), 1.0);
+}
+
+TEST(TraceStats, StaticMtSitesExcludesStAndReturns)
+{
+    TraceBuffer buf;
+    buf.push(make(0x10, 0x100, BranchKind::IndirectJmp, true));
+    buf.push(make(0x20, 0x100, BranchKind::IndirectCall, false));
+    buf.push(make(0x30, 0x100, BranchKind::Return, true));
+    const TraceStats stats = characterize(buf);
+    EXPECT_EQ(stats.staticMtSites(), 1u);
+}
+
+TEST(TraceStats, MeanDynamicArityWeighting)
+{
+    TraceBuffer buf;
+    // Hot site: 9 executions, arity 3.
+    for (int i = 0; i < 3; ++i) {
+        buf.push(make(0x10, 0x100, BranchKind::IndirectJmp, true));
+        buf.push(make(0x10, 0x200, BranchKind::IndirectJmp, true));
+        buf.push(make(0x10, 0x300, BranchKind::IndirectJmp, true));
+    }
+    // Cold site: 1 execution, arity 1.
+    buf.push(make(0x20, 0x400, BranchKind::IndirectJmp, true));
+
+    const TraceStats stats = characterize(buf);
+    // (9*3 + 1*1) / 10 = 2.8
+    EXPECT_NEAR(stats.meanDynamicArity(), 2.8, 1e-12);
+}
+
+TEST(TraceStats, CondTargetsUseResolvedNextPc)
+{
+    TraceBuffer buf;
+    buf.push(make(0x10, 0x100, BranchKind::CondDirect, false, true));
+    buf.push(make(0x10, 0x100, BranchKind::CondDirect, false, false));
+    const TraceStats stats = characterize(buf);
+    const SiteStats &site = stats.sites.at(0x10);
+    // Taken (0x100) and fall-through (0x14) are distinct outcomes.
+    EXPECT_EQ(site.arity(), 2u);
+}
+
+TEST(TraceStats, ApproxInstructionsScales)
+{
+    TraceStats stats;
+    stats.totalBranches = 1000;
+    EXPECT_EQ(stats.approxInstructions(5.0), 5000u);
+    EXPECT_EQ(stats.approxInstructions(0.0), 0u);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    TraceBuffer buf;
+    const TraceStats stats = characterize(buf);
+    EXPECT_EQ(stats.totalBranches, 0u);
+    EXPECT_EQ(stats.staticMtSites(), 0u);
+    EXPECT_EQ(stats.monomorphicSiteFraction(), 0.0);
+    EXPECT_EQ(stats.meanDynamicArity(), 0.0);
+}
+
+} // namespace
