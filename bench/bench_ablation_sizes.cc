@@ -17,9 +17,9 @@
 int
 main(int argc, char **argv)
 {
-    const double scale = ibp::bench::traceScale(argc, argv, 0.5);
+    auto options = ibp::bench::suiteOptions(argc, argv, 0.5);
     ibp::bench::banner("Ablation: table-size sweep (0.25x..4x of 2K)",
-                       scale);
+                       options);
 
     const auto suite = ibp::workload::standardSuite();
     const double factors[] = {0.25, 0.5, 1.0, 2.0, 4.0};
@@ -32,12 +32,15 @@ main(int argc, char **argv)
         std::printf(" %9s", name.c_str());
     std::printf("   (suite-average misprediction %%)\n");
 
+    ibp::sim::SuiteTiming total;
     for (double factor : factors) {
-        ibp::sim::SuiteOptions options;
-        options.traceScale = scale;
         options.factory.sizeScale = factor;
+        ibp::sim::SuiteTiming timing;
         const auto result =
-            ibp::sim::runSuite(suite, predictors, options);
+            ibp::sim::runSuite(suite, predictors, options, &timing);
+        total.wallSeconds += timing.wallSeconds;
+        total.serialEquivalentSeconds += timing.serialEquivalentSeconds;
+        total.threadsUsed = timing.threadsUsed;
         const auto averages = result.averages();
         std::printf("%-10.2f", factor);
         for (double avg : averages)
@@ -45,6 +48,8 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
+    std::printf("\n");
+    ibp::bench::timingFooter(total);
     std::printf("\nExpected shape: every predictor improves with size;"
                 " path-indexed designs gain most below 1x (capacity-"
                 "bound), BTBs saturate early.\n");

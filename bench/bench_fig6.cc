@@ -16,9 +16,9 @@
 int
 main(int argc, char **argv)
 {
-    const double scale = ibp::bench::traceScale(argc, argv);
+    const auto options = ibp::bench::suiteOptions(argc, argv);
     ibp::bench::banner(
-        "Figure 6: misprediction ratios, 2K-entry predictors", scale);
+        "Figure 6: misprediction ratios, 2K-entry predictors", options);
 
     const auto suite = ibp::workload::standardSuite();
     const auto predictors = ibp::sim::figure6Predictors();
@@ -27,13 +27,12 @@ main(int argc, char **argv)
     ibp::sim::printBudgetTable(std::cout,
                                ibp::sim::budgetTable(predictors));
 
-    ibp::sim::SuiteOptions options;
-    options.traceScale = scale;
+    ibp::sim::SuiteTiming timing;
     const auto result =
-        ibp::sim::runSuite(suite, predictors, options);
+        ibp::sim::runSuite(suite, predictors, options, &timing);
 
     std::cout << '\n';
-    ibp::sim::printSuiteTable(std::cout, result);
+    ibp::sim::printSuiteTable(std::cout, result, &timing);
 
     std::cout << "\nPaper-stated suite averages vs measured:\n";
     const auto averages = result.averages();

@@ -21,20 +21,19 @@
 int
 main(int argc, char **argv)
 {
-    const double scale = ibp::bench::traceScale(argc, argv);
+    const auto options = ibp::bench::suiteOptions(argc, argv);
     ibp::bench::banner("Figure 7: PPM variant misprediction ratios",
-                       scale);
+                       options);
 
     const auto suite = ibp::workload::standardSuite();
     const auto predictors = ibp::sim::figure7Predictors();
 
-    ibp::sim::SuiteOptions options;
-    options.traceScale = scale;
+    ibp::sim::SuiteTiming timing;
     const auto result =
-        ibp::sim::runSuite(suite, predictors, options);
+        ibp::sim::runSuite(suite, predictors, options, &timing);
 
     std::cout << '\n';
-    ibp::sim::printSuiteTable(std::cout, result);
+    ibp::sim::printSuiteTable(std::cout, result, &timing);
 
     const auto averages = result.averages();
     std::cout << "\nSuite averages: hyb "

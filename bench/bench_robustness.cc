@@ -19,19 +19,18 @@
 int
 main(int argc, char **argv)
 {
-    const double scale = ibp::bench::traceScale(argc, argv, 0.3);
+    const auto options = ibp::bench::suiteOptions(argc, argv, 0.3);
     const unsigned seeds = 5;
     ibp::bench::banner("Robustness: Figure-6 ordering across " +
                            std::to_string(seeds) + " workload seeds",
-                       scale);
+                       options);
 
     const auto suite = ibp::workload::standardSuite();
     const auto predictors = ibp::sim::figure6Predictors();
-    ibp::sim::SuiteOptions options;
-    options.traceScale = scale;
 
-    const auto sweep =
-        ibp::sim::runSeedSweep(suite, predictors, options, seeds);
+    ibp::sim::SuiteTiming timing;
+    const auto sweep = ibp::sim::runSeedSweep(suite, predictors,
+                                              options, seeds, &timing);
 
     std::printf("\n%-10s %10s %8s   per-seed suite averages\n",
                 "predictor", "mean%", "stddev");
@@ -70,5 +69,6 @@ main(int argc, char **argv)
                 ordering_holds, seeds);
     std::printf("BTB worst of the lineup on %d/%u seeds\n", btb_worst,
                 seeds);
+    ibp::bench::timingFooter(timing);
     return 0;
 }

@@ -13,40 +13,84 @@
  * the per-benchmark analyses in Section 5.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "bench_util.hh"
 #include "sim/experiment.hh"
 #include "trace/trace_stats.hh"
+#include "util/cputime.hh"
+#include "util/thread_pool.hh"
 #include "workload/profiles.hh"
 
 int
 main(int argc, char **argv)
 {
-    const double scale = ibp::bench::traceScale(argc, argv);
+    const auto options = ibp::bench::suiteOptions(argc, argv);
+    const double scale = options.traceScale;
     ibp::bench::banner("Table 1: dynamic benchmark characteristics",
-                       scale);
+                       options);
 
     std::printf("%-10s %-4s %9s %10s %10s %7s %7s %6s\n",
                 "benchmark", "lang", "instr(M)", "branches",
                 "MT-ind", "sites", "arity", "mono%");
 
-    for (const auto &profile : ibp::workload::standardSuite()) {
-        auto trace = ibp::sim::generateTrace(profile, scale);
-        const auto stats = ibp::trace::characterize(trace);
-        const double instr_m =
-            static_cast<double>(stats.approxInstructions(
-                profile.instructionsPerBranch)) /
-            1e6;
-        std::printf("%-10s %-4s %9.1f %10llu %10llu %7zu %7.2f %6.1f\n",
-                    profile.fullName().c_str(),
-                    profile.language.c_str(), instr_m,
-                    static_cast<unsigned long long>(stats.totalBranches),
-                    static_cast<unsigned long long>(stats.mtIndirect),
-                    stats.staticMtSites(), stats.meanDynamicArity(),
-                    100.0 * stats.monomorphicSiteFraction(0.95));
-    }
+    // One task per benchmark row: generate + characterize in parallel,
+    // then print in suite order off the futures.  Row contents are
+    // independent of scheduling (each task owns its trace).
+    struct RowOutput
+    {
+        ibp::trace::TraceStats stats;
+        double seconds = 0;
+    };
+    using Clock = std::chrono::steady_clock;
 
+    const auto suite = ibp::workload::standardSuite();
+    const auto wall_start = Clock::now();
+    std::vector<std::future<RowOutput>> futures;
+    ibp::sim::SuiteTiming timing;
+    {
+        ibp::util::ThreadPool pool(options.threads);
+        timing.threadsUsed = pool.threadCount();
+        futures.reserve(suite.size());
+        for (const auto &profile : suite) {
+            futures.push_back(pool.submit([&profile, scale] {
+                const double cpu_start = ibp::util::threadCpuSeconds();
+                auto trace = ibp::sim::generateTrace(profile, scale);
+                RowOutput output;
+                output.stats = ibp::trace::characterize(trace);
+                output.seconds =
+                    ibp::util::threadCpuSeconds() - cpu_start;
+                return output;
+            }));
+        }
+
+        for (std::size_t i = 0; i < suite.size(); ++i) {
+            const auto &profile = suite[i];
+            const RowOutput output = futures[i].get();
+            const auto &stats = output.stats;
+            timing.serialEquivalentSeconds += output.seconds;
+            const double instr_m =
+                static_cast<double>(stats.approxInstructions(
+                    profile.instructionsPerBranch)) /
+                1e6;
+            std::printf(
+                "%-10s %-4s %9.1f %10llu %10llu %7zu %7.2f %6.1f\n",
+                profile.fullName().c_str(), profile.language.c_str(),
+                instr_m,
+                static_cast<unsigned long long>(stats.totalBranches),
+                static_cast<unsigned long long>(stats.mtIndirect),
+                stats.staticMtSites(), stats.meanDynamicArity(),
+                100.0 * stats.monomorphicSiteFraction(0.95));
+        }
+    }
+    timing.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+    std::printf("\n");
+    ibp::bench::timingFooter(timing);
     std::printf("\nNote: instruction counts are synthetic "
                 "(branches x %.0f instructions/branch at scale %.2f); "
                 "the paper's traces were 100-1000x longer.\n",

@@ -5,15 +5,22 @@
  * Every bench accepts an optional trace-scale argument (argv[1] or the
  * IBP_TRACE_SCALE environment variable, default 1.0) multiplying each
  * profile's record count, so quick smoke runs and full-fidelity runs
- * use the same binaries.
+ * use the same binaries; and an optional thread-count argument
+ * (argv[2] or IBP_THREADS, default 0 = hardware concurrency) selecting
+ * the suite runner's worker count.  Thread count never changes any
+ * figure or table number — only the wall-clock footer.
  */
 
 #ifndef IBP_BENCH_BENCH_UTIL_HH_
 #define IBP_BENCH_BENCH_UTIL_HH_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "sim/experiment.hh"
+#include "util/thread_pool.hh"
 
 namespace ibp::bench {
 
@@ -28,11 +35,67 @@ traceScale(int argc, char **argv, double fallback = 1.0)
     return fallback;
 }
 
+/**
+ * Resolve the suite worker count from argv/environment.
+ * 0 = hardware concurrency, 1 = legacy serial path.
+ */
+inline unsigned
+threadCount(int argc, char **argv, unsigned fallback = 0)
+{
+    const char *text = nullptr;
+    if (argc > 2)
+        text = argv[2];
+    else if (const char *env = std::getenv("IBP_THREADS"))
+        text = env;
+    if (!text)
+        return fallback;
+    // Negative or unparsable input degrades to 0 (hardware concurrency);
+    // the cap keeps a fat-fingered count from exhausting thread handles.
+    const long value = std::strtol(text, nullptr, 10);
+    if (value <= 0)
+        return 0;
+    return static_cast<unsigned>(std::min(value, 1024L));
+}
+
+/** Build SuiteOptions from the standard bench argv conventions. */
+inline ibp::sim::SuiteOptions
+suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
+{
+    ibp::sim::SuiteOptions options;
+    options.traceScale = traceScale(argc, argv, scale_fallback);
+    options.threads = threadCount(argc, argv);
+    return options;
+}
+
 /** Print a banner line for a bench. */
 inline void
 banner(const std::string &what, double scale)
 {
     std::printf("=== %s (trace scale %.2f) ===\n", what.c_str(), scale);
+}
+
+/** Banner variant that also reports the resolved worker count. */
+inline void
+banner(const std::string &what, const ibp::sim::SuiteOptions &options)
+{
+    std::printf("=== %s (trace scale %.2f, %u threads) ===\n",
+                what.c_str(), options.traceScale,
+                ibp::util::ThreadPool::resolveThreads(options.threads));
+}
+
+/** Print the suite wall-clock / speedup footer to stdout. */
+inline void
+timingFooter(const ibp::sim::SuiteTiming &timing)
+{
+    if (timing.threadsUsed <= 1) {
+        std::printf("wall-clock  %.2f s (serial path)\n",
+                    timing.wallSeconds);
+        return;
+    }
+    std::printf("wall-clock  %.2f s on %u threads "
+                "(serial-equivalent %.2f s, speedup %.1fx)\n",
+                timing.wallSeconds, timing.threadsUsed,
+                timing.serialEquivalentSeconds, timing.speedup());
 }
 
 /** Print one paper-vs-measured comparison row. */

@@ -8,7 +8,13 @@
  *   trace_tool bin <in.txt> <out.ibpt>            text -> binary
  *   trace_tool stat <in.ibpt|in.txt>              Table-1-style stats
  *   trace_tool run <in.ibpt|in.txt> <predictor>   simulate one file
+ *   trace_tool suite [scale] [threads]            Figure-6 matrix
  *   trace_tool list                               profiles+predictors
+ *
+ * `suite` replays the full benchmark x predictor matrix through the
+ * suite runner; threads = 0 (default) uses hardware concurrency and
+ * 1 forces the legacy serial path.  The matrix is bit-identical for
+ * every thread count — only the wall-clock footer changes.
  *
  * Trace files in the binary format start with the "IBPT" magic;
  * anything else is parsed as the text format.  This is the
@@ -20,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -44,6 +51,7 @@ usage()
                  "       trace_tool bin <in.txt> <out.ibpt>\n"
                  "       trace_tool stat <in>\n"
                  "       trace_tool run <in> <predictor>\n"
+                 "       trace_tool suite [scale] [threads]\n"
                  "       trace_tool list\n");
     return 2;
 }
@@ -173,6 +181,25 @@ cmdRun(int argc, char **argv)
 }
 
 int
+cmdSuite(int argc, char **argv)
+{
+    sim::SuiteOptions options;
+    options.traceScale = argc > 2 ? std::atof(argv[2]) : 0.1;
+    const long threads = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 0;
+    fatal_if(options.traceScale <= 0, "scale must be positive");
+    fatal_if(threads < 0 || threads > 1024,
+             "threads must be in [0, 1024] (0 = hardware concurrency)");
+    options.threads = static_cast<unsigned>(threads);
+
+    sim::SuiteTiming timing;
+    const auto result =
+        sim::runSuite(workload::standardSuite(),
+                      sim::figure6Predictors(), options, &timing);
+    sim::printSuiteTable(std::cout, result, &timing);
+    return 0;
+}
+
+int
 cmdList()
 {
     std::printf("profiles:\n");
@@ -204,6 +231,8 @@ main(int argc, char **argv)
         return cmdStat(argc, argv);
     if (cmd == "run")
         return cmdRun(argc, argv);
+    if (cmd == "suite")
+        return cmdSuite(argc, argv);
     if (cmd == "list")
         return cmdList();
     return usage();

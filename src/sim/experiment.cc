@@ -1,13 +1,164 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <future>
 #include <iomanip>
+#include <map>
+#include <mutex>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
+#include "util/cputime.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "workload/program.hh"
 
 namespace ibp::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * The generateTraceCached() store.  Each entry is a shared_future so
+ * concurrent requests for the same key rendezvous on one generation:
+ * the first requester installs the entry and generates outside the
+ * lock while everyone else blocks on the future.
+ */
+class TraceCache
+{
+  public:
+    using Buffer = std::shared_ptr<const trace::TraceBuffer>;
+
+    Buffer
+    get(const workload::BenchmarkProfile &profile, double trace_scale,
+        double *generation_seconds)
+    {
+        if (generation_seconds)
+            *generation_seconds = 0;
+        const std::string key = keyFor(profile, trace_scale);
+
+        std::promise<Buffer> promise;
+        std::shared_future<Buffer> future;
+        bool generate = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                it->second.lastUse = ++tick_;
+                future = it->second.buffer;
+            } else {
+                generate = true;
+                future = promise.get_future().share();
+                evictLocked(capacity_ > 0 ? capacity_ - 1 : 0);
+                entries_[key] = Entry{future, ++tick_};
+            }
+        }
+
+        if (!generate)
+            return future.get();
+
+        const auto start = Clock::now();
+        try {
+            auto buffer = std::make_shared<const trace::TraceBuffer>(
+                generateTrace(profile, trace_scale));
+            if (generation_seconds)
+                *generation_seconds = secondsSince(start);
+            promise.set_value(std::move(buffer));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+        }
+        return future.get();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    void
+    setCapacity(std::size_t max_entries)
+    {
+        fatal_if(max_entries == 0,
+                 "trace cache capacity must be at least 1");
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = max_entries;
+        evictLocked(capacity_);
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_future<Buffer> buffer;
+        std::uint64_t lastUse = 0;
+    };
+
+    static std::string
+    keyFor(const workload::BenchmarkProfile &profile, double trace_scale)
+    {
+        // %a round-trips the scale exactly; nearby scales never alias.
+        char scale_text[32];
+        std::snprintf(scale_text, sizeof(scale_text), "%a", trace_scale);
+        std::ostringstream key;
+        key << profile.fullName() << '|' << profile.program.seed << '|'
+            << profile.records << '|' << scale_text;
+        return key.str();
+    }
+
+    /** Drop ready LRU entries until at most @p keep remain. */
+    void
+    evictLocked(std::size_t keep)
+    {
+        while (entries_.size() > keep) {
+            auto victim = entries_.end();
+            for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+                if (it->second.buffer.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready)
+                    continue; // never drop an in-flight generation
+                if (victim == entries_.end() ||
+                    it->second.lastUse < victim->second.lastUse)
+                    victim = it;
+            }
+            if (victim == entries_.end())
+                return;
+            entries_.erase(victim);
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::size_t capacity_ = 8;
+    std::uint64_t tick_ = 0;
+};
+
+TraceCache &
+traceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+} // namespace
 
 std::vector<double>
 SuiteResult::averages() const
@@ -47,6 +198,31 @@ generateTrace(const workload::BenchmarkProfile &profile,
     return program.collect(records);
 }
 
+std::shared_ptr<const trace::TraceBuffer>
+generateTraceCached(const workload::BenchmarkProfile &profile,
+                    double trace_scale, double *generation_seconds)
+{
+    return traceCache().get(profile, trace_scale, generation_seconds);
+}
+
+void
+clearTraceCache()
+{
+    traceCache().clear();
+}
+
+std::size_t
+traceCacheSize()
+{
+    return traceCache().size();
+}
+
+void
+setTraceCacheCapacity(std::size_t max_entries)
+{
+    traceCache().setCapacity(max_entries);
+}
+
 RunMetrics
 runOne(const workload::BenchmarkProfile &profile,
        const std::string &predictor_name, const SuiteOptions &options)
@@ -58,11 +234,25 @@ runOne(const workload::BenchmarkProfile &profile,
     return engine.run(buffer, *predictor);
 }
 
-SuiteResult
-runSuite(const std::vector<workload::BenchmarkProfile> &profiles,
-         const std::vector<std::string> &predictor_names,
-         const SuiteOptions &options)
+namespace {
+
+CellResult
+cellFromMetrics(const RunMetrics &metrics)
 {
+    CellResult cell;
+    cell.missPercent = metrics.missPercent();
+    cell.noPredictionPercent = metrics.noPrediction.percent();
+    cell.predictions = metrics.mtIndirect;
+    return cell;
+}
+
+/** The legacy serial path: one trace per row, one cell at a time. */
+SuiteResult
+runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
+               const std::vector<std::string> &predictor_names,
+               const SuiteOptions &options, SuiteTiming *timing)
+{
+    const auto wall_start = Clock::now();
     SuiteResult result;
     result.predictorNames = predictor_names;
     for (const auto &profile : profiles) {
@@ -76,35 +266,137 @@ runSuite(const std::vector<workload::BenchmarkProfile> &profiles,
             auto predictor = makePredictor(name, options.factory);
             Engine engine(options.engine);
             buffer.rewind();
-            const RunMetrics metrics = engine.run(buffer, *predictor);
-            CellResult cell;
-            cell.missPercent = metrics.missPercent();
-            cell.noPredictionPercent = metrics.noPrediction.percent();
-            cell.predictions = metrics.mtIndirect;
-            row.push_back(cell);
+            row.push_back(cellFromMetrics(engine.run(buffer, *predictor)));
         }
         result.cells.push_back(std::move(row));
     }
+    if (timing) {
+        timing->wallSeconds = secondsSince(wall_start);
+        timing->serialEquivalentSeconds = timing->wallSeconds;
+        timing->threadsUsed = 1;
+    }
+    return result;
+}
+
+} // namespace
+
+SuiteResult
+runSuite(const std::vector<workload::BenchmarkProfile> &profiles,
+         const std::vector<std::string> &predictor_names,
+         const SuiteOptions &options, SuiteTiming *timing)
+{
+    const unsigned resolved =
+        util::ThreadPool::resolveThreads(options.threads);
+    if (resolved <= 1)
+        return runSuiteSerial(profiles, predictor_names, options,
+                              timing);
+    return runSuiteParallel(profiles, predictor_names, options, timing);
+}
+
+SuiteResult
+runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
+                 const std::vector<std::string> &predictor_names,
+                 const SuiteOptions &options, SuiteTiming *timing)
+{
+    const unsigned threads =
+        util::ThreadPool::resolveThreads(options.threads);
+    const std::size_t rows = profiles.size();
+    const std::size_t cols = predictor_names.size();
+
+    SuiteResult result;
+    result.predictorNames = predictor_names;
+    result.rowNames.reserve(rows);
+    for (const auto &profile : profiles)
+        result.rowNames.push_back(profile.fullName());
+    result.cells.assign(rows, std::vector<CellResult>(cols));
+
+    // One task per (row, column) cell.  Every task replays an
+    // immutable memoized trace through its own cursor into its own
+    // factory-fresh predictor and engine, so cells are independent and
+    // the matrix is bitwise invariant to scheduling order.
+    struct CellOutput
+    {
+        CellResult cell;
+        double seconds = 0;
+    };
+
+    const auto wall_start = Clock::now();
+    std::vector<std::future<CellOutput>> futures;
+    futures.reserve(rows * cols);
+    {
+        util::ThreadPool pool(threads);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                futures.push_back(pool.submit([&profiles,
+                                               &predictor_names,
+                                               &options, r, c] {
+                    // Thread-CPU time covers this cell's simulation
+                    // plus any trace generation it performed; cache
+                    // waiters burn ~no CPU while blocked, so the sum
+                    // over cells reconstructs the serial cost without
+                    // double-counting or oversubscription inflation.
+                    const double cpu_start = util::threadCpuSeconds();
+                    const auto buffer = generateTraceCached(
+                        profiles[r], options.traceScale);
+                    trace::ReplaySource source(*buffer);
+                    auto predictor = makePredictor(predictor_names[c],
+                                                   options.factory);
+                    Engine engine(options.engine);
+                    CellOutput output;
+                    output.cell =
+                        cellFromMetrics(engine.run(source, *predictor));
+                    output.seconds =
+                        util::threadCpuSeconds() - cpu_start;
+                    return output;
+                }));
+            }
+        }
+
+        double serial_equivalent = 0;
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                CellOutput output = futures[r * cols + c].get();
+                result.cells[r][c] = output.cell;
+                serial_equivalent += output.seconds;
+            }
+        }
+        if (timing) {
+            timing->serialEquivalentSeconds = serial_equivalent;
+            timing->threadsUsed = pool.threadCount();
+        }
+    }
+    if (timing)
+        timing->wallSeconds = secondsSince(wall_start);
     return result;
 }
 
 SeedSweepResult
 runSeedSweep(const std::vector<workload::BenchmarkProfile> &profiles,
              const std::vector<std::string> &predictor_names,
-             const SuiteOptions &options, unsigned num_seeds)
+             const SuiteOptions &options, unsigned num_seeds,
+             SuiteTiming *timing)
 {
     fatal_if(num_seeds == 0, "seed sweep needs at least one seed");
     SeedSweepResult sweep;
     sweep.predictorNames = predictor_names;
+    if (timing)
+        *timing = SuiteTiming{};
 
     for (unsigned s = 0; s < num_seeds; ++s) {
         std::vector<workload::BenchmarkProfile> reseeded = profiles;
         for (auto &profile : reseeded)
             profile.program.seed ^=
                 0x9e3779b97f4a7c15ULL * (s + 1) >> 7;
-        const SuiteResult result =
-            runSuite(reseeded, predictor_names, options);
+        SuiteTiming seed_timing;
+        const SuiteResult result = runSuite(
+            reseeded, predictor_names, options, &seed_timing);
         sweep.perSeed.push_back(result.averages());
+        if (timing) {
+            timing->wallSeconds += seed_timing.wallSeconds;
+            timing->serialEquivalentSeconds +=
+                seed_timing.serialEquivalentSeconds;
+            timing->threadsUsed = seed_timing.threadsUsed;
+        }
     }
 
     const auto cols = predictor_names.size();
@@ -128,7 +420,8 @@ runSeedSweep(const std::vector<workload::BenchmarkProfile> &profiles,
 }
 
 void
-printSuiteTable(std::ostream &out, const SuiteResult &result)
+printSuiteTable(std::ostream &out, const SuiteResult &result,
+                const SuiteTiming *timing)
 {
     constexpr int kLabelWidth = 12;
     constexpr int kCellWidth = 10;
@@ -155,6 +448,24 @@ printSuiteTable(std::ostream &out, const SuiteResult &result)
     for (double avg : result.averages())
         out << std::setw(kCellWidth) << avg;
     out << '\n';
+
+    if (timing)
+        printSuiteTimingFooter(out, *timing);
+}
+
+void
+printSuiteTimingFooter(std::ostream &out, const SuiteTiming &timing)
+{
+    out << std::fixed << std::setprecision(2);
+    if (timing.threadsUsed <= 1) {
+        out << "wall-clock  " << timing.wallSeconds
+            << " s (serial path)\n";
+        return;
+    }
+    out << "wall-clock  " << timing.wallSeconds << " s on "
+        << timing.threadsUsed << " threads (serial-equivalent "
+        << timing.serialEquivalentSeconds << " s, speedup "
+        << std::setprecision(1) << timing.speedup() << "x)\n";
 }
 
 double

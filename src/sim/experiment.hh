@@ -6,6 +6,17 @@
  * A suite run generates each benchmark profile's trace once and plays
  * it through a list of factory-built predictors, producing the
  * benchmark x predictor misprediction matrix the paper plots.
+ *
+ * Two execution paths produce bit-identical matrices:
+ *  - the legacy serial path (SuiteOptions::threads == 1), one cell at
+ *    a time, and
+ *  - a deterministic parallel path sharding at (benchmark row,
+ *    predictor column) cell granularity over a fixed-size ThreadPool.
+ * Each parallel cell builds its own factory-fresh predictor and
+ * Engine and replays an immutable, memoized trace through a private
+ * cursor, so no simulation state is shared and results do not depend
+ * on scheduling order (enforced by tests/test_parallel_suite.cc and
+ * the golden fixture in tests/golden/).
  */
 
 #ifndef IBP_SIM_EXPERIMENT_HH_
@@ -13,6 +24,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,8 +39,35 @@ namespace ibp::sim {
 struct SuiteOptions
 {
     double traceScale = 1.0; ///< multiplies each profile's record count
+    /**
+     * Worker threads for the suite matrix: 1 (default) runs the legacy
+     * serial path, 0 uses hardware concurrency, any other value that
+     * many workers.  The resulting matrix is bit-identical for every
+     * setting.
+     */
+    unsigned threads = 1;
     FactoryOptions factory;
     EngineConfig engine;
+};
+
+/** Wall-clock accounting for one suite run (or an aggregate of runs). */
+struct SuiteTiming
+{
+    double wallSeconds = 0;
+    /**
+     * Sum of per-cell simulation time plus each unique trace
+     * generation — what the same work would have cost on the serial
+     * path.  On the serial path this equals wallSeconds.
+     */
+    double serialEquivalentSeconds = 0;
+    unsigned threadsUsed = 1;
+
+    double
+    speedup() const
+    {
+        return wallSeconds > 0 ? serialEquivalentSeconds / wallSeconds
+                               : 1.0;
+    }
 };
 
 /** One (benchmark, predictor) cell of the result matrix. */
@@ -58,15 +97,60 @@ struct SuiteResult
 trace::TraceBuffer generateTrace(const workload::BenchmarkProfile &,
                                  double trace_scale = 1.0);
 
+/**
+ * Memoized generateTrace(): returns an immutable, shared trace for
+ * (profile name, workload seed, record count, scale), generating it at
+ * most once per cache residency even under concurrent requests — the
+ * first caller generates while later callers block on the same entry.
+ * The cache is process-global, mutex-guarded and LRU-bounded (see
+ * setTraceCacheCapacity); eviction never invalidates already-returned
+ * buffers, it only drops the cache's own reference.
+ *
+ * @param generation_seconds when non-null, receives the time this call
+ *        spent actually generating (0 on a cache hit or when another
+ *        thread generated the entry)
+ */
+std::shared_ptr<const trace::TraceBuffer>
+generateTraceCached(const workload::BenchmarkProfile &,
+                    double trace_scale = 1.0,
+                    double *generation_seconds = nullptr);
+
+/** Drop every cached trace (tests; long-lived tools between sweeps). */
+void clearTraceCache();
+
+/** Number of traces currently resident in the cache. */
+std::size_t traceCacheSize();
+
+/** Cap the cache at @p max_entries traces (>= 1); evicts LRU-first. */
+void setTraceCacheCapacity(std::size_t max_entries);
+
 /** Run one profile x one predictor; returns the full metrics. */
 RunMetrics runOne(const workload::BenchmarkProfile &profile,
                   const std::string &predictor_name,
                   const SuiteOptions &options = {});
 
-/** Run the full matrix. */
+/**
+ * Run the full matrix, dispatching on SuiteOptions::threads: the
+ * legacy serial path when it resolves to one worker, otherwise
+ * runSuiteParallel().  @p timing, when non-null, receives wall-clock
+ * accounting for the run.
+ */
 SuiteResult runSuite(const std::vector<workload::BenchmarkProfile> &,
                      const std::vector<std::string> &predictor_names,
-                     const SuiteOptions &options = {});
+                     const SuiteOptions &options = {},
+                     SuiteTiming *timing = nullptr);
+
+/**
+ * The parallel path: shards the matrix at cell granularity over a
+ * ThreadPool of SuiteOptions::threads workers (0 = hardware
+ * concurrency).  Bit-identical to the serial path for any worker
+ * count; results are collected in submission order off futures.
+ */
+SuiteResult
+runSuiteParallel(const std::vector<workload::BenchmarkProfile> &,
+                 const std::vector<std::string> &predictor_names,
+                 const SuiteOptions &options = {},
+                 SuiteTiming *timing = nullptr);
 
 /** Mean and spread of suite averages over re-seeded workloads. */
 struct SeedSweepResult
@@ -88,10 +172,19 @@ struct SeedSweepResult
 SeedSweepResult
 runSeedSweep(const std::vector<workload::BenchmarkProfile> &,
              const std::vector<std::string> &predictor_names,
-             const SuiteOptions &options, unsigned num_seeds);
+             const SuiteOptions &options, unsigned num_seeds,
+             SuiteTiming *timing = nullptr);
 
-/** Render the matrix as a fixed-width ASCII table with averages. */
-void printSuiteTable(std::ostream &out, const SuiteResult &result);
+/**
+ * Render the matrix as a fixed-width ASCII table with averages.  With
+ * @p timing, append a wall-clock / speedup footer line.
+ */
+void printSuiteTable(std::ostream &out, const SuiteResult &result,
+                     const SuiteTiming *timing = nullptr);
+
+/** Just the wall-clock / speedup footer line (the table's footer). */
+void printSuiteTimingFooter(std::ostream &out,
+                            const SuiteTiming &timing);
 
 /**
  * The paper's published per-predictor suite averages (Figure 6 / 7 /

@@ -93,6 +93,43 @@ class TraceBuffer : public BranchSink, public BranchSource
 };
 
 /**
+ * A read-only replay cursor over a record vector owned elsewhere
+ * (typically a cached, immutable TraceBuffer).  Each ReplaySource has
+ * its own cursor, so any number of them can iterate the same trace
+ * concurrently — the mechanism that lets parallel suite cells share
+ * one generated trace without sharing mutable state.
+ */
+class ReplaySource : public BranchSource
+{
+  public:
+    explicit ReplaySource(const std::vector<BranchRecord> &records)
+        : records_(&records)
+    {}
+
+    explicit ReplaySource(const TraceBuffer &buffer)
+        : records_(&buffer.records())
+    {}
+
+    bool
+    next(BranchRecord &record) override
+    {
+        if (cursor_ >= records_->size())
+            return false;
+        record = (*records_)[cursor_++];
+        return true;
+    }
+
+    /** Restart iteration from the beginning. */
+    void rewind() { cursor_ = 0; }
+
+    std::size_t size() const { return records_->size(); }
+
+  private:
+    const std::vector<BranchRecord> *records_;
+    std::size_t cursor_ = 0;
+};
+
+/**
  * Adapter exposing a callback as a BranchSink (handy in tests and in
  * the trace tools, which want to fan one stream out to several
  * consumers).

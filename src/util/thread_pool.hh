@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel suite
+ * runs.
+ *
+ * Design constraints (see DESIGN.md and the suite runner):
+ *  - futures-based submit(): every task's result (or exception) comes
+ *    back on a std::future, so callers collect results in *submission*
+ *    order regardless of scheduling — the property the deterministic
+ *    parallel suite runner is built on.
+ *  - no work stealing, no task priorities: tasks run in FIFO order
+ *    across a fixed set of workers.  Simulation cells are fully
+ *    independent, so nothing fancier is needed.
+ *  - reentrancy guard: submit() from inside a worker runs the task
+ *    inline instead of enqueueing, so a task that submits and then
+ *    waits on the sub-task's future can never deadlock the pool.
+ *  - draining destructor: ~ThreadPool() runs every already-queued task
+ *    before joining, so no future is ever left with a broken promise.
+ */
+
+#ifndef IBP_UTIL_THREAD_POOL_HH_
+#define IBP_UTIL_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ibp::util {
+
+/** Fixed-size FIFO thread pool with future-based task submission. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the pool.
+     * @param threads worker count; 0 means hardware concurrency
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drain the queue, run every queued task, then join all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Queue @p fn for execution and return a future for its result.
+     *
+     * A task that throws stores the exception in the future; it
+     * surfaces at future.get() in the submitting thread.  When called
+     * from inside a pool worker the task runs inline (see the
+     * reentrancy guard note in the file header) and the returned
+     * future is already ready.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F &>>
+    {
+        using Result = std::invoke_result_t<F &>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        if (insideWorker()) {
+            (*task)();
+            return future;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /** Number of worker threads. */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** True when the calling thread is a pool worker (any pool). */
+    static bool insideWorker();
+
+    /**
+     * Map a thread-count knob to an actual worker count:
+     * 0 -> hardware concurrency (at least 1), anything else unchanged.
+     */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace ibp::util
+
+#endif // IBP_UTIL_THREAD_POOL_HH_

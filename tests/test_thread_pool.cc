@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the fixed-size ThreadPool behind the parallel suite
+ * runner: task completion, future-based result collection, exception
+ * propagation, the draining destructor, and the reentrancy guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace {
+
+using ibp::util::ThreadPool;
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 100; ++i)
+            futures.push_back(pool.submit([&counter] { ++counter; }));
+        for (auto &future : futures)
+            future.get();
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ResultsArriveOnMatchingFutures)
+{
+    ThreadPool pool(3);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    // Collection order is submission order regardless of which worker
+    // ran which task — the property the suite runner depends on.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptionsToCaller)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    std::vector<std::future<int>> futures;
+    {
+        ThreadPool pool(1);
+        // The first task blocks the lone worker long enough for the
+        // rest to still be queued when the destructor runs.
+        futures.push_back(pool.submit([&counter] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            return ++counter;
+        }));
+        for (int i = 1; i < 32; ++i)
+            futures.push_back(
+                pool.submit([&counter] { return ++counter; }));
+    }
+    EXPECT_EQ(counter.load(), 32);
+    for (auto &future : futures) {
+        ASSERT_TRUE(future.valid());
+        EXPECT_GT(future.get(), 0); // ready, never a broken promise
+    }
+}
+
+TEST(ThreadPool, SubmitFromWorkerRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(1); // one worker: an enqueueing guard would hang
+    auto outer = pool.submit([&pool] {
+        EXPECT_TRUE(ThreadPool::insideWorker());
+        auto inner = pool.submit([] { return 21; });
+        // Inline execution means the future is already ready; waiting
+        // on it from the worker must not deadlock.
+        return inner.get() * 2;
+    });
+    EXPECT_EQ(outer.get(), 42);
+    EXPECT_FALSE(ThreadPool::insideWorker());
+}
+
+TEST(ThreadPool, NestedSubmissionFansOut)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        std::vector<std::future<void>> outers;
+        for (int i = 0; i < 8; ++i) {
+            outers.push_back(pool.submit([&pool, &counter] {
+                std::vector<std::future<void>> inners;
+                for (int j = 0; j < 4; ++j)
+                    inners.push_back(
+                        pool.submit([&counter] { ++counter; }));
+                for (auto &inner : inners)
+                    inner.get();
+            }));
+        }
+        for (auto &outer : outers)
+            outer.get();
+    }
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::resolveThreads(0));
+}
+
+TEST(ThreadPool, ResolveThreadsPassesExplicitCountsThrough)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7u);
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+}
+
+TEST(ThreadPool, MoveOnlyResultsAndArguments)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        [ptr = std::make_unique<int>(5)] { return *ptr + 1; });
+    EXPECT_EQ(future.get(), 6);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the memoized trace cache behind generateTraceCached():
+ * one generation per (profile, scale) key even under concurrent
+ * access, distinct buffers for distinct keys, LRU bounding, and the
+ * generation-time report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace ibp::sim;
+using ibp::workload::BenchmarkProfile;
+
+BenchmarkProfile
+cacheProfile()
+{
+    auto profile = ibp::workload::smokeProfile();
+    profile.records = 8000;
+    return profile;
+}
+
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        clearTraceCache();
+        setTraceCacheCapacity(8);
+    }
+
+    void
+    TearDown() override
+    {
+        setTraceCacheCapacity(8);
+        clearTraceCache();
+    }
+};
+
+TEST_F(TraceCacheTest, RepeatedRequestsReturnTheSameBuffer)
+{
+    const auto profile = cacheProfile();
+    const auto first = generateTraceCached(profile, 0.5);
+    const auto second = generateTraceCached(profile, 0.5);
+    EXPECT_EQ(first.get(), second.get()); // same object, not a copy
+    EXPECT_EQ(traceCacheSize(), 1u);
+    EXPECT_EQ(first->size(), 4000u);
+}
+
+TEST_F(TraceCacheTest, DistinctScalesGetDistinctBuffers)
+{
+    const auto profile = cacheProfile();
+    const auto half = generateTraceCached(profile, 0.5);
+    const auto quarter = generateTraceCached(profile, 0.25);
+    EXPECT_NE(half.get(), quarter.get());
+    EXPECT_EQ(half->size(), 4000u);
+    EXPECT_EQ(quarter->size(), 2000u);
+    EXPECT_EQ(traceCacheSize(), 2u);
+}
+
+TEST_F(TraceCacheTest, DistinctSeedsGetDistinctBuffers)
+{
+    const auto profile = cacheProfile();
+    auto reseeded = profile;
+    reseeded.program.seed ^= 0xdeadbeef;
+    const auto a = generateTraceCached(profile, 0.5);
+    const auto b = generateTraceCached(reseeded, 0.5);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(traceCacheSize(), 2u);
+}
+
+TEST_F(TraceCacheTest, ConcurrentRequestsShareOneGeneration)
+{
+    const auto profile = cacheProfile();
+    constexpr int kThreads = 8;
+    std::vector<const ibp::trace::TraceBuffer *> seen(kThreads);
+    std::vector<std::shared_ptr<const ibp::trace::TraceBuffer>>
+        buffers(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int i = 0; i < kThreads; ++i) {
+            threads.emplace_back([&, i] {
+                buffers[i] = generateTraceCached(profile, 1.0);
+                seen[i] = buffers[i].get();
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(seen[0], seen[i]) << "thread " << i;
+    EXPECT_EQ(traceCacheSize(), 1u);
+
+    // Cached content is exactly what the uncached path produces.
+    const auto fresh = generateTrace(profile, 1.0);
+    ASSERT_EQ(buffers[0]->size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i)
+        ASSERT_EQ((*buffers[0])[i], fresh[i]);
+}
+
+TEST_F(TraceCacheTest, CapacityBoundsResidencyLruFirst)
+{
+    setTraceCacheCapacity(2);
+    const auto profile = cacheProfile();
+    // Hold the evicted buffer alive so a regenerated one cannot reuse
+    // its address: pointer inequality then proves regeneration.
+    const auto oldest = generateTraceCached(profile, 0.1);
+    generateTraceCached(profile, 0.2);
+    generateTraceCached(profile, 0.1); // refresh 0.1 -> 0.2 is LRU
+    generateTraceCached(profile, 0.3); // evicts 0.2
+    EXPECT_EQ(traceCacheSize(), 2u);
+
+    const auto again = generateTraceCached(profile, 0.1);
+    EXPECT_EQ(oldest.get(), again.get()); // survived: recently used
+
+    double generation = 0;
+    const auto regenerated = generateTraceCached(profile, 0.2,
+                                                 &generation);
+    EXPECT_NE(regenerated.get(), oldest.get());
+    EXPECT_EQ(traceCacheSize(), 2u);
+}
+
+TEST_F(TraceCacheTest, EvictionNeverInvalidatesReturnedBuffers)
+{
+    setTraceCacheCapacity(1);
+    const auto profile = cacheProfile();
+    const auto kept = generateTraceCached(profile, 0.5);
+    generateTraceCached(profile, 0.25); // evicts the 0.5 entry
+    EXPECT_EQ(traceCacheSize(), 1u);
+    EXPECT_EQ(kept->size(), 4000u); // still fully usable
+}
+
+TEST_F(TraceCacheTest, GenerationSecondsReportedOnlyByTheGenerator)
+{
+    const auto profile = cacheProfile();
+    double first_generation = -1;
+    generateTraceCached(profile, 0.5, &first_generation);
+    EXPECT_GE(first_generation, 0.0);
+
+    double hit_generation = -1;
+    generateTraceCached(profile, 0.5, &hit_generation);
+    EXPECT_EQ(hit_generation, 0.0); // cache hit: no generation work
+}
+
+TEST_F(TraceCacheTest, ClearEmptiesTheCache)
+{
+    const auto profile = cacheProfile();
+    generateTraceCached(profile, 0.5);
+    generateTraceCached(profile, 0.25);
+    EXPECT_EQ(traceCacheSize(), 2u);
+    clearTraceCache();
+    EXPECT_EQ(traceCacheSize(), 0u);
+}
+
+} // namespace
