@@ -33,13 +33,15 @@ sharedTrace()
 void
 predictorThroughput(benchmark::State &state, const char *name)
 {
-    ibp::trace::TraceBuffer trace = sharedTrace(); // copy, rewindable
+    // A cursor over the shared immutable trace: rewindable without
+    // copying the 200k-record buffer per benchmark registration.
+    ibp::trace::ReplaySource source(sharedTrace());
     auto predictor = ibp::sim::makePredictor(name);
     ibp::sim::Engine engine;
     std::uint64_t branches = 0;
     for (auto _ : state) {
-        trace.rewind();
-        const auto metrics = engine.run(trace, *predictor);
+        source.rewind();
+        const auto metrics = engine.run(source, *predictor);
         branches += metrics.branches;
         benchmark::DoNotOptimize(metrics.indirectMisses.events());
     }
@@ -102,12 +104,12 @@ BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 static void
 BM_BinaryTraceRoundTrip(benchmark::State &state)
 {
-    ibp::trace::TraceBuffer trace = sharedTrace();
+    ibp::trace::ReplaySource source(sharedTrace());
     for (auto _ : state) {
         std::stringstream ss;
         ibp::trace::TraceWriter writer(ss);
-        trace.rewind();
-        ibp::trace::pump(trace, writer);
+        source.rewind();
+        ibp::trace::pump(source, writer);
         ibp::trace::TraceReader reader(ss);
         ibp::trace::TraceBuffer out;
         benchmark::DoNotOptimize(ibp::trace::pump(reader, out));

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Engine-level throughput baseline: branches/second for the standard
+ * predictor set and MB/s for synthetic trace generation, emitted both
+ * as a human-readable table and as machine-readable JSON
+ * (BENCH_throughput.json) for CI artifacts and regression tracking.
+ *
+ * Unlike bench_micro (google-benchmark per-predictor wall times), this
+ * binary measures the production replay path end to end.  Two replay
+ * configurations are timed per predictor:
+ *
+ *  - branches_per_sec (headline): Engine::run() over a ReplaySource —
+ *    the zero-copy nextSpan() path reading 24-byte records in place;
+ *  - packed_branches_per_sec: the same engine over a
+ *    PackedReplaySource — the 16-byte packed format the trace cache
+ *    keeps resident, unpacked in 256-record spans, i.e. what a
+ *    parallel suite cell executes against a cached trace.
+ *
+ * The pair prices the packed format's memory savings (unpack
+ * arithmetic vs. 1.5x less trace traffic) instead of hiding it.
+ *
+ * Usage: bench_throughput [records] [out.json]
+ *   records  trace length (default 200000)
+ *   out.json output path (default BENCH_throughput.json in the CWD)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/factory.hh"
+#include "trace/packed_trace.hh"
+#include "util/logging.hh"
+#include "workload/profiles.hh"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Minimum measured wall time per predictor; repeat replays until hit.
+constexpr double kMinSeconds = 0.5;
+
+/// The bench_micro predictor set — engineering baselines, not a paper
+/// figure, so additions are cheap and encouraged.
+const std::vector<std::string> kPredictors = {
+    "BTB",   "BTB2b",   "GAp",     "TC-PIB",       "Dpath",
+    "Cascade", "PPM-hyb", "PPM-PIB", "Filtered-PPM",
+};
+
+struct Timing
+{
+    double branchesPerSec = 0;
+    std::uint64_t branches = 0;
+    unsigned iterations = 0;
+};
+
+/** Replay @p source into @p engine/@p predictor until kMinSeconds of
+ *  measured wall time accumulates (after one untimed warm-up). */
+template <typename Source>
+Timing
+timeReplay(ibp::sim::Engine &engine,
+           ibp::pred::IndirectPredictor &predictor, Source &source)
+{
+    // One untimed warm-up replay (faults pages, warms caches and the
+    // predictor's own tables into their steady-state layout).
+    engine.run(source, predictor);
+
+    Timing timing;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    do {
+        source.rewind();
+        const auto metrics = engine.run(source, predictor);
+        timing.branches += metrics.branches;
+        ++timing.iterations;
+        elapsed = secondsSince(start);
+    } while (elapsed < kMinSeconds);
+    timing.branchesPerSec = timing.branches / elapsed;
+    return timing;
+}
+
+struct PredictorResult
+{
+    std::string name;
+    Timing span;   ///< headline: zero-copy in-place replay
+    Timing packed; ///< trace-cache path: packed records, span-unpacked
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t records = 200'000;
+    std::string out_path = "BENCH_throughput.json";
+    if (argc > 1)
+        records = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2)
+        out_path = argv[2];
+    fatal_if(records == 0, "bench_throughput: records must be > 0");
+
+    auto profile = ibp::workload::smokeProfile();
+    profile.records = records;
+
+    // --- trace generation -----------------------------------------------
+    const auto gen_start = Clock::now();
+    const ibp::trace::TraceBuffer trace =
+        ibp::sim::generateTrace(profile);
+    const double gen_seconds = secondsSince(gen_start);
+    const double gen_records_per_sec = trace.size() / gen_seconds;
+    const double gen_mb_per_sec =
+        trace.size() * sizeof(ibp::trace::BranchRecord) /
+        (gen_seconds * 1024.0 * 1024.0);
+
+    const ibp::trace::PackedTraceBuffer packed(trace);
+
+    std::cout << "trace: " << trace.size() << " records, generated in "
+              << gen_seconds << " s (" << gen_records_per_sec / 1e6
+              << " M records/s, " << gen_mb_per_sec << " MB/s)\n";
+    std::cout << "packed: " << packed.storageBytes() << " bytes ("
+              << sizeof(ibp::trace::PackedBranchRecord)
+              << " B/record)\n\n";
+
+    // --- predictor replay -----------------------------------------------
+    std::vector<PredictorResult> results;
+    ibp::sim::Engine engine;
+    for (const auto &name : kPredictors) {
+        auto predictor = ibp::sim::makePredictor(name);
+
+        PredictorResult result;
+        result.name = name;
+        {
+            ibp::trace::ReplaySource source(trace);
+            result.span = timeReplay(engine, *predictor, source);
+        }
+        predictor->reset();
+        {
+            ibp::trace::PackedReplaySource source(packed);
+            result.packed = timeReplay(engine, *predictor, source);
+        }
+        results.push_back(result);
+
+        std::cout << "  " << name;
+        for (std::size_t pad = name.size(); pad < 14; ++pad)
+            std::cout << ' ';
+        std::cout << result.span.branchesPerSec / 1e6
+                  << " M branches/s  (packed "
+                  << result.packed.branchesPerSec / 1e6 << ", "
+                  << result.span.iterations << "+"
+                  << result.packed.iterations << " replays)\n";
+    }
+
+    // --- JSON -------------------------------------------------------------
+    std::ofstream out(out_path);
+    fatal_if(!out, "cannot open ", out_path, " for writing");
+    out << "{\n";
+    out << "  \"schema\": \"ibp-bench-throughput-v1\",\n";
+    out << "  \"records\": " << trace.size() << ",\n";
+    out << "  \"trace_gen\": {\n";
+    out << "    \"records_per_sec\": " << gen_records_per_sec << ",\n";
+    out << "    \"mb_per_sec\": " << gen_mb_per_sec << "\n";
+    out << "  },\n";
+    out << "  \"predictors\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out << "    \"" << results[i].name << "\": {"
+            << "\"branches_per_sec\": "
+            << results[i].span.branchesPerSec
+            << ", \"packed_branches_per_sec\": "
+            << results[i].packed.branchesPerSec << "}";
+        out << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  }\n";
+    out << "}\n";
+
+    std::cout << "\nwrote " << out_path << "\n";
+    return 0;
+}

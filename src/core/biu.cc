@@ -18,12 +18,9 @@ Biu::Biu(const BiuConfig &config)
 }
 
 BiuEntry &
-Biu::lookup(trace::Addr pc)
+Biu::lookupFinite(trace::Addr pc)
 {
-    if (config_.infinite)
-        return map_[pc]; // default-constructs at Strongly PIB
-
-    const std::uint64_t set = (pc >> 2) % table_.sets();
+    const std::uint64_t set = table_.reduce(pc >> 2);
     const std::uint64_t tag =
         util::foldXor(pc >> 2, 48, config_.tagBits);
     if (BiuEntry *entry = table_.lookup(set, tag))

@@ -17,10 +17,10 @@
 #define IBP_CORE_BIU_HH_
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/correlation.hh"
 #include "trace/branch_record.hh"
+#include "util/flat_map.hh"
 #include "util/table.hh"
 
 namespace ibp::core {
@@ -50,9 +50,17 @@ class Biu
     /**
      * Find (or allocate) the entry for the branch at @p pc.  A finite
      * BIU may evict another branch's entry; fresh entries start at
-     * Strongly PIB with the MT bit clear.
+     * Strongly PIB with the MT bit clear.  Inline: one lookup per
+     * predicted indirect branch, and the infinite case is a single
+     * flat-map access.
      */
-    BiuEntry &lookup(trace::Addr pc);
+    BiuEntry &
+    lookup(trace::Addr pc)
+    {
+        if (config_.infinite)
+            return map_[pc]; // default-constructs at Strongly PIB
+        return lookupFinite(pc);
+    }
 
     /** Number of allocations that evicted a live entry (finite only). */
     std::uint64_t evictions() const { return evictions_; }
@@ -70,8 +78,14 @@ class Biu
     void reset();
 
   private:
+    /** The tagged set-associative slow path of lookup(). */
+    BiuEntry &lookupFinite(trace::Addr pc);
+
     BiuConfig config_;
-    std::unordered_map<trace::Addr, BiuEntry> map_;
+    /** Infinite-BIU backing store.  A flat open-addressing map: the
+     *  hot-path lookup is hash + mask + (usually) one cache line, vs a
+     *  node pointer chase per probe with std::unordered_map. */
+    util::FlatMap<trace::Addr, BiuEntry> map_;
     util::AssocTable<BiuEntry> table_;
     std::uint64_t evictions_ = 0;
 };

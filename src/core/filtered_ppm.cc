@@ -25,7 +25,7 @@ FilteredPpm::FilteredPpm(const FilteredPpmConfig &config, std::string name)
 std::uint64_t
 FilteredPpm::filterSet(trace::Addr pc) const
 {
-    return (pc >> 2) % filter_.sets();
+    return filter_.reduce(pc >> 2);
 }
 
 std::uint64_t

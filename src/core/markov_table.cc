@@ -1,12 +1,16 @@
 #include "core/markov_table.hh"
 
+#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace ibp::core {
 
 MarkovTable::MarkovTable(const MarkovConfig &config)
     : config_(config),
-      direct_(config.tagged || config.votingTargets > 1
+      extMask_(util::isPowerOf2(config.entries) ? config.entries - 1
+                                                : 0),
+      direct_(config.tagged || config.votingTargets > 1 ||
+                      config.externalStorage
                   ? 1
                   : config.entries),
       assoc_(config.tagged
@@ -23,6 +27,18 @@ MarkovTable::MarkovTable(const MarkovConfig &config)
              "voting MarkovTable entries are tagless only");
     fatal_if(config.votingTargets == 0,
              "MarkovTable needs at least one target per state");
+    fatal_if(config.externalStorage &&
+                 (config.tagged || config.votingTargets > 1),
+             "external MarkovTable storage is tagless/non-voting only");
+}
+
+void
+MarkovTable::bindStorage(pred::TargetEntry *storage)
+{
+    panic_if(!config_.externalStorage,
+             "bindStorage on a self-owned MarkovTable");
+    panic_if(storage == nullptr, "MarkovTable arena slice is null");
+    ext_ = storage;
 }
 
 pred::Prediction
@@ -33,17 +49,19 @@ MarkovTable::lookup(std::uint64_t index, std::uint64_t tag)
 }
 
 MarkovProbe
-MarkovTable::probe(std::uint64_t index, std::uint64_t tag)
+MarkovTable::probeSlow(std::uint64_t index, std::uint64_t tag)
 {
+    panic_if(config_.externalStorage && !ext_,
+             "external MarkovTable probed before bindStorage()");
     if (config_.votingTargets > 1)
         return probeVoting(index);
     if (!config_.tagged) {
         const pred::TargetEntry &entry =
-            direct_.at(index % direct_.size());
+            direct_.at(direct_.reduce(index));
         return {entry.valid, entry.counter.high(), entry.target};
     }
     const pred::TargetEntry *entry =
-        assoc_.lookup(index % assoc_.sets(), tag);
+        assoc_.lookup(assoc_.reduce(index), tag);
     if (!entry)
         return {};
     return {entry->valid, entry->counter.high(), entry->target};
@@ -52,7 +70,7 @@ MarkovTable::probe(std::uint64_t index, std::uint64_t tag)
 MarkovProbe
 MarkovTable::probeVoting(std::uint64_t index)
 {
-    const VoteEntry &entry = voting_.at(index % voting_.size());
+    const VoteEntry &entry = voting_.at(voting_.reduce(index));
     if (!entry.valid)
         return {};
     // Majority vote: highest frequency count wins; earlier arcs win
@@ -68,18 +86,20 @@ MarkovTable::probeVoting(std::uint64_t index)
 }
 
 void
-MarkovTable::train(std::uint64_t index, std::uint64_t tag,
-                   trace::Addr target)
+MarkovTable::trainSlow(std::uint64_t index, std::uint64_t tag,
+                       trace::Addr target)
 {
+    panic_if(config_.externalStorage && !ext_,
+             "external MarkovTable trained before bindStorage()");
     if (config_.votingTargets > 1) {
         trainVoting(index, target);
         return;
     }
     if (!config_.tagged) {
-        direct_.at(index % direct_.size()).train(target);
+        direct_.at(direct_.reduce(index)).train(target);
         return;
     }
-    const std::uint64_t set = index % assoc_.sets();
+    const std::uint64_t set = assoc_.reduce(index);
     pred::TargetEntry *entry = assoc_.lookup(set, tag);
     if (entry) {
         entry->train(target);
@@ -93,7 +113,7 @@ MarkovTable::train(std::uint64_t index, std::uint64_t tag,
 void
 MarkovTable::trainVoting(std::uint64_t index, trace::Addr target)
 {
-    VoteEntry &entry = voting_.at(index % voting_.size());
+    VoteEntry &entry = voting_.at(voting_.reduce(index));
     if (!entry.valid) {
         entry.valid = true;
         entry.arcs.assign(config_.votingTargets, {});
@@ -149,6 +169,13 @@ MarkovTable::storageBits() const
 std::size_t
 MarkovTable::occupancy() const
 {
+    if (ext_) {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < config_.entries; ++i)
+            if (ext_[i].valid)
+                ++n;
+        return n;
+    }
     if (config_.votingTargets > 1) {
         std::size_t n = 0;
         for (std::size_t i = 0; i < voting_.size(); ++i)
@@ -168,6 +195,9 @@ MarkovTable::occupancy() const
 void
 MarkovTable::reset()
 {
+    if (ext_)
+        for (std::size_t i = 0; i < config_.entries; ++i)
+            ext_[i] = pred::TargetEntry{};
     direct_.reset();
     assoc_.reset();
     voting_.reset();

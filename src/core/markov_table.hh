@@ -10,6 +10,13 @@
  * misses).  A tagged variant — future work in the paper's Section 6 —
  * adds partial tags with set-associativity so different branches or
  * paths that hash together no longer alias.
+ *
+ * Storage: a standalone table owns its entries.  The PPM stack instead
+ * binds each of its orders to a slice of one contiguous arena
+ * (MarkovConfig::externalStorage + bindStorage()), so the order-m..1
+ * probe sequence walks one allocation instead of pointer-chasing m
+ * separately allocated vectors.  The bound fast path is inline here so
+ * Ppm's probe loop compiles down to a load + two bit tests per order.
  */
 
 #ifndef IBP_CORE_MARKOV_TABLE_HH_
@@ -41,6 +48,13 @@ struct MarkovConfig
      * with frequency counts and majority voting.
      */
     unsigned votingTargets = 1;
+
+    /**
+     * Entries live in an arena owned by the caller, who must
+     * bindStorage() before first use.  Untagged, non-voting tables
+     * only (the PPM stack's flattened hot path).
+     */
+    bool externalStorage = false;
 };
 
 /** Result of probing one Markov state (prediction + confidence). */
@@ -61,6 +75,13 @@ class MarkovTable
     std::size_t entries() const { return config_.entries; }
 
     /**
+     * Point an external-storage table at its arena slice of
+     * config.entries default-constructed TargetEntries.  The table
+     * never outlives or resizes the arena; the owner guarantees both.
+     */
+    void bindStorage(pred::TargetEntry *storage);
+
+    /**
      * Look up a prediction.
      * @param index SFSXS index for this order
      * @param tag   partial tag (ignored when tagless)
@@ -70,14 +91,29 @@ class MarkovTable
     pred::Prediction lookup(std::uint64_t index, std::uint64_t tag);
 
     /** As lookup(), additionally reporting the entry's confidence. */
-    MarkovProbe probe(std::uint64_t index, std::uint64_t tag);
+    MarkovProbe
+    probe(std::uint64_t index, std::uint64_t tag)
+    {
+        if (ext_) {
+            const pred::TargetEntry &entry = ext_[extReduce(index)];
+            return {entry.valid, entry.counter.high(), entry.target};
+        }
+        return probeSlow(index, tag);
+    }
 
     /**
      * Train the state addressed by (@p index, @p tag) with the
      * resolved target, allocating it if empty.
      */
-    void train(std::uint64_t index, std::uint64_t tag,
-               trace::Addr target);
+    void
+    train(std::uint64_t index, std::uint64_t tag, trace::Addr target)
+    {
+        if (ext_) {
+            ext_[extReduce(index)].train(target);
+            return;
+        }
+        trainSlow(index, tag, target);
+    }
 
     /** Storage cost in bits. */
     std::uint64_t storageBits() const;
@@ -104,10 +140,22 @@ class MarkovTable
         std::vector<Arc> arcs;
     };
 
+    std::uint64_t
+    extReduce(std::uint64_t index) const
+    {
+        return extMask_ ? (index & extMask_)
+                        : (index % config_.entries);
+    }
+
+    MarkovProbe probeSlow(std::uint64_t index, std::uint64_t tag);
+    void trainSlow(std::uint64_t index, std::uint64_t tag,
+                   trace::Addr target);
     MarkovProbe probeVoting(std::uint64_t index);
     void trainVoting(std::uint64_t index, trace::Addr target);
 
     MarkovConfig config_;
+    pred::TargetEntry *ext_ = nullptr; ///< bound arena slice, or null
+    std::uint64_t extMask_ = 0;        ///< entries-1 when a power of 2
     util::DirectTable<pred::TargetEntry> direct_;
     util::AssocTable<pred::TargetEntry> assoc_;
     util::DirectTable<VoteEntry> voting_;

@@ -22,7 +22,12 @@ Ppm::Ppm(const PpmConfig &config)
              "PPM table geometry must list one size per order (",
              m, "), got ", entries.size());
 
+    // The default configuration's entries are flattened into one
+    // contiguous arena; each table is bound to its slice.  Tagged and
+    // voting stacks keep self-owned storage.
+    const bool flat = !config_.tagged && config_.votingTargets == 1;
     tables_.reserve(m);
+    std::size_t total = 0;
     for (unsigned i = 0; i < m; ++i) {
         MarkovConfig mc;
         mc.order = m - i;
@@ -31,9 +36,18 @@ Ppm::Ppm(const PpmConfig &config)
         mc.ways = config_.ways;
         mc.tagBits = config_.tagBits;
         mc.votingTargets = config_.votingTargets;
+        mc.externalStorage = flat;
         tables_.emplace_back(mc);
+        total += entries[i];
     }
-    lastIndices.resize(m, 0);
+    if (flat) {
+        arena_.resize(total);
+        std::size_t offset = 0;
+        for (unsigned i = 0; i < m; ++i) {
+            tables_[i].bindStorage(arena_.data() + offset);
+            offset += entries[i];
+        }
+    }
 }
 
 std::uint64_t
@@ -48,8 +62,14 @@ Ppm::tagFor(trace::Addr pc, std::uint64_t word) const
 pred::Prediction
 Ppm::predict(const pred::SymbolHistory &phr, trace::Addr pc)
 {
+    return predictHashed(hash_.hashWord(phr, pc), pc);
+}
+
+pred::Prediction
+Ppm::predictHashed(std::uint64_t word, trace::Addr pc)
+{
     const unsigned m = config_.hash.order;
-    const std::uint64_t word = hash_.hashWord(phr, pc);
+    lastWord_ = word;
     lastTag = config_.tagged ? tagFor(pc, word) : 0;
 
     lastValid = false;
@@ -61,19 +81,20 @@ Ppm::predict(const pred::SymbolHistory &phr, trace::Addr pc)
     pred::Prediction fallback;
     unsigned fallback_order = 0;
 
+    // Walk order m down to 1 and stop at the deciding entry: lower
+    // orders were never probed once a result existed, so breaking out
+    // probes the exact same sequence of tables as the full walk.
     for (unsigned i = 0; i < m; ++i) {
         const unsigned j = m - i;
-        lastIndices[i] = hash_.index(word, j);
-        if (result.valid)
-            continue;
         const MarkovProbe probe =
-            tables_[i].probe(lastIndices[i], lastTag);
+            tables_[i].probe(hash_.index(word, j), lastTag);
         if (!probe.valid)
             continue;
         if (config_.selectPolicy == SelectPolicy::HighestValid ||
             probe.confident) {
             result = {true, probe.target};
             lastOrder_ = j;
+            break;
         } else if (!fallback.valid) {
             fallback = {true, probe.target};
             fallback_order = j;
@@ -113,7 +134,7 @@ Ppm::update(trace::Addr target)
         if (config_.updatePolicy == UpdatePolicy::Exclusion &&
             j < lastOrder_)
             break;
-        tables_[i].train(lastIndices[i], lastTag, target);
+        tables_[i].train(hash_.index(lastWord_, j), lastTag, target);
     }
 
     if (config_.orderZero) {

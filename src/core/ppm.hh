@@ -93,6 +93,16 @@ class Ppm
                              trace::Addr pc);
 
     /**
+     * predict() for a caller that already has the full (post-mixPc)
+     * hash word — the replay hot path keeps it incrementally via
+     * SfsxsWord instead of rebuilding it per prediction.  @p word must
+     * equal hash().hashWord(phr, pc) for the history the caller
+     * tracks; everything downstream (probe walk, captured slots,
+     * statistics) is shared with the PHR overload.
+     */
+    pred::Prediction predictHashed(std::uint64_t word, trace::Addr pc);
+
+    /**
      * Train with the resolved target under update exclusion, using
      * the slots captured by the preceding predict().
      */
@@ -123,8 +133,21 @@ class Ppm
     Sfsxs hash_;
     std::vector<MarkovTable> tables_; ///< [0] = order m ... [m-1] = 1
 
-    // Slots captured at predict time.
-    std::vector<std::uint64_t> lastIndices;
+    /**
+     * Flattened entry storage for the default (untagged, non-voting)
+     * configuration: every order's entries live back-to-back in one
+     * allocation, and each MarkovTable is bound to its slice.  The
+     * order-m..1 probe of predict() then walks one cache-friendly
+     * array instead of pointer-chasing m separately allocated tables.
+     * Empty for tagged/voting stacks, which keep per-table storage.
+     */
+    std::vector<pred::TargetEntry> arena_;
+
+    // Slots captured at predict time.  Only the hash word is kept:
+    // per-order indices are a shift/mask away (Sfsxs::index), so
+    // update() re-derives exactly the slots it trains instead of
+    // predict() materializing all m of them up front.
+    std::uint64_t lastWord_ = 0;
     std::uint64_t lastTag = 0;
     unsigned lastOrder_ = 0;
     bool lastValid = false;

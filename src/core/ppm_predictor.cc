@@ -25,54 +25,18 @@ PpmPredictor::PpmPredictor(const PpmPredictorConfig &config,
       name_(name.empty() ? variantName(config.variant)
                          : std::move(name)),
       ppm_(config.ppm),
-      pbPhr(config.ppm.hash.order, config.phrBitsPerTarget,
-            config.pbStream),
-      pibPhr(config.ppm.hash.order, config.phrBitsPerTarget,
-             config.pibStream),
+      pbWord_(config.ppm.hash),
+      pibWord_(config.ppm.hash),
       biu_(config.biu)
 {
-}
-
-pred::Prediction
-PpmPredictor::predict(trace::Addr pc)
-{
-    bool use_pib = true;
-    if (config_.variant != PpmVariant::PibOnly) {
-        BiuEntry &entry = biu_.lookup(pc);
-        entry.multiTarget = true; // learned at first fetch in hardware
-        use_pib = entry.selection.usePib();
-    }
-    ++selectTotal;
-    if (use_pib)
-        ++pibSelected;
-
-    lastPrediction = ppm_.predict(use_pib ? pibPhr : pbPhr, pc);
-    return lastPrediction;
-}
-
-void
-PpmPredictor::update(trace::Addr pc, trace::Addr target)
-{
-    ppm_.update(target);
-    if (config_.variant != PpmVariant::PibOnly) {
-        const bool correct = lastPrediction.hit(target);
-        biu_.lookup(pc).selection.update(correct, selectionMode());
-    }
-}
-
-void
-PpmPredictor::observe(const trace::BranchRecord &record)
-{
-    pbPhr.observe(record);
-    pibPhr.observe(record);
 }
 
 std::uint64_t
 PpmPredictor::storageBits() const
 {
-    std::uint64_t bits = ppm_.storageBits() + pibPhr.storageBits();
+    std::uint64_t bits = ppm_.storageBits() + phrStorageBits();
     if (config_.variant != PpmVariant::PibOnly)
-        bits += pbPhr.storageBits() + biu_.storageBits();
+        bits += phrStorageBits() + biu_.storageBits();
     return bits;
 }
 
@@ -80,10 +44,11 @@ void
 PpmPredictor::reset()
 {
     ppm_.reset();
-    pbPhr.reset();
-    pibPhr.reset();
+    pbWord_.reset();
+    pibWord_.reset();
     biu_.reset();
     lastPrediction = {};
+    lastBiuEntry = nullptr;
     pibSelected = 0;
     selectTotal = 0;
 }

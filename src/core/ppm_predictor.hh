@@ -49,17 +49,85 @@ struct PpmPredictorConfig
     BiuConfig biu; ///< selection-counter home (hybrid variants)
 };
 
-/** The complete PPM predictor. */
-class PpmPredictor : public pred::IndirectPredictor
+/** The complete PPM predictor.  Final so the replay engine's
+ *  devirtualized fast path can inline the per-record observe(). */
+class PpmPredictor final : public pred::IndirectPredictor
 {
   public:
     explicit PpmPredictor(const PpmPredictorConfig &config,
                           std::string name = "");
 
     std::string name() const override { return name_; }
-    pred::Prediction predict(trace::Addr pc) override;
-    void update(trace::Addr pc, trace::Addr target) override;
-    void observe(const trace::BranchRecord &record) override;
+
+    /** Inline (with update and predictAndUpdate below): these run once
+     *  per predicted indirect branch inside the engine's devirtualized
+     *  replay loop, and everything but the Markov-stack probe itself
+     *  flattens into that loop. */
+    pred::Prediction
+    predict(trace::Addr pc) override
+    {
+        bool use_pib = true;
+        if (config_.variant != PpmVariant::PibOnly) {
+            BiuEntry &entry = biu_.lookup(pc);
+            entry.multiTarget = true; // learned at first fetch in hw
+            use_pib = entry.selection.usePib();
+            lastBiuEntry = config_.biu.infinite ? &entry : nullptr;
+        }
+        ++selectTotal;
+        if (use_pib)
+            ++pibSelected;
+
+        const std::uint64_t word =
+            (use_pib ? pibWord_ : pbWord_).word();
+        lastPrediction =
+            ppm_.predictHashed(ppm_.hash().mixPc(word, pc), pc);
+        return lastPrediction;
+    }
+
+    void
+    update(trace::Addr pc, trace::Addr target) override
+    {
+        ppm_.update(target);
+        if (config_.variant != PpmVariant::PibOnly) {
+            const bool correct = lastPrediction.hit(target);
+            BiuEntry &entry =
+                lastBiuEntry ? *lastBiuEntry : biu_.lookup(pc);
+            entry.selection.update(correct, selectionMode());
+        }
+    }
+
+    /** Fused predict+update: one direct-call pair instead of two
+     *  virtual dispatches; the state transitions are the two-call
+     *  protocol's, verbatim. */
+    pred::Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target) override
+    {
+        const pred::Prediction prediction = PpmPredictor::predict(pc);
+        PpmPredictor::update(pc, target);
+        return prediction;
+    }
+
+    /** Advance the two path-history registers.  Each register is held
+     *  directly in its SFSXS-hashed form (see SfsxsWord) — the hash is
+     *  the registers' only consumer, so the folded ring is the
+     *  complete architectural state and predict() reads a ready-made
+     *  word in O(1).  The path symbol is computed once even when the
+     *  record is in both streams. */
+    void
+    observe(const trace::BranchRecord &record) override
+    {
+        const bool pb = pred::inStream(config_.pbStream, record);
+        const bool pib = pred::inStream(config_.pibStream, record);
+        if (!pb && !pib)
+            return;
+        const auto symbol = static_cast<std::uint32_t>(
+            pred::pathSymbol(record, config_.phrBitsPerTarget));
+        if (pb)
+            pbWord_.push(symbol);
+        if (pib)
+            pibWord_.push(symbol);
+    }
+
     std::uint64_t storageBits() const override;
     void reset() override;
 
@@ -83,12 +151,33 @@ class PpmPredictor : public pred::IndirectPredictor
 
     PpmPredictorConfig config_;
     std::string name_;
+    /** Hardware cost of one PHR: m symbols of phrBitsPerTarget bits. */
+    std::uint64_t
+    phrStorageBits() const
+    {
+        return static_cast<std::uint64_t>(config_.ppm.hash.order) *
+               config_.phrBitsPerTarget;
+    }
+
     Ppm ppm_;
-    pred::SymbolHistory pbPhr;
-    pred::SymbolHistory pibPhr;
+    /** The PB and PIB path-history registers, each maintained directly
+     *  as its incremental SFSXS hash word (the hash is the registers'
+     *  only reader, so no raw-symbol copy is kept): predict() reads
+     *  the selected word in O(1) instead of folding all m symbols per
+     *  prediction. */
+    SfsxsWord pbWord_;
+    SfsxsWord pibWord_;
     Biu biu_;
 
     pred::Prediction lastPrediction;
+    /**
+     * BIU entry resolved by the last predict(), reused by update() so
+     * the entry is located once per branch.  Infinite-BIU only:
+     * unordered_map references are stable, and skipping the second
+     * lookup has no observable effect there — a finite BIU's lookup
+     * touches LRU state, so the hybrid variants re-look it up.
+     */
+    BiuEntry *lastBiuEntry = nullptr;
     std::uint64_t pibSelected = 0;
     std::uint64_t selectTotal = 0;
 };

@@ -1,6 +1,5 @@
 #include "core/sfsxs.hh"
 
-#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace ibp::core {
@@ -14,35 +13,6 @@ Sfsxs::Sfsxs(const SfsxsConfig &config)
     fatal_if(config.selectBits == 0 || config.selectBits > 32,
              "SFSXS select width out of range: ", config.selectBits);
     fatal_if(wordBits_ > 63, "SFSXS word too wide");
-}
-
-std::uint64_t
-Sfsxs::hashWord(const pred::SymbolHistory &phr, trace::Addr pc) const
-{
-    fatal_if(phr.length() < config_.order,
-             "PHR shorter than the SFSXS order");
-    std::uint64_t word = 0;
-    for (unsigned i = 0; i < config_.order; ++i) {
-        const std::uint64_t selected =
-            util::selectLow(phr.symbol(i), config_.selectBits);
-        const std::uint64_t folded = util::foldXor(
-            selected, config_.selectBits, config_.foldBits);
-        // Most recent target (i == 0) gets the largest shift.
-        word ^= folded << (config_.order - 1 - i);
-    }
-    if (config_.xorPc)
-        word ^= util::foldXor(pc >> 2, 32, wordBits_);
-    return word & util::maskLow(wordBits_);
-}
-
-std::uint64_t
-Sfsxs::index(std::uint64_t hash_word, unsigned j) const
-{
-    panic_if(j == 0 || j > config_.order,
-             "SFSXS order index out of range: ", j);
-    if (config_.highOrderSelect)
-        return (hash_word >> (wordBits_ - j)) & util::maskLow(j);
-    return hash_word & util::maskLow(j);
 }
 
 } // namespace ibp::core

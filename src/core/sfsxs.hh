@@ -18,8 +18,10 @@
 #define IBP_CORE_SFSXS_HH_
 
 #include <cstdint>
+#include <vector>
 
 #include "predictors/path_history.hh"
+#include "util/bitops.hh"
 
 namespace ibp::core {
 
@@ -42,24 +44,122 @@ class Sfsxs
     /** Width of the pre-select hash word: foldBits + order - 1. */
     unsigned wordBits() const { return wordBits_; }
 
+    /** A path symbol selected and folded down to foldBits. */
+    std::uint64_t
+    foldedSymbol(std::uint32_t symbol) const
+    {
+        return util::foldXor(
+            util::selectLow(symbol, config_.selectBits),
+            config_.selectBits, config_.foldBits);
+    }
+
+    /** Final word fix-up: optional pc mix plus the width mask. */
+    std::uint64_t
+    mixPc(std::uint64_t word, trace::Addr pc) const
+    {
+        if (config_.xorPc)
+            word ^= util::foldXor(pc >> 2, 32, wordBits_);
+        return word & util::maskLow(wordBits_);
+    }
+
     /**
      * The full hash word for a path-history register (and optional
-     * pc, mixed in when configured).
+     * pc, mixed in when configured).  Inline: this and index() are the
+     * PPM probe loop's innermost arithmetic, and keeping them in the
+     * header lets the per-order work reduce to shifts and masks.
+     * (The replay hot path avoids even this O(order) loop by keeping
+     * the word incrementally — see SfsxsWord below.)
      */
-    std::uint64_t hashWord(const pred::SymbolHistory &phr,
-                           trace::Addr pc) const;
+    std::uint64_t
+    hashWord(const pred::SymbolHistory &phr, trace::Addr pc) const
+    {
+        ibp_table_check(phr.length() < config_.order,
+                        "PHR shorter than the SFSXS order");
+        std::uint64_t word = 0;
+        for (unsigned i = 0; i < config_.order; ++i) {
+            // Most recent target (i == 0) gets the largest shift.
+            word ^= foldedSymbol(phr.symbol(i))
+                    << (config_.order - 1 - i);
+        }
+        return mixPc(word, pc);
+    }
 
     /**
      * The index for the order-@p j Markov predictor, in [0, 2^j).
      * Requires 1 <= j <= order.
      */
-    std::uint64_t index(std::uint64_t hash_word, unsigned j) const;
+    std::uint64_t
+    index(std::uint64_t hash_word, unsigned j) const
+    {
+        ibp_table_check(j == 0 || j > config_.order,
+                        "SFSXS order index out of range: ", j);
+        if (config_.highOrderSelect)
+            return (hash_word >> (wordBits_ - j)) & util::maskLow(j);
+        return hash_word & util::maskLow(j);
+    }
 
     const SfsxsConfig &config() const { return config_; }
 
   private:
     SfsxsConfig config_;
     unsigned wordBits_;
+};
+
+/**
+ * An SFSXS hash word maintained incrementally as the path history
+ * advances, replacing the O(order) rebuild in Sfsxs::hashWord() with
+ * O(1) work per retired symbol.
+ *
+ * Pushing a symbol demotes every previous target's recency by one —
+ * every folded contribution's shift drops by one — so the word simply
+ * shifts right after the outgoing order-m contribution (held in a
+ * small ring of folded symbols) is XOR-ed out, and the incoming
+ * symbol's fold enters at the top shift:
+ *
+ *   word' = ((word ^ folded[oldest]) >> 1) ^ (folded(new) << (m-1))
+ *
+ * This is algebraically the same XOR sum hashWord() computes, so the
+ * tracked word is bit-identical to a rebuild from the backing PHR at
+ * every step (asserted by the unit tests).  The caller applies
+ * Sfsxs::mixPc() at lookup time, since the pc is per-prediction.
+ */
+class SfsxsWord
+{
+  public:
+    explicit SfsxsWord(const SfsxsConfig &config)
+        : hash_(config), folded_(config.order, 0)
+    {}
+
+    /** Advance on a symbol entering the backing history register. */
+    void
+    push(std::uint32_t symbol)
+    {
+        const std::uint64_t newest = hash_.foldedSymbol(symbol);
+        // The ring mirrors SymbolHistory: head_ walks backwards, and
+        // the slot it lands on holds the outgoing oldest fold.
+        head_ = head_ == 0 ? folded_.size() - 1 : head_ - 1;
+        word_ = ((word_ ^ folded_[head_]) >> 1) ^
+                (newest << (folded_.size() - 1));
+        folded_[head_] = newest;
+    }
+
+    /** The current pre-mixPc hash word. */
+    std::uint64_t word() const { return word_; }
+
+    void
+    reset()
+    {
+        for (auto &f : folded_)
+            f = 0;
+        head_ = 0;
+        word_ = 0;
+    }
+
+  private:
+    Sfsxs hash_;
+    std::vector<std::uint64_t> folded_; ///< ring; head_ = most recent
+    std::size_t head_ = 0;
+    std::uint64_t word_ = 0;
 };
 
 } // namespace ibp::core

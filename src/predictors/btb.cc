@@ -7,27 +7,6 @@ Btb::Btb(std::size_t entries)
 {
 }
 
-std::uint64_t
-Btb::indexFor(trace::Addr pc) const
-{
-    return (pc >> 2) % table_.size();
-}
-
-Prediction
-Btb::predict(trace::Addr pc)
-{
-    const Entry &entry = table_.at(indexFor(pc));
-    return {entry.valid, entry.target};
-}
-
-void
-Btb::update(trace::Addr pc, trace::Addr target)
-{
-    Entry &entry = table_.at(indexFor(pc));
-    entry.valid = true;
-    entry.target = target;
-}
-
 void
 Btb::observe(const trace::BranchRecord &record)
 {
@@ -49,25 +28,6 @@ Btb::reset()
 Btb2b::Btb2b(std::size_t entries)
     : table_(entries)
 {
-}
-
-std::uint64_t
-Btb2b::indexFor(trace::Addr pc) const
-{
-    return (pc >> 2) % table_.size();
-}
-
-Prediction
-Btb2b::predict(trace::Addr pc)
-{
-    const TargetEntry &entry = table_.at(indexFor(pc));
-    return {entry.valid, entry.target};
-}
-
-void
-Btb2b::update(trace::Addr pc, trace::Addr target)
-{
-    table_.at(indexFor(pc)).train(target);
 }
 
 void

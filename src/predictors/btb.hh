@@ -22,17 +22,49 @@
 
 namespace ibp::pred {
 
-/** Tagless most-recent-target BTB. */
-class Btb : public IndirectPredictor
+/**
+ * Tagless most-recent-target BTB.  Final, with the per-branch
+ * operations defined inline: the replay engine's devirtualized fast
+ * path (sim/engine.cc) folds them straight into its loop.
+ */
+class Btb final : public IndirectPredictor
 {
   public:
     /** @param entries table size (any positive count). */
     explicit Btb(std::size_t entries);
 
     std::string name() const override { return "BTB"; }
-    Prediction predict(trace::Addr pc) override;
-    void update(trace::Addr pc, trace::Addr target) override;
+
+    Prediction
+    predict(trace::Addr pc) override
+    {
+        const Entry &entry = table_.at(indexFor(pc));
+        return {entry.valid, entry.target};
+    }
+
+    void
+    update(trace::Addr pc, trace::Addr target) override
+    {
+        Entry &entry = table_.at(indexFor(pc));
+        entry.valid = true;
+        entry.target = target;
+    }
+
+    /** Fused path: predict and update share the slot, so locate it
+     *  once.  State after the call is identical to predict();update()
+     *  — both resolve the same index for the same pc. */
+    Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target) override
+    {
+        Entry &entry = table_.at(indexFor(pc));
+        const Prediction prediction{entry.valid, entry.target};
+        entry.valid = true;
+        entry.target = target;
+        return prediction;
+    }
+
     void observe(const trace::BranchRecord &record) override;
+    bool wantsObserve() const override { return false; }
     std::uint64_t storageBits() const override;
     void reset() override;
 
@@ -43,26 +75,58 @@ class Btb : public IndirectPredictor
         trace::Addr target = 0;
     };
 
-    std::uint64_t indexFor(trace::Addr pc) const;
+    std::uint64_t
+    indexFor(trace::Addr pc) const
+    {
+        return table_.reduce(pc >> 2);
+    }
 
     util::DirectTable<Entry> table_;
 };
 
-/** Tagless BTB with 2-bit replacement hysteresis. */
-class Btb2b : public IndirectPredictor
+/** Tagless BTB with 2-bit replacement hysteresis (final + inline for
+ *  the same devirtualized replay path as Btb). */
+class Btb2b final : public IndirectPredictor
 {
   public:
     explicit Btb2b(std::size_t entries);
 
     std::string name() const override { return "BTB2b"; }
-    Prediction predict(trace::Addr pc) override;
-    void update(trace::Addr pc, trace::Addr target) override;
+
+    Prediction
+    predict(trace::Addr pc) override
+    {
+        const TargetEntry &entry = table_.at(indexFor(pc));
+        return {entry.valid, entry.target};
+    }
+
+    void
+    update(trace::Addr pc, trace::Addr target) override
+    {
+        table_.at(indexFor(pc)).train(target);
+    }
+
+    /** Fused path: one slot resolution for the read and the train. */
+    Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target) override
+    {
+        TargetEntry &entry = table_.at(indexFor(pc));
+        const Prediction prediction{entry.valid, entry.target};
+        entry.train(target);
+        return prediction;
+    }
+
     void observe(const trace::BranchRecord &record) override;
+    bool wantsObserve() const override { return false; }
     std::uint64_t storageBits() const override;
     void reset() override;
 
   private:
-    std::uint64_t indexFor(trace::Addr pc) const;
+    std::uint64_t
+    indexFor(trace::Addr pc) const
+    {
+        return table_.reduce(pc >> 2);
+    }
 
     util::DirectTable<TargetEntry> table_;
 };

@@ -20,7 +20,7 @@ Cascade::Cascade(const CascadeConfig &config, std::string name)
 std::uint64_t
 Cascade::filterSet(trace::Addr pc) const
 {
-    return (pc >> 2) % filter_.sets();
+    return filter_.reduce(pc >> 2);
 }
 
 std::uint64_t

@@ -13,13 +13,13 @@ BimodalPredictor::BimodalPredictor(std::size_t entries)
 bool
 BimodalPredictor::predict(trace::Addr pc)
 {
-    return table_.at((pc >> 2) % table_.size()).counter.high();
+    return table_.at(table_.reduce(pc >> 2)).counter.high();
 }
 
 void
 BimodalPredictor::update(trace::Addr pc, bool taken)
 {
-    auto &counter = table_.at((pc >> 2) % table_.size()).counter;
+    auto &counter = table_.at(table_.reduce(pc >> 2)).counter;
     if (taken)
         counter.increment();
     else
@@ -49,7 +49,7 @@ GsharePredictor::GsharePredictor(std::size_t entries,
 std::uint64_t
 GsharePredictor::indexFor(trace::Addr pc) const
 {
-    return ((pc >> 2) ^ history_) % table_.size();
+    return table_.reduce((pc >> 2) ^ history_);
 }
 
 bool
@@ -128,7 +128,7 @@ PpmDirectionPredictor::predict(trace::Addr pc)
     bool decided = false;
     for (unsigned i = 0; i < order_; ++i) {
         const unsigned j = order_ - i;
-        lastIndices[i] = indexFor(pc, j) % tables_[i].size();
+        lastIndices[i] = tables_[i].reduce(indexFor(pc, j));
         if (decided)
             continue;
         const Entry &entry = tables_[i].at(lastIndices[i]);

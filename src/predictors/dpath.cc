@@ -71,11 +71,11 @@ Prediction
 PathComponent::predict(trace::Addr pc)
 {
     if (!config_.tagged) {
-        lastIndex = indexHash(pc) % direct_.size();
+        lastIndex = direct_.reduce(indexHash(pc));
         const TargetEntry &entry = direct_.at(lastIndex);
         return {entry.valid, entry.target};
     }
-    lastSet = indexHash(pc) % assoc_.sets();
+    lastSet = assoc_.reduce(indexHash(pc));
     lastTag = tagHash(pc);
     const TargetEntry *entry = assoc_.lookup(lastSet, lastTag);
     if (!entry)
@@ -135,7 +135,7 @@ Dpath::predict(trace::Addr pc)
     lastShort = short_.predict(pc);
     lastLong = long_.predict(pc);
     const Selector &sel =
-        selector_.at((pc >> 2) % selector_.size());
+        selector_.at(selector_.reduce(pc >> 2));
     // Counter high half selects the long-path component; fall back to
     // whichever component has an entry when the chosen one is cold.
     const bool choose_long = sel.counter.high();
@@ -156,7 +156,7 @@ Dpath::updateWithAllocate(trace::Addr pc, trace::Addr target,
 {
     const bool short_right = lastShort.hit(target);
     const bool long_right = lastLong.hit(target);
-    Selector &sel = selector_.at((pc >> 2) % selector_.size());
+    Selector &sel = selector_.at(selector_.reduce(pc >> 2));
     if (long_right && !short_right)
         sel.counter.increment();
     else if (short_right && !long_right)

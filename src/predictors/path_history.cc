@@ -14,24 +14,4 @@ streamName(StreamSel stream)
     return "?";
 }
 
-bool
-inStream(StreamSel stream, const trace::BranchRecord &record)
-{
-    using trace::BranchKind;
-    switch (stream) {
-      case StreamSel::AllBranches:
-        return true;
-      case StreamSel::AllIndirect:
-        return trace::isIndirect(record.kind);
-      case StreamSel::MtIndirect:
-        return record.multiTarget &&
-               (record.kind == BranchKind::IndirectJmp ||
-                record.kind == BranchKind::IndirectCall);
-      case StreamSel::CallsReturns:
-        return record.kind == BranchKind::IndirectCall ||
-               record.kind == BranchKind::Return;
-    }
-    return false;
-}
-
 } // namespace ibp::pred

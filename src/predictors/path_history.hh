@@ -26,6 +26,7 @@
 #include "trace/branch_record.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 
 namespace ibp::pred {
 
@@ -41,8 +42,29 @@ enum class StreamSel : std::uint8_t
 /** Printable stream name. */
 const char *streamName(StreamSel stream);
 
-/** True iff @p record belongs to @p stream. */
-bool inStream(StreamSel stream, const trace::BranchRecord &record);
+/**
+ * True iff @p record belongs to @p stream.  Inline: every history
+ * register asks this once per retired branch.
+ */
+constexpr bool
+inStream(StreamSel stream, const trace::BranchRecord &record)
+{
+    using trace::BranchKind;
+    switch (stream) {
+      case StreamSel::AllBranches:
+        return true;
+      case StreamSel::AllIndirect:
+        return trace::isIndirect(record.kind);
+      case StreamSel::MtIndirect:
+        return record.multiTarget &&
+               (record.kind == BranchKind::IndirectJmp ||
+                record.kind == BranchKind::IndirectCall);
+      case StreamSel::CallsReturns:
+        return record.kind == BranchKind::IndirectCall ||
+               record.kind == BranchKind::Return;
+    }
+    return false;
+}
 
 /**
  * The path symbol a record contributes: low bits of the resolved next
@@ -121,24 +143,48 @@ class SymbolHistory
                  "SymbolHistory symbol width out of range");
     }
 
-    void
+    /**
+     * Advance on a retired branch (no-op outside the stream).
+     * @retval true a symbol was inserted — callers keeping derived
+     *         state in lock-step (the PPM predictor's incremental
+     *         SFSXS word) advance theirs exactly when this returns
+     *         true.
+     */
+    bool
     observe(const trace::BranchRecord &record)
     {
         if (!inStream(stream_, record))
-            return;
-        // Shift: index 0 is the most recent target.
-        for (std::size_t i = symbols_.size() - 1; i > 0; --i)
-            symbols_[i] = symbols_[i - 1];
-        symbols_[0] =
-            static_cast<std::uint32_t>(pathSymbol(record, symbolBits));
+            return false;
+        push(static_cast<std::uint32_t>(
+            pathSymbol(record, symbolBits)));
+        return true;
+    }
+
+    /**
+     * Insert an already-computed symbol (the stream check and
+     * pathSymbol() are the caller's).  Lets a caller feeding several
+     * registers from one record compute the symbol once.
+     */
+    void
+    push(std::uint32_t symbol)
+    {
+        // Ring insert: head_ walks backwards so symbol(0) is always
+        // the most recent target.  Equivalent to (but much cheaper
+        // than) shifting every slot per retired branch.
+        head_ = head_ == 0 ? symbols_.size() - 1 : head_ - 1;
+        symbols_[head_] = symbol;
     }
 
     /** The @p i-th most recent symbol (0 = most recent). */
     std::uint32_t
     symbol(std::size_t i) const
     {
-        panic_if(i >= symbols_.size(), "SymbolHistory index out of range");
-        return symbols_[i];
+        ibp_table_check(i >= symbols_.size(),
+                        "SymbolHistory index out of range");
+        std::size_t slot = head_ + i;
+        if (slot >= symbols_.size())
+            slot -= symbols_.size();
+        return symbols_[slot];
     }
 
     unsigned length() const
@@ -160,12 +206,14 @@ class SymbolHistory
     {
         for (auto &s : symbols_)
             s = 0;
+        head_ = 0;
     }
 
   private:
     unsigned symbolBits;
     StreamSel stream_;
-    std::vector<std::uint32_t> symbols_;
+    std::vector<std::uint32_t> symbols_; ///< ring; head_ = most recent
+    std::size_t head_ = 0;
 };
 
 } // namespace ibp::pred

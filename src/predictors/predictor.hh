@@ -55,8 +55,32 @@ class IndirectPredictor
      */
     virtual void update(trace::Addr pc, trace::Addr target) = 0;
 
+    /**
+     * predict() immediately followed by update(), fused into one
+     * virtual call.  The replay engine always predicts and trains the
+     * same branch back to back, so this is the call it actually makes;
+     * the default shim makes it exactly equivalent to the two-call
+     * protocol.  Predictors whose predict and update touch the same
+     * table slot (the BTB family) override it to locate the slot once.
+     */
+    virtual Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target)
+    {
+        const Prediction prediction = predict(pc);
+        update(pc, target);
+        return prediction;
+    }
+
     /** Observe every retired branch (advances path histories). */
     virtual void observe(const trace::BranchRecord &record) = 0;
+
+    /**
+     * False iff observe() is a no-op for this predictor (BTB-family
+     * predictors keep no path state).  The engine hoists this out of
+     * its replay loop and skips the per-record virtual observe()
+     * call; overriding it never changes any prediction.
+     */
+    virtual bool wantsObserve() const { return true; }
 
     /** Storage cost in bits, for hardware-budget accounting. */
     virtual std::uint64_t storageBits() const = 0;

@@ -11,26 +11,6 @@ ReturnAddressStack::ReturnAddressStack(std::size_t depth)
 }
 
 void
-ReturnAddressStack::push(trace::Addr return_addr)
-{
-    stack_[top_] = return_addr;
-    top_ = (top_ + 1) % stack_.size();
-    if (live_ < stack_.size())
-        ++live_;
-}
-
-bool
-ReturnAddressStack::pop(trace::Addr &predicted)
-{
-    if (live_ == 0)
-        return false;
-    top_ = (top_ + stack_.size() - 1) % stack_.size();
-    predicted = stack_[top_];
-    --live_;
-    return true;
-}
-
-void
 ReturnAddressStack::reset()
 {
     top_ = 0;

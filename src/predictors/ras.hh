@@ -25,15 +25,34 @@ class ReturnAddressStack
   public:
     explicit ReturnAddressStack(std::size_t depth = 16);
 
-    /** Push the return address of a call. */
-    void push(trace::Addr return_addr);
+    /** Push the return address of a call.  Inline: the replay engine
+     *  calls this for every call-class record in the trace. */
+    void
+    push(trace::Addr return_addr)
+    {
+        stack_[top_] = return_addr;
+        // top_ < size always holds, so wrap is a compare, not a divide.
+        top_ = top_ + 1 == stack_.size() ? 0 : top_ + 1;
+        if (live_ < stack_.size())
+            ++live_;
+    }
 
     /**
-     * Pop and return the predicted return target.
+     * Pop and return the predicted return target (inline, same hot
+     * path as push()).
      * @param predicted out-parameter with the popped address
      * @retval false the stack was empty (no prediction)
      */
-    bool pop(trace::Addr &predicted);
+    bool
+    pop(trace::Addr &predicted)
+    {
+        if (live_ == 0)
+            return false;
+        top_ = (top_ == 0 ? stack_.size() : top_) - 1;
+        predicted = stack_[top_];
+        --live_;
+        return true;
+    }
 
     /** Current number of live entries (<= depth). */
     std::size_t size() const { return live_; }

@@ -1,6 +1,85 @@
 #include "sim/engine.hh"
 
+#include "core/ppm_predictor.hh"
+#include "predictors/btb.hh"
+
 namespace ibp::sim {
+
+namespace {
+
+/**
+ * The replay loop, templated on the concrete predictor type.  For the
+ * hot predictor classes (final types dispatched below) the compiler
+ * devirtualizes and inlines predictAndUpdate()/observe() straight into
+ * the loop; instantiated with the base class it degrades to exactly
+ * one virtual call per predicted branch and one per observed record.
+ * Either way the per-record protocol — predict -> update -> observe,
+ * in trace order — is the same code, so metrics are bit-identical
+ * across instantiations.
+ */
+template <typename Predictor>
+RunMetrics
+replay(const EngineConfig &config, trace::BranchSource &source,
+       Predictor &predictor)
+{
+    RunMetrics metrics;
+    pred::ReturnAddressStack ras(config.rasDepth);
+
+    // Replay in spans: contiguous sources expose their records in
+    // place via nextSpan() (zero copies, one virtual call per span);
+    // everything else falls back to nextBatch(), one virtual call per
+    // kReplayBatch records.  Loop-invariant configuration and the
+    // predictor's observe() interest are hoisted out of the hot loop.
+    const bool use_ras = config.useRas;
+    const bool per_site = config.perSiteStats;
+    const bool observes = predictor.wantsObserve();
+
+    trace::BranchRecord batch[Engine::kReplayBatch];
+    for (;;) {
+        const trace::BranchRecord *span = nullptr;
+        std::size_t n = source.nextSpan(span);
+        if (n == 0) {
+            n = source.nextBatch(batch, Engine::kReplayBatch);
+            if (n == 0)
+                break;
+            span = batch;
+        }
+        metrics.branches += n;
+
+        for (std::size_t b = 0; b < n; ++b) {
+            const trace::BranchRecord &record = span[b];
+
+            if (record.isPredictedIndirect()) {
+                ++metrics.mtIndirect;
+                const pred::Prediction prediction =
+                    predictor.predictAndUpdate(record.pc, record.target);
+                const bool miss = !prediction.hit(record.target);
+                metrics.indirectMisses.sample(miss);
+                metrics.noPrediction.sample(!prediction.valid);
+                if (per_site) {
+                    SiteMetrics &site = metrics.perSite[record.pc];
+                    site.misses.sample(miss);
+                    site.lastTarget = record.target;
+                }
+            } else if (record.kind == trace::BranchKind::Return &&
+                       use_ras) {
+                trace::Addr predicted = 0;
+                const bool got = ras.pop(predicted);
+                metrics.returnMisses.sample(!got ||
+                                            predicted != record.target);
+            }
+
+            if (record.call && use_ras)
+                ras.push(record.pc + 4);
+
+            if (observes)
+                predictor.observe(record);
+        }
+    }
+    return metrics;
+}
+
+} // namespace
 
 Engine::Engine(const EngineConfig &config)
     : config_(config)
@@ -11,40 +90,18 @@ RunMetrics
 Engine::run(trace::BranchSource &source,
             pred::IndirectPredictor &predictor)
 {
-    RunMetrics metrics;
-    pred::ReturnAddressStack ras(config_.rasDepth);
-
-    trace::BranchRecord record;
-    while (source.next(record)) {
-        ++metrics.branches;
-
-        if (record.isPredictedIndirect()) {
-            ++metrics.mtIndirect;
-            const pred::Prediction prediction =
-                predictor.predict(record.pc);
-            const bool miss = !prediction.hit(record.target);
-            metrics.indirectMisses.sample(miss);
-            metrics.noPrediction.sample(!prediction.valid);
-            if (config_.perSiteStats) {
-                SiteMetrics &site = metrics.perSite[record.pc];
-                site.misses.sample(miss);
-                site.lastTarget = record.target;
-            }
-            predictor.update(record.pc, record.target);
-        } else if (record.kind == trace::BranchKind::Return &&
-                   config_.useRas) {
-            trace::Addr predicted = 0;
-            const bool got = ras.pop(predicted);
-            metrics.returnMisses.sample(!got ||
-                                        predicted != record.target);
-        }
-
-        if (record.call && config_.useRas)
-            ras.push(record.pc + 4);
-
-        predictor.observe(record);
-    }
-    return metrics;
+    // Type-switch devirtualization: one dynamic_cast per run (not per
+    // record) routes the hottest concrete predictors into fully
+    // inlined replay loops.  Anything else — composite predictors,
+    // test doubles — takes the generic virtual loop with identical
+    // semantics.
+    if (auto *btb = dynamic_cast<pred::Btb *>(&predictor))
+        return replay(config_, source, *btb);
+    if (auto *btb2b = dynamic_cast<pred::Btb2b *>(&predictor))
+        return replay(config_, source, *btb2b);
+    if (auto *ppm = dynamic_cast<core::PpmPredictor *>(&predictor))
+        return replay(config_, source, *ppm);
+    return replay(config_, source, predictor);
 }
 
 } // namespace ibp::sim

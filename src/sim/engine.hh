@@ -36,10 +36,18 @@ struct EngineConfig
 class Engine
 {
   public:
+    /** Records fetched per BranchSource::nextBatch() call in run().
+     *  Sized to keep the working batch inside L1 while amortizing the
+     *  per-batch virtual call to nothing. */
+    static constexpr std::size_t kReplayBatch = 256;
+
     explicit Engine(const EngineConfig &config = {});
 
     /**
-     * Run @p predictor over @p source until exhaustion.
+     * Run @p predictor over @p source until exhaustion.  Replays in
+     * nextBatch() batches; the per-record protocol (predict -> update
+     * -> observe) and every resulting metric are identical to a
+     * record-at-a-time loop.
      * @return the collected metrics
      */
     RunMetrics run(trace::BranchSource &source,

@@ -37,7 +37,7 @@ secondsSince(Clock::time_point start)
 class TraceCache
 {
   public:
-    using Buffer = std::shared_ptr<const trace::TraceBuffer>;
+    using Buffer = std::shared_ptr<const trace::PackedTraceBuffer>;
 
     Buffer
     get(const workload::BenchmarkProfile &profile, double trace_scale,
@@ -69,8 +69,12 @@ class TraceCache
 
         const auto start = Clock::now();
         try {
-            auto buffer = std::make_shared<const trace::TraceBuffer>(
-                generateTrace(profile, trace_scale));
+            // Generate unpacked, then pack for residency: the cache
+            // holds (and every replaying cell streams) 16-byte
+            // records; the 24-byte staging buffer dies right here.
+            auto buffer =
+                std::make_shared<const trace::PackedTraceBuffer>(
+                    generateTrace(profile, trace_scale));
             if (generation_seconds)
                 *generation_seconds = secondsSince(start);
             promise.set_value(std::move(buffer));
@@ -198,7 +202,7 @@ generateTrace(const workload::BenchmarkProfile &profile,
     return program.collect(records);
 }
 
-std::shared_ptr<const trace::TraceBuffer>
+std::shared_ptr<const trace::PackedTraceBuffer>
 generateTraceCached(const workload::BenchmarkProfile &profile,
                     double trace_scale, double *generation_seconds)
 {
@@ -338,7 +342,7 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                     const double cpu_start = util::threadCpuSeconds();
                     const auto buffer = generateTraceCached(
                         profiles[r], options.traceScale);
-                    trace::ReplaySource source(*buffer);
+                    trace::PackedReplaySource source(*buffer);
                     auto predictor = makePredictor(predictor_names[c],
                                                    options.factory);
                     Engine engine(options.engine);

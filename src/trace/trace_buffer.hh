@@ -7,6 +7,7 @@
 #ifndef IBP_TRACE_TRACE_BUFFER_HH_
 #define IBP_TRACE_TRACE_BUFFER_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -39,6 +40,44 @@ class BranchSource
      * @retval false the stream is exhausted
      */
     virtual bool next(BranchRecord &record) = 0;
+
+    /**
+     * Fetch up to @p max records into @p out.  The records are exactly
+     * what the same number of next() calls would have produced — the
+     * batch is purely an amortization of the per-record virtual call,
+     * which is what the simulation engine's hot loop runs on.
+     * @return the number of records produced; 0 means exhausted.
+     *
+     * The default shim loops next(), so every source supports
+     * batching; contiguous sources override it with a bulk copy.
+     */
+    virtual std::size_t
+    nextBatch(BranchRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    /**
+     * Expose the next run of records in place, without copying.
+     * @param span receives a pointer to the run, valid until the next
+     *        call on this source
+     * @return the run length; 0 means "exhausted or no span support"
+     *         (the default), in which case callers fall back to
+     *         nextBatch().
+     *
+     * Sources backed by contiguous storage override this so consumers
+     * (the simulation engine's replay loop) read records straight out
+     * of the trace with no per-record copy at all.
+     */
+    virtual std::size_t
+    nextSpan(const BranchRecord *&span)
+    {
+        span = nullptr;
+        return 0;
+    }
 };
 
 /**
@@ -69,8 +108,30 @@ class TraceBuffer : public BranchSink, public BranchSource
         return true;
     }
 
+    std::size_t
+    nextBatch(BranchRecord *out, std::size_t max) override
+    {
+        const std::size_t n =
+            std::min(max, records_.size() - cursor_);
+        std::copy_n(records_.data() + cursor_, n, out);
+        cursor_ += n;
+        return n;
+    }
+
+    std::size_t
+    nextSpan(const BranchRecord *&span) override
+    {
+        span = records_.data() + cursor_;
+        const std::size_t n = records_.size() - cursor_;
+        cursor_ = records_.size();
+        return n;
+    }
+
     /** Restart iteration from the beginning. */
     void rewind() { cursor_ = 0; }
+
+    /** Pre-allocate room for @p n records (bulk generation). */
+    void reserve(std::size_t n) { records_.reserve(n); }
 
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }
@@ -117,6 +178,25 @@ class ReplaySource : public BranchSource
             return false;
         record = (*records_)[cursor_++];
         return true;
+    }
+
+    std::size_t
+    nextBatch(BranchRecord *out, std::size_t max) override
+    {
+        const std::size_t n =
+            std::min(max, records_->size() - cursor_);
+        std::copy_n(records_->data() + cursor_, n, out);
+        cursor_ += n;
+        return n;
+    }
+
+    std::size_t
+    nextSpan(const BranchRecord *&span) override
+    {
+        span = records_->data() + cursor_;
+        const std::size_t n = records_->size() - cursor_;
+        cursor_ = records_->size();
+        return n;
     }
 
     /** Restart iteration from the beginning. */

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A minimal open-addressing hash map for integer keys.
+ *
+ * The infinite BIU sits on the replay hot path: one lookup per
+ * predicted indirect branch, millions per suite cell.  A node-based
+ * std::unordered_map pays a pointer chase (and an allocation per new
+ * branch site) for every one of them; this map stores its slots in one
+ * contiguous power-of-two array with linear probing, so the common
+ * lookup is a multiplicative hash, one mask, and one cache line.
+ *
+ * Scope is deliberately small — exactly the operations the simulator
+ * needs (find-or-default-insert, size, clear).  Keys must be integers;
+ * values must be default-constructible.  References returned by
+ * operator[] stay valid until the next insertion that triggers a
+ * rehash (same contract a vector gives across push_back), which the
+ * BIU's predict-then-update call pair respects by design.
+ */
+
+#ifndef IBP_UTIL_FLAT_MAP_HH_
+#define IBP_UTIL_FLAT_MAP_HH_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace ibp::util {
+
+/** Open-addressing hash map from an integer key to a value. */
+template <typename Key, typename Value>
+class FlatMap
+{
+    static_assert(std::is_integral_v<Key>,
+                  "FlatMap keys must be integers");
+
+  public:
+    FlatMap() = default;
+
+    /**
+     * The value for @p key, default-constructing it (and allocating a
+     * slot) on first access — std::unordered_map::operator[]
+     * semantics.
+     */
+    Value &
+    operator[](const Key &key)
+    {
+        if (slots_.empty())
+            rehash(kMinSlots);
+        std::size_t i = probe(key);
+        if (!slots_[i].used) {
+            // Keep the load factor under 7/8 so probe runs stay short.
+            if ((used_ + 1) * 8 > slots_.size() * 7) {
+                rehash(slots_.size() * 2);
+                i = probe(key);
+            }
+            slots_[i].used = true;
+            slots_[i].key = key;
+            ++used_;
+        }
+        return slots_[i].value;
+    }
+
+    /** The value for @p key, or nullptr if absent (no allocation). */
+    const Value *
+    find(const Key &key) const
+    {
+        if (used_ == 0)
+            return nullptr;
+        const std::size_t i = probe(key);
+        return slots_[i].used ? &slots_[i].value : nullptr;
+    }
+
+    std::size_t size() const { return used_; }
+    bool empty() const { return used_ == 0; }
+
+    /** Drop every entry; slot storage is retained for reuse. */
+    void
+    clear()
+    {
+        for (Slot &slot : slots_)
+            slot = Slot{};
+        used_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool used = false;
+    };
+
+    static constexpr std::size_t kMinSlots = 1024;
+
+    /** Fibonacci-style multiplicative hash with a high-bit fold —
+     *  cheap and plenty for branch addresses, whose entropy sits in a
+     *  narrow band of middle bits. */
+    static std::size_t
+    hashOf(Key key)
+    {
+        std::uint64_t h = static_cast<std::uint64_t>(key) *
+                          0x9E3779B97F4A7C15ull;
+        return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+
+    /** Index of @p key's slot, or of the empty slot where it would be
+     *  inserted.  Requires a non-full table (the load cap guarantees
+     *  an empty slot terminates every probe run). */
+    std::size_t
+    probe(Key key) const
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hashOf(key) & mask;
+        while (slots_[i].used && slots_[i].key != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_slots, Slot{});
+        for (Slot &slot : old) {
+            if (!slot.used)
+                continue;
+            const std::size_t mask = slots_.size() - 1;
+            std::size_t i = hashOf(slot.key) & mask;
+            while (slots_[i].used)
+                i = (i + 1) & mask;
+            slots_[i] = std::move(slot);
+        }
+    }
+
+    std::vector<Slot> slots_; ///< power-of-two sized, linear probing
+    std::size_t used_ = 0;
+};
+
+} // namespace ibp::util
+
+#endif // IBP_UTIL_FLAT_MAP_HH_

@@ -21,13 +21,15 @@ namespace ibp::util {
 class Ratio
 {
   public:
-    /** Record one opportunity; @p event says whether the event fired. */
+    /** Record one opportunity; @p event says whether the event fired.
+     *  Branchless: sampled per predicted branch in the replay loop,
+     *  where a data-dependent miss/hit branch would be unpredictable
+     *  by construction. */
     void
     sample(bool event)
     {
         ++total_;
-        if (event)
-            ++events_;
+        events_ += event;
     }
 
     /** Merge another ratio into this one. */

@@ -6,6 +6,15 @@
  * (BTB, PHT, Markov table).  AssocTable<Entry> models a tagged,
  * set-associative table with true-LRU replacement (the Cascade
  * predictor's PHTs and the tagged PPM variant).
+ *
+ * Index reduction: callers hand reduce() an arbitrary hash and get a
+ * valid slot back — a single AND on power-of-two geometries, a modulo
+ * otherwise (the two are identical for power-of-two sizes, so the
+ * fast path changes no simulated number).  Per-access bounds checks
+ * are compiled in only when IBP_CHECKED_TABLES is defined (the CMake
+ * option of the same name; on by default outside Release builds and
+ * in the sanitizer CI jobs) — geometry validation in constructors is
+ * unconditional.
  */
 
 #ifndef IBP_UTIL_TABLE_HH_
@@ -17,37 +26,57 @@
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
+#ifdef IBP_CHECKED_TABLES
+/** Hot-path table assertion: active only in checked builds. */
+#define ibp_table_check(cond, ...) panic_if(cond, __VA_ARGS__)
+#else
+#define ibp_table_check(cond, ...)                                        \
+    do {                                                                  \
+    } while (0)
+#endif
+
 namespace ibp::util {
 
 /**
  * Tagless direct-mapped table.  The caller supplies a pre-computed
- * index; the table only validates it.  Entries are default-constructed.
+ * index (usually via reduce()); entries are default-constructed.
  */
 template <typename Entry>
 class DirectTable
 {
   public:
     explicit DirectTable(std::size_t entries)
-        : entries_(entries)
+        : entries_(entries),
+          mask_(isPowerOf2(entries) ? entries - 1 : 0)
     {
         panic_if(entries == 0, "DirectTable needs at least one entry");
     }
 
     std::size_t size() const { return entries_.size(); }
 
+    /** Reduce an arbitrary hash to a valid index: masked when the
+     *  size is a power of two, modulo otherwise. */
+    std::uint64_t
+    reduce(std::uint64_t hash) const
+    {
+        return mask_ ? (hash & mask_) : (hash % entries_.size());
+    }
+
     Entry &
     at(std::uint64_t index)
     {
-        panic_if(index >= entries_.size(), "DirectTable index ", index,
-                 " out of range (size ", entries_.size(), ")");
+        ibp_table_check(index >= entries_.size(), "DirectTable index ",
+                        index, " out of range (size ", entries_.size(),
+                        ")");
         return entries_[index];
     }
 
     const Entry &
     at(std::uint64_t index) const
     {
-        panic_if(index >= entries_.size(), "DirectTable index ", index,
-                 " out of range (size ", entries_.size(), ")");
+        ibp_table_check(index >= entries_.size(), "DirectTable index ",
+                        index, " out of range (size ", entries_.size(),
+                        ")");
         return entries_[index];
     }
 
@@ -60,23 +89,26 @@ class DirectTable
 
   private:
     std::vector<Entry> entries_;
+    std::uint64_t mask_;
 };
 
 /**
  * Tagged, set-associative table with true-LRU replacement.
  *
- * Any positive set count is allowed (callers reduce their hash modulo
- * sets()), which lets budget-constrained geometries like the Cascade
- * predictor's 240-set PHTs be modelled exactly.  Lookup/insert use a
- * (set index, tag) pair computed by the caller so different predictors
- * can use different index/tag hash functions.
+ * Any positive set count is allowed (callers reduce their hash via
+ * reduce(), which degrades to modulo off powers of two), which lets
+ * budget-constrained geometries like the Cascade predictor's 240-set
+ * PHTs be modelled exactly.  Lookup/insert use a (set index, tag) pair
+ * computed by the caller so different predictors can use different
+ * index/tag hash functions.
  */
 template <typename Entry>
 class AssocTable
 {
   public:
     AssocTable(std::size_t sets, std::size_t ways)
-        : numSets(sets), numWays(ways), lines_(sets * ways)
+        : numSets(sets), numWays(ways),
+          setMask_(isPowerOf2(sets) ? sets - 1 : 0), lines_(sets * ways)
     {
         panic_if(sets == 0 || ways == 0, "AssocTable: empty geometry");
     }
@@ -84,6 +116,14 @@ class AssocTable
     std::size_t sets() const { return numSets; }
     std::size_t ways() const { return numWays; }
     std::size_t size() const { return lines_.size(); }
+
+    /** Reduce an arbitrary hash to a valid set index: masked when the
+     *  set count is a power of two, modulo otherwise. */
+    std::uint64_t
+    reduce(std::uint64_t hash) const
+    {
+        return setMask_ ? (hash & setMask_) : (hash % numSets);
+    }
 
     /**
      * Find the entry with @p tag in @p set and promote it to MRU.
@@ -95,7 +135,7 @@ class AssocTable
         Line *line = findLine(set, tag);
         if (!line)
             return nullptr;
-        touch(set, line);
+        touch(line);
         return &line->entry;
     }
 
@@ -103,8 +143,7 @@ class AssocTable
     const Entry *
     peek(std::uint64_t set, std::uint64_t tag) const
     {
-        const Line *line =
-            const_cast<AssocTable *>(this)->findLine(set, tag);
+        const Line *line = findLine(set, tag);
         return line ? &line->entry : nullptr;
     }
 
@@ -116,7 +155,7 @@ class AssocTable
     Entry &
     insert(std::uint64_t set, std::uint64_t tag, Entry entry)
     {
-        panic_if(set >= numSets, "AssocTable set out of range");
+        ibp_table_check(set >= numSets, "AssocTable set out of range");
         Line *victim = nullptr;
         std::uint64_t oldest = 0;
         bool first = true;
@@ -135,7 +174,7 @@ class AssocTable
         victim->valid = true;
         victim->tag = tag;
         victim->entry = std::move(entry);
-        touch(set, victim);
+        touch(victim);
         return victim->entry;
     }
 
@@ -143,7 +182,7 @@ class AssocTable
     std::size_t
     setOccupancy(std::uint64_t set) const
     {
-        panic_if(set >= numSets, "AssocTable set out of range");
+        ibp_table_check(set >= numSets, "AssocTable set out of range");
         std::size_t n = 0;
         for (std::size_t w = 0; w < numWays; ++w)
             if (lines_[set * numWays + w].valid)
@@ -185,27 +224,34 @@ class AssocTable
         return lines_[set * numWays + way];
     }
 
-    Line *
-    findLine(std::uint64_t set, std::uint64_t tag)
+    const Line *
+    findLine(std::uint64_t set, std::uint64_t tag) const
     {
-        panic_if(set >= numSets, "AssocTable set out of range");
+        ibp_table_check(set >= numSets, "AssocTable set out of range");
         for (std::size_t w = 0; w < numWays; ++w) {
-            Line &line = lineAt(set, w);
+            const Line &line = lines_[set * numWays + w];
             if (line.valid && line.tag == tag)
                 return &line;
         }
         return nullptr;
     }
 
-    void
-    touch(std::uint64_t set, Line *line)
+    Line *
+    findLine(std::uint64_t set, std::uint64_t tag)
     {
-        (void)set;
+        return const_cast<Line *>(
+            static_cast<const AssocTable *>(this)->findLine(set, tag));
+    }
+
+    void
+    touch(Line *line)
+    {
         line->lastUse = ++clock_;
     }
 
     std::size_t numSets;
     std::size_t numWays;
+    std::uint64_t setMask_;
     std::vector<Line> lines_;
     std::uint64_t clock_ = 0;
 };

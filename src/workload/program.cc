@@ -191,6 +191,7 @@ trace::TraceBuffer
 Program::collect(std::uint64_t n)
 {
     trace::TraceBuffer buffer;
+    buffer.reserve(n);
     run(n, buffer);
     buffer.rewind();
     return buffer;

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the open-addressing FlatMap backing the infinite BIU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ibp::util::FlatMap;
+using ibp::util::Rng;
+
+TEST(FlatMap, BehavesLikeUnorderedMapUnderRandomAccess)
+{
+    // Differential test: drive both maps with the same operator[]
+    // stream (word-aligned, clustered keys shaped like branch
+    // addresses) and require identical contents throughout.
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> reference;
+    Rng rng(42);
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t key =
+            0x120000000ull + (rng.below(4096) << 2);
+        const std::uint64_t value = rng();
+        flat[key] += value;
+        reference[key] += value;
+        ASSERT_EQ(flat.size(), reference.size());
+    }
+    for (const auto &[key, value] : reference) {
+        const std::uint64_t *found = flat.find(key);
+        ASSERT_NE(found, nullptr) << "missing key " << key;
+        EXPECT_EQ(*found, value);
+    }
+}
+
+TEST(FlatMap, GrowsPastItsInitialCapacityWithoutLosingEntries)
+{
+    // Insert far more distinct keys than the initial slot count so
+    // several rehashes fire; every key must keep its value.
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    constexpr std::uint64_t kKeys = 50'000;
+    for (std::uint64_t key = 0; key < kKeys; ++key)
+        flat[key * 4] = key * 3 + 1;
+    EXPECT_EQ(flat.size(), kKeys);
+    for (std::uint64_t key = 0; key < kKeys; ++key) {
+        const std::uint64_t *found = flat.find(key * 4);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, key * 3 + 1);
+    }
+}
+
+TEST(FlatMap, OperatorIndexDefaultConstructsNewValues)
+{
+    FlatMap<int, std::uint64_t> flat;
+    EXPECT_TRUE(flat.empty());
+    EXPECT_EQ(flat[7], 0u);
+    EXPECT_EQ(flat.size(), 1u);
+    flat[7] = 99;
+    EXPECT_EQ(flat[7], 99u);
+    EXPECT_EQ(flat.size(), 1u);
+}
+
+TEST(FlatMap, FindDoesNotAllocate)
+{
+    FlatMap<std::uint64_t, int> flat;
+    EXPECT_EQ(flat.find(123), nullptr);
+    EXPECT_EQ(flat.size(), 0u);
+    flat[123] = 5;
+    EXPECT_EQ(flat.find(999), nullptr);
+    EXPECT_EQ(flat.size(), 1u);
+}
+
+TEST(FlatMap, ClearEmptiesButStaysUsable)
+{
+    FlatMap<std::uint64_t, int> flat;
+    for (std::uint64_t key = 0; key < 100; ++key)
+        flat[key] = static_cast<int>(key);
+    flat.clear();
+    EXPECT_TRUE(flat.empty());
+    EXPECT_EQ(flat.find(50), nullptr);
+    flat[50] = -1;
+    EXPECT_EQ(flat.size(), 1u);
+    EXPECT_EQ(*flat.find(50), -1);
+}
+
+/** Adversarial keys that all hash near each other exercise the linear
+ *  probe's wraparound path. */
+TEST(FlatMap, SurvivesCollidingKeyRuns)
+{
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::vector<std::uint64_t> keys;
+    // Consecutive integers multiplied by the same odd constant produce
+    // adjacent slots — a worst-case probe cluster.
+    for (std::uint64_t i = 0; i < 2'000; ++i)
+        keys.push_back(i);
+    for (const auto key : keys)
+        flat[key] = ~key;
+    for (const auto key : keys)
+        EXPECT_EQ(flat[key], ~key);
+    EXPECT_EQ(flat.size(), keys.size());
+}
+
+} // namespace

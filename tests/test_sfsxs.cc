@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/sfsxs.hh"
+#include "util/random.hh"
 #include "util/bitops.hh"
 
 namespace {
@@ -142,3 +143,52 @@ TEST(Sfsxs, DistributesAcrossTableForRandomPaths)
 }
 
 } // namespace
+
+TEST(SfsxsWord, TracksHashWordOverRandomStreams)
+{
+    // The incremental word must equal a from-scratch hashWord() over
+    // the same symbol stream after every single push, for a spread of
+    // geometries (the paper's, degenerate order 1, fold == select, and
+    // a non-divisible select/fold pair).
+    const std::vector<SfsxsConfig> configs = {
+        {10, 10, 5, true, false},
+        {1, 10, 5, true, false},
+        {4, 6, 6, true, false},
+        {7, 10, 3, true, false},
+    };
+    ibp::util::Rng rng(0x5F5);
+    for (const auto &config : configs) {
+        Sfsxs hash(config);
+        SfsxsWord word(config);
+        SymbolHistory phr(config.order, 10, StreamSel::MtIndirect);
+        for (int i = 0; i < 500; ++i) {
+            const auto sym =
+                static_cast<std::uint32_t>(rng.below(1u << 10));
+            phr.push(sym);
+            word.push(sym);
+            // mixPc(word, pc) with xorPc off just masks; pc ignored.
+            ASSERT_EQ(hash.mixPc(word.word(), 0),
+                      hash.hashWord(phr, 0))
+                << "order " << config.order << " step " << i;
+        }
+        word.reset();
+        phr.reset();
+        EXPECT_EQ(hash.mixPc(word.word(), 0), hash.hashWord(phr, 0));
+    }
+}
+
+TEST(SfsxsWord, MixPcMatchesXorPcConfiguration)
+{
+    SfsxsConfig config{5, 10, 5, true, true};
+    Sfsxs hash(config);
+    SfsxsWord word(config);
+    SymbolHistory phr(config.order, 10, StreamSel::MtIndirect);
+    ibp::util::Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const auto sym = static_cast<std::uint32_t>(rng.below(1u << 10));
+        phr.push(sym);
+        word.push(sym);
+        const ibp::trace::Addr pc = rng() & ((1ull << 40) - 1);
+        ASSERT_EQ(hash.mixPc(word.word(), pc), hash.hashWord(phr, pc));
+    }
+}

@@ -80,8 +80,8 @@ TEST_F(TraceCacheTest, ConcurrentRequestsShareOneGeneration)
 {
     const auto profile = cacheProfile();
     constexpr int kThreads = 8;
-    std::vector<const ibp::trace::TraceBuffer *> seen(kThreads);
-    std::vector<std::shared_ptr<const ibp::trace::TraceBuffer>>
+    std::vector<const ibp::trace::PackedTraceBuffer *> seen(kThreads);
+    std::vector<std::shared_ptr<const ibp::trace::PackedTraceBuffer>>
         buffers(kThreads);
     {
         std::vector<std::thread> threads;
@@ -99,11 +99,12 @@ TEST_F(TraceCacheTest, ConcurrentRequestsShareOneGeneration)
         EXPECT_EQ(seen[0], seen[i]) << "thread " << i;
     EXPECT_EQ(traceCacheSize(), 1u);
 
-    // Cached content is exactly what the uncached path produces.
+    // Cached content is exactly what the uncached path produces —
+    // packing is lossless, so unpacking record by record matches.
     const auto fresh = generateTrace(profile, 1.0);
     ASSERT_EQ(buffers[0]->size(), fresh.size());
     for (std::size_t i = 0; i < fresh.size(); ++i)
-        ASSERT_EQ((*buffers[0])[i], fresh[i]);
+        ASSERT_EQ(buffers[0]->record(i), fresh[i]);
 }
 
 TEST_F(TraceCacheTest, CapacityBoundsResidencyLruFirst)
