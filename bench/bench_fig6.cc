@@ -60,5 +60,8 @@ main(int argc, char **argv)
               << (btb >= ppm && btb >= cascade && btb >= tc ? "yes"
                                                             : "NO")
               << '\n';
+
+    ibp::bench::writeRunReport(
+        ibp::sim::buildRunReport("bench_fig6", options, result, timing));
     return 0;
 }

@@ -65,5 +65,8 @@ main(int argc, char **argv)
     std::cout << "  PIB/biased competitive on the paper's four "
                  "PIB-dominated runs: "
               << pib_wins << "/4\n";
+
+    ibp::bench::writeRunReport(
+        ibp::sim::buildRunReport("bench_fig7", options, result, timing));
     return 0;
 }

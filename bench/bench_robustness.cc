@@ -70,5 +70,11 @@ main(int argc, char **argv)
     std::printf("BTB worst of the lineup on %d/%u seeds\n", btb_worst,
                 seeds);
     ibp::bench::timingFooter(timing);
+
+    auto report = ibp::sim::buildSweepReport("bench_robustness",
+                                             options, sweep, timing);
+    report.scalars["ordering_holds"] = ordering_holds;
+    report.scalars["btb_worst"] = btb_worst;
+    ibp::bench::writeRunReport(report);
     return 0;
 }

@@ -51,6 +51,11 @@ main(int argc, char **argv)
     const auto wall_start = Clock::now();
     std::vector<std::future<RowOutput>> futures;
     ibp::sim::SuiteTiming timing;
+    ibp::obs::RunReport report;
+    report.tool = "bench_table1";
+    report.build = ibp::obs::BuildInfo::current();
+    report.traceScale = scale;
+    report.threads = options.threads;
     {
         ibp::util::ThreadPool pool(options.threads);
         timing.threadsUsed = pool.threadCount();
@@ -72,6 +77,17 @@ main(int argc, char **argv)
             const RowOutput output = futures[i].get();
             const auto &stats = output.stats;
             timing.serialEquivalentSeconds += output.seconds;
+            const auto &name = profile.fullName();
+            report.scalars[name + "/branches"] =
+                static_cast<double>(stats.totalBranches);
+            report.scalars[name + "/mt_indirect"] =
+                static_cast<double>(stats.mtIndirect);
+            report.scalars[name + "/sites"] =
+                static_cast<double>(stats.staticMtSites());
+            report.scalars[name + "/mean_arity"] =
+                stats.meanDynamicArity();
+            report.scalars[name + "/mono_fraction"] =
+                stats.monomorphicSiteFraction(0.95);
             const double instr_m =
                 static_cast<double>(stats.approxInstructions(
                     profile.instructionsPerBranch)) /
@@ -95,5 +111,10 @@ main(int argc, char **argv)
                 "(branches x %.0f instructions/branch at scale %.2f); "
                 "the paper's traces were 100-1000x longer.\n",
                 5.0, scale);
+
+    report.wallSeconds = timing.wallSeconds;
+    report.serialEquivalentSeconds = timing.serialEquivalentSeconds;
+    report.threadsUsed = timing.threadsUsed;
+    ibp::bench::writeRunReport(report);
     return 0;
 }

@@ -32,10 +32,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
 #include "trace/packed_trace.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "workload/profiles.hh"
 
@@ -163,26 +165,41 @@ main(int argc, char **argv)
     }
 
     // --- JSON -------------------------------------------------------------
+    // v2: same measurement keys as v1, plus build metadata (compiler,
+    // flags, git sha, probe configuration) so a regression report can
+    // always be traced back to the binary that produced it.
+    const auto build = ibp::obs::BuildInfo::current();
     std::ofstream out(out_path);
     fatal_if(!out, "cannot open ", out_path, " for writing");
-    out << "{\n";
-    out << "  \"schema\": \"ibp-bench-throughput-v1\",\n";
-    out << "  \"records\": " << trace.size() << ",\n";
-    out << "  \"trace_gen\": {\n";
-    out << "    \"records_per_sec\": " << gen_records_per_sec << ",\n";
-    out << "    \"mb_per_sec\": " << gen_mb_per_sec << "\n";
-    out << "  },\n";
-    out << "  \"predictors\": {\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        out << "    \"" << results[i].name << "\": {"
-            << "\"branches_per_sec\": "
-            << results[i].span.branchesPerSec
-            << ", \"packed_branches_per_sec\": "
-            << results[i].packed.branchesPerSec << "}";
-        out << (i + 1 < results.size() ? ",\n" : "\n");
+    {
+        ibp::util::JsonWriter json(out);
+        json.beginObject();
+        json.key("schema").value("ibp-bench-throughput-v2");
+        json.key("build").beginObject();
+        json.key("compiler").value(build.compiler);
+        json.key("build_type").value(build.buildType);
+        json.key("flags").value(build.flags);
+        json.key("git_sha").value(build.gitSha);
+        json.key("instrumented").value(build.instrumented);
+        json.endObject();
+        json.key("records").value(std::uint64_t{trace.size()});
+        json.key("trace_gen").beginObject();
+        json.key("records_per_sec").value(gen_records_per_sec);
+        json.key("mb_per_sec").value(gen_mb_per_sec);
+        json.endObject();
+        json.key("predictors").beginObject();
+        for (const auto &result : results) {
+            json.key(result.name).beginObject();
+            json.key("branches_per_sec")
+                .value(result.span.branchesPerSec);
+            json.key("packed_branches_per_sec")
+                .value(result.packed.branchesPerSec);
+            json.endObject();
+        }
+        json.endObject();
+        json.endObject();
     }
-    out << "  }\n";
-    out << "}\n";
+    out << '\n';
 
     std::cout << "\nwrote " << out_path << "\n";
     return 0;

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/report.hh"
 #include "sim/experiment.hh"
 #include "util/thread_pool.hh"
 
@@ -96,6 +97,24 @@ timingFooter(const ibp::sim::SuiteTiming &timing)
                 "(serial-equivalent %.2f s, speedup %.1fx)\n",
                 timing.wallSeconds, timing.threadsUsed,
                 timing.serialEquivalentSeconds, timing.speedup());
+}
+
+/**
+ * Write the driver's machine-readable run report.  The path comes
+ * from the IBP_REPORT environment variable when set ("off" disables
+ * emission); the default is ibp_report.json in the CWD.  Diff two of
+ * these with `report_tool --diff`.
+ */
+inline void
+writeRunReport(const ibp::obs::RunReport &report)
+{
+    std::string path = "ibp_report.json";
+    if (const char *env = std::getenv("IBP_REPORT"))
+        path = env;
+    if (path.empty() || path == "off")
+        return;
+    ibp::obs::writeReportFile(path, report);
+    std::printf("report: %s\n", path.c_str());
 }
 
 /** Print one paper-vs-measured comparison row. */

@@ -51,6 +51,7 @@ Biu::reset()
     map_.clear();
     table_.reset();
     evictions_ = 0;
+    occupancy_.reset();
 }
 
 } // namespace ibp::core

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/correlation.hh"
+#include "obs/probe.hh"
 #include "trace/branch_record.hh"
 #include "util/flat_map.hh"
 #include "util/table.hh"
@@ -57,13 +58,22 @@ class Biu
     BiuEntry &
     lookup(trace::Addr pc)
     {
-        if (config_.infinite)
-            return map_[pc]; // default-constructs at Strongly PIB
+        if (config_.infinite) {
+            BiuEntry &entry = map_[pc]; // default-constructs at S-PIB
+            IBP_PROBE(occupancy_.observe(map_.size());)
+            return entry;
+        }
         return lookupFinite(pc);
     }
 
     /** Number of allocations that evicted a live entry (finite only). */
     std::uint64_t evictions() const { return evictions_; }
+
+    /** Peak tracked-branch count (infinite BIU; probes only). */
+    std::uint64_t occupancyHighWater() const
+    {
+        return occupancy_.max();
+    }
 
     /** Tracked branches (infinite) or geometry entries (finite). */
     std::size_t capacity() const;
@@ -88,6 +98,7 @@ class Biu
     util::FlatMap<trace::Addr, BiuEntry> map_;
     util::AssocTable<BiuEntry> table_;
     std::uint64_t evictions_ = 0;
+    obs::HighWater occupancy_;
 };
 
 } // namespace ibp::core

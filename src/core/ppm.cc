@@ -7,7 +7,8 @@ namespace ibp::core {
 
 Ppm::Ppm(const PpmConfig &config)
     : config_(config), hash_(config.hash),
-      accesses_(config.hash.order + 1), misses_(config.hash.order + 1)
+      accesses_(config.hash.order + 1), misses_(config.hash.order + 1),
+      escapes_(config.hash.order + 1)
 {
     const unsigned m = config_.hash.order;
     std::vector<std::size_t> entries = config_.tableEntries;
@@ -88,8 +89,10 @@ Ppm::predictHashed(std::uint64_t word, trace::Addr pc)
         const unsigned j = m - i;
         const MarkovProbe probe =
             tables_[i].probe(hash_.index(word, j), lastTag);
-        if (!probe.valid)
+        if (!probe.valid) {
+            escapes_.sample(j);
             continue;
+        }
         if (config_.selectPolicy == SelectPolicy::HighestValid ||
             probe.confident) {
             result = {true, probe.target};
@@ -161,6 +164,7 @@ Ppm::reset()
         table.reset();
     accesses_.reset();
     misses_.reset();
+    escapes_.reset();
     lastValid = false;
     lastOrder_ = 0;
     zeroValid = false;

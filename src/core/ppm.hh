@@ -24,6 +24,7 @@
 
 #include "core/markov_table.hh"
 #include "core/sfsxs.hh"
+#include "obs/probe.hh"
 #include "predictors/path_history.hh"
 #include "predictors/predictor.hh"
 #include "util/histogram.hh"
@@ -115,6 +116,15 @@ class Ppm
     const util::Histogram &accessHistogram() const { return accesses_; }
     /** Per-order miss counts. */
     const util::Histogram &missHistogram() const { return misses_; }
+    /**
+     * Per-order escape counts: how often the probe of order j found
+     * no usable state and fell through to order j-1 (PPM's escape
+     * symbol).  Probe-gated: all-zero unless IBP_INSTRUMENT.
+     */
+    const obs::ProbeHistogram &escapeHistogram() const
+    {
+        return escapes_;
+    }
 
     unsigned order() const { return config_.hash.order; }
     const Sfsxs &hash() const { return hash_; }
@@ -159,6 +169,7 @@ class Ppm
 
     util::Histogram accesses_;
     util::Histogram misses_;
+    obs::ProbeHistogram escapes_;
 };
 
 } // namespace ibp::core

@@ -31,6 +31,24 @@ PpmPredictor::PpmPredictor(const PpmPredictorConfig &config,
 {
 }
 
+void
+PpmPredictor::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    // Selection counts are architectural (always collected); the rest
+    // are probe-gated and read zero in probes-off builds.
+    registry.counter("ppm/select_total", selectTotal);
+    registry.counter("ppm/pib_selected", pibSelected);
+    registry.counter("ppm/selector_flips", selectorFlips_);
+    registry.histogram("ppm/order_depth", ppm_.accessHistogram());
+    registry.histogram("ppm/order_miss", ppm_.missHistogram());
+    registry.histogram("ppm/order_escape", ppm_.escapeHistogram());
+    if (config_.variant != PpmVariant::PibOnly) {
+        registry.counter("biu/evictions", biu_.evictions());
+        registry.counter("biu/high_water",
+                         biu_.occupancyHighWater());
+    }
+}
+
 std::uint64_t
 PpmPredictor::storageBits() const
 {
@@ -51,6 +69,7 @@ PpmPredictor::reset()
     lastBiuEntry = nullptr;
     pibSelected = 0;
     selectTotal = 0;
+    selectorFlips_.reset();
 }
 
 double

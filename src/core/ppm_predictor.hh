@@ -92,7 +92,10 @@ class PpmPredictor final : public pred::IndirectPredictor
             const bool correct = lastPrediction.hit(target);
             BiuEntry &entry =
                 lastBiuEntry ? *lastBiuEntry : biu_.lookup(pc);
+            IBP_PROBE(const bool before = entry.selection.usePib();)
             entry.selection.update(correct, selectionMode());
+            IBP_PROBE(if (entry.selection.usePib() != before)
+                          selectorFlips_.bump();)
         }
     }
 
@@ -128,6 +131,7 @@ class PpmPredictor final : public pred::IndirectPredictor
             pibWord_.push(symbol);
     }
 
+    void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
     void reset() override;
 
@@ -180,6 +184,8 @@ class PpmPredictor final : public pred::IndirectPredictor
     BiuEntry *lastBiuEntry = nullptr;
     std::uint64_t pibSelected = 0;
     std::uint64_t selectTotal = 0;
+    /** PB<->PIB preference changes of per-branch selection counters. */
+    obs::Counter selectorFlips_;
 };
 
 /** The paper's Figure-6 2K-entry PPM-hyb configuration. */

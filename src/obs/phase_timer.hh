@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Named phase timers: wall plus thread-CPU seconds per phase.
+ *
+ * Drivers wrap coarse stages (trace generation, suite replay, report
+ * emission) in ScopedPhase blocks; the accumulated map is serialized
+ * into the run report.  Timing is not gated by IBP_INSTRUMENT — these
+ * are per-phase (not per-record) readings, two clock calls per phase,
+ * and the wall-clock footer the suite already prints needs them in
+ * every configuration.
+ */
+
+#ifndef IBP_OBS_PHASE_TIMER_HH_
+#define IBP_OBS_PHASE_TIMER_HH_
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/cputime.hh"
+
+namespace ibp::obs {
+
+/** Accumulated cost of one named phase. */
+struct PhaseTimes
+{
+    double wallSeconds = 0;
+    double cpuSeconds = 0;
+    std::uint64_t entries = 0; ///< how many scopes contributed
+};
+
+/** Accumulates PhaseTimes by name; re-entering a name adds to it. */
+class PhaseTimer
+{
+  public:
+    void
+    add(const std::string &name, double wall, double cpu)
+    {
+        PhaseTimes &t = phases_[name];
+        t.wallSeconds += wall;
+        t.cpuSeconds += cpu;
+        ++t.entries;
+    }
+
+    const std::map<std::string, PhaseTimes> &phases() const
+    {
+        return phases_;
+    }
+
+    void clear() { phases_.clear(); }
+
+  private:
+    std::map<std::string, PhaseTimes> phases_;
+};
+
+/** RAII scope crediting its lifetime to one phase of a PhaseTimer. */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseTimer &timer, std::string name)
+        : timer_(timer), name_(std::move(name)),
+          wallStart_(std::chrono::steady_clock::now()),
+          cpuStart_(util::threadCpuSeconds())
+    {
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    ~ScopedPhase()
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart_)
+                .count();
+        timer_.add(name_, wall, util::threadCpuSeconds() - cpuStart_);
+    }
+
+  private:
+    PhaseTimer &timer_;
+    std::string name_;
+    std::chrono::steady_clock::time_point wallStart_;
+    double cpuStart_;
+};
+
+} // namespace ibp::obs
+
+#endif // IBP_OBS_PHASE_TIMER_HH_

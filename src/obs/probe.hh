@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Zero-cost instrumentation probe primitives.
+ *
+ * Counter, HighWater and ProbeHistogram are the write-side primitives
+ * embedded in hot structures (tables, RAS, BIU, the PPM stack).  All
+ * of them compile to complete no-ops — no member storage, no loads, no
+ * stores — unless the IBP_INSTRUMENT compile definition is set (the
+ * CMake option of the same name; AUTO keeps it on for every build type
+ * except Release, mirroring IBP_CHECKED_TABLES).  Probes never feed
+ * back into simulated state, so the simulated numbers are bit-identical
+ * in both configurations; the golden suite fixture enforces that.
+ *
+ * The IBP_PROBE(...) macro splices statements (or member declarations)
+ * into instrumented builds only; use it for bookkeeping that has no
+ * one-primitive equivalent, e.g. remembering a pre-update state to
+ * detect a transition.
+ *
+ * This header is dependency-free so the lowest layers (util/table.hh)
+ * can embed probes without a cycle.
+ */
+
+#ifndef IBP_OBS_PROBE_HH_
+#define IBP_OBS_PROBE_HH_
+
+#include <cstdint>
+#include <vector>
+
+#ifdef IBP_INSTRUMENT
+/** Splice the argument into instrumented builds; vanish otherwise. */
+#define IBP_PROBE(...) __VA_ARGS__
+#else
+#define IBP_PROBE(...)
+#endif
+
+namespace ibp::obs {
+
+#ifdef IBP_INSTRUMENT
+inline constexpr bool kInstrumentEnabled = true;
+#else
+inline constexpr bool kInstrumentEnabled = false;
+#endif
+
+/** A monotonically increasing event counter.  Reads 0 when probes are
+ *  compiled out (the class is then empty and bump() is a no-op). */
+class Counter
+{
+  public:
+    void
+    bump(std::uint64_t n = 1)
+    {
+        (void)n;
+        IBP_PROBE(value_ += n;)
+    }
+
+    std::uint64_t
+    value() const
+    {
+#ifdef IBP_INSTRUMENT
+        return value_;
+#else
+        return 0;
+#endif
+    }
+
+    void reset() { IBP_PROBE(value_ = 0;) }
+
+  private:
+    IBP_PROBE(std::uint64_t value_ = 0;)
+};
+
+/** Tracks the maximum value ever observed (e.g. BIU occupancy). */
+class HighWater
+{
+  public:
+    void
+    observe(std::uint64_t v)
+    {
+        (void)v;
+        IBP_PROBE(if (v > max_) max_ = v;)
+    }
+
+    std::uint64_t
+    max() const
+    {
+#ifdef IBP_INSTRUMENT
+        return max_;
+#else
+        return 0;
+#endif
+    }
+
+    void reset() { IBP_PROBE(max_ = 0;) }
+
+  private:
+    IBP_PROBE(std::uint64_t max_ = 0;)
+};
+
+/**
+ * A fixed-bucket histogram probe over [0, buckets); out-of-range
+ * samples clamp into the last bucket.  The bucket count survives in
+ * both configurations so snapshot() keeps a stable shape, but the
+ * counts vector (and every sample) exists only when instrumented.
+ */
+class ProbeHistogram
+{
+  public:
+    explicit ProbeHistogram(std::size_t buckets)
+        : buckets_(buckets == 0 ? 1 : buckets)
+    {
+        IBP_PROBE(counts_.assign(buckets_, 0);)
+    }
+
+    void
+    sample(std::size_t bucket, std::uint64_t weight = 1)
+    {
+        (void)bucket;
+        (void)weight;
+        IBP_PROBE(counts_[bucket >= buckets_ ? buckets_ - 1 : bucket] +=
+                  weight;)
+    }
+
+    std::size_t buckets() const { return buckets_; }
+
+    std::uint64_t
+    count(std::size_t bucket) const
+    {
+#ifdef IBP_INSTRUMENT
+        return bucket < buckets_ ? counts_[bucket] : 0;
+#else
+        (void)bucket;
+        return 0;
+#endif
+    }
+
+    /** Bucket counts (all-zero, correctly sized, when compiled out). */
+    std::vector<std::uint64_t>
+    snapshot() const
+    {
+#ifdef IBP_INSTRUMENT
+        return counts_;
+#else
+        return std::vector<std::uint64_t>(buckets_, 0);
+#endif
+    }
+
+    void reset() { IBP_PROBE(counts_.assign(buckets_, 0);) }
+
+  private:
+    std::size_t buckets_;
+    IBP_PROBE(std::vector<std::uint64_t> counts_;)
+};
+
+} // namespace ibp::obs
+
+#endif // IBP_OBS_PROBE_HH_

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ProbeRegistry: a named snapshot of probe values.
+ *
+ * The write side of instrumentation lives in the hot structures as
+ * obs::Counter / obs::HighWater / obs::ProbeHistogram members (see
+ * probe.hh).  The read side is this registry: after a run, each
+ * component copies its probe values in under stable slash-separated
+ * names ("ppm/order_depth", "biu/evictions", ...).  Registries from
+ * independent runs merge by summation, which is how the suite runner
+ * aggregates one registry per predictor column across benchmark rows.
+ *
+ * Snapshotting is cold-path only (once per engine run); nothing here
+ * is gated, so a probes-off build produces the same names with all
+ * values zero — keeping report schemas stable across configurations.
+ */
+
+#ifndef IBP_OBS_REGISTRY_HH_
+#define IBP_OBS_REGISTRY_HH_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/probe.hh"
+#include "util/histogram.hh"
+
+namespace ibp::obs {
+
+/** Named counter and histogram snapshots from one or more runs. */
+class ProbeRegistry
+{
+  public:
+    /** Add @p value to the counter @p name (creating it at 0). */
+    void
+    counter(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] += value;
+    }
+
+    /** Convenience overloads for the probe primitives. */
+    void counter(const std::string &name, const Counter &c)
+    {
+        counter(name, c.value());
+    }
+    void counter(const std::string &name, const HighWater &h)
+    {
+        // Merged as a sum like any counter; meaningful per-run, and an
+        // upper bound after cross-run aggregation.
+        counter(name, h.max());
+    }
+
+    /** Accumulate @p buckets into the histogram @p name
+     *  (element-wise; the histogram grows to the larger size). */
+    void
+    histogram(const std::string &name,
+              const std::vector<std::uint64_t> &buckets)
+    {
+        auto &dst = histograms_[name];
+        if (dst.size() < buckets.size())
+            dst.resize(buckets.size(), 0);
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            dst[i] += buckets[i];
+    }
+
+    void
+    histogram(const std::string &name, const ProbeHistogram &h)
+    {
+        histogram(name, h.snapshot());
+    }
+
+    void
+    histogram(const std::string &name, const util::Histogram &h)
+    {
+        std::vector<std::uint64_t> buckets(h.buckets());
+        for (std::size_t i = 0; i < buckets.size(); ++i)
+            buckets[i] = h.count(i);
+        histogram(name, buckets);
+    }
+
+    /** Sum @p other into this registry. */
+    void
+    merge(const ProbeRegistry &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counter(name, value);
+        for (const auto &[name, buckets] : other.histograms_)
+            histogram(name, buckets);
+    }
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && histograms_.empty();
+    }
+
+    /** Counter value (0 when absent). */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, std::vector<std::uint64_t>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
+    void
+    clear()
+    {
+        counters_.clear();
+        histograms_.clear();
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::vector<std::uint64_t>> histograms_;
+};
+
+} // namespace ibp::obs
+
+#endif // IBP_OBS_REGISTRY_HH_

@@ -13,6 +13,12 @@ Btb::observe(const trace::BranchRecord &record)
     (void)record; // no path state
 }
 
+void
+Btb::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    registry.counter("btb/replacements", replacements_);
+}
+
 std::uint64_t
 Btb::storageBits() const
 {
@@ -23,6 +29,7 @@ void
 Btb::reset()
 {
     table_.reset();
+    replacements_.reset();
 }
 
 Btb2b::Btb2b(std::size_t entries)
@@ -36,6 +43,12 @@ Btb2b::observe(const trace::BranchRecord &record)
     (void)record;
 }
 
+void
+Btb2b::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    registry.counter("btb/replacements", replacements_);
+}
+
 std::uint64_t
 Btb2b::storageBits() const
 {
@@ -46,6 +59,7 @@ void
 Btb2b::reset()
 {
     table_.reset();
+    replacements_.reset();
 }
 
 } // namespace ibp::pred

@@ -46,6 +46,8 @@ class Btb final : public IndirectPredictor
     update(trace::Addr pc, trace::Addr target) override
     {
         Entry &entry = table_.at(indexFor(pc));
+        IBP_PROBE(if (entry.valid && entry.target != target)
+                      replacements_.bump();)
         entry.valid = true;
         entry.target = target;
     }
@@ -58,6 +60,8 @@ class Btb final : public IndirectPredictor
     {
         Entry &entry = table_.at(indexFor(pc));
         const Prediction prediction{entry.valid, entry.target};
+        IBP_PROBE(if (entry.valid && entry.target != target)
+                      replacements_.bump();)
         entry.valid = true;
         entry.target = target;
         return prediction;
@@ -65,6 +69,7 @@ class Btb final : public IndirectPredictor
 
     void observe(const trace::BranchRecord &record) override;
     bool wantsObserve() const override { return false; }
+    void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
     void reset() override;
 
@@ -82,6 +87,11 @@ class Btb final : public IndirectPredictor
     }
 
     util::DirectTable<Entry> table_;
+    /** Target overwrites of a live entry — DirectTable is tagless, so
+     *  this is the direct-mapped analogue of a tagged conflict miss:
+     *  either the branch changed targets or another branch aliased
+     *  into the slot. */
+    obs::Counter replacements_;
 };
 
 /** Tagless BTB with 2-bit replacement hysteresis (final + inline for
@@ -103,7 +113,12 @@ class Btb2b final : public IndirectPredictor
     void
     update(trace::Addr pc, trace::Addr target) override
     {
-        table_.at(indexFor(pc)).train(target);
+        TargetEntry &entry = table_.at(indexFor(pc));
+        IBP_PROBE(const trace::Addr before = entry.target;
+                  const bool was_valid = entry.valid;)
+        entry.train(target);
+        IBP_PROBE(if (was_valid && entry.target != before)
+                      replacements_.bump();)
     }
 
     /** Fused path: one slot resolution for the read and the train. */
@@ -113,11 +128,14 @@ class Btb2b final : public IndirectPredictor
         TargetEntry &entry = table_.at(indexFor(pc));
         const Prediction prediction{entry.valid, entry.target};
         entry.train(target);
+        IBP_PROBE(if (prediction.valid && entry.target != prediction.target)
+                      replacements_.bump();)
         return prediction;
     }
 
     void observe(const trace::BranchRecord &record) override;
     bool wantsObserve() const override { return false; }
+    void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
     void reset() override;
 
@@ -129,6 +147,8 @@ class Btb2b final : public IndirectPredictor
     }
 
     util::DirectTable<TargetEntry> table_;
+    /** Hysteresis-approved target replacements of live entries. */
+    obs::Counter replacements_;
 };
 
 } // namespace ibp::pred

@@ -98,6 +98,18 @@ Cascade::observe(const trace::BranchRecord &record)
     main_.observe(record);
 }
 
+void
+Cascade::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    // Serve counts are architectural; the filter table's eviction and
+    // conflict counters are probe-gated (zero in probes-off builds).
+    registry.counter("cascade/served_total", servedTotal);
+    registry.counter("cascade/filter_served", servedByFilter);
+    registry.counter("cascade/filter_evictions", filter_.evictions());
+    registry.counter("cascade/filter_conflict_misses",
+                     filter_.conflictMisses());
+}
+
 std::uint64_t
 Cascade::storageBits() const
 {

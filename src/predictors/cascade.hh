@@ -60,6 +60,7 @@ class Cascade : public IndirectPredictor
     Prediction predict(trace::Addr pc) override;
     void update(trace::Addr pc, trace::Addr target) override;
     void observe(const trace::BranchRecord &record) override;
+    void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
     void reset() override;
 

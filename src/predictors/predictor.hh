@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/registry.hh"
 #include "trace/branch_record.hh"
 #include "util/sat_counter.hh"
 
@@ -81,6 +82,18 @@ class IndirectPredictor
      * call; overriding it never changes any prediction.
      */
     virtual bool wantsObserve() const { return true; }
+
+    /**
+     * Copy this predictor's probe values into @p registry under
+     * stable slash-separated names ("ppm/order_depth", ...).  Called
+     * once per engine run, off the hot path; the default contributes
+     * nothing.  In probes-off builds gated values read as zero but the
+     * names still appear, keeping report schemas stable.
+     */
+    virtual void snapshotProbes(obs::ProbeRegistry &registry) const
+    {
+        (void)registry;
+    }
 
     /** Storage cost in bits, for hardware-budget accounting. */
     virtual std::uint64_t storageBits() const = 0;

@@ -15,6 +15,8 @@ ReturnAddressStack::reset()
 {
     top_ = 0;
     live_ = 0;
+    overflows_.reset();
+    underflows_.reset();
 }
 
 } // namespace ibp::pred

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/probe.hh"
 #include "trace/branch_record.hh"
 
 namespace ibp::pred {
@@ -30,6 +31,7 @@ class ReturnAddressStack
     void
     push(trace::Addr return_addr)
     {
+        IBP_PROBE(if (live_ == stack_.size()) overflows_.bump();)
         stack_[top_] = return_addr;
         // top_ < size always holds, so wrap is a compare, not a divide.
         top_ = top_ + 1 == stack_.size() ? 0 : top_ + 1;
@@ -46,8 +48,10 @@ class ReturnAddressStack
     bool
     pop(trace::Addr &predicted)
     {
-        if (live_ == 0)
+        if (live_ == 0) {
+            underflows_.bump();
             return false;
+        }
         top_ = (top_ == 0 ? stack_.size() : top_) - 1;
         predicted = stack_[top_];
         --live_;
@@ -66,12 +70,19 @@ class ReturnAddressStack
         return stack_.size() * 64;
     }
 
+    /** Pushes that overwrote the oldest live entry (probes only). */
+    std::uint64_t overflows() const { return overflows_.value(); }
+    /** Pops from an empty stack, i.e. no-prediction returns. */
+    std::uint64_t underflows() const { return underflows_.value(); }
+
     void reset();
 
   private:
     std::vector<trace::Addr> stack_;
     std::size_t top_ = 0;  ///< index of the next free slot
     std::size_t live_ = 0; ///< valid entries (saturates at depth)
+    obs::Counter overflows_;
+    obs::Counter underflows_;
 };
 
 } // namespace ibp::pred

@@ -20,10 +20,9 @@ namespace {
 template <typename Predictor>
 RunMetrics
 replay(const EngineConfig &config, trace::BranchSource &source,
-       Predictor &predictor)
+       Predictor &predictor, pred::ReturnAddressStack &ras)
 {
     RunMetrics metrics;
-    pred::ReturnAddressStack ras(config.rasDepth);
 
     // Replay in spans: contiguous sources expose their records in
     // place via nextSpan() (zero copies, one virtual call per span);
@@ -88,20 +87,34 @@ Engine::Engine(const EngineConfig &config)
 
 RunMetrics
 Engine::run(trace::BranchSource &source,
-            pred::IndirectPredictor &predictor)
+            pred::IndirectPredictor &predictor,
+            obs::ProbeRegistry *probes)
 {
+    // The RAS lives here (not in replay()) so its probe counters are
+    // still readable after the loop returns.
+    pred::ReturnAddressStack ras(config_.rasDepth);
+
     // Type-switch devirtualization: one dynamic_cast per run (not per
     // record) routes the hottest concrete predictors into fully
     // inlined replay loops.  Anything else — composite predictors,
     // test doubles — takes the generic virtual loop with identical
     // semantics.
+    RunMetrics metrics;
     if (auto *btb = dynamic_cast<pred::Btb *>(&predictor))
-        return replay(config_, source, *btb);
-    if (auto *btb2b = dynamic_cast<pred::Btb2b *>(&predictor))
-        return replay(config_, source, *btb2b);
-    if (auto *ppm = dynamic_cast<core::PpmPredictor *>(&predictor))
-        return replay(config_, source, *ppm);
-    return replay(config_, source, predictor);
+        metrics = replay(config_, source, *btb, ras);
+    else if (auto *btb2b = dynamic_cast<pred::Btb2b *>(&predictor))
+        metrics = replay(config_, source, *btb2b, ras);
+    else if (auto *ppm = dynamic_cast<core::PpmPredictor *>(&predictor))
+        metrics = replay(config_, source, *ppm, ras);
+    else
+        metrics = replay(config_, source, predictor, ras);
+
+    if (probes) {
+        probes->counter("ras/overflows", ras.overflows());
+        probes->counter("ras/underflows", ras.underflows());
+        predictor.snapshotProbes(*probes);
+    }
+    return metrics;
 }
 
 } // namespace ibp::sim

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "obs/registry.hh"
 #include "predictors/predictor.hh"
 #include "predictors/ras.hh"
 #include "sim/metrics.hh"
@@ -48,10 +49,14 @@ class Engine
      * nextBatch() batches; the per-record protocol (predict -> update
      * -> observe) and every resulting metric are identical to a
      * record-at-a-time loop.
+     * @param probes when non-null, receives the RAS and predictor
+     *        probe snapshots after the replay (cold path; never read
+     *        during it)
      * @return the collected metrics
      */
     RunMetrics run(trace::BranchSource &source,
-                   pred::IndirectPredictor &predictor);
+                   pred::IndirectPredictor &predictor,
+                   obs::ProbeRegistry *probes = nullptr);
 
   private:
     EngineConfig config_;

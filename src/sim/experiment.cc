@@ -54,9 +54,11 @@ class TraceCache
             std::lock_guard<std::mutex> lock(mutex_);
             auto it = entries_.find(key);
             if (it != entries_.end()) {
+                ++hits_;
                 it->second.lastUse = ++tick_;
                 future = it->second.buffer;
             } else {
+                ++misses_;
                 generate = true;
                 future = promise.get_future().share();
                 evictLocked(capacity_ > 0 ? capacity_ - 1 : 0);
@@ -110,6 +112,20 @@ class TraceCache
         evictLocked(capacity_);
     }
 
+    std::uint64_t
+    hits() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hits_;
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return misses_;
+    }
+
   private:
     struct Entry
     {
@@ -153,6 +169,8 @@ class TraceCache
     std::map<std::string, Entry> entries_;
     std::size_t capacity_ = 8;
     std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;   ///< requests satisfied by residency
+    std::uint64_t misses_ = 0; ///< requests that generated
 };
 
 TraceCache &
@@ -227,6 +245,18 @@ setTraceCacheCapacity(std::size_t max_entries)
     traceCache().setCapacity(max_entries);
 }
 
+std::uint64_t
+traceCacheHits()
+{
+    return traceCache().hits();
+}
+
+std::uint64_t
+traceCacheMisses()
+{
+    return traceCache().misses();
+}
+
 RunMetrics
 runOne(const workload::BenchmarkProfile &profile,
        const std::string &predictor_name, const SuiteOptions &options)
@@ -257,12 +287,15 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
                const SuiteOptions &options, SuiteTiming *timing)
 {
     const auto wall_start = Clock::now();
+    double trace_gen = 0;
     SuiteResult result;
     result.predictorNames = predictor_names;
     for (const auto &profile : profiles) {
         result.rowNames.push_back(profile.fullName());
+        const auto gen_start = Clock::now();
         trace::TraceBuffer buffer =
             generateTrace(profile, options.traceScale);
+        trace_gen += secondsSince(gen_start);
 
         std::vector<CellResult> row;
         row.reserve(predictor_names.size());
@@ -270,13 +303,22 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
             auto predictor = makePredictor(name, options.factory);
             Engine engine(options.engine);
             buffer.rewind();
-            row.push_back(cellFromMetrics(engine.run(buffer, *predictor)));
+            const auto cell_start = Clock::now();
+            const double cpu_start = util::threadCpuSeconds();
+            obs::ProbeRegistry probes;
+            CellResult cell = cellFromMetrics(
+                engine.run(buffer, *predictor, &probes));
+            cell.cpuSeconds = util::threadCpuSeconds() - cpu_start;
+            cell.wallSeconds = secondsSince(cell_start);
+            result.probes[name].merge(probes);
+            row.push_back(cell);
         }
         result.cells.push_back(std::move(row));
     }
     if (timing) {
         timing->wallSeconds = secondsSince(wall_start);
         timing->serialEquivalentSeconds = timing->wallSeconds;
+        timing->traceGenSeconds = trace_gen;
         timing->threadsUsed = 1;
     }
     return result;
@@ -321,7 +363,8 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
     struct CellOutput
     {
         CellResult cell;
-        double seconds = 0;
+        double genSeconds = 0;
+        obs::ProbeRegistry probes;
     };
 
     const auto wall_start = Clock::now();
@@ -339,33 +382,40 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                     // waiters burn ~no CPU while blocked, so the sum
                     // over cells reconstructs the serial cost without
                     // double-counting or oversubscription inflation.
+                    const auto cell_start = Clock::now();
                     const double cpu_start = util::threadCpuSeconds();
+                    CellOutput output;
                     const auto buffer = generateTraceCached(
-                        profiles[r], options.traceScale);
+                        profiles[r], options.traceScale,
+                        &output.genSeconds);
                     trace::PackedReplaySource source(*buffer);
                     auto predictor = makePredictor(predictor_names[c],
                                                    options.factory);
                     Engine engine(options.engine);
-                    CellOutput output;
-                    output.cell =
-                        cellFromMetrics(engine.run(source, *predictor));
-                    output.seconds =
+                    output.cell = cellFromMetrics(
+                        engine.run(source, *predictor, &output.probes));
+                    output.cell.cpuSeconds =
                         util::threadCpuSeconds() - cpu_start;
+                    output.cell.wallSeconds = secondsSince(cell_start);
                     return output;
                 }));
             }
         }
 
         double serial_equivalent = 0;
+        double trace_gen = 0;
         for (std::size_t r = 0; r < rows; ++r) {
             for (std::size_t c = 0; c < cols; ++c) {
                 CellOutput output = futures[r * cols + c].get();
                 result.cells[r][c] = output.cell;
-                serial_equivalent += output.seconds;
+                result.probes[predictor_names[c]].merge(output.probes);
+                serial_equivalent += output.cell.cpuSeconds;
+                trace_gen += output.genSeconds;
             }
         }
         if (timing) {
             timing->serialEquivalentSeconds = serial_equivalent;
+            timing->traceGenSeconds = trace_gen;
             timing->threadsUsed = pool.threadCount();
         }
     }
@@ -399,6 +449,7 @@ runSeedSweep(const std::vector<workload::BenchmarkProfile> &profiles,
             timing->wallSeconds += seed_timing.wallSeconds;
             timing->serialEquivalentSeconds +=
                 seed_timing.serialEquivalentSeconds;
+            timing->traceGenSeconds += seed_timing.traceGenSeconds;
             timing->threadsUsed = seed_timing.threadsUsed;
         }
     }
@@ -470,6 +521,79 @@ printSuiteTimingFooter(std::ostream &out, const SuiteTiming &timing)
         << timing.threadsUsed << " threads (serial-equivalent "
         << timing.serialEquivalentSeconds << " s, speedup "
         << std::setprecision(1) << timing.speedup() << "x)\n";
+}
+
+namespace {
+
+/** The metadata shared by every report shape. */
+obs::RunReport
+reportSkeleton(const std::string &tool, const SuiteOptions &options,
+               const SuiteTiming &timing)
+{
+    obs::RunReport report;
+    report.tool = tool;
+    report.build = obs::BuildInfo::current();
+    report.traceScale = options.traceScale;
+    report.threads = options.threads;
+    report.wallSeconds = timing.wallSeconds;
+    report.serialEquivalentSeconds = timing.serialEquivalentSeconds;
+    report.traceGenSeconds = timing.traceGenSeconds;
+    report.threadsUsed = timing.threadsUsed;
+
+    obs::ProbeRegistry cache;
+    cache.counter("hits", traceCacheHits());
+    cache.counter("misses", traceCacheMisses());
+    report.probes.emplace("trace_cache", std::move(cache));
+    return report;
+}
+
+} // namespace
+
+obs::RunReport
+buildRunReport(const std::string &tool, const SuiteOptions &options,
+               const SuiteResult &result, const SuiteTiming &timing)
+{
+    obs::RunReport report = reportSkeleton(tool, options, timing);
+    report.hasSuite = true;
+    report.predictors = result.predictorNames;
+    report.rows = result.rowNames;
+    for (std::size_t r = 0; r < result.rowNames.size(); ++r) {
+        for (std::size_t c = 0; c < result.predictorNames.size();
+             ++c) {
+            const CellResult &src = result.cells[r][c];
+            obs::ReportCell cell;
+            cell.row = result.rowNames[r];
+            cell.predictor = result.predictorNames[c];
+            cell.missPercent = src.missPercent;
+            cell.noPredictionPercent = src.noPredictionPercent;
+            cell.predictions = src.predictions;
+            cell.wallSeconds = src.wallSeconds;
+            cell.cpuSeconds = src.cpuSeconds;
+            report.cells.push_back(std::move(cell));
+        }
+    }
+    for (const auto &[name, registry] : result.probes)
+        report.probes[name].merge(registry);
+    return report;
+}
+
+obs::RunReport
+buildSweepReport(const std::string &tool, const SuiteOptions &options,
+                 const SeedSweepResult &sweep,
+                 const SuiteTiming &timing)
+{
+    obs::RunReport report = reportSkeleton(tool, options, timing);
+    report.hasSweep = true;
+    for (std::size_t c = 0; c < sweep.predictorNames.size(); ++c) {
+        obs::ReportSweepColumn column;
+        column.predictor = sweep.predictorNames[c];
+        column.mean = sweep.mean[c];
+        column.stddev = sweep.stddev[c];
+        report.sweep.push_back(std::move(column));
+    }
+    report.scalars["seeds"] =
+        static_cast<double>(sweep.perSeed.size());
+    return report;
 }
 
 double

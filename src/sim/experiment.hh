@@ -24,10 +24,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/registry.hh"
+#include "obs/report.hh"
 #include "sim/engine.hh"
 #include "sim/factory.hh"
 #include "sim/metrics.hh"
@@ -61,6 +64,8 @@ struct SuiteTiming
      * path.  On the serial path this equals wallSeconds.
      */
     double serialEquivalentSeconds = 0;
+    /** Time spent generating (not replaying) unique traces. */
+    double traceGenSeconds = 0;
     unsigned threadsUsed = 1;
 
     double
@@ -77,6 +82,8 @@ struct CellResult
     double missPercent = 0;
     double noPredictionPercent = 0;
     std::uint64_t predictions = 0;
+    double wallSeconds = 0; ///< this cell's replay wall time
+    double cpuSeconds = 0;  ///< thread-CPU time incl. any trace gen
 };
 
 /** The full matrix. */
@@ -85,6 +92,13 @@ struct SuiteResult
     std::vector<std::string> predictorNames; ///< columns
     std::vector<std::string> rowNames;       ///< benchmark runs
     std::vector<std::vector<CellResult>> cells; ///< [row][col]
+
+    /**
+     * One merged probe registry per predictor column, aggregated over
+     * the benchmark rows.  Empty registries in probes-off builds still
+     * carry the counter names (values zero).
+     */
+    std::map<std::string, obs::ProbeRegistry> probes;
 
     /** Column arithmetic means (the paper's "average" bars). */
     std::vector<double> averages() const;
@@ -128,6 +142,10 @@ std::size_t traceCacheSize();
 
 /** Cap the cache at @p max_entries traces (>= 1); evicts LRU-first. */
 void setTraceCacheCapacity(std::size_t max_entries);
+
+/** Cumulative cache hits / generating misses (process lifetime). */
+std::uint64_t traceCacheHits();
+std::uint64_t traceCacheMisses();
 
 /** Run one profile x one predictor; returns the full metrics. */
 RunMetrics runOne(const workload::BenchmarkProfile &profile,
@@ -197,6 +215,23 @@ void printSuiteTimingFooter(std::ostream &out,
  * negative value when the paper gives no number for @p predictor.
  */
 double paperAverageFor(const std::string &predictor);
+
+/**
+ * Flatten a suite run into the versioned obs::RunReport shape
+ * (matrix cells, per-predictor probe registries, timing, trace-cache
+ * counters under "trace_cache", build metadata).  @p tool names the
+ * emitting driver ("bench_fig6", ...).
+ */
+obs::RunReport buildRunReport(const std::string &tool,
+                              const SuiteOptions &options,
+                              const SuiteResult &result,
+                              const SuiteTiming &timing);
+
+/** RunReport for a seed sweep (fills the sweep section instead). */
+obs::RunReport buildSweepReport(const std::string &tool,
+                                const SuiteOptions &options,
+                                const SeedSweepResult &sweep,
+                                const SuiteTiming &timing);
 
 } // namespace ibp::sim
 

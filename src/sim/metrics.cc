@@ -11,9 +11,12 @@ RunMetrics::worstSites(std::size_t n) const
     ranked.reserve(perSite.size());
     for (const auto &[pc, site] : perSite)
         ranked.emplace_back(pc, site.misses.events());
+    // Miss count descending, pc ascending on ties: the ranking (and
+    // any report built from it) is deterministic even when sites tie.
     std::sort(ranked.begin(), ranked.end(),
               [](const auto &a, const auto &b) {
-                  return a.second > b.second;
+                  return a.second != b.second ? a.second > b.second
+                                              : a.first < b.first;
               });
     if (ranked.size() > n)
         ranked.resize(n);

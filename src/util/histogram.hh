@@ -38,10 +38,12 @@ class Histogram
     }
 
     std::size_t buckets() const { return counts_.size(); }
+
+    /** Count in @p bucket; out-of-domain buckets read as 0 so report
+     *  emitters can iterate a fixed shape without panicking. */
     std::uint64_t count(std::size_t bucket) const
     {
-        panic_if(bucket >= counts_.size(), "Histogram bucket out of range");
-        return counts_[bucket];
+        return bucket < counts_.size() ? counts_[bucket] : 0;
     }
 
     std::uint64_t
@@ -61,6 +63,35 @@ class Histogram
         return sum == 0 ? 0.0
                         : static_cast<double>(count(bucket)) /
                               static_cast<double>(sum);
+    }
+
+    /** Sample-weighted mean bucket index (0 when empty). */
+    double
+    mean() const
+    {
+        std::uint64_t sum = 0;
+        std::uint64_t weighted = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            sum += counts_[i];
+            weighted += counts_[i] * i;
+        }
+        return sum == 0 ? 0.0
+                        : static_cast<double>(weighted) /
+                              static_cast<double>(sum);
+    }
+
+    /** Fraction of samples in buckets [0, @p bucket] (0 if empty;
+     *  1 when @p bucket covers the whole domain). */
+    double
+    fractionAtMost(std::size_t bucket) const
+    {
+        const std::uint64_t sum = total();
+        if (sum == 0)
+            return 0.0;
+        std::uint64_t below = 0;
+        for (std::size_t i = 0; i < counts_.size() && i <= bucket; ++i)
+            below += counts_[i];
+        return static_cast<double>(below) / static_cast<double>(sum);
     }
 
     /** How many samples were clamped into the last bucket. */

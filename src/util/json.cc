@@ -1,0 +1,552 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp::util {
+
+// --- writer -----------------------------------------------------------
+
+JsonWriter::JsonWriter(std::ostream &out, int indent)
+    : out_(out), indent_(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    // A half-written document is a caller bug, not user error.
+    panic_if(!stack_.empty(), "JsonWriter destroyed with ",
+             stack_.size(), " open container(s)");
+}
+
+void
+JsonWriter::separate()
+{
+    if (stack_.empty())
+        return;
+    Frame &top = stack_.back();
+    if (top.keyPending) {
+        // The key already emitted "name": — the value follows inline.
+        top.keyPending = false;
+        return;
+    }
+    if (!top.empty)
+        out_ << ',';
+    top.empty = false;
+    if (indent_ > 0) {
+        out_ << '\n';
+        out_ << std::string(indent_ * stack_.size(), ' ');
+    }
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    separate();
+    out_ << text;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    raw("{");
+    stack_.push_back({'{'});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panic_if(stack_.empty() || stack_.back().kind != '{' ||
+                 stack_.back().keyPending,
+             "endObject() without matching beginObject()");
+    const bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (indent_ > 0 && !was_empty)
+        out_ << '\n' << std::string(indent_ * stack_.size(), ' ');
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    raw("[");
+    stack_.push_back({'['});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panic_if(stack_.empty() || stack_.back().kind != '[',
+             "endArray() without matching beginArray()");
+    const bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (indent_ > 0 && !was_empty)
+        out_ << '\n' << std::string(indent_ * stack_.size(), ' ');
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    panic_if(stack_.empty() || stack_.back().kind != '{' ||
+                 stack_.back().keyPending,
+             "key() outside an object");
+    raw(jsonQuote(name));
+    out_ << (indent_ > 0 ? ": " : ":");
+    stack_.back().keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    raw(jsonQuote(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    raw(buffer);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    raw(v ? "true" : "false");
+    return *this;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+// --- value accessors --------------------------------------------------
+
+bool
+JsonValue::asBool() const
+{
+    fatal_if(kind_ != Kind::Bool, "JSON value is not a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    fatal_if(kind_ != Kind::Number, "JSON value is not a number");
+    return number_;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    fatal_if(kind_ != Kind::Number, "JSON value is not a number");
+    fatal_if(number_ < 0, "JSON number is negative, expected unsigned");
+    return static_cast<std::uint64_t>(number_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    fatal_if(kind_ != Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    fatal_if(kind_ != Kind::Array, "JSON value is not an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    fatal_if(kind_ != Kind::Object, "JSON value is not an object");
+    return object_;
+}
+
+const JsonValue &
+JsonValue::get(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    fatal_if(v == nullptr, "JSON object has no member \"", name, "\"");
+    return *v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    fatal_if(kind_ != Kind::Object, "JSON value is not an object");
+    auto it = object_.find(name);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+bool
+JsonValue::has(const std::string &name) const
+{
+    return kind_ == Kind::Object &&
+           object_.find(name) != object_.end();
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> elements)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(elements);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> m)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::move(m);
+    return v;
+}
+
+// --- parser -----------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser over an in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text)
+        : text_(text)
+    {
+    }
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        fatal_if(pos_ != text_.size(),
+                 "trailing garbage after JSON document at byte ", pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    malformed(const char *what)
+    {
+        fatal("malformed JSON: ", what, " at byte ", pos_);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            malformed("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            malformed("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *literal)
+    {
+        std::size_t n = 0;
+        while (literal[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, literal) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipSpace();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::makeString(parseString());
+          case 't':
+            if (!consume("true"))
+                malformed("bad literal");
+            return JsonValue::makeBool(true);
+          case 'f':
+            if (!consume("false"))
+                malformed("bad literal");
+            return JsonValue::makeBool(false);
+          case 'n':
+            if (!consume("null"))
+                malformed("bad literal");
+            return JsonValue::makeNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        std::map<std::string, JsonValue> members;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::makeObject(std::move(members));
+        }
+        for (;;) {
+            skipSpace();
+            std::string name = parseString();
+            skipSpace();
+            expect(':');
+            members.emplace(std::move(name), parseValue());
+            skipSpace();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return JsonValue::makeObject(std::move(members));
+            if (c != ',')
+                malformed("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> elements;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::makeArray(std::move(elements));
+        }
+        for (;;) {
+            elements.push_back(parseValue());
+            skipSpace();
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return JsonValue::makeArray(std::move(elements));
+            if (c != ',')
+                malformed("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                malformed("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                malformed("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    malformed("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        malformed("bad \\u escape digit");
+                }
+                // The emitters only escape control bytes; encode the
+                // code point as UTF-8 for general inputs.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: malformed("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            malformed("expected a value");
+        char *end = nullptr;
+        const std::string token = text_.substr(start, pos_ - start);
+        const double d = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            malformed("bad number");
+        return JsonValue::makeNumber(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+JsonValue
+parseJson(std::istream &in)
+{
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseJson(buffer.str());
+}
+
+} // namespace ibp::util

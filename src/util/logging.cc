@@ -21,11 +21,51 @@ levelName(LogLevel level)
     return "?";
 }
 
+/** Parse IBP_LOG ("inform" | "warn" | "fatal"); unknown values warn-
+ *  worthy but silently fall back to Inform so a typo can't hide real
+ *  warnings behind a stricter filter than intended. */
+LogLevel
+thresholdFromEnv()
+{
+    const char *env = std::getenv("IBP_LOG");
+    if (env == nullptr)
+        return LogLevel::Inform;
+    const std::string value(env);
+    if (value == "warn")
+        return LogLevel::Warn;
+    if (value == "fatal")
+        return LogLevel::Fatal;
+    return LogLevel::Inform;
+}
+
+std::atomic<LogLevel> threshold{static_cast<LogLevel>(-1)};
+
+LogLevel
+currentThreshold()
+{
+    LogLevel t = threshold.load(std::memory_order_relaxed);
+    if (t == static_cast<LogLevel>(-1)) {
+        t = thresholdFromEnv();
+        threshold.store(t, std::memory_order_relaxed);
+    }
+    return t;
+}
+
 } // namespace
 
 void
 logMessage(LogLevel level, const std::string &where, const std::string &what)
 {
+    // Count warns before filtering: warnCount() observes suppressed
+    // warnings too, so tests (and drivers) can assert on them under
+    // any IBP_LOG setting.
+    if (level == LogLevel::Warn)
+        warn_count.fetch_add(1, std::memory_order_relaxed);
+    // Fatal/Panic bypass the filter: their message is part of the
+    // termination contract.
+    if (level < LogLevel::Fatal && level < currentThreshold())
+        return;
+
     std::FILE *out = (level == LogLevel::Inform) ? stdout : stderr;
     if (where.empty())
         std::fprintf(out, "%s: %s\n", levelName(level), what.c_str());
@@ -33,8 +73,6 @@ logMessage(LogLevel level, const std::string &where, const std::string &what)
         std::fprintf(out, "%s: %s (%s)\n", levelName(level), what.c_str(),
                      where.c_str());
     std::fflush(out);
-    if (level == LogLevel::Warn)
-        warn_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -56,6 +94,18 @@ void
 resetWarnCount()
 {
     warn_count.store(0, std::memory_order_relaxed);
+}
+
+LogLevel
+logThreshold()
+{
+    return currentThreshold();
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    threshold.store(level, std::memory_order_relaxed);
 }
 
 } // namespace ibp::util

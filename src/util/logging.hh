@@ -9,6 +9,12 @@
  *            with a non-zero status.
  * warn()   - something is suspicious but the run can continue.
  * inform() - plain status output.
+ *
+ * Verbosity: the IBP_LOG environment variable (read once, at first
+ * log call) sets the minimum severity actually printed — "inform"
+ * (default), "warn", or "fatal".  Filtering only silences output:
+ * warn() still counts into warnCount(), and fatal()/panic() always
+ * print and terminate regardless of the threshold.
  */
 
 #ifndef IBP_UTIL_LOGGING_HH_
@@ -40,6 +46,15 @@ std::size_t warnCount();
 
 /** Reset the warn() counter (tests only). */
 void resetWarnCount();
+
+/**
+ * Minimum severity printed by logMessage(); messages below it are
+ * suppressed (but still counted).  Fatal/Panic are never suppressed.
+ */
+LogLevel logThreshold();
+
+/** Override the threshold programmatically (wins over IBP_LOG). */
+void setLogThreshold(LogLevel level);
 
 namespace detail {
 

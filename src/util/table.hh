@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/probe.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -133,8 +134,15 @@ class AssocTable
     lookup(std::uint64_t set, std::uint64_t tag)
     {
         Line *line = findLine(set, tag);
-        if (!line)
+        if (!line) {
+            // A miss in a set that already holds valid lines is a
+            // (capacity or tag) conflict: the branch's state may have
+            // been evicted by a competitor.  Occupancy is only scanned
+            // in instrumented builds.
+            IBP_PROBE(if (setOccupancy(set) > 0)
+                          conflictMisses_.bump();)
             return nullptr;
+        }
         touch(line);
         return &line->entry;
     }
@@ -171,11 +179,21 @@ class AssocTable
                 first = false;
             }
         }
+        IBP_PROBE(if (victim->valid) evictions_.bump();)
         victim->valid = true;
         victim->tag = tag;
         victim->entry = std::move(entry);
         touch(victim);
         return victim->entry;
+    }
+
+    /** Inserts that displaced a live line (0 when probes are off). */
+    std::uint64_t evictions() const { return evictions_.value(); }
+
+    /** Lookup misses in sets holding valid lines (0 when probes off). */
+    std::uint64_t conflictMisses() const
+    {
+        return conflictMisses_.value();
     }
 
     /** Number of valid lines in one set. */
@@ -207,6 +225,8 @@ class AssocTable
         for (auto &line : lines_)
             line = Line{};
         clock_ = 0;
+        evictions_.reset();
+        conflictMisses_.reset();
     }
 
   private:
@@ -254,6 +274,8 @@ class AssocTable
     std::uint64_t setMask_;
     std::vector<Line> lines_;
     std::uint64_t clock_ = 0;
+    obs::Counter evictions_;
+    obs::Counter conflictMisses_;
 };
 
 } // namespace ibp::util

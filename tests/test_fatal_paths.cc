@@ -11,6 +11,7 @@
 
 #include "core/ppm.hh"
 #include "core/sfsxs.hh"
+#include "obs/report.hh"
 #include "predictors/cond.hh"
 #include "predictors/path_history.hh"
 #include "sim/branch_study.hh"
@@ -170,6 +171,71 @@ TEST(FatalPaths, FactorySizeScaleBounds)
     options.sizeScale = 0.001;
     EXPECT_EXIT(ibp::sim::makePredictor("BTB", options),
                 ExitedWithCode(1), "size scale");
+}
+
+TEST(FatalPaths, ReportReaderRejectsMissingFile)
+{
+    EXPECT_EXIT(ibp::obs::readReportFile("/nonexistent/report.json"),
+                ExitedWithCode(1), "");
+}
+
+// --- severity filtering (IBP_LOG / setLogThreshold) --------------------
+
+/** RAII guard restoring the default threshold after a filter test. */
+struct ThresholdGuard
+{
+    ~ThresholdGuard()
+    {
+        ibp::util::setLogThreshold(ibp::util::LogLevel::Inform);
+    }
+};
+
+TEST(LogFilter, SuppressedWarnStillCounts)
+{
+    ThresholdGuard guard;
+    ibp::util::setLogThreshold(ibp::util::LogLevel::Fatal);
+    ibp::util::resetWarnCount();
+    testing::internal::CaptureStderr();
+    warn("this warning must be silenced");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    // Filtering only silences output; the counter is the contract
+    // tests rely on, so it must keep ticking.
+    EXPECT_EQ(ibp::util::warnCount(), 1u);
+}
+
+TEST(LogFilter, WarnThresholdSilencesInformOnly)
+{
+    ThresholdGuard guard;
+    ibp::util::setLogThreshold(ibp::util::LogLevel::Warn);
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    inform("suppressed status line");
+    warn("still printed");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find(
+                  "still printed"),
+              std::string::npos);
+}
+
+TEST(LogFilter, FatalIsNeverSuppressed)
+{
+    // Even the most aggressive filter must not swallow the message a
+    // dying process leaves behind.
+    EXPECT_EXIT(
+        {
+            ibp::util::setLogThreshold(ibp::util::LogLevel::Fatal);
+            fatal("terminal diagnosis");
+        },
+        ExitedWithCode(1), "terminal diagnosis");
+}
+
+TEST(LogFilter, ThresholdAccessorRoundTrips)
+{
+    ThresholdGuard guard;
+    ibp::util::setLogThreshold(ibp::util::LogLevel::Warn);
+    EXPECT_EQ(ibp::util::logThreshold(), ibp::util::LogLevel::Warn);
+    ibp::util::setLogThreshold(ibp::util::LogLevel::Inform);
+    EXPECT_EQ(ibp::util::logThreshold(), ibp::util::LogLevel::Inform);
 }
 
 } // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * util/json: the streaming writer and the recursive-descent reader
+ * that back BENCH_throughput.json and ibp_report.json.  The contract
+ * under test: everything the writer emits the reader parses back
+ * losslessly (doubles via %.17g round-trip exactly), and malformed
+ * input is a fatal() user error, not UB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace {
+
+using ibp::util::JsonValue;
+using ibp::util::JsonWriter;
+using ibp::util::jsonQuote;
+using ibp::util::parseJson;
+
+using ::testing::ExitedWithCode;
+
+TEST(JsonWriter, EmitsNestedDocument)
+{
+    std::ostringstream out;
+    {
+        JsonWriter json(out, 0);
+        json.beginObject();
+        json.key("name").value("suite");
+        json.key("count").value(std::uint64_t{3});
+        json.key("ok").value(true);
+        json.key("rows").beginArray();
+        json.value(1.5);
+        json.value(-2);
+        json.endArray();
+        json.endObject();
+    }
+    const JsonValue doc = parseJson(out.str());
+    EXPECT_EQ(doc.get("name").asString(), "suite");
+    EXPECT_EQ(doc.get("count").asUint(), 3u);
+    EXPECT_TRUE(doc.get("ok").asBool());
+    const auto &rows = doc.get("rows").asArray();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows[0].asDouble(), 1.5);
+    EXPECT_DOUBLE_EQ(rows[1].asDouble(), -2.0);
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly)
+{
+    // %.17g must reproduce awkward doubles bit-for-bit — the golden
+    // report comparisons equality-check parsed values.
+    const double awkward[] = {0.1, 1.0 / 3.0, 9.470000000000001,
+                              6.02e23, 5e-324};
+    for (const double v : awkward) {
+        std::ostringstream out;
+        {
+            JsonWriter json(out, 2);
+            json.beginObject();
+            json.key("v").value(v);
+            json.endObject();
+        }
+        EXPECT_EQ(parseJson(out.str()).get("v").asDouble(), v)
+            << out.str();
+    }
+}
+
+TEST(JsonWriter, QuoteEscapesControlAndSpecials)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("line\nbreak\ttab"),
+              "\"line\\nbreak\\ttab\"");
+}
+
+TEST(JsonWriter, EscapedStringsRoundTrip)
+{
+    const std::string nasty = "quote\" back\\slash \n\t\r end";
+    std::ostringstream out;
+    {
+        JsonWriter json(out, 2);
+        json.beginObject();
+        json.key(nasty).value(nasty);
+        json.endObject();
+    }
+    const JsonValue doc = parseJson(out.str());
+    EXPECT_EQ(doc.get(nasty).asString(), nasty);
+}
+
+TEST(JsonReader, ParsesLiteralsAndNull)
+{
+    const JsonValue doc =
+        parseJson("{\"t\": true, \"f\": false, \"n\": null}");
+    EXPECT_TRUE(doc.get("t").asBool());
+    EXPECT_FALSE(doc.get("f").asBool());
+    EXPECT_TRUE(doc.get("n").isNull());
+    EXPECT_TRUE(doc.has("t"));
+    EXPECT_FALSE(doc.has("missing"));
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonReader, MalformedInputIsFatal)
+{
+    EXPECT_EXIT(parseJson("{\"unterminated\": "), ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(parseJson("{'single': 1}"), ExitedWithCode(1), "");
+    EXPECT_EXIT(parseJson("[1, 2,,]"), ExitedWithCode(1), "");
+    EXPECT_EXIT(parseJson("\"no close"), ExitedWithCode(1), "");
+    EXPECT_EXIT(parseJson(""), ExitedWithCode(1), "");
+}
+
+TEST(JsonReader, TrailingGarbageIsFatal)
+{
+    EXPECT_EXIT(parseJson("{} trailing"), ExitedWithCode(1), "");
+}
+
+TEST(JsonReader, TypeMismatchIsFatal)
+{
+    const JsonValue doc = parseJson("{\"s\": \"text\"}");
+    EXPECT_EXIT((void)doc.get("s").asDouble(), ExitedWithCode(1), "");
+    EXPECT_EXIT((void)doc.get("missing"), ExitedWithCode(1), "");
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * RunMetrics::worstSites(): the deterministic per-site misprediction
+ * ranking behind the per-branch analyses (perl's hot aliasing
+ * branches).  Contract: miss count descending, pc ascending on ties,
+ * truncated to n, and empty when per-site stats were never enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace {
+
+using ibp::sim::RunMetrics;
+using ibp::trace::Addr;
+
+void
+addSite(RunMetrics &metrics, Addr pc, unsigned misses, unsigned hits)
+{
+    auto &site = metrics.perSite[pc];
+    for (unsigned i = 0; i < misses; ++i)
+        site.misses.sample(true);
+    for (unsigned i = 0; i < hits; ++i)
+        site.misses.sample(false);
+}
+
+TEST(WorstSites, RanksByMissCountDescending)
+{
+    RunMetrics metrics;
+    addSite(metrics, 0x100, 3, 10);
+    addSite(metrics, 0x200, 9, 0);
+    addSite(metrics, 0x300, 5, 2);
+
+    const auto ranked = metrics.worstSites(3);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0], (std::pair<Addr, std::uint64_t>{0x200, 9}));
+    EXPECT_EQ(ranked[1], (std::pair<Addr, std::uint64_t>{0x300, 5}));
+    EXPECT_EQ(ranked[2], (std::pair<Addr, std::uint64_t>{0x100, 3}));
+}
+
+TEST(WorstSites, TiesBreakByAscendingPc)
+{
+    RunMetrics metrics;
+    addSite(metrics, 0x900, 4, 0);
+    addSite(metrics, 0x100, 4, 7);
+    addSite(metrics, 0x500, 4, 2);
+
+    const auto ranked = metrics.worstSites(3);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].first, 0x100u);
+    EXPECT_EQ(ranked[1].first, 0x500u);
+    EXPECT_EQ(ranked[2].first, 0x900u);
+}
+
+TEST(WorstSites, TruncatesToN)
+{
+    RunMetrics metrics;
+    for (Addr pc = 1; pc <= 10; ++pc)
+        addSite(metrics, pc * 0x10, static_cast<unsigned>(pc), 0);
+
+    const auto top3 = metrics.worstSites(3);
+    ASSERT_EQ(top3.size(), 3u);
+    EXPECT_EQ(top3[0].second, 10u);
+    EXPECT_EQ(top3[2].second, 8u);
+}
+
+TEST(WorstSites, NLargerThanSiteCountReturnsAll)
+{
+    RunMetrics metrics;
+    addSite(metrics, 0x100, 1, 0);
+    addSite(metrics, 0x200, 2, 0);
+    EXPECT_EQ(metrics.worstSites(100).size(), 2u);
+}
+
+TEST(WorstSites, EmptyWhenPerSiteDisabled)
+{
+    // An engine run without per-site stats leaves perSite empty; the
+    // ranking must be empty, not crash.
+    RunMetrics metrics;
+    EXPECT_TRUE(metrics.worstSites(5).empty());
+    EXPECT_TRUE(metrics.worstSites(0).empty());
+}
+
+TEST(WorstSites, ZeroNReturnsEmpty)
+{
+    RunMetrics metrics;
+    addSite(metrics, 0x100, 3, 0);
+    EXPECT_TRUE(metrics.worstSites(0).empty());
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * obs probe primitives and the ProbeRegistry snapshot/merge layer.
+ *
+ * These tests run in both instrumentation configurations: when
+ * IBP_INSTRUMENT is compiled in the primitives record, and when it is
+ * compiled out they must read as all-zero no-ops with a stable shape
+ * (ProbeHistogram keeps its bucket count either way).  Branching on
+ * obs::kInstrumentEnabled keeps one test binary honest in both
+ * configs instead of #ifdef-ing half the suite away.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/probe.hh"
+#include "obs/registry.hh"
+
+namespace {
+
+using ibp::obs::Counter;
+using ibp::obs::HighWater;
+using ibp::obs::kInstrumentEnabled;
+using ibp::obs::ProbeHistogram;
+using ibp::obs::ProbeRegistry;
+
+TEST(Probes, CounterBumpsWhenInstrumented)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.bump();
+    counter.bump(3);
+    EXPECT_EQ(counter.value(), kInstrumentEnabled ? 4u : 0u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Probes, HighWaterTracksMaximum)
+{
+    HighWater water;
+    water.observe(5);
+    water.observe(2);
+    water.observe(9);
+    water.observe(7);
+    EXPECT_EQ(water.max(), kInstrumentEnabled ? 9u : 0u);
+    water.reset();
+    EXPECT_EQ(water.max(), 0u);
+}
+
+TEST(Probes, HistogramClampsAndKeepsShape)
+{
+    ProbeHistogram histogram(4);
+    EXPECT_EQ(histogram.buckets(), 4u);
+    histogram.sample(0);
+    histogram.sample(2, 5);
+    histogram.sample(99); // clamps into the last bucket
+    if (kInstrumentEnabled) {
+        EXPECT_EQ(histogram.count(0), 1u);
+        EXPECT_EQ(histogram.count(1), 0u);
+        EXPECT_EQ(histogram.count(2), 5u);
+        EXPECT_EQ(histogram.count(3), 1u);
+    } else {
+        for (std::size_t b = 0; b < 4; ++b)
+            EXPECT_EQ(histogram.count(b), 0u);
+    }
+    // Out-of-range reads are 0, never UB, in both configs.
+    EXPECT_EQ(histogram.count(4), 0u);
+    // The snapshot is always correctly sized.
+    EXPECT_EQ(histogram.snapshot().size(), 4u);
+}
+
+TEST(Probes, ZeroBucketHistogramGetsOne)
+{
+    ProbeHistogram histogram(0);
+    EXPECT_EQ(histogram.buckets(), 1u);
+    histogram.sample(7);
+    EXPECT_EQ(histogram.count(0), kInstrumentEnabled ? 1u : 0u);
+}
+
+TEST(ProbeRegistry, CountersAccumulate)
+{
+    ProbeRegistry registry;
+    EXPECT_TRUE(registry.empty());
+    registry.counter("biu/evictions", 3);
+    registry.counter("biu/evictions", 2);
+    EXPECT_EQ(registry.counterValue("biu/evictions"), 5u);
+    EXPECT_EQ(registry.counterValue("absent"), 0u);
+    EXPECT_FALSE(registry.empty());
+}
+
+TEST(ProbeRegistry, PrimitiveOverloadsSnapshotValues)
+{
+    Counter counter;
+    counter.bump(7);
+    HighWater water;
+    water.observe(42);
+    ProbeHistogram histogram(3);
+    histogram.sample(1, 2);
+
+    ProbeRegistry registry;
+    registry.counter("c", counter);
+    registry.counter("w", water);
+    registry.histogram("h", histogram);
+
+    EXPECT_EQ(registry.counterValue("c"),
+              kInstrumentEnabled ? 7u : 0u);
+    EXPECT_EQ(registry.counterValue("w"),
+              kInstrumentEnabled ? 42u : 0u);
+    const auto &buckets = registry.histograms().at("h");
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[1], kInstrumentEnabled ? 2u : 0u);
+}
+
+TEST(ProbeRegistry, MergeSumsCountersAndHistograms)
+{
+    ProbeRegistry a;
+    a.counter("x", 1);
+    a.histogram("h", std::vector<std::uint64_t>{1, 2});
+
+    ProbeRegistry b;
+    b.counter("x", 10);
+    b.counter("y", 5);
+    // The merged histogram grows to the larger bucket count.
+    b.histogram("h", std::vector<std::uint64_t>{3, 4, 5});
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("x"), 11u);
+    EXPECT_EQ(a.counterValue("y"), 5u);
+    const auto &h = a.histograms().at("h");
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h[0], 4u);
+    EXPECT_EQ(h[1], 6u);
+    EXPECT_EQ(h[2], 5u);
+}
+
+TEST(ProbeRegistry, ClearEmpties)
+{
+    ProbeRegistry registry;
+    registry.counter("x", 1);
+    registry.histogram("h", std::vector<std::uint64_t>{1});
+    registry.clear();
+    EXPECT_TRUE(registry.empty());
+}
+
+} // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/probe.hh"
 #include "util/histogram.hh"
 #include "util/table.hh"
 
@@ -141,6 +142,44 @@ TEST(AssocTable, ResetClears)
     EXPECT_EQ(t.peek(0, 1), nullptr);
 }
 
+TEST(AssocTable, EvictionProbeCountsValidVictimsOnly)
+{
+    AssocTable<Payload> t(1, 2);
+    t.insert(0, 1, {1});
+    t.insert(0, 2, {2}); // fills the free way: no eviction
+    EXPECT_EQ(t.evictions(), 0u);
+    t.insert(0, 3, {3}); // displaces the LRU line
+    const auto expected = ibp::obs::kInstrumentEnabled ? 1u : 0u;
+    EXPECT_EQ(t.evictions(), expected);
+}
+
+TEST(AssocTable, ConflictMissProbeCountsMissesInLiveSets)
+{
+    AssocTable<Payload> t(2, 2);
+    // Miss in an empty set: cold, not a conflict.
+    EXPECT_EQ(t.lookup(0, 9), nullptr);
+    EXPECT_EQ(t.conflictMisses(), 0u);
+    t.insert(0, 1, {1});
+    // Miss in a set that already holds a line: a conflict.
+    EXPECT_EQ(t.lookup(0, 9), nullptr);
+    const auto expected = ibp::obs::kInstrumentEnabled ? 1u : 0u;
+    EXPECT_EQ(t.conflictMisses(), expected);
+    // Misses in the other (still empty) set stay cold.
+    EXPECT_EQ(t.lookup(1, 9), nullptr);
+    EXPECT_EQ(t.conflictMisses(), expected);
+}
+
+TEST(AssocTable, ResetClearsProbes)
+{
+    AssocTable<Payload> t(1, 1);
+    t.insert(0, 1, {1});
+    t.insert(0, 2, {2});
+    (void)t.lookup(0, 3);
+    t.reset();
+    EXPECT_EQ(t.evictions(), 0u);
+    EXPECT_EQ(t.conflictMisses(), 0u);
+}
+
 TEST(Histogram, CountsAndFractions)
 {
     Histogram h(4);
@@ -168,6 +207,44 @@ TEST(Histogram, ResetClears)
     h.reset();
     EXPECT_EQ(h.total(), 0u);
     EXPECT_EQ(h.clamped(), 0u);
+}
+
+TEST(Histogram, OutOfRangeCountReadsZero)
+{
+    // Report emitters iterate a fixed shape over merged histograms of
+    // differing sizes; reads past the domain are 0, not a panic.
+    Histogram h(2);
+    h.sample(0);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(999), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(999), 0.0);
+}
+
+TEST(Histogram, MeanIsSampleWeighted)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0); // empty: defined as 0
+    h.sample(0);
+    h.sample(2, 3);
+    // (0*1 + 2*3) / 4
+    EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+    h.sample(3, 4);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.25);
+}
+
+TEST(Histogram, FractionAtMostIsCumulative)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(3), 0.0); // empty
+    h.sample(0);
+    h.sample(1);
+    h.sample(3, 2);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(3), 1.0);
+    // Beyond the domain still covers everything.
+    EXPECT_DOUBLE_EQ(h.fractionAtMost(99), 1.0);
 }
 
 /** LRU stress: a working set equal to associativity never misses. */

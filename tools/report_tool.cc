@@ -1,0 +1,133 @@
+/**
+ * @file
+ * report_tool: inspect and compare ibp_report.json run reports.
+ *
+ *   report_tool <report.json>                 pretty-print one report
+ *   report_tool --diff <before> <after>       compare two reports
+ *               [--tolerance <pct>]           accuracy gate, default 0
+ *   report_tool --emit-golden <out.json>      run the golden-suite
+ *                                             configuration and write
+ *                                             its report
+ *
+ * --diff exits non-zero iff an accuracy delta beyond the tolerance (in
+ * misprediction percentage points), a prediction-count mismatch, or a
+ * matrix-shape mismatch is found; timing and probe deltas are printed
+ * as informational notes only.  CI diffs fresh runs against the
+ * committed tests/golden/report_small.json with --emit-golden.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ibp;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: report_tool <report.json>\n"
+        << "       report_tool --diff <before.json> <after.json>"
+           " [--tolerance <pct>]\n"
+        << "       report_tool --emit-golden <out.json>\n";
+    return 2;
+}
+
+int
+printOne(const std::string &path)
+{
+    const obs::RunReport report = obs::readReportFile(path);
+    obs::printReport(std::cout, report);
+    return 0;
+}
+
+int
+diff(const std::string &before_path, const std::string &after_path,
+     double tolerance)
+{
+    const obs::RunReport before = obs::readReportFile(before_path);
+    const obs::RunReport after = obs::readReportFile(after_path);
+    const obs::ReportDiff result =
+        obs::diffReports(before, after, tolerance);
+    obs::printDiff(std::cout, result);
+    return result.clean() ? 0 : 1;
+}
+
+/**
+ * The golden-suite configuration (kept in lockstep with
+ * tests/test_golden_suite.cc): perl/eon/gs.tig at scale 0.02 through
+ * BTB, TC-PIB, Cascade and PPM-hyb on the serial path, so the
+ * accuracy section is bit-reproducible across runs and machines.
+ */
+int
+emitGolden(const std::string &out_path)
+{
+    const std::vector<std::string> profile_names = {"perl", "eon",
+                                                    "gs.tig"};
+    const std::vector<std::string> predictors = {"BTB", "TC-PIB",
+                                                 "Cascade", "PPM-hyb"};
+
+    const auto suite = workload::standardSuite();
+    std::vector<workload::BenchmarkProfile> profiles;
+    for (const auto &name : profile_names) {
+        const auto *profile = workload::findProfile(suite, name);
+        fatal_if(profile == nullptr, "standard suite lost profile ",
+                 name);
+        profiles.push_back(*profile);
+    }
+
+    sim::SuiteOptions options;
+    options.traceScale = 0.02;
+    options.threads = 1;
+    sim::SuiteTiming timing;
+    const sim::SuiteResult result =
+        sim::runSuite(profiles, predictors, options, &timing);
+
+    const obs::RunReport report = sim::buildRunReport(
+        "report_tool --emit-golden", options, result, timing);
+    obs::writeReportFile(out_path, report);
+    std::cout << "wrote " << out_path << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+
+    if (args[0] == "--diff") {
+        double tolerance = 0;
+        std::vector<std::string> paths;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "--tolerance") {
+                if (++i == args.size())
+                    return usage();
+                tolerance = std::strtod(args[i].c_str(), nullptr);
+            } else {
+                paths.push_back(args[i]);
+            }
+        }
+        if (paths.size() != 2 || tolerance < 0)
+            return usage();
+        return diff(paths[0], paths[1], tolerance);
+    }
+
+    if (args[0] == "--emit-golden")
+        return args.size() == 2 ? emitGolden(args[1]) : usage();
+
+    if (args.size() != 1 || args[0].rfind("--", 0) == 0)
+        return usage();
+    return printOne(args[0]);
+}
