@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "obs/report.hh"
 #include "sim/experiment.hh"
@@ -58,13 +59,52 @@ threadCount(int argc, char **argv, unsigned fallback = 0)
     return static_cast<unsigned>(std::min(value, 1024L));
 }
 
-/** Build SuiteOptions from the standard bench argv conventions. */
+/**
+ * Build SuiteOptions from the standard bench argv conventions.
+ *
+ * Positional arguments are trace scale then thread count, as always.
+ * Checkpoint/resume is controlled by flags (anywhere on the command
+ * line) with environment fallbacks:
+ *   --checkpoint=<path>      (IBP_CHECKPOINT)    progress-file path
+ *   --checkpoint-every=<n>   (IBP_CHECKPOINT_EVERY)  mid-cell cadence
+ *   --resume                 (IBP_RESUME=1)      resume from the file
+ * An interrupted run restarted with the same path and --resume skips
+ * every finished cell and produces a report that `report_tool --diff`
+ * finds identical to an uninterrupted run's.
+ */
 inline ibp::sim::SuiteOptions
 suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
 {
     ibp::sim::SuiteOptions options;
-    options.traceScale = traceScale(argc, argv, scale_fallback);
-    options.threads = threadCount(argc, argv);
+
+    if (const char *env = std::getenv("IBP_CHECKPOINT"))
+        options.checkpointPath = env;
+    if (const char *env = std::getenv("IBP_CHECKPOINT_EVERY"))
+        options.checkpointEvery = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("IBP_RESUME"))
+        options.resume = std::string(env) != "0";
+
+    // Split flags from positionals so `bench --resume 0.1` and
+    // `bench 0.1 --resume` both work.
+    std::vector<char *> positional = {argc > 0 ? argv[0] : nullptr};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--checkpoint=", 0) == 0)
+            options.checkpointPath =
+                arg.substr(std::string("--checkpoint=").size());
+        else if (arg.rfind("--checkpoint-every=", 0) == 0)
+            options.checkpointEvery = std::strtoull(
+                arg.c_str() + std::string("--checkpoint-every=").size(),
+                nullptr, 10);
+        else if (arg == "--resume")
+            options.resume = true;
+        else
+            positional.push_back(argv[i]);
+    }
+    const int pos_argc = static_cast<int>(positional.size());
+    options.traceScale =
+        traceScale(pos_argc, positional.data(), scale_fallback);
+    options.threads = threadCount(pos_argc, positional.data());
     return options;
 }
 

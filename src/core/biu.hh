@@ -87,6 +87,16 @@ class Biu
 
     void reset();
 
+    /** Serialize the branch table (canonical order) + eviction count. */
+    void saveState(util::StateWriter &writer) const;
+
+    /** Restore a saved BIU of the same configuration. */
+    void loadState(util::StateReader &reader);
+
+    /** Probe values (fixed-width; build-invariant payload length). */
+    void saveProbes(util::StateWriter &writer) const;
+    void loadProbes(util::StateReader &reader);
+
   private:
     /** The tagged set-associative slow path of lookup(). */
     BiuEntry &lookupFinite(trace::Addr pc);

@@ -112,6 +112,54 @@ FilteredPpm::reset()
     servedTotal = 0;
 }
 
+void
+FilteredPpm::saveState(util::StateWriter &writer) const
+{
+    filter_.saveState(
+        writer, [](util::StateWriter &w, const FilterEntry &entry) {
+            pred::saveTargetEntry(w, entry.entry);
+            w.writeBool(entry.provenPolymorphic);
+        });
+    ppm_.saveState(writer);
+    pred::savePrediction(writer, lastFilter);
+    pred::savePrediction(writer, lastPpm);
+    writer.writeBool(ppmPredicted);
+    writer.writeU64(servedByFilter);
+    writer.writeU64(servedTotal);
+}
+
+void
+FilteredPpm::loadState(util::StateReader &reader)
+{
+    filter_.loadState(
+        reader, [](util::StateReader &r, FilterEntry &entry) {
+            pred::loadTargetEntry(r, entry.entry);
+            entry.provenPolymorphic = r.readBool();
+        });
+    ppm_.loadState(reader);
+    pred::loadPrediction(reader, lastFilter);
+    pred::loadPrediction(reader, lastPpm);
+    ppmPredicted = reader.readBool();
+    servedByFilter = reader.readU64();
+    servedTotal = reader.readU64();
+    if (reader.ok() && servedByFilter > servedTotal)
+        reader.fail("filter serve counters inconsistent");
+}
+
+void
+FilteredPpm::saveProbes(util::StateWriter &writer) const
+{
+    filter_.saveProbes(writer);
+    ppm_.saveProbes(writer);
+}
+
+void
+FilteredPpm::loadProbes(util::StateReader &reader)
+{
+    filter_.loadProbes(reader);
+    ppm_.loadProbes(reader);
+}
+
 double
 FilteredPpm::filterServeRatio() const
 {

@@ -47,6 +47,10 @@ class FilteredPpm : public pred::IndirectPredictor
     void observe(const trace::BranchRecord &record) override;
     std::uint64_t storageBits() const override;
     void reset() override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
+    void saveProbes(util::StateWriter &writer) const override;
+    void loadProbes(util::StateReader &reader) override;
 
     /** Fraction of predictions served by the filter stage. */
     double filterServeRatio() const;

@@ -193,6 +193,67 @@ MarkovTable::occupancy() const
 }
 
 void
+MarkovTable::saveState(util::StateWriter &writer) const
+{
+    if (config_.externalStorage)
+        return; // arena owner serializes the slab
+    if (config_.votingTargets > 1) {
+        voting_.saveState(
+            writer, [](util::StateWriter &w, const VoteEntry &entry) {
+                w.writeBool(entry.valid);
+                w.writeVarint(entry.arcs.size());
+                for (const auto &arc : entry.arcs) {
+                    w.writeU64(arc.target);
+                    w.writeU8(
+                        static_cast<std::uint8_t>(arc.freq.value()));
+                }
+            });
+        return;
+    }
+    if (config_.tagged) {
+        assoc_.saveState(writer, pred::saveTargetEntry);
+        return;
+    }
+    direct_.saveState(writer, pred::saveTargetEntry);
+}
+
+void
+MarkovTable::loadState(util::StateReader &reader)
+{
+    if (config_.externalStorage)
+        return;
+    if (config_.votingTargets > 1) {
+        const unsigned max_arcs = config_.votingTargets;
+        voting_.loadState(
+            reader,
+            [max_arcs](util::StateReader &r, VoteEntry &entry) {
+                entry.valid = r.readBool();
+                const std::uint64_t arcs = r.readVarint();
+                if (r.ok() && arcs > max_arcs) {
+                    r.fail("voting entry arc count out of range");
+                    return;
+                }
+                entry.arcs.assign(static_cast<std::size_t>(arcs), {});
+                for (auto &arc : entry.arcs) {
+                    arc.target = r.readU64();
+                    const std::uint8_t freq = r.readU8();
+                    if (r.ok() && freq > arc.freq.max()) {
+                        r.fail("arc frequency count out of range");
+                        return;
+                    }
+                    arc.freq.set(freq);
+                }
+            });
+        return;
+    }
+    if (config_.tagged) {
+        assoc_.loadState(reader, pred::loadTargetEntry);
+        return;
+    }
+    direct_.loadState(reader, pred::loadTargetEntry);
+}
+
+void
 MarkovTable::reset()
 {
     if (ext_)

@@ -123,6 +123,15 @@ class MarkovTable
 
     void reset();
 
+    /**
+     * Serialize the table's own entries.  External-storage tables
+     * write nothing: the arena owner serializes the whole slab.
+     */
+    void saveState(util::StateWriter &writer) const;
+
+    /** Restore a saved table of the same geometry. */
+    void loadState(util::StateReader &reader);
+
   private:
     /**
      * A multi-arc state for the voting variant: each arc carries a

@@ -158,6 +158,77 @@ Ppm::storageBits() const
 }
 
 void
+Ppm::saveState(util::StateWriter &writer) const
+{
+    // The arena holds every flattened table's entries back-to-back;
+    // serializing it once covers all bound tables.  Tagged/voting
+    // stacks have an empty arena and self-owned tables instead.
+    writer.writeVarint(arena_.size());
+    for (const auto &entry : arena_)
+        pred::saveTargetEntry(writer, entry);
+    for (const auto &table : tables_)
+        table.saveState(writer);
+    writer.writeU64(lastWord_);
+    writer.writeU64(lastTag);
+    writer.writeVarint(lastOrder_);
+    writer.writeBool(lastValid);
+    writer.writeU64(lastTarget);
+    writer.writeBool(zeroValid);
+    writer.writeU64(zeroTarget);
+    accesses_.saveState(writer);
+    misses_.saveState(writer);
+}
+
+void
+Ppm::loadState(util::StateReader &reader)
+{
+    const std::uint64_t arena = reader.readVarint();
+    if (reader.ok() && arena != arena_.size()) {
+        reader.fail("PPM arena size mismatch");
+        return;
+    }
+    for (auto &entry : arena_)
+        pred::loadTargetEntry(reader, entry);
+    for (auto &table : tables_)
+        table.loadState(reader);
+    lastWord_ = reader.readU64();
+    lastTag = reader.readU64();
+    const std::uint64_t order = reader.readVarint();
+    if (reader.ok() && order > config_.hash.order) {
+        reader.fail("PPM deciding order out of range");
+        return;
+    }
+    lastOrder_ = static_cast<unsigned>(order);
+    lastValid = reader.readBool();
+    lastTarget = reader.readU64();
+    zeroValid = reader.readBool();
+    zeroTarget = reader.readU64();
+    accesses_.loadState(reader);
+    misses_.loadState(reader);
+}
+
+void
+Ppm::saveProbes(util::StateWriter &writer) const
+{
+    // Fixed-width by construction: the bucket count is geometry, so
+    // the payload length matches across instrumented and probe-free
+    // builds (all-zero in the latter).
+    const auto counts = escapes_.snapshot();
+    for (std::uint64_t count : counts)
+        writer.writeU64(count);
+}
+
+void
+Ppm::loadProbes(util::StateReader &reader)
+{
+    std::vector<std::uint64_t> counts(escapes_.buckets());
+    for (auto &count : counts)
+        count = reader.readU64();
+    if (reader.ok())
+        escapes_.setCounts(counts);
+}
+
+void
 Ppm::reset()
 {
     for (auto &table : tables_)

@@ -136,6 +136,20 @@ class Ppm
 
     void reset();
 
+    /**
+     * Serialize the arena (flat stacks), every self-owned table,
+     * capture slots, order-0 fallback, and the always-on access/miss
+     * histograms.
+     */
+    void saveState(util::StateWriter &writer) const;
+
+    /** Restore a saved stack of the same configuration. */
+    void loadState(util::StateReader &reader);
+
+    /** Escape histogram (fixed-width: buckets are geometry). */
+    void saveProbes(util::StateWriter &writer) const;
+    void loadProbes(util::StateReader &reader);
+
   private:
     std::uint64_t tagFor(trace::Addr pc, std::uint64_t word) const;
 

@@ -72,6 +72,52 @@ PpmPredictor::reset()
     selectorFlips_.reset();
 }
 
+void
+PpmPredictor::saveState(util::StateWriter &writer) const
+{
+    ppm_.saveState(writer);
+    pbWord_.saveState(writer);
+    pibWord_.saveState(writer);
+    biu_.saveState(writer);
+    pred::savePrediction(writer, lastPrediction);
+    writer.writeU64(pibSelected);
+    writer.writeU64(selectTotal);
+    // lastBiuEntry is a transient predict()->update() pointer into the
+    // BIU; checkpoints only land between full records, where it is
+    // dead, so it is not serialized.
+}
+
+void
+PpmPredictor::loadState(util::StateReader &reader)
+{
+    ppm_.loadState(reader);
+    pbWord_.loadState(reader);
+    pibWord_.loadState(reader);
+    biu_.loadState(reader);
+    pred::loadPrediction(reader, lastPrediction);
+    pibSelected = reader.readU64();
+    selectTotal = reader.readU64();
+    lastBiuEntry = nullptr;
+    if (reader.ok() && pibSelected > selectTotal)
+        reader.fail("PPM selection counts inconsistent");
+}
+
+void
+PpmPredictor::saveProbes(util::StateWriter &writer) const
+{
+    ppm_.saveProbes(writer);
+    writer.writeU64(selectorFlips_.value());
+    biu_.saveProbes(writer);
+}
+
+void
+PpmPredictor::loadProbes(util::StateReader &reader)
+{
+    ppm_.loadProbes(reader);
+    selectorFlips_.set(reader.readU64());
+    biu_.loadProbes(reader);
+}
+
 double
 PpmPredictor::pibSelectRatio() const
 {

@@ -134,6 +134,10 @@ class PpmPredictor final : public pred::IndirectPredictor
     void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
     void reset() override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
+    void saveProbes(util::StateWriter &writer) const override;
+    void loadProbes(util::StateReader &reader) override;
 
     /** The Markov stack (per-order stats live here). */
     const Ppm &core() const { return ppm_; }

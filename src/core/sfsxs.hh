@@ -155,6 +155,37 @@ class SfsxsWord
         word_ = 0;
     }
 
+    /** Serialize the fold ring, head and tracked word. */
+    void
+    saveState(util::StateWriter &writer) const
+    {
+        writer.writeVarint(folded_.size());
+        for (std::uint64_t f : folded_)
+            writer.writeU64(f);
+        writer.writeVarint(head_);
+        writer.writeU64(word_);
+    }
+
+    /** Restore a saved ring; the order must match this word's. */
+    void
+    loadState(util::StateReader &reader)
+    {
+        const std::uint64_t order = reader.readVarint();
+        if (reader.ok() && order != folded_.size()) {
+            reader.fail("SfsxsWord order mismatch");
+            return;
+        }
+        for (auto &f : folded_)
+            f = reader.readU64();
+        const std::uint64_t head = reader.readVarint();
+        if (reader.ok() && head >= folded_.size()) {
+            reader.fail("SfsxsWord head out of range");
+            return;
+        }
+        head_ = static_cast<std::size_t>(head);
+        word_ = reader.readU64();
+    }
+
   private:
     Sfsxs hash_;
     std::vector<std::uint64_t> folded_; ///< ring; head_ = most recent

@@ -65,6 +65,14 @@ class Counter
 
     void reset() { IBP_PROBE(value_ = 0;) }
 
+    /** Restore a checkpointed value; no-op when compiled out. */
+    void
+    set(std::uint64_t v)
+    {
+        (void)v;
+        IBP_PROBE(value_ = v;)
+    }
+
   private:
     IBP_PROBE(std::uint64_t value_ = 0;)
 };
@@ -91,6 +99,15 @@ class HighWater
     }
 
     void reset() { IBP_PROBE(max_ = 0;) }
+
+    /** Restore a checkpointed high-water mark; no-op when compiled
+     *  out. */
+    void
+    set(std::uint64_t v)
+    {
+        (void)v;
+        IBP_PROBE(max_ = v;)
+    }
 
   private:
     IBP_PROBE(std::uint64_t max_ = 0;)
@@ -145,6 +162,15 @@ class ProbeHistogram
     }
 
     void reset() { IBP_PROBE(counts_.assign(buckets_, 0);) }
+
+    /** Restore checkpointed counts; the vector must be buckets()
+     *  long (mismatches are dropped).  No-op when compiled out. */
+    void
+    setCounts(const std::vector<std::uint64_t> &counts)
+    {
+        (void)counts;
+        IBP_PROBE(if (counts.size() == buckets_) counts_ = counts;)
+    }
 
   private:
     std::size_t buckets_;

@@ -25,6 +25,7 @@
 
 #include "obs/probe.hh"
 #include "util/histogram.hh"
+#include "util/serde.hh"
 
 namespace ibp::obs {
 
@@ -118,6 +119,69 @@ class ProbeRegistry
     {
         counters_.clear();
         histograms_.clear();
+    }
+
+    /**
+     * Serialize the snapshot.  Both maps are ordered, so the bytes are
+     * canonical: two registries holding equal values encode equally no
+     * matter what insertion or merge order produced them — which is
+     * what lets suite checkpoints store per-cell registries and still
+     * compare resumed runs byte for byte.
+     */
+    void
+    saveState(util::StateWriter &writer) const
+    {
+        writer.writeVarint(counters_.size());
+        for (const auto &[name, value] : counters_) {
+            writer.writeString(name);
+            writer.writeU64(value);
+        }
+        writer.writeVarint(histograms_.size());
+        for (const auto &[name, buckets] : histograms_) {
+            writer.writeString(name);
+            writer.writeVarint(buckets.size());
+            for (std::uint64_t bucket : buckets)
+                writer.writeU64(bucket);
+        }
+    }
+
+    /** Replace this registry with a saved snapshot. */
+    void
+    loadState(util::StateReader &reader)
+    {
+        clear();
+        const std::uint64_t num_counters = reader.readVarint();
+        // A counter entry is at least 9 bytes (1-byte name length + 8
+        // value bytes); larger claims cannot be honest.
+        if (reader.ok() && num_counters > reader.remaining() / 9) {
+            reader.fail("probe counter count overruns input");
+            return;
+        }
+        for (std::uint64_t i = 0; i < num_counters && reader.ok(); ++i) {
+            std::string name = reader.readString();
+            counters_[std::move(name)] = reader.readU64();
+        }
+        const std::uint64_t num_histograms = reader.readVarint();
+        if (reader.ok() && num_histograms > reader.remaining() / 2) {
+            reader.fail("probe histogram count overruns input");
+            return;
+        }
+        for (std::uint64_t i = 0; i < num_histograms && reader.ok();
+             ++i) {
+            std::string name = reader.readString();
+            const std::uint64_t buckets = reader.readVarint();
+            if (reader.ok() && buckets > reader.remaining() / 8) {
+                reader.fail(
+                    "probe histogram bucket count overruns input");
+                return;
+            }
+            auto &dst = histograms_[std::move(name)];
+            dst.assign(static_cast<std::size_t>(buckets), 0);
+            for (auto &bucket : dst)
+                bucket = reader.readU64();
+        }
+        if (!reader.ok())
+            clear();
     }
 
   private:

@@ -32,6 +32,37 @@ Btb::reset()
     replacements_.reset();
 }
 
+void
+Btb::saveState(util::StateWriter &writer) const
+{
+    table_.saveState(writer,
+                     [](util::StateWriter &w, const Entry &e) {
+                         w.writeBool(e.valid);
+                         w.writeU64(e.target);
+                     });
+}
+
+void
+Btb::loadState(util::StateReader &reader)
+{
+    table_.loadState(reader, [](util::StateReader &r, Entry &e) {
+        e.valid = r.readBool();
+        e.target = r.readU64();
+    });
+}
+
+void
+Btb::saveProbes(util::StateWriter &writer) const
+{
+    writer.writeU64(replacements_.value());
+}
+
+void
+Btb::loadProbes(util::StateReader &reader)
+{
+    replacements_.set(reader.readU64());
+}
+
 Btb2b::Btb2b(std::size_t entries)
     : table_(entries)
 {
@@ -60,6 +91,30 @@ Btb2b::reset()
 {
     table_.reset();
     replacements_.reset();
+}
+
+void
+Btb2b::saveState(util::StateWriter &writer) const
+{
+    table_.saveState(writer, saveTargetEntry);
+}
+
+void
+Btb2b::loadState(util::StateReader &reader)
+{
+    table_.loadState(reader, loadTargetEntry);
+}
+
+void
+Btb2b::saveProbes(util::StateWriter &writer) const
+{
+    writer.writeU64(replacements_.value());
+}
+
+void
+Btb2b::loadProbes(util::StateReader &reader)
+{
+    replacements_.set(reader.readU64());
 }
 
 } // namespace ibp::pred

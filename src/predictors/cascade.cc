@@ -130,6 +130,52 @@ Cascade::reset()
     servedTotal = 0;
 }
 
+void
+Cascade::saveState(util::StateWriter &writer) const
+{
+    filter_.saveState(writer,
+                      [](util::StateWriter &w, const FilterEntry &e) {
+                          saveTargetEntry(w, e.entry);
+                          w.writeBool(e.provenPolymorphic);
+                      });
+    main_.saveState(writer);
+    savePrediction(writer, lastFilter);
+    savePrediction(writer, lastMain);
+    writer.writeU64(servedByFilter);
+    writer.writeU64(servedTotal);
+}
+
+void
+Cascade::loadState(util::StateReader &reader)
+{
+    filter_.loadState(reader,
+                      [](util::StateReader &r, FilterEntry &e) {
+                          loadTargetEntry(r, e.entry);
+                          e.provenPolymorphic = r.readBool();
+                      });
+    main_.loadState(reader);
+    loadPrediction(reader, lastFilter);
+    loadPrediction(reader, lastMain);
+    servedByFilter = reader.readU64();
+    servedTotal = reader.readU64();
+    if (reader.ok() && servedByFilter > servedTotal)
+        reader.fail("Cascade serve counters inconsistent");
+}
+
+void
+Cascade::saveProbes(util::StateWriter &writer) const
+{
+    filter_.saveProbes(writer);
+    main_.saveProbes(writer);
+}
+
+void
+Cascade::loadProbes(util::StateReader &reader)
+{
+    filter_.loadProbes(reader);
+    main_.loadProbes(reader);
+}
+
 double
 Cascade::filterServeRatio() const
 {

@@ -63,6 +63,10 @@ class Cascade : public IndirectPredictor
     void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
     void reset() override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
+    void saveProbes(util::StateWriter &writer) const override;
+    void loadProbes(util::StateReader &reader) override;
 
     /** Fraction of predictions served by the filter (for analysis). */
     double filterServeRatio() const;

@@ -122,6 +122,46 @@ PathComponent::reset()
     assoc_.reset();
 }
 
+void
+PathComponent::saveState(util::StateWriter &writer) const
+{
+    history_.saveState(writer);
+    // Only the active table carries state; the other is a 1-entry
+    // stub whose contents never change.
+    if (config_.tagged)
+        assoc_.saveState(writer, saveTargetEntry);
+    else
+        direct_.saveState(writer, saveTargetEntry);
+    writer.writeU64(lastIndex);
+    writer.writeU64(lastSet);
+    writer.writeU64(lastTag);
+}
+
+void
+PathComponent::loadState(util::StateReader &reader)
+{
+    history_.loadState(reader);
+    if (config_.tagged)
+        assoc_.loadState(reader, loadTargetEntry);
+    else
+        direct_.loadState(reader, loadTargetEntry);
+    lastIndex = reader.readU64();
+    lastSet = reader.readU64();
+    lastTag = reader.readU64();
+}
+
+void
+PathComponent::saveProbes(util::StateWriter &writer) const
+{
+    assoc_.saveProbes(writer);
+}
+
+void
+PathComponent::loadProbes(util::StateReader &reader)
+{
+    assoc_.loadProbes(reader);
+}
+
 Dpath::Dpath(const DpathConfig &config, std::string name)
     : config_(config), name_(std::move(name)),
       short_(config.shortPath), long_(config.longPath),
@@ -188,6 +228,52 @@ Dpath::reset()
     selector_.reset();
     lastShort = {};
     lastLong = {};
+}
+
+void
+Dpath::saveState(util::StateWriter &writer) const
+{
+    short_.saveState(writer);
+    long_.saveState(writer);
+    selector_.saveState(writer,
+                        [](util::StateWriter &w, const Selector &s) {
+                            w.writeU8(static_cast<std::uint8_t>(
+                                s.counter.value()));
+                        });
+    savePrediction(writer, lastShort);
+    savePrediction(writer, lastLong);
+}
+
+void
+Dpath::loadState(util::StateReader &reader)
+{
+    short_.loadState(reader);
+    long_.loadState(reader);
+    selector_.loadState(reader,
+                        [](util::StateReader &r, Selector &s) {
+                            const std::uint8_t count = r.readU8();
+                            if (r.ok() && count > s.counter.max()) {
+                                r.fail("selector counter out of range");
+                                return;
+                            }
+                            s.counter.set(count);
+                        });
+    loadPrediction(reader, lastShort);
+    loadPrediction(reader, lastLong);
+}
+
+void
+Dpath::saveProbes(util::StateWriter &writer) const
+{
+    short_.saveProbes(writer);
+    long_.saveProbes(writer);
+}
+
+void
+Dpath::loadProbes(util::StateReader &reader)
+{
+    short_.loadProbes(reader);
+    long_.loadProbes(reader);
 }
 
 } // namespace ibp::pred

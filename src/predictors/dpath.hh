@@ -61,6 +61,10 @@ class PathComponent
     void observe(const trace::BranchRecord &record);
     std::uint64_t storageBits() const;
     void reset();
+    void saveState(util::StateWriter &writer) const;
+    void loadState(util::StateReader &reader);
+    void saveProbes(util::StateWriter &writer) const;
+    void loadProbes(util::StateReader &reader);
 
     const ShiftHistory &history() const { return history_; }
 
@@ -108,6 +112,11 @@ class Dpath : public IndirectPredictor
      */
     void updateWithAllocate(trace::Addr pc, trace::Addr target,
                             bool allocate);
+
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
+    void saveProbes(util::StateWriter &writer) const override;
+    void loadProbes(util::StateReader &reader) override;
 
   private:
     struct Selector

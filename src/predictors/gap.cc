@@ -65,4 +65,33 @@ Gap::reset()
         pht.reset();
 }
 
+void
+Gap::saveState(util::StateWriter &writer) const
+{
+    history_.saveState(writer);
+    writer.writeVarint(phts_.size());
+    for (const auto &pht : phts_)
+        pht.saveState(writer, saveTargetEntry);
+    writer.writeVarint(lastSlot.pht);
+    writer.writeU64(lastSlot.index);
+}
+
+void
+Gap::loadState(util::StateReader &reader)
+{
+    history_.loadState(reader);
+    const std::uint64_t phts = reader.readVarint();
+    if (reader.ok() && phts != phts_.size()) {
+        reader.fail("GAp PHT count mismatch");
+        return;
+    }
+    for (auto &pht : phts_)
+        pht.loadState(reader, loadTargetEntry);
+    lastSlot.pht = static_cast<std::size_t>(reader.readVarint());
+    lastSlot.index = reader.readU64();
+    if (reader.ok() && (lastSlot.pht >= config_.numPhts ||
+                        lastSlot.index >= config_.entriesPerPht))
+        reader.fail("GAp last slot out of range");
+}
+
 } // namespace ibp::pred

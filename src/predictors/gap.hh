@@ -44,6 +44,8 @@ class Gap : public IndirectPredictor
     void observe(const trace::BranchRecord &record) override;
     std::uint64_t storageBits() const override;
     void reset() override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
 
     /** The history register (exposed for tests). */
     const ShiftHistory &history() const { return history_; }

@@ -44,6 +44,8 @@ class Oracle : public IndirectPredictor
     /** Unbounded; reports the current table footprint. */
     std::uint64_t storageBits() const override;
     void reset() override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
 
     /** Number of distinct contexts seen so far. */
     std::size_t contexts() const { return table_.size(); }

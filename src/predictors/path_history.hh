@@ -26,6 +26,7 @@
 #include "trace/branch_record.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/serde.hh"
 #include "util/table.hh"
 
 namespace ibp::pred {
@@ -117,6 +118,26 @@ class ShiftHistory
 
     void reset() { value_ = 0; }
 
+    /** Serialize the register contents. */
+    void
+    saveState(util::StateWriter &writer) const
+    {
+        writer.writeU64(value_);
+    }
+
+    /** Restore saved contents; bits beyond the register width are
+     *  corruption. */
+    void
+    loadState(util::StateReader &reader)
+    {
+        const std::uint64_t value = reader.readU64();
+        if (reader.ok() && (value & ~util::maskLow(totalBits)) != 0) {
+            reader.fail("ShiftHistory value wider than the register");
+            return;
+        }
+        value_ = value;
+    }
+
   private:
     unsigned totalBits;
     unsigned symbolBits;
@@ -207,6 +228,36 @@ class SymbolHistory
         for (auto &s : symbols_)
             s = 0;
         head_ = 0;
+    }
+
+    /** Serialize the ring (slots + head), so a restore reproduces the
+     *  exact rotation state. */
+    void
+    saveState(util::StateWriter &writer) const
+    {
+        writer.writeVarint(symbols_.size());
+        for (std::uint32_t s : symbols_)
+            writer.writeU32(s);
+        writer.writeVarint(head_);
+    }
+
+    /** Restore a saved ring; length must match this register's. */
+    void
+    loadState(util::StateReader &reader)
+    {
+        const std::uint64_t length = reader.readVarint();
+        if (reader.ok() && length != symbols_.size()) {
+            reader.fail("SymbolHistory length mismatch");
+            return;
+        }
+        for (auto &s : symbols_)
+            s = reader.readU32();
+        const std::uint64_t head = reader.readVarint();
+        if (reader.ok() && head >= symbols_.size()) {
+            reader.fail("SymbolHistory head out of range");
+            return;
+        }
+        head_ = static_cast<std::size_t>(head);
     }
 
   private:

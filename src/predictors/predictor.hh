@@ -22,6 +22,7 @@
 #include "obs/registry.hh"
 #include "trace/branch_record.hh"
 #include "util/sat_counter.hh"
+#include "util/serde.hh"
 
 namespace ibp::pred {
 
@@ -37,6 +38,23 @@ struct Prediction
         return valid && target == actual;
     }
 };
+
+/** Serialize a Prediction (hybrids checkpoint their last component
+ *  results, which feed the selector update). */
+inline void
+savePrediction(util::StateWriter &writer, const Prediction &prediction)
+{
+    writer.writeBool(prediction.valid);
+    writer.writeU64(prediction.target);
+}
+
+/** Restore a Prediction saved by savePrediction(). */
+inline void
+loadPrediction(util::StateReader &reader, Prediction &prediction)
+{
+    prediction.valid = reader.readBool();
+    prediction.target = reader.readU64();
+}
 
 /** Abstract indirect-branch target predictor. */
 class IndirectPredictor
@@ -100,6 +118,45 @@ class IndirectPredictor
 
     /** Clear all state (tables, histories, counters). */
     virtual void reset() = 0;
+
+    /**
+     * Serialize every piece of architectural state — tables, history
+     * registers, hysteresis counters, selection state — such that
+     * loadState() into a freshly constructed predictor of the same
+     * configuration reproduces future predictions bit-exactly.
+     * Gated probe values are explicitly excluded (see saveProbes());
+     * the default writes nothing, which is correct for stateless
+     * predictors and keeps test doubles compiling.
+     */
+    virtual void saveState(util::StateWriter &writer) const
+    {
+        (void)writer;
+    }
+
+    /**
+     * Restore state written by saveState() on a same-configured
+     * predictor.  Decode failures — truncation, corruption, geometry
+     * mismatch — latch on @p reader (never crash); callers check
+     * reader.status() afterwards and must discard the predictor on
+     * error, since a failed load leaves it partially written.
+     */
+    virtual void loadState(util::StateReader &reader) { (void)reader; }
+
+    /**
+     * Serialize instrumentation probe values (the gated counters that
+     * feed snapshotProbes()).  Kept separate from saveState() so the
+     * architectural stream is bit-identical across instrumented and
+     * probe-free builds; implementations use fixed-width writes only,
+     * so even this stream's *length* is build-invariant.
+     */
+    virtual void saveProbes(util::StateWriter &writer) const
+    {
+        (void)writer;
+    }
+
+    /** Restore probe values; a no-op (after consuming the fixed-width
+     *  payload) in probe-free builds. */
+    virtual void loadProbes(util::StateReader &reader) { (void)reader; }
 };
 
 /**
@@ -142,6 +199,31 @@ struct TargetEntry
         return 1 + 64 + 2;
     }
 };
+
+/** Serialize one TargetEntry — the shared codec for every table of
+ *  them (BTB2b, GAp, Dpath, Cascade, Markov arenas). */
+inline void
+saveTargetEntry(util::StateWriter &writer, const TargetEntry &entry)
+{
+    writer.writeBool(entry.valid);
+    writer.writeU64(entry.target);
+    writer.writeU8(static_cast<std::uint8_t>(entry.counter.value()));
+}
+
+/** Restore one TargetEntry; counter values beyond the 2-bit range are
+ *  corruption. */
+inline void
+loadTargetEntry(util::StateReader &reader, TargetEntry &entry)
+{
+    entry.valid = reader.readBool();
+    entry.target = reader.readU64();
+    const std::uint8_t count = reader.readU8();
+    if (reader.ok() && count > entry.counter.max()) {
+        reader.fail("saturating counter value out of range");
+        return;
+    }
+    entry.counter.set(count);
+}
 
 } // namespace ibp::pred
 

@@ -17,6 +17,7 @@
 
 #include "obs/probe.hh"
 #include "trace/branch_record.hh"
+#include "util/serde.hh"
 
 namespace ibp::pred {
 
@@ -76,6 +77,54 @@ class ReturnAddressStack
     std::uint64_t underflows() const { return underflows_.value(); }
 
     void reset();
+
+    /** Serialize the full ring (slots + cursor + live count). */
+    void
+    saveState(util::StateWriter &writer) const
+    {
+        writer.writeVarint(stack_.size());
+        for (trace::Addr addr : stack_)
+            writer.writeU64(addr);
+        writer.writeVarint(top_);
+        writer.writeVarint(live_);
+    }
+
+    /** Restore a saved ring; the depth must match this stack's. */
+    void
+    loadState(util::StateReader &reader)
+    {
+        const std::uint64_t depth = reader.readVarint();
+        if (reader.ok() && depth != stack_.size()) {
+            reader.fail("RAS depth mismatch");
+            return;
+        }
+        for (auto &addr : stack_)
+            addr = reader.readU64();
+        const std::uint64_t top = reader.readVarint();
+        const std::uint64_t live = reader.readVarint();
+        if (reader.ok() &&
+            (top >= stack_.size() || live > stack_.size())) {
+            reader.fail("RAS cursor out of range");
+            return;
+        }
+        top_ = static_cast<std::size_t>(top);
+        live_ = static_cast<std::size_t>(live);
+    }
+
+    /** Probe counters (fixed-width; see IndirectPredictor contract). */
+    void
+    saveProbes(util::StateWriter &writer) const
+    {
+        writer.writeU64(overflows_.value());
+        writer.writeU64(underflows_.value());
+    }
+
+    void
+    loadProbes(util::StateReader &reader)
+    {
+        overflows_.set(reader.readU64());
+        underflows_.set(reader.readU64());
+    }
 
   private:
     std::vector<trace::Addr> stack_;

@@ -52,4 +52,28 @@ TargetCache::reset()
     lastIndex = 0;
 }
 
+void
+TargetCache::saveState(util::StateWriter &writer) const
+{
+    history_.saveState(writer);
+    table_.saveState(writer, [](util::StateWriter &w, const Entry &e) {
+        w.writeBool(e.valid);
+        w.writeU64(e.target);
+    });
+    writer.writeU64(lastIndex);
+}
+
+void
+TargetCache::loadState(util::StateReader &reader)
+{
+    history_.loadState(reader);
+    table_.loadState(reader, [](util::StateReader &r, Entry &e) {
+        e.valid = r.readBool();
+        e.target = r.readU64();
+    });
+    lastIndex = reader.readU64();
+    if (reader.ok() && lastIndex >= table_.size())
+        reader.fail("TargetCache last index out of range");
+}
+
 } // namespace ibp::pred

@@ -43,6 +43,8 @@ class TargetCache : public IndirectPredictor
     void observe(const trace::BranchRecord &record) override;
     std::uint64_t storageBits() const override;
     void reset() override;
+    void saveState(util::StateWriter &writer) const override;
+    void loadState(util::StateReader &reader) override;
 
     const ShiftHistory &history() const { return history_; }
 

@@ -1,5 +1,7 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
+
 #include "core/ppm_predictor.hh"
 #include "predictors/btb.hh"
 
@@ -16,34 +18,46 @@ namespace {
  * Either way the per-record protocol — predict -> update -> observe,
  * in trace order — is the same code, so metrics are bit-identical
  * across instantiations.
+ *
+ * @p limit bounds the records consumed (ReplaySession::kNoLimit = run
+ * to exhaustion).  The unbounded case keeps the zero-copy nextSpan()
+ * fast path; a bounded run clamps nextBatch() instead, because a span
+ * consumes the whole remainder and cannot stop at a record boundary.
+ * @return records consumed.
  */
 template <typename Predictor>
-RunMetrics
+std::uint64_t
 replay(const EngineConfig &config, trace::BranchSource &source,
-       Predictor &predictor, pred::ReturnAddressStack &ras)
+       Predictor &predictor, pred::ReturnAddressStack &ras,
+       RunMetrics &metrics, std::uint64_t limit)
 {
-    RunMetrics metrics;
-
-    // Replay in spans: contiguous sources expose their records in
-    // place via nextSpan() (zero copies, one virtual call per span);
-    // everything else falls back to nextBatch(), one virtual call per
-    // kReplayBatch records.  Loop-invariant configuration and the
-    // predictor's observe() interest are hoisted out of the hot loop.
+    // Loop-invariant configuration and the predictor's observe()
+    // interest are hoisted out of the hot loop.
     const bool use_ras = config.useRas;
     const bool per_site = config.perSiteStats;
     const bool observes = predictor.wantsObserve();
+    const bool unbounded = limit == ReplaySession::kNoLimit;
 
+    std::uint64_t consumed = 0;
     trace::BranchRecord batch[Engine::kReplayBatch];
-    for (;;) {
+    while (unbounded || consumed < limit) {
         const trace::BranchRecord *span = nullptr;
-        std::size_t n = source.nextSpan(span);
+        std::size_t n = 0;
+        if (unbounded)
+            n = source.nextSpan(span);
         if (n == 0) {
-            n = source.nextBatch(batch, Engine::kReplayBatch);
+            const std::size_t want =
+                unbounded ? Engine::kReplayBatch
+                          : static_cast<std::size_t>(std::min<
+                                std::uint64_t>(Engine::kReplayBatch,
+                                               limit - consumed));
+            n = source.nextBatch(batch, want);
             if (n == 0)
                 break;
             span = batch;
         }
         metrics.branches += n;
+        consumed += n;
 
         for (std::size_t b = 0; b < n; ++b) {
             const trace::BranchRecord &record = span[b];
@@ -75,7 +89,28 @@ replay(const EngineConfig &config, trace::BranchSource &source,
                 predictor.observe(record);
         }
     }
-    return metrics;
+    return consumed;
+}
+
+/**
+ * Type-switch devirtualization: one dynamic_cast per run (not per
+ * record) routes the hottest concrete predictors into fully inlined
+ * replay loops.  Anything else — composite predictors, test doubles —
+ * takes the generic virtual loop with identical semantics.
+ */
+std::uint64_t
+dispatchReplay(const EngineConfig &config, trace::BranchSource &source,
+               pred::IndirectPredictor &predictor,
+               pred::ReturnAddressStack &ras, RunMetrics &metrics,
+               std::uint64_t limit)
+{
+    if (auto *btb = dynamic_cast<pred::Btb *>(&predictor))
+        return replay(config, source, *btb, ras, metrics, limit);
+    if (auto *btb2b = dynamic_cast<pred::Btb2b *>(&predictor))
+        return replay(config, source, *btb2b, ras, metrics, limit);
+    if (auto *ppm = dynamic_cast<core::PpmPredictor *>(&predictor))
+        return replay(config, source, *ppm, ras, metrics, limit);
+    return replay(config, source, predictor, ras, metrics, limit);
 }
 
 } // namespace
@@ -90,31 +125,61 @@ Engine::run(trace::BranchSource &source,
             pred::IndirectPredictor &predictor,
             obs::ProbeRegistry *probes)
 {
-    // The RAS lives here (not in replay()) so its probe counters are
-    // still readable after the loop returns.
-    pred::ReturnAddressStack ras(config_.rasDepth);
+    ReplaySession session(config_);
+    session.run(source, predictor);
+    if (probes)
+        session.snapshotProbes(*probes, predictor);
+    return session.metrics();
+}
 
-    // Type-switch devirtualization: one dynamic_cast per run (not per
-    // record) routes the hottest concrete predictors into fully
-    // inlined replay loops.  Anything else — composite predictors,
-    // test doubles — takes the generic virtual loop with identical
-    // semantics.
-    RunMetrics metrics;
-    if (auto *btb = dynamic_cast<pred::Btb *>(&predictor))
-        metrics = replay(config_, source, *btb, ras);
-    else if (auto *btb2b = dynamic_cast<pred::Btb2b *>(&predictor))
-        metrics = replay(config_, source, *btb2b, ras);
-    else if (auto *ppm = dynamic_cast<core::PpmPredictor *>(&predictor))
-        metrics = replay(config_, source, *ppm, ras);
-    else
-        metrics = replay(config_, source, predictor, ras);
+ReplaySession::ReplaySession(const EngineConfig &config)
+    : config_(config), ras_(config.rasDepth)
+{
+}
 
-    if (probes) {
-        probes->counter("ras/overflows", ras.overflows());
-        probes->counter("ras/underflows", ras.underflows());
-        predictor.snapshotProbes(*probes);
-    }
-    return metrics;
+std::uint64_t
+ReplaySession::run(trace::BranchSource &source,
+                   pred::IndirectPredictor &predictor,
+                   std::uint64_t limit)
+{
+    return dispatchReplay(config_, source, predictor, ras_, metrics_,
+                          limit);
+}
+
+void
+ReplaySession::snapshotProbes(obs::ProbeRegistry &registry,
+                              const pred::IndirectPredictor &predictor)
+    const
+{
+    registry.counter("ras/overflows", ras_.overflows());
+    registry.counter("ras/underflows", ras_.underflows());
+    predictor.snapshotProbes(registry);
+}
+
+void
+ReplaySession::saveState(util::StateWriter &writer) const
+{
+    metrics_.saveState(writer);
+    ras_.saveState(writer);
+}
+
+void
+ReplaySession::loadState(util::StateReader &reader)
+{
+    metrics_.loadState(reader);
+    ras_.loadState(reader);
+}
+
+void
+ReplaySession::saveProbes(util::StateWriter &writer) const
+{
+    ras_.saveProbes(writer);
+}
+
+void
+ReplaySession::loadProbes(util::StateReader &reader)
+{
+    ras_.loadProbes(reader);
 }
 
 } // namespace ibp::sim

@@ -62,6 +62,61 @@ class Engine
     EngineConfig config_;
 };
 
+/**
+ * A resumable replay: the engine state that persists across batches —
+ * the RAS and the accumulated metrics — held as an object instead of
+ * on Engine::run()'s stack, so a replay can stop between records,
+ * serialize itself, and continue (possibly in a different process).
+ *
+ * Running a session to exhaustion in one run() call replays exactly
+ * the code path Engine::run() uses, so metrics are bit-identical;
+ * bounded calls trade the zero-copy span path for clamped batches but
+ * follow the same per-record protocol.  Checkpoints must land between
+ * full records — run() never stops mid-record — which is what makes
+ * the predictors' transient predict->update slots serializable.
+ */
+class ReplaySession
+{
+  public:
+    /** No record limit: replay until the source is exhausted. */
+    static constexpr std::uint64_t kNoLimit = ~std::uint64_t{0};
+
+    explicit ReplaySession(const EngineConfig &config = {});
+
+    /**
+     * Replay up to @p limit records from @p source (kNoLimit = until
+     * exhaustion) with @p predictor, accumulating into this session's
+     * metrics.
+     * @return records consumed by this call; less than @p limit means
+     *         the source is exhausted.
+     */
+    std::uint64_t run(trace::BranchSource &source,
+                      pred::IndirectPredictor &predictor,
+                      std::uint64_t limit = kNoLimit);
+
+    /** Metrics accumulated so far. */
+    const RunMetrics &metrics() const { return metrics_; }
+
+    /** RAS + predictor probe snapshots (Engine::run()'s cold path). */
+    void snapshotProbes(obs::ProbeRegistry &registry,
+                        const pred::IndirectPredictor &predictor) const;
+
+    /** Serialize the engine-side state (metrics + RAS ring). */
+    void saveState(util::StateWriter &writer) const;
+
+    /** Restore a saved session of the same configuration. */
+    void loadState(util::StateReader &reader);
+
+    /** RAS probe counters (fixed-width). */
+    void saveProbes(util::StateWriter &writer) const;
+    void loadProbes(util::StateReader &reader);
+
+  private:
+    EngineConfig config_;
+    pred::ReturnAddressStack ras_;
+    RunMetrics metrics_;
+};
+
 } // namespace ibp::sim
 
 #endif // IBP_SIM_ENGINE_HH_

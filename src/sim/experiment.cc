@@ -11,6 +11,7 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/checkpoint.hh"
 #include "util/cputime.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -280,6 +281,48 @@ cellFromMetrics(const RunMetrics &metrics)
     return cell;
 }
 
+/**
+ * Load an existing progress file if resuming.  A missing file is a
+ * normal first run (quiet); a corrupt file or one written by a
+ * different suite configuration is downgraded to a warn() and a fresh
+ * run — a stale checkpoint must never change what gets computed.
+ */
+void
+loadSuiteProgressFor(const SuiteOptions &options,
+                     SuiteProgress &progress)
+{
+    if (!options.resume)
+        return;
+    std::vector<std::uint8_t> bytes;
+    if (!readCheckpointFile(options.checkpointPath, bytes).ok())
+        return; // nothing to resume from
+    SuiteProgress loaded;
+    if (util::Status status = decodeSuiteProgress(bytes, loaded);
+        !status.ok()) {
+        warn("ignoring checkpoint ", options.checkpointPath, ": ",
+             status.message());
+        return;
+    }
+    if (loaded.fingerprint != progress.fingerprint) {
+        warn("checkpoint ", options.checkpointPath,
+             " was written by a different suite configuration; "
+             "starting fresh");
+        return;
+    }
+    progress = std::move(loaded);
+}
+
+/** Persist the progress file; failures warn but never stop the run. */
+void
+writeSuiteProgress(const SuiteOptions &options,
+                   const SuiteProgress &progress)
+{
+    if (util::Status status = writeCheckpointFile(
+            options.checkpointPath, encodeSuiteProgress(progress));
+        !status.ok())
+        warn("checkpoint write failed: ", status.message());
+}
+
 /** The legacy serial path: one trace per row, one cell at a time. */
 SuiteResult
 runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
@@ -290,28 +333,102 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
     double trace_gen = 0;
     SuiteResult result;
     result.predictorNames = predictor_names;
+
+    const bool checkpointing = !options.checkpointPath.empty();
+    SuiteProgress progress;
+    if (checkpointing) {
+        progress.fingerprint =
+            suiteFingerprint(profiles, predictor_names, options);
+        loadSuiteProgressFor(options, progress);
+    }
+
     for (const auto &profile : profiles) {
-        result.rowNames.push_back(profile.fullName());
-        const auto gen_start = Clock::now();
-        trace::TraceBuffer buffer =
-            generateTrace(profile, options.traceScale);
-        trace_gen += secondsSince(gen_start);
+        const std::string row_name = profile.fullName();
+        result.rowNames.push_back(row_name);
+
+        // A fully resumed row needs no trace at all.
+        bool row_needs_trace = !checkpointing;
+        for (const auto &name : predictor_names)
+            if (!row_needs_trace && !progress.find(row_name, name))
+                row_needs_trace = true;
+
+        trace::TraceBuffer buffer;
+        if (row_needs_trace) {
+            const auto gen_start = Clock::now();
+            buffer = generateTrace(profile, options.traceScale);
+            trace_gen += secondsSince(gen_start);
+        }
 
         std::vector<CellResult> row;
         row.reserve(predictor_names.size());
         for (const auto &name : predictor_names) {
+            if (checkpointing) {
+                if (const CompletedCell *done =
+                        progress.find(row_name, name)) {
+                    result.probes[name].merge(done->probes);
+                    row.push_back(done->cell);
+                    continue;
+                }
+            }
             auto predictor = makePredictor(name, options.factory);
-            Engine engine(options.engine);
+            ReplaySession session(options.engine);
             buffer.rewind();
             const auto cell_start = Clock::now();
             const double cpu_start = util::threadCpuSeconds();
+
+            if (progress.partial.valid &&
+                progress.partial.row == row_name &&
+                progress.partial.col == name) {
+                const std::uint64_t cursor = progress.partial.cursor;
+                if (restorePartialCell(progress.partial, *predictor,
+                                       session) &&
+                    buffer.seek(cursor)) {
+                    // Mid-replay resume: the prefix was consumed by
+                    // the interrupted run; its effects live in the
+                    // restored predictor/engine state.
+                } else {
+                    warn("mid-cell checkpoint for (", row_name, ", ",
+                         name, ") is unusable; replaying the cell "
+                         "from the start");
+                    predictor = makePredictor(name, options.factory);
+                    session = ReplaySession(options.engine);
+                    buffer.rewind();
+                }
+                progress.partial = PartialCell{};
+            }
+
+            if (checkpointing && options.checkpointEvery > 0) {
+                for (;;) {
+                    const std::uint64_t ran = session.run(
+                        buffer, *predictor, options.checkpointEvery);
+                    if (ran < options.checkpointEvery)
+                        break;
+                    progress.partial = capturePartialCell(
+                        row_name, name, buffer.cursor(), *predictor,
+                        session);
+                    writeSuiteProgress(options, progress);
+                }
+            } else {
+                session.run(buffer, *predictor);
+            }
+
             obs::ProbeRegistry probes;
-            CellResult cell = cellFromMetrics(
-                engine.run(buffer, *predictor, &probes));
+            session.snapshotProbes(probes, *predictor);
+            CellResult cell = cellFromMetrics(session.metrics());
             cell.cpuSeconds = util::threadCpuSeconds() - cpu_start;
             cell.wallSeconds = secondsSince(cell_start);
             result.probes[name].merge(probes);
             row.push_back(cell);
+            if (checkpointing) {
+                progress.partial = PartialCell{};
+                CompletedCell done;
+                done.row = row_name;
+                done.col = name;
+                done.cell = cell;
+                done.probes = std::move(probes);
+                progress.cells.push_back(std::move(done));
+                writeSuiteProgress(options, progress);
+            }
         }
         result.cells.push_back(std::move(row));
     }
@@ -356,6 +473,17 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
         result.rowNames.push_back(profile.fullName());
     result.cells.assign(rows, std::vector<CellResult>(cols));
 
+    const bool checkpointing = !options.checkpointPath.empty();
+    SuiteProgress progress;
+    if (checkpointing) {
+        progress.fingerprint =
+            suiteFingerprint(profiles, predictor_names, options);
+        loadSuiteProgressFor(options, progress);
+        // Mid-cell snapshots are a serial-path feature; a resumed
+        // partial cell is simply replayed whole here.
+        progress.partial = PartialCell{};
+    }
+
     // One task per (row, column) cell.  Every task replays an
     // immutable memoized trace through its own cursor into its own
     // factory-fresh predictor and engine, so cells are independent and
@@ -367,13 +495,31 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
         obs::ProbeRegistry probes;
     };
 
+    struct CellTask
+    {
+        std::size_t r;
+        std::size_t c;
+    };
+
     const auto wall_start = Clock::now();
+    std::vector<CellTask> tasks;
     std::vector<std::future<CellOutput>> futures;
+    tasks.reserve(rows * cols);
     futures.reserve(rows * cols);
     {
         util::ThreadPool pool(threads);
         for (std::size_t r = 0; r < rows; ++r) {
             for (std::size_t c = 0; c < cols; ++c) {
+                if (checkpointing) {
+                    if (const CompletedCell *done = progress.find(
+                            result.rowNames[r], predictor_names[c])) {
+                        result.cells[r][c] = done->cell;
+                        result.probes[predictor_names[c]].merge(
+                            done->probes);
+                        continue;
+                    }
+                }
+                tasks.push_back(CellTask{r, c});
                 futures.push_back(pool.submit([&profiles,
                                                &predictor_names,
                                                &options, r, c] {
@@ -404,13 +550,24 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
 
         double serial_equivalent = 0;
         double trace_gen = 0;
-        for (std::size_t r = 0; r < rows; ++r) {
-            for (std::size_t c = 0; c < cols; ++c) {
-                CellOutput output = futures[r * cols + c].get();
-                result.cells[r][c] = output.cell;
-                result.probes[predictor_names[c]].merge(output.probes);
-                serial_equivalent += output.cell.cpuSeconds;
-                trace_gen += output.genSeconds;
+        // Futures resolve in submission order; completed-cell probes
+        // merged above and these merge by summation, so the final
+        // registries are independent of which cells were resumed.
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            CellOutput output = futures[i].get();
+            const auto [r, c] = tasks[i];
+            result.cells[r][c] = output.cell;
+            result.probes[predictor_names[c]].merge(output.probes);
+            serial_equivalent += output.cell.cpuSeconds;
+            trace_gen += output.genSeconds;
+            if (checkpointing) {
+                CompletedCell done;
+                done.row = result.rowNames[r];
+                done.col = predictor_names[c];
+                done.cell = output.cell;
+                done.probes = std::move(output.probes);
+                progress.cells.push_back(std::move(done));
+                writeSuiteProgress(options, progress);
             }
         }
         if (timing) {

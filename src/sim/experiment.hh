@@ -52,6 +52,29 @@ struct SuiteOptions
     unsigned threads = 1;
     FactoryOptions factory;
     EngineConfig engine;
+
+    /**
+     * Progress-file path for checkpoint/resume (see sim/checkpoint.hh).
+     * When non-empty, the runner records every completed cell there
+     * (written atomically after each cell) and, with resume, skips the
+     * cells a previous interrupted run already finished.  The file
+     * carries a fingerprint of the exact matrix configuration; a
+     * mismatch or a corrupt file downgrades to a warn() and a fresh
+     * run.  Empty (the default) disables checkpointing entirely.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Mid-cell checkpoint cadence in replayed records (serial path
+     * only; 0 = cell granularity).  Every @c checkpointEvery records
+     * the in-flight cell's full simulation state is snapshotted into
+     * the progress file, so even a single long cell resumes mid-replay
+     * instead of restarting.
+     */
+    std::uint64_t checkpointEvery = 0;
+
+    /** Resume from checkpointPath if it exists and matches. */
+    bool resume = false;
 };
 
 /** Wall-clock accounting for one suite run (or an aggregate of runs). */

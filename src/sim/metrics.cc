@@ -23,4 +23,44 @@ RunMetrics::worstSites(std::size_t n) const
     return ranked;
 }
 
+void
+RunMetrics::saveState(util::StateWriter &writer) const
+{
+    indirectMisses.saveState(writer);
+    noPrediction.saveState(writer);
+    returnMisses.saveState(writer);
+    writer.writeU64(branches);
+    writer.writeU64(mtIndirect);
+    writer.writeVarint(perSite.size());
+    for (const auto &[pc, site] : perSite) {
+        writer.writeU64(pc);
+        site.misses.saveState(writer);
+        writer.writeU64(site.lastTarget);
+    }
+}
+
+void
+RunMetrics::loadState(util::StateReader &reader)
+{
+    indirectMisses.loadState(reader);
+    noPrediction.loadState(reader);
+    returnMisses.loadState(reader);
+    branches = reader.readU64();
+    mtIndirect = reader.readU64();
+    perSite.clear();
+    const std::uint64_t sites = reader.readVarint();
+    // A site entry is 32 bytes on the wire; a count the rest of the
+    // input cannot hold is corruption.
+    if (reader.ok() && sites > reader.remaining() / 32) {
+        reader.fail("per-site metric count overruns input");
+        return;
+    }
+    for (std::uint64_t i = 0; i < sites && reader.ok(); ++i) {
+        const trace::Addr pc = reader.readU64();
+        SiteMetrics &site = perSite[pc];
+        site.misses.loadState(reader);
+        site.lastTarget = reader.readU64();
+    }
+}
+
 } // namespace ibp::sim

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "trace/branch_record.hh"
+#include "util/serde.hh"
 #include "util/stats.hh"
 
 namespace ibp::sim {
@@ -53,6 +54,12 @@ struct RunMetrics
      */
     std::vector<std::pair<trace::Addr, std::uint64_t>>
     worstSites(std::size_t n) const;
+
+    /** Serialize every counter (ordered map — already canonical). */
+    void saveState(util::StateWriter &writer) const;
+
+    /** Restore saved counters, replacing the current values. */
+    void loadState(util::StateReader &reader);
 };
 
 } // namespace ibp::sim

@@ -222,6 +222,17 @@ class PackedReplaySource : public BranchSource
     /** Restart iteration from the beginning. */
     void rewind() { cursor_ = 0; }
 
+    std::uint64_t cursor() const override { return cursor_; }
+
+    bool
+    seek(std::uint64_t position) override
+    {
+        if (position > buffer_->size())
+            return false;
+        cursor_ = static_cast<std::size_t>(position);
+        return true;
+    }
+
     std::size_t size() const { return buffer_->size(); }
 
   private:

@@ -78,6 +78,26 @@ class BranchSource
         span = nullptr;
         return 0;
     }
+
+    /**
+     * Records consumed so far.  Only meaningful for seekable sources
+     * (the in-memory cursors); streaming sources report 0.
+     */
+    virtual std::uint64_t cursor() const { return 0; }
+
+    /**
+     * Reposition the stream to @p position records from the start, so
+     * a checkpointed replay resumes mid-trace without re-consuming the
+     * prefix.
+     * @retval false this source cannot seek (the default), or
+     *         @p position is past the end
+     */
+    virtual bool
+    seek(std::uint64_t position)
+    {
+        (void)position;
+        return false;
+    }
 };
 
 /**
@@ -129,6 +149,17 @@ class TraceBuffer : public BranchSink, public BranchSource
 
     /** Restart iteration from the beginning. */
     void rewind() { cursor_ = 0; }
+
+    std::uint64_t cursor() const override { return cursor_; }
+
+    bool
+    seek(std::uint64_t position) override
+    {
+        if (position > records_.size())
+            return false;
+        cursor_ = static_cast<std::size_t>(position);
+        return true;
+    }
 
     /** Pre-allocate room for @p n records (bulk generation). */
     void reserve(std::size_t n) { records_.reserve(n); }
@@ -201,6 +232,17 @@ class ReplaySource : public BranchSource
 
     /** Restart iteration from the beginning. */
     void rewind() { cursor_ = 0; }
+
+    std::uint64_t cursor() const override { return cursor_; }
+
+    bool
+    seek(std::uint64_t position) override
+    {
+        if (position > records_->size())
+            return false;
+        cursor_ = static_cast<std::size_t>(position);
+        return true;
+    }
 
     std::size_t size() const { return records_->size(); }
 

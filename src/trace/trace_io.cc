@@ -61,7 +61,8 @@ writeVarint(std::ostream &out, std::uint64_t value)
 }
 
 bool
-readVarint(std::istream &in, std::uint64_t &value)
+readVarint(std::istream &in, std::uint64_t &value,
+           std::uint64_t *consumed)
 {
     value = 0;
     unsigned shift = 0;
@@ -71,6 +72,8 @@ readVarint(std::istream &in, std::uint64_t &value)
             fatal_if(shift != 0, "truncated varint in binary trace");
             return false;
         }
+        if (consumed)
+            ++*consumed;
         fatal_if(shift >= 64, "varint overflow in binary trace");
         value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
         if (!(c & 0x80))
@@ -100,37 +103,104 @@ TraceWriter::push(const BranchRecord &record)
     ++count_;
 }
 
+void
+TraceWriter::writeChunk(std::uint64_t id, std::string_view payload)
+{
+    out_.put(static_cast<char>(kChunkEscape));
+    writeVarint(out_, id);
+    writeVarint(out_, payload.size());
+    out_.write(payload.data(),
+               static_cast<std::streamsize>(payload.size()));
+    // Deliberately no lastPc touch: chunks live outside the record
+    // delta chain, so skipping them cannot shift decoded addresses.
+}
+
 TraceReader::TraceReader(std::istream &in)
     : in_(in)
 {
     std::uint64_t magic = 0;
     std::uint64_t version = 0;
-    fatal_if(!readVarint(in_, magic) || magic != kTraceMagic,
+    fatal_if(!readVarint(in_, magic, &offset_) || magic != kTraceMagic,
              "not a binary branch trace (bad magic)");
-    fatal_if(!readVarint(in_, version), "truncated trace header");
+    fatal_if(!readVarint(in_, version, &offset_),
+             "truncated trace header");
     fatal_if(version > kTraceVersion, "trace format version ", version,
              " is newer than this reader (", kTraceVersion, ")");
+    version_ = static_cast<std::uint16_t>(version);
+}
+
+int
+TraceReader::getByte()
+{
+    const int c = in_.get();
+    if (c != std::char_traits<char>::eof())
+        ++offset_;
+    return c;
+}
+
+std::uint64_t
+TraceReader::readVarintCounted(const char *what)
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int c = getByte();
+        fatal_if(c == std::char_traits<char>::eof(),
+                 "truncated varint in ", what, " at byte offset ",
+                 offset_, " of the binary trace");
+        fatal_if(shift >= 64, "varint overflow in ", what,
+                 " at byte offset ", offset_, " of the binary trace");
+        value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return value;
+        shift += 7;
+    }
+}
+
+void
+TraceReader::readChunkBody()
+{
+    const std::uint64_t id = readVarintCounted("chunk header");
+    const std::uint64_t size = readVarintCounted("chunk header");
+    std::string payload(static_cast<std::size_t>(size), '\0');
+    in_.read(payload.data(), static_cast<std::streamsize>(size));
+    const std::uint64_t got =
+        static_cast<std::uint64_t>(in_.gcount());
+    offset_ += got;
+    fatal_if(got != size, "truncated chunk ", id,
+             " (got ", got, " of ", size, " payload bytes)",
+             " at byte offset ", offset_, " of the binary trace");
+    ++chunks_;
+    if (chunkHandler_)
+        chunkHandler_(id, payload);
 }
 
 bool
 TraceReader::next(BranchRecord &record)
 {
-    int flags = in_.get();
-    if (flags == std::char_traits<char>::eof())
-        return false;
-    fatal_if(!unpackFlags(static_cast<std::uint8_t>(flags), record),
-             "corrupt branch record flags 0x",
-             std::hex, flags, " at record ", std::dec, count_);
-    std::uint64_t pc_delta = 0;
-    std::uint64_t target_delta = 0;
-    fatal_if(!readVarint(in_, pc_delta) || !readVarint(in_, target_delta),
-             "truncated branch record at index ", count_);
-    record.pc = lastPc + static_cast<Addr>(zigZagDecode(pc_delta));
-    record.target =
-        record.pc + static_cast<Addr>(zigZagDecode(target_delta));
-    lastPc = record.pc;
-    ++count_;
-    return true;
+    for (;;) {
+        const int flags = getByte();
+        if (flags == std::char_traits<char>::eof())
+            return false;
+        if (flags == kChunkEscape && version_ >= 2) {
+            readChunkBody();
+            continue;
+        }
+        fatal_if(!unpackFlags(static_cast<std::uint8_t>(flags), record),
+                 "corrupt branch record flags 0x",
+                 std::hex, flags, std::dec, " at record ", count_,
+                 " (byte offset ", offset_, ")");
+        std::uint64_t pc_delta = 0;
+        std::uint64_t target_delta = 0;
+        pc_delta = readVarintCounted("branch record");
+        target_delta = readVarintCounted("branch record");
+        record.pc = lastPc + static_cast<Addr>(zigZagDecode(pc_delta));
+        record.target =
+            record.pc + static_cast<Addr>(zigZagDecode(target_delta));
+        lastPc = record.pc;
+        ++count_;
+        return true;
+    }
 }
 
 void

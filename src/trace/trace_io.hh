@@ -19,10 +19,12 @@
 #define IBP_TRACE_TRACE_IO_HH_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "trace/branch_record.hh"
 #include "trace/trace_buffer.hh"
@@ -31,8 +33,26 @@ namespace ibp::trace {
 
 /** Magic number at the start of every binary trace. */
 inline constexpr std::uint32_t kTraceMagic = 0x54504249; // "IBPT" LE
-/** Current binary format version. */
-inline constexpr std::uint16_t kTraceVersion = 1;
+/**
+ * Current binary format version.  Version 2 adds embedded chunks
+ * (kChunkEscape); version-1 files remain readable, and a version-2
+ * file with no chunks is byte-identical to its version-1 encoding
+ * except for the header.
+ */
+inline constexpr std::uint16_t kTraceVersion = 2;
+
+/**
+ * Flag byte announcing an embedded chunk instead of a record.  The
+ * kind field only spans 0..4 (Return), so 7 can never open a record;
+ * version-1 readers reject it as corrupt flags rather than silently
+ * misparsing.  A chunk is: escape byte, varint chunk id, varint
+ * payload size, payload bytes.  Chunks are invisible to replay (they
+ * do not touch the pc delta chain).
+ */
+inline constexpr std::uint8_t kChunkEscape = 0x07;
+
+/** Chunk id carrying an embedded simulation checkpoint. */
+inline constexpr std::uint64_t kChunkCheckpoint = 1;
 
 /** ZigZag-encode a signed delta so small magnitudes stay small. */
 constexpr std::uint64_t
@@ -55,11 +75,13 @@ std::size_t writeVarint(std::ostream &out, std::uint64_t value);
 
 /**
  * Read an unsigned LEB128 varint.
+ * @param consumed when non-null, incremented by the bytes read
  * @retval true on success
  * @retval false on clean EOF at a record boundary
  * A truncated varint mid-value is a fatal() (corrupt input).
  */
-bool readVarint(std::istream &in, std::uint64_t &value);
+bool readVarint(std::istream &in, std::uint64_t &value,
+                std::uint64_t *consumed = nullptr);
 
 /** Streaming binary trace writer. */
 class TraceWriter : public BranchSink
@@ -69,6 +91,13 @@ class TraceWriter : public BranchSink
     explicit TraceWriter(std::ostream &out);
 
     void push(const BranchRecord &record) override;
+
+    /**
+     * Embed an opaque chunk (e.g. a kChunkCheckpoint payload) between
+     * records.  Readers that don't care skip it; replay semantics are
+     * unchanged.
+     */
+    void writeChunk(std::uint64_t id, std::string_view payload);
 
     /** Records written so far. */
     std::uint64_t count() const { return count_; }
@@ -83,18 +112,50 @@ class TraceWriter : public BranchSink
 class TraceReader : public BranchSource
 {
   public:
+    /** Receives each embedded chunk as (id, payload bytes). */
+    using ChunkHandler =
+        std::function<void(std::uint64_t, const std::string &)>;
+
     /** Validates the header; fatal() on a foreign or newer file. */
     explicit TraceReader(std::istream &in);
 
     bool next(BranchRecord &record) override;
 
+    /**
+     * Install a handler invoked for every embedded chunk, in stream
+     * order relative to the surrounding records.  Without one, chunks
+     * are validated and skipped.
+     */
+    void onChunk(ChunkHandler handler)
+    {
+        chunkHandler_ = std::move(handler);
+    }
+
     /** Records read so far. */
     std::uint64_t count() const { return count_; }
 
+    /** Embedded chunks seen so far. */
+    std::uint64_t chunks() const { return chunks_; }
+
+    /** Format version from the header. */
+    std::uint16_t version() const { return version_; }
+
+    /** Bytes consumed so far (header included); names the position
+     *  reported by this reader's error messages. */
+    std::uint64_t byteOffset() const { return offset_; }
+
   private:
+    int getByte();
+    std::uint64_t readVarintCounted(const char *what);
+    void readChunkBody();
+
     std::istream &in_;
     Addr lastPc = 0;
     std::uint64_t count_ = 0;
+    std::uint64_t chunks_ = 0;
+    std::uint64_t offset_ = 0;
+    std::uint16_t version_ = kTraceVersion;
+    ChunkHandler chunkHandler_;
 };
 
 /** Streaming text trace writer (one record per line). */

@@ -82,6 +82,21 @@ class FlatMap
         used_ = 0;
     }
 
+    /**
+     * Visit every (key, value) pair in unspecified (slot) order.
+     * Serialization callers that need canonical bytes must collect
+     * and sort — slot order depends on insertion history, which a
+     * checkpoint round trip does not preserve.
+     */
+    template <typename Visitor>
+    void
+    forEach(Visitor &&visit) const
+    {
+        for (const Slot &slot : slots_)
+            if (slot.used)
+                visit(slot.key, slot.value);
+    }
+
   private:
     struct Slot
     {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace ibp::util {
 
@@ -103,6 +104,31 @@ class Histogram
         for (auto &c : counts_)
             c = 0;
         clamped_ = 0;
+    }
+
+    /** Serialize counts + clamp tally.  The bucket count is written so
+     *  loadState() can reject a geometry mismatch. */
+    void
+    saveState(StateWriter &writer) const
+    {
+        writer.writeVarint(counts_.size());
+        for (std::uint64_t c : counts_)
+            writer.writeU64(c);
+        writer.writeU64(clamped_);
+    }
+
+    /** Restore a saved histogram; the bucket count must match. */
+    void
+    loadState(StateReader &reader)
+    {
+        const std::uint64_t buckets = reader.readVarint();
+        if (reader.ok() && buckets != counts_.size()) {
+            reader.fail("histogram bucket count mismatch");
+            return;
+        }
+        for (auto &c : counts_)
+            c = reader.readU64();
+        clamped_ = reader.readU64();
     }
 
   private:

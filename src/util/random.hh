@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace ibp::util {
 
@@ -103,6 +104,22 @@ class Rng
 
     /** Bernoulli draw with probability @p p of returning true. */
     bool chance(double p) { return uniform() < p; }
+
+    /** Serialize the full 256-bit generator state. */
+    void
+    saveState(StateWriter &writer) const
+    {
+        for (std::uint64_t word : state)
+            writer.writeU64(word);
+    }
+
+    /** Restore a state saved by saveState(). */
+    void
+    loadState(StateReader &reader)
+    {
+        for (auto &word : state)
+            word = reader.readU64();
+    }
 
     /**
      * Draw an index according to non-negative weights.  A zero total

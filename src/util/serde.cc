@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Out-of-line pieces of the checkpoint serde layer: the error-latching
+ * reader paths and section back-patching.  Kept out of the header so
+ * the string formatting does not get inlined into every decode site.
+ */
+
+#include "util/serde.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ibp::util {
+
+void
+StateWriter::endSection()
+{
+    panic_if(patches_.empty(), "endSection() without beginSection()");
+    const std::size_t at = patches_.back();
+    patches_.pop_back();
+    // The u32 placeholder sits at `at`; the payload follows it.
+    const std::size_t payload = bytes_.size() - at - 4;
+    panic_if(payload > UINT32_MAX, "section payload exceeds 4 GiB");
+    for (unsigned i = 0; i < 4; ++i)
+        bytes_[at + i] = static_cast<std::uint8_t>(payload >> (8 * i));
+}
+
+void
+StateReader::fail(std::string_view what)
+{
+    if (!status_.ok())
+        return; // first error wins; it names the real corruption
+    std::ostringstream os;
+    os << what << " at byte offset " << cursor_ << " of " << size_;
+    status_ = Status::Error(os.str());
+}
+
+std::uint64_t
+StateReader::readFixed(unsigned width, const char *what)
+{
+    if (!status_.ok())
+        return 0;
+    if (size_ - cursor_ < width) {
+        fail(std::string("truncated ") + what);
+        return 0;
+    }
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i)
+        value |= std::uint64_t{data_[cursor_ + i]} << (8 * i);
+    cursor_ += width;
+    return value;
+}
+
+bool
+StateReader::readBool()
+{
+    const std::uint8_t raw = readU8();
+    if (status_.ok() && raw > 1) {
+        // Rewind the offset in the message to point at the bad byte.
+        cursor_ -= 1;
+        fail("bad bool byte");
+        cursor_ += 1;
+        return false;
+    }
+    return raw != 0;
+}
+
+std::uint64_t
+StateReader::readVarint()
+{
+    if (!status_.ok())
+        return 0;
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (cursor_ >= size_) {
+            fail("truncated varint");
+            return 0;
+        }
+        const std::uint8_t byte = data_[cursor_++];
+        const std::uint64_t low = byte & 0x7f;
+        // The 10th byte may only contribute the single remaining bit.
+        if (shift == 63 && low > 1) {
+            fail("varint overflow");
+            return 0;
+        }
+        value |= low << shift;
+        if (!(byte & 0x80))
+            return value;
+    }
+    fail("varint overflow");
+    return 0;
+}
+
+void
+StateReader::readBytes(void *out, std::size_t size)
+{
+    std::memset(out, 0, size);
+    if (!status_.ok())
+        return;
+    if (size_ - cursor_ < size) {
+        fail("truncated byte run");
+        return;
+    }
+    std::memcpy(out, data_ + cursor_, size);
+    cursor_ += size;
+}
+
+std::string
+StateReader::readString()
+{
+    const std::uint64_t length = readVarint();
+    if (!status_.ok())
+        return {};
+    if (size_ - cursor_ < length) {
+        fail("string length overruns input");
+        return {};
+    }
+    std::string value(reinterpret_cast<const char *>(data_ + cursor_),
+                      static_cast<std::size_t>(length));
+    cursor_ += static_cast<std::size_t>(length);
+    return value;
+}
+
+bool
+StateReader::nextSection(std::string &name, StateReader &payload)
+{
+    if (!status_.ok() || atEnd())
+        return false;
+    name = readString();
+    if (!status_.ok())
+        return false;
+    const std::uint32_t length = readU32();
+    if (!status_.ok())
+        return false;
+    if (size_ - cursor_ < length) {
+        fail("section '" + name + "' length overruns input");
+        return false;
+    }
+    payload = StateReader(data_ + cursor_, length);
+    cursor_ += length;
+    return true;
+}
+
+} // namespace ibp::util

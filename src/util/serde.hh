@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Versioned binary state serialization for checkpoint/restore.
+ *
+ * The checkpoint subsystem snapshots every piece of simulated state —
+ * predictor tables, history registers, replay cursors, RNG streams —
+ * into one self-describing byte blob, and restores it bit-exactly.
+ * Two requirements shape this layer:
+ *
+ *  - Canonical bytes.  The differential equivalence tests compare a
+ *    straight run's checkpoint against a save/restore/continue run's
+ *    checkpoint byte for byte, so every writer must be deterministic
+ *    (no map iteration order, no padding garbage).  All multi-byte
+ *    integers are little-endian regardless of host order.
+ *
+ *  - Hostile input safety.  Checkpoints are files a user can truncate,
+ *    corrupt, or hand-craft.  Unlike the trace reader (which fatal()s
+ *    on corruption), StateReader NEVER terminates the process: every
+ *    read is bounds-checked, failures latch a sticky Status carrying
+ *    the byte offset, and subsequent reads return zeros.  Callers
+ *    check status() once at the end of a decode.
+ *
+ * Format building blocks:
+ *  - fixed-width u8/u16/u32/u64, little-endian
+ *  - varint: LEB128, at most 10 bytes
+ *  - string/bytes: varint length + raw bytes
+ *  - section: varint name length + name + u32 payload length + payload;
+ *    sections nest and unknown sections can be skipped wholesale,
+ *    which is what makes the format versionable.
+ */
+
+#ifndef IBP_UTIL_SERDE_HH_
+#define IBP_UTIL_SERDE_HH_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibp::util {
+
+/**
+ * Result of a decode step: success, or an error message describing
+ * what was malformed and where.  Deliberately tiny — this is the one
+ * error-reporting type in the code base that must not exit or abort,
+ * because checkpoint files are untrusted input.
+ */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    static Status Ok() { return Status(); }
+
+    static Status
+    Error(std::string message)
+    {
+        Status status;
+        status.ok_ = false;
+        status.message_ = std::move(message);
+        return status;
+    }
+
+    bool ok() const { return ok_; }
+    const std::string &message() const { return message_; }
+
+  private:
+    bool ok_ = true;
+    std::string message_;
+};
+
+/**
+ * Append-only encoder building a checkpoint blob in memory.  All
+ * writes are deterministic; finished bytes are read via bytes() and
+ * written to disk by the caller.
+ */
+class StateWriter
+{
+  public:
+    void
+    writeU8(std::uint8_t value)
+    {
+        bytes_.push_back(value);
+    }
+
+    void
+    writeU16(std::uint16_t value)
+    {
+        writeFixed(value, 2);
+    }
+
+    void
+    writeU32(std::uint32_t value)
+    {
+        writeFixed(value, 4);
+    }
+
+    void
+    writeU64(std::uint64_t value)
+    {
+        writeFixed(value, 8);
+    }
+
+    void writeBool(bool value) { writeU8(value ? 1 : 0); }
+
+    /** Doubles are stored as their IEEE-754 bit pattern, so a
+     *  round trip is exact (including NaN payloads). */
+    void
+    writeDouble(double value)
+    {
+        std::uint64_t pattern;
+        std::memcpy(&pattern, &value, sizeof(pattern));
+        writeU64(pattern);
+    }
+
+    /** LEB128; at most 10 bytes for a 64-bit value. */
+    void
+    writeVarint(std::uint64_t value)
+    {
+        while (value >= 0x80) {
+            bytes_.push_back(
+                static_cast<std::uint8_t>(value & 0x7f) | 0x80);
+            value >>= 7;
+        }
+        bytes_.push_back(static_cast<std::uint8_t>(value));
+    }
+
+    void
+    writeBytes(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        bytes_.insert(bytes_.end(), bytes, bytes + size);
+    }
+
+    /** varint length + raw bytes. */
+    void
+    writeString(std::string_view value)
+    {
+        writeVarint(value.size());
+        writeBytes(value.data(), value.size());
+    }
+
+    /**
+     * Open a named section.  The payload length is back-patched on
+     * endSection(), so sections nest naturally:
+     *   writer.beginSection("ppm");
+     *   ... payload writes ...
+     *   writer.endSection();
+     */
+    void
+    beginSection(std::string_view name)
+    {
+        writeString(name);
+        patches_.push_back(bytes_.size());
+        writeU32(0); // placeholder, patched by endSection()
+    }
+
+    void endSection();
+
+    bool inSection() const { return !patches_.empty(); }
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    void
+    writeFixed(std::uint64_t value, unsigned width)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            bytes_.push_back(
+                static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> bytes_;
+    /** Offsets of unpatched section length placeholders. */
+    std::vector<std::size_t> patches_;
+};
+
+/**
+ * Bounds-checked decoder over a byte span the caller keeps alive.
+ *
+ * Every accessor checks the remaining length first; on underrun (or
+ * any other malformation) it latches an error Status recording the
+ * byte offset and returns a zero value.  Once failed, all subsequent
+ * reads return zeros too, so decode loops terminate without needing a
+ * check per field — callers validate status() once at the end.
+ */
+class StateReader
+{
+  public:
+    /** An empty reader; handy as an out-parameter for nextSection(). */
+    StateReader() : data_(nullptr), size_(0) {}
+
+    StateReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit StateReader(const std::vector<std::uint8_t> &bytes)
+        : StateReader(bytes.data(), bytes.size())
+    {}
+
+    std::uint8_t
+    readU8()
+    {
+        return static_cast<std::uint8_t>(readFixed(1, "u8"));
+    }
+
+    std::uint16_t
+    readU16()
+    {
+        return static_cast<std::uint16_t>(readFixed(2, "u16"));
+    }
+
+    std::uint32_t
+    readU32()
+    {
+        return static_cast<std::uint32_t>(readFixed(4, "u32"));
+    }
+
+    std::uint64_t readU64() { return readFixed(8, "u64"); }
+
+    /** Rejects any byte other than 0/1 — catches corruption early. */
+    bool readBool();
+
+    double
+    readDouble()
+    {
+        const std::uint64_t pattern = readFixed(8, "double");
+        double value;
+        std::memcpy(&value, &pattern, sizeof(value));
+        return value;
+    }
+
+    std::uint64_t readVarint();
+
+    /** Copy @p size raw bytes out; zero-fills on underrun. */
+    void readBytes(void *out, std::size_t size);
+
+    std::string readString();
+
+    /**
+     * Read one section header and hand back a sub-reader restricted
+     * to its payload; this reader advances past the whole section.
+     * Returns false (with status untouched) at a clean end of input,
+     * and false with a latched error on malformation.
+     */
+    bool nextSection(std::string &name, StateReader &payload);
+
+    /** True once every byte has been consumed. */
+    bool atEnd() const { return cursor_ >= size_; }
+
+    std::size_t offset() const { return cursor_; }
+    std::size_t remaining() const { return size_ - cursor_; }
+    std::size_t size() const { return size_; }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    /** Latch a decode error (first one wins; offset is appended). */
+    void fail(std::string_view what);
+
+  private:
+    std::uint64_t readFixed(unsigned width, const char *what);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t cursor_ = 0;
+    Status status_;
+};
+
+} // namespace ibp::util
+
+#endif // IBP_UTIL_SERDE_HH_

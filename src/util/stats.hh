@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serde.hh"
+
 namespace ibp::util {
 
 /**
@@ -60,6 +62,24 @@ class Ratio
     {
         events_ = 0;
         total_ = 0;
+    }
+
+    /** Serialize both counters (checkpointing). */
+    void
+    saveState(StateWriter &writer) const
+    {
+        writer.writeU64(events_);
+        writer.writeU64(total_);
+    }
+
+    /** Restore counters saved by saveState(). */
+    void
+    loadState(StateReader &reader)
+    {
+        events_ = reader.readU64();
+        total_ = reader.readU64();
+        if (reader.ok() && events_ > total_)
+            reader.fail("ratio events exceed total");
     }
 
   private:

@@ -26,6 +26,7 @@
 #include "obs/probe.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 #ifdef IBP_CHECKED_TABLES
 /** Hot-path table assertion: active only in checked builds. */
@@ -86,6 +87,32 @@ class DirectTable
     {
         for (auto &e : entries_)
             e = Entry{};
+    }
+
+    /** Serialize every entry via the @p save codec (checkpointing).
+     *  The entry count is written so loadState() can reject a
+     *  geometry mismatch. */
+    template <typename SaveEntry>
+    void
+    saveState(StateWriter &writer, SaveEntry &&save) const
+    {
+        writer.writeVarint(entries_.size());
+        for (const Entry &e : entries_)
+            save(writer, e);
+    }
+
+    /** Restore entries saved with a matching codec. */
+    template <typename LoadEntry>
+    void
+    loadState(StateReader &reader, LoadEntry &&load)
+    {
+        const std::uint64_t entries = reader.readVarint();
+        if (reader.ok() && entries != entries_.size()) {
+            reader.fail("DirectTable entry count mismatch");
+            return;
+        }
+        for (Entry &e : entries_)
+            load(reader, e);
     }
 
   private:
@@ -227,6 +254,61 @@ class AssocTable
         clock_ = 0;
         evictions_.reset();
         conflictMisses_.reset();
+    }
+
+    /** Serialize geometry, LRU clock and every line (tags and LRU
+     *  stamps included: restored lookup/eviction order must be
+     *  bit-identical). */
+    template <typename SaveEntry>
+    void
+    saveState(StateWriter &writer, SaveEntry &&save) const
+    {
+        writer.writeVarint(numSets);
+        writer.writeVarint(numWays);
+        writer.writeU64(clock_);
+        for (const Line &line : lines_) {
+            writer.writeBool(line.valid);
+            writer.writeU64(line.tag);
+            writer.writeU64(line.lastUse);
+            save(writer, line.entry);
+        }
+    }
+
+    /** Restore a table saved with a matching codec; the geometry must
+     *  match this table's. */
+    template <typename LoadEntry>
+    void
+    loadState(StateReader &reader, LoadEntry &&load)
+    {
+        const std::uint64_t sets = reader.readVarint();
+        const std::uint64_t ways = reader.readVarint();
+        if (reader.ok() && (sets != numSets || ways != numWays)) {
+            reader.fail("AssocTable geometry mismatch");
+            return;
+        }
+        clock_ = reader.readU64();
+        for (Line &line : lines_) {
+            line.valid = reader.readBool();
+            line.tag = reader.readU64();
+            line.lastUse = reader.readU64();
+            load(reader, line.entry);
+        }
+    }
+
+    /** Probe counters; fixed-width writes so the payload length is
+     *  identical in instrumented and probe-free builds. */
+    void
+    saveProbes(StateWriter &writer) const
+    {
+        writer.writeU64(evictions_.value());
+        writer.writeU64(conflictMisses_.value());
+    }
+
+    void
+    loadProbes(StateReader &reader)
+    {
+        evictions_.set(reader.readU64());
+        conflictMisses_.set(reader.readU64());
     }
 
   private:

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "util/random.hh"
+#include "util/serde.hh"
 
 namespace ibp::workload {
 
@@ -71,6 +72,34 @@ class PathState
         return queue(stream).size();
     }
 
+    /** Serialize both symbol streams. */
+    void
+    saveState(util::StateWriter &writer) const
+    {
+        writer.writeVarint(pb_.size());
+        for (std::uint64_t symbol : pb_)
+            writer.writeU64(symbol);
+        writer.writeVarint(pib_.size());
+        for (std::uint64_t symbol : pib_)
+            writer.writeU64(symbol);
+    }
+
+    /** Restore saved streams; lengths must fit this state's depth. */
+    void
+    loadState(util::StateReader &reader)
+    {
+        for (auto *q : {&pb_, &pib_}) {
+            q->clear();
+            const std::uint64_t length = reader.readVarint();
+            if (reader.ok() && length > depth_) {
+                reader.fail("path stream longer than its depth");
+                return;
+            }
+            for (std::uint64_t i = 0; i < length && reader.ok(); ++i)
+                q->push_back(reader.readU64());
+        }
+    }
+
   private:
     std::deque<std::uint64_t> &
     queue(StreamKind stream)
@@ -109,6 +138,19 @@ class Behavior
 
     /** Behaviour class name, for debug dumps. */
     virtual std::string name() const = 0;
+
+    /**
+     * Serialize mutable behaviour state.  Most behaviours are pure
+     * functions of (path, rng) and write nothing; the stateful ones
+     * (phased dwell position, self-correlation ring) override.
+     */
+    virtual void saveState(util::StateWriter &writer) const
+    {
+        (void)writer;
+    }
+
+    /** Restore state written by saveState(). */
+    virtual void loadState(util::StateReader &reader) { (void)reader; }
 };
 
 /** Always target 0, with a small noise probability of straying. */
@@ -141,6 +183,16 @@ class PhasedBehavior : public Behavior
     std::size_t nextTarget(const PathState &path, std::size_t num_targets,
                            util::Rng &rng) override;
     std::string name() const override { return "phased"; }
+
+    void saveState(util::StateWriter &writer) const override
+    {
+        writer.writeVarint(current_);
+    }
+
+    void loadState(util::StateReader &reader) override
+    {
+        current_ = static_cast<std::size_t>(reader.readVarint());
+    }
 
   private:
     double switchProb;
@@ -198,6 +250,26 @@ class SelfCorrelatedBehavior : public Behavior
     std::size_t nextTarget(const PathState &path, std::size_t num_targets,
                            util::Rng &rng) override;
     std::string name() const override { return "self"; }
+
+    void saveState(util::StateWriter &writer) const override
+    {
+        writer.writeVarint(own_.size());
+        for (std::size_t index : own_)
+            writer.writeVarint(index);
+    }
+
+    void loadState(util::StateReader &reader) override
+    {
+        own_.clear();
+        const std::uint64_t length = reader.readVarint();
+        if (reader.ok() && length > order_) {
+            reader.fail("self-correlation ring longer than its order");
+            return;
+        }
+        for (std::uint64_t i = 0; i < length && reader.ok(); ++i)
+            own_.push_back(
+                static_cast<std::size_t>(reader.readVarint()));
+    }
 
   private:
     unsigned order_;

@@ -197,6 +197,58 @@ Program::collect(std::uint64_t n)
     return buffer;
 }
 
+void
+Program::saveState(util::StateWriter &writer) const
+{
+    rng_.saveState(writer);
+    path_.saveState(writer);
+    writer.writeVarint(cur_);
+    writer.writeVarint(stack_.size());
+    for (const Frame &frame : stack_) {
+        writer.writeVarint(frame.resumeBlock);
+        writer.writeU64(frame.returnAddr);
+    }
+    // Stateful site behaviours, in block order (the structure is
+    // deterministic given the synthesis parameters, so block order is
+    // a stable enumeration).
+    for (const Block &block : blocks_)
+        if (block.exit.behavior)
+            block.exit.behavior->saveState(writer);
+}
+
+void
+Program::loadState(util::StateReader &reader)
+{
+    rng_.loadState(reader);
+    path_.loadState(reader);
+    const std::uint64_t cur = reader.readVarint();
+    if (reader.ok() && cur >= blocks_.size()) {
+        reader.fail("walker block index out of range");
+        return;
+    }
+    cur_ = static_cast<std::size_t>(cur);
+    stack_.clear();
+    const std::uint64_t depth = reader.readVarint();
+    if (reader.ok() && depth > kMaxStack) {
+        reader.fail("walker call stack deeper than the limit");
+        return;
+    }
+    for (std::uint64_t i = 0; i < depth && reader.ok(); ++i) {
+        Frame frame;
+        const std::uint64_t resume = reader.readVarint();
+        frame.returnAddr = reader.readU64();
+        if (reader.ok() && resume >= blocks_.size()) {
+            reader.fail("walker resume block out of range");
+            return;
+        }
+        frame.resumeBlock = static_cast<std::size_t>(resume);
+        stack_.push_back(frame);
+    }
+    for (const Block &block : blocks_)
+        if (block.exit.behavior)
+            block.exit.behavior->loadState(reader);
+}
+
 /**
  * The synthesizer lays out:
  *

@@ -119,6 +119,18 @@ class Program
     /** Emit exactly one branch record and advance. */
     trace::BranchRecord step();
 
+    /**
+     * Serialize the walker state: RNG stream, path streams, current
+     * block, call stack, and every stateful site behaviour (in block
+     * order).  The program *structure* is not serialized — a restore
+     * target must be built from the same SynthesisParams.
+     */
+    void saveState(util::StateWriter &writer) const;
+
+    /** Restore walker state saved from a structurally identical
+     *  program. */
+    void loadState(util::StateReader &reader);
+
   private:
     void observe(const trace::BranchRecord &record);
 

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Checkpoint serde layer: exact round trips for every primitive, and
+ * the hostile-input contract — truncations, bit flips, and bad length
+ * fields must latch a clean Status (with a byte offset in the
+ * message) and never crash, over-read, or loop.  The fuzz tests here
+ * also run under the ASan/UBSan CI configuration, which is what turns
+ * "doesn't crash in this harness" into "doesn't over-read at all".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/serde.hh"
+
+namespace {
+
+using ibp::util::StateReader;
+using ibp::util::StateWriter;
+using ibp::util::Status;
+
+TEST(Serde, FixedWidthRoundTrip)
+{
+    StateWriter writer;
+    writer.writeU8(0xab);
+    writer.writeU16(0xbeef);
+    writer.writeU32(0xdeadbeefu);
+    writer.writeU64(0x0123456789abcdefull);
+    writer.writeBool(true);
+    writer.writeBool(false);
+
+    StateReader reader(writer.bytes());
+    EXPECT_EQ(reader.readU8(), 0xab);
+    EXPECT_EQ(reader.readU16(), 0xbeef);
+    EXPECT_EQ(reader.readU32(), 0xdeadbeefu);
+    EXPECT_EQ(reader.readU64(), 0x0123456789abcdefull);
+    EXPECT_TRUE(reader.readBool());
+    EXPECT_FALSE(reader.readBool());
+    EXPECT_TRUE(reader.ok());
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(Serde, LittleEndianOnTheWire)
+{
+    StateWriter writer;
+    writer.writeU32(0x11223344u);
+    ASSERT_EQ(writer.size(), 4u);
+    EXPECT_EQ(writer.bytes()[0], 0x44);
+    EXPECT_EQ(writer.bytes()[3], 0x11);
+}
+
+TEST(Serde, VarintRoundTripBoundaries)
+{
+    const std::uint64_t cases[] = {
+        0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 1u << 20,
+        std::uint64_t{1} << 35, ~std::uint64_t{0} - 1, ~std::uint64_t{0},
+    };
+    StateWriter writer;
+    for (std::uint64_t value : cases)
+        writer.writeVarint(value);
+    StateReader reader(writer.bytes());
+    for (std::uint64_t value : cases)
+        EXPECT_EQ(reader.readVarint(), value);
+    EXPECT_TRUE(reader.ok());
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(Serde, DoubleRoundTripIsBitExact)
+{
+    const double cases[] = {
+        0.0, -0.0, 1.0, -3.5, 9.47,
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+    };
+    StateWriter writer;
+    for (double value : cases)
+        writer.writeDouble(value);
+    writer.writeDouble(std::nan(""));
+    StateReader reader(writer.bytes());
+    for (double value : cases) {
+        const double got = reader.readDouble();
+        EXPECT_EQ(std::memcmp(&got, &value, sizeof(double)), 0);
+    }
+    EXPECT_TRUE(std::isnan(reader.readDouble()));
+    EXPECT_TRUE(reader.ok());
+}
+
+TEST(Serde, StringRoundTrip)
+{
+    StateWriter writer;
+    writer.writeString("");
+    writer.writeString("PPM-hyb");
+    writer.writeString(std::string(300, 'x')); // 2-byte varint length
+    StateReader reader(writer.bytes());
+    EXPECT_EQ(reader.readString(), "");
+    EXPECT_EQ(reader.readString(), "PPM-hyb");
+    EXPECT_EQ(reader.readString(), std::string(300, 'x'));
+    EXPECT_TRUE(reader.ok());
+}
+
+TEST(Serde, SectionsNestAndSkip)
+{
+    StateWriter writer;
+    writer.beginSection("outer");
+    writer.writeU32(7);
+    writer.beginSection("inner");
+    writer.writeU64(42);
+    writer.endSection();
+    writer.endSection();
+    writer.beginSection("tail");
+    writer.writeU8(9);
+    writer.endSection();
+    EXPECT_FALSE(writer.inSection());
+
+    StateReader reader(writer.bytes());
+    std::string name;
+    StateReader payload;
+    ASSERT_TRUE(reader.nextSection(name, payload));
+    EXPECT_EQ(name, "outer");
+    EXPECT_EQ(payload.readU32(), 7u);
+    StateReader inner;
+    ASSERT_TRUE(payload.nextSection(name, inner));
+    EXPECT_EQ(name, "inner");
+    EXPECT_EQ(inner.readU64(), 42u);
+    EXPECT_TRUE(inner.atEnd());
+    EXPECT_TRUE(payload.atEnd());
+
+    // Skipping "outer" wholesale lands exactly on "tail".
+    ASSERT_TRUE(reader.nextSection(name, payload));
+    EXPECT_EQ(name, "tail");
+    EXPECT_EQ(payload.readU8(), 9);
+    EXPECT_FALSE(reader.nextSection(name, payload));
+    EXPECT_TRUE(reader.ok()) << reader.status().message();
+}
+
+TEST(Serde, TruncationLatchesStatusWithOffset)
+{
+    StateWriter writer;
+    writer.writeU64(123);
+    std::vector<std::uint8_t> bytes = writer.bytes();
+    bytes.resize(5);
+    StateReader reader(bytes.data(), bytes.size());
+    EXPECT_EQ(reader.readU64(), 0u);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("truncated u64"),
+              std::string::npos);
+    EXPECT_NE(reader.status().message().find("offset 0"),
+              std::string::npos);
+    // Errors are sticky: further reads stay zero, no crash.
+    EXPECT_EQ(reader.readU32(), 0u);
+    EXPECT_EQ(reader.readVarint(), 0u);
+    EXPECT_EQ(reader.readString(), "");
+}
+
+TEST(Serde, FirstErrorWins)
+{
+    StateReader reader(nullptr, 0);
+    EXPECT_EQ(reader.readU8(), 0);
+    const std::string first = reader.status().message();
+    EXPECT_EQ(reader.readU64(), 0u);
+    EXPECT_EQ(reader.status().message(), first);
+}
+
+TEST(Serde, UnterminatedVarintFails)
+{
+    // Eleven continuation bytes: both truncated (all-continuation) and
+    // overlong inputs must fail, never loop or shift UB.
+    std::vector<std::uint8_t> bytes(11, 0x80);
+    {
+        StateReader reader(bytes.data(), 5);
+        reader.readVarint();
+        EXPECT_FALSE(reader.ok());
+        EXPECT_NE(reader.status().message().find("truncated varint"),
+                  std::string::npos);
+    }
+    {
+        StateReader reader(bytes.data(), bytes.size());
+        reader.readVarint();
+        EXPECT_FALSE(reader.ok());
+        EXPECT_NE(reader.status().message().find("varint overflow"),
+                  std::string::npos);
+    }
+}
+
+TEST(Serde, TenByteVarintHighBitsRejected)
+{
+    // The 10th byte can only carry bit 63; anything more is overflow.
+    std::vector<std::uint8_t> bytes(9, 0xff);
+    bytes.push_back(0x02);
+    StateReader reader(bytes.data(), bytes.size());
+    reader.readVarint();
+    EXPECT_FALSE(reader.ok());
+
+    bytes.back() = 0x01; // exactly bit 63: the maximum u64
+    StateReader max(bytes.data(), bytes.size());
+    EXPECT_EQ(max.readVarint(), ~std::uint64_t{0});
+    EXPECT_TRUE(max.ok());
+}
+
+TEST(Serde, BadBoolByteRejected)
+{
+    const std::uint8_t bytes[] = {2};
+    StateReader reader(bytes, 1);
+    reader.readBool();
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("bad bool"),
+              std::string::npos);
+}
+
+TEST(Serde, StringLengthOverrunRejected)
+{
+    StateWriter writer;
+    writer.writeVarint(1000); // claims 1000 bytes...
+    writer.writeU8('x');      // ...but only one follows
+    StateReader reader(writer.bytes());
+    EXPECT_EQ(reader.readString(), "");
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("overruns"),
+              std::string::npos);
+}
+
+TEST(Serde, SectionLengthOverrunRejected)
+{
+    StateWriter writer;
+    writer.writeString("bogus");
+    writer.writeU32(0xffffffffu); // section claims 4 GiB of payload
+    StateReader reader(writer.bytes());
+    std::string name;
+    StateReader payload;
+    EXPECT_FALSE(reader.nextSection(name, payload));
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.status().message().find("overruns"),
+              std::string::npos);
+}
+
+/** A representative blob exercising every encoder. */
+std::vector<std::uint8_t>
+sampleBlob()
+{
+    StateWriter writer;
+    writer.beginSection("header");
+    writer.writeU32(0x43504249u);
+    writer.writeU16(1);
+    writer.endSection();
+    writer.beginSection("body");
+    writer.writeString("predictor/PPM-hyb");
+    writer.writeVarint(123456789);
+    for (int i = 0; i < 32; ++i)
+        writer.writeU64(0x9e3779b97f4a7c15ull * (i + 1));
+    writer.writeDouble(9.47);
+    writer.writeBool(true);
+    writer.endSection();
+    return writer.bytes();
+}
+
+/** Decode as a section stream, draining each payload. Must never
+ *  crash; returns whether every reader stayed ok. */
+bool
+drain(const std::vector<std::uint8_t> &bytes)
+{
+    StateReader reader(bytes.data(), bytes.size());
+    std::string name;
+    StateReader payload;
+    bool clean = true;
+    while (reader.nextSection(name, payload)) {
+        while (!payload.atEnd() && payload.ok()) {
+            // Alternate read widths to cover every accessor.
+            payload.readVarint();
+            payload.readU8();
+            payload.readString();
+            payload.readBool();
+            payload.readU64();
+        }
+        clean = clean && payload.ok();
+    }
+    return clean && reader.ok();
+}
+
+TEST(SerdeFuzz, EveryTruncationFailsCleanly)
+{
+    const std::vector<std::uint8_t> blob = sampleBlob();
+    for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+        std::vector<std::uint8_t> clipped(blob.begin(),
+                                          blob.begin() + cut);
+        drain(clipped); // value irrelevant; must not crash/over-read
+    }
+}
+
+TEST(SerdeFuzz, RandomBitFlipsFailCleanly)
+{
+    const std::vector<std::uint8_t> blob = sampleBlob();
+    ibp::util::Rng rng(0xc0ffee);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> mutant = blob;
+        const int flips = 1 + static_cast<int>(rng.below(4));
+        for (int f = 0; f < flips; ++f) {
+            const std::size_t at = rng.below(mutant.size());
+            mutant[at] ^= std::uint8_t{1} << rng.below(8);
+        }
+        drain(mutant);
+    }
+}
+
+TEST(SerdeFuzz, RandomGarbageFailsCleanly)
+{
+    ibp::util::Rng rng(42);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<std::uint8_t> garbage(rng.below(200));
+        for (auto &byte : garbage)
+            byte = static_cast<std::uint8_t>(rng.below(256));
+        drain(garbage);
+    }
+}
+
+} // namespace

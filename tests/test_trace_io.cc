@@ -204,6 +204,230 @@ TEST(Pump, CopiesEverything)
         EXPECT_EQ(out[i], in[i]);
 }
 
+TEST(BinaryTraceChunks, DeliveredInStreamOrder)
+{
+    ibp::util::Rng rng(21);
+    std::vector<BranchRecord> records;
+    for (int i = 0; i < 6; ++i)
+        records.push_back(randomRecord(rng));
+
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    writer.push(records[0]);
+    writer.push(records[1]);
+    writer.writeChunk(kChunkCheckpoint, "alpha");
+    writer.push(records[2]);
+    writer.writeChunk(42, "beta");
+    writer.push(records[3]);
+    writer.push(records[4]);
+    writer.push(records[5]);
+
+    // Chunks must arrive interleaved exactly where they sit between
+    // records: after record 2 and after record 3.
+    TraceReader reader(ss);
+    std::vector<std::pair<std::uint64_t, std::string>> chunks;
+    std::vector<std::uint64_t> chunk_positions;
+    reader.onChunk([&](std::uint64_t id, const std::string &payload) {
+        chunks.emplace_back(id, payload);
+        chunk_positions.push_back(reader.count());
+    });
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0],
+              (std::pair<std::uint64_t, std::string>{kChunkCheckpoint,
+                                                     "alpha"}));
+    EXPECT_EQ(chunks[1],
+              (std::pair<std::uint64_t, std::string>{42, "beta"}));
+    EXPECT_EQ(chunk_positions, (std::vector<std::uint64_t>{2, 3}));
+    EXPECT_EQ(reader.chunks(), 2u);
+}
+
+TEST(BinaryTraceChunks, SkippedWithoutHandlerAndInvisibleToReplay)
+{
+    ibp::util::Rng rng(22);
+    std::vector<BranchRecord> records;
+    for (int i = 0; i < 100; ++i)
+        records.push_back(randomRecord(rng));
+
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i % 10 == 5)
+            writer.writeChunk(7, std::string(200, 'x'));
+        writer.push(records[i]);
+    }
+
+    // No handler installed: every record still decodes identically
+    // (chunks do not touch the pc delta chain), and the chunk count
+    // confirms they were all seen and skipped.
+    TraceReader reader(ss);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_EQ(reader.chunks(), 10u);
+}
+
+TEST(BinaryTraceChunks, EmptyPayloadRoundTrips)
+{
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    writer.writeChunk(3, "");
+    TraceReader reader(ss);
+    std::size_t seen = 0;
+    reader.onChunk([&](std::uint64_t id, const std::string &payload) {
+        ++seen;
+        EXPECT_EQ(id, 3u);
+        EXPECT_TRUE(payload.empty());
+    });
+    BranchRecord out;
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_EQ(seen, 1u);
+}
+
+TEST(BinaryTraceChunks, TruncatedChunkDiesWithOffset)
+{
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    ibp::util::Rng rng(23);
+    writer.push(randomRecord(rng));
+    writer.writeChunk(kChunkCheckpoint, "0123456789");
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 4); // cut into the chunk payload
+
+    EXPECT_DEATH(
+        {
+            std::stringstream cut(bytes);
+            TraceReader reader(cut);
+            BranchRecord out;
+            while (reader.next(out)) {
+            }
+        },
+        "truncated chunk 1 .*byte offset");
+}
+
+TEST(BinaryTraceChunks, ByteOffsetTracksConsumption)
+{
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    ibp::util::Rng rng(24);
+    for (int i = 0; i < 10; ++i)
+        writer.push(randomRecord(rng));
+    const std::size_t total = ss.str().size();
+
+    TraceReader reader(ss);
+    std::uint64_t last = reader.byteOffset();
+    EXPECT_GT(last, 0u); // the header was consumed
+    BranchRecord out;
+    while (reader.next(out)) {
+        EXPECT_GT(reader.byteOffset(), last);
+        last = reader.byteOffset();
+    }
+    EXPECT_EQ(reader.byteOffset(), total);
+}
+
+TEST(BinaryTraceErrors, CorruptFlagsReportRecordAndByteOffset)
+{
+    std::stringstream ss;
+    TraceWriter writer(ss);
+    ibp::util::Rng rng(25);
+    writer.push(randomRecord(rng));
+    // Kind field 6 exceeds Return (4) and is not the chunk escape (7):
+    // invalid in every format version.
+    ss.put(static_cast<char>(0x06));
+
+    EXPECT_DEATH(
+        {
+            std::stringstream in(ss.str());
+            TraceReader reader(in);
+            BranchRecord out;
+            while (reader.next(out)) {
+            }
+        },
+        "corrupt branch record flags 0x6 at record 1 .byte offset");
+}
+
+/** Hand-encode a version-1 stream (header + raw record encodings). */
+std::string
+encodeV1(const std::vector<BranchRecord> &records,
+         bool append_escape_byte = false)
+{
+    std::stringstream ss;
+    writeVarint(ss, kTraceMagic);
+    writeVarint(ss, 1); // version 1: pre-chunk format
+    Addr last_pc = 0;
+    for (const auto &r : records) {
+        std::uint8_t flags = static_cast<std::uint8_t>(r.kind);
+        if (r.taken)
+            flags |= 1u << 3;
+        if (r.multiTarget)
+            flags |= 1u << 4;
+        if (r.call)
+            flags |= 1u << 5;
+        ss.put(static_cast<char>(flags));
+        writeVarint(ss, zigZagEncode(static_cast<std::int64_t>(
+                            r.pc - last_pc)));
+        writeVarint(ss, zigZagEncode(static_cast<std::int64_t>(
+                            r.target - r.pc)));
+        last_pc = r.pc;
+    }
+    if (append_escape_byte)
+        ss.put(static_cast<char>(kChunkEscape));
+    return ss.str();
+}
+
+TEST(BinaryTraceCompat, Version1FilesStillReadable)
+{
+    ibp::util::Rng rng(26);
+    std::vector<BranchRecord> records;
+    for (int i = 0; i < 50; ++i)
+        records.push_back(randomRecord(rng));
+
+    std::stringstream in(encodeV1(records));
+    TraceReader reader(in);
+    EXPECT_EQ(reader.version(), 1u);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST(BinaryTraceCompat, EscapeByteInVersion1IsCorruption)
+{
+    // 0x07 opens a chunk only in version >= 2 streams; a version-1
+    // reader position must reject it as corrupt flags rather than
+    // misparse whatever follows.
+    ibp::util::Rng rng(27);
+    const std::string bytes = encodeV1({randomRecord(rng)}, true);
+    EXPECT_DEATH(
+        {
+            std::stringstream in(bytes);
+            TraceReader reader(in);
+            BranchRecord out;
+            while (reader.next(out)) {
+            }
+        },
+        "corrupt branch record flags 0x7");
+}
+
+TEST(BinaryTraceCompat, NewerVersionRejected)
+{
+    std::stringstream ss;
+    writeVarint(ss, kTraceMagic);
+    writeVarint(ss, kTraceVersion + 1);
+    EXPECT_DEATH({ TraceReader reader(ss); },
+                 "newer than this reader");
+}
+
 TEST(BinaryTrace, BinaryToTextToBinary)
 {
     ibp::util::Rng rng(13);
