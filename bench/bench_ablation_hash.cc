@@ -13,8 +13,8 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "sim/experiment.hh"
 #include "workload/profiles.hh"
+#include "sim/experiment.hh"
 
 int
 main(int argc, char **argv)

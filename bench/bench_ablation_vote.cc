@@ -16,9 +16,9 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "workload/profiles.hh"
 #include "sim/experiment.hh"
 #include "sim/frontend.hh"
-#include "workload/profiles.hh"
 
 int
 main(int argc, char **argv)

@@ -12,9 +12,9 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/profiles.hh"
 #include "sim/branch_study.hh"
 #include "sim/experiment.hh"
-#include "workload/profiles.hh"
 
 int
 main(int argc, char **argv)

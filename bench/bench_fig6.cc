@@ -9,9 +9,9 @@
 #include <iostream>
 
 #include "bench_util.hh"
+#include "workload/profiles.hh"
 #include "sim/budget.hh"
 #include "sim/experiment.hh"
-#include "workload/profiles.hh"
 
 int
 main(int argc, char **argv)

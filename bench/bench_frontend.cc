@@ -14,10 +14,10 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/profiles.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
 #include "sim/frontend.hh"
-#include "workload/profiles.hh"
 
 int
 main(int argc, char **argv)

@@ -10,10 +10,10 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/profiles.hh"
 #include "core/ppm_predictor.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
-#include "workload/profiles.hh"
 
 int
 main(int argc, char **argv)

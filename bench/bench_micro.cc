@@ -10,12 +10,12 @@
 
 #include <sstream>
 
+#include "trace/trace_io.hh"
+#include "workload/profiles.hh"
 #include "core/sfsxs.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "trace/trace_io.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

@@ -19,11 +19,11 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "sim/experiment.hh"
-#include "trace/trace_stats.hh"
-#include "util/cputime.hh"
 #include "util/thread_pool.hh"
+#include "trace/trace_stats.hh"
+#include "obs/cputime.hh"
 #include "workload/profiles.hh"
+#include "sim/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -62,12 +62,12 @@ main(int argc, char **argv)
         futures.reserve(suite.size());
         for (const auto &profile : suite) {
             futures.push_back(pool.submit([&profile, scale] {
-                const double cpu_start = ibp::util::threadCpuSeconds();
+                const double cpu_start = ibp::obs::threadCpuSeconds();
                 auto trace = ibp::sim::generateTrace(profile, scale);
                 RowOutput output;
                 output.stats = ibp::trace::characterize(trace);
                 output.seconds =
-                    ibp::util::threadCpuSeconds() - cpu_start;
+                    ibp::obs::threadCpuSeconds() - cpu_start;
                 return output;
             }));
         }

@@ -32,14 +32,14 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "trace/packed_trace.hh"
 #include "obs/report.hh"
+#include "workload/profiles.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "trace/packed_trace.hh"
-#include "util/json.hh"
-#include "util/logging.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

@@ -20,9 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_pool.hh"
 #include "obs/report.hh"
 #include "sim/experiment.hh"
-#include "util/thread_pool.hh"
 
 namespace ibp::bench {
 

@@ -12,11 +12,11 @@
 
 #include <cstdio>
 
-#include "core/ppm_predictor.hh"
-#include "predictors/btb.hh"
-#include "sim/engine.hh"
 #include "workload/profiles.hh"
 #include "workload/program.hh"
+#include "predictors/btb.hh"
+#include "core/ppm_predictor.hh"
+#include "sim/engine.hh"
 
 int
 main()

@@ -18,10 +18,10 @@
 #include <string>
 #include <vector>
 
-#include "sim/engine.hh"
-#include "sim/factory.hh"
 #include "trace/trace_stats.hh"
 #include "workload/program.hh"
+#include "sim/engine.hh"
+#include "sim/factory.hh"
 
 namespace {
 

@@ -30,13 +30,13 @@
 #include <memory>
 #include <string>
 
+#include "util/logging.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "workload/profiles.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "trace/trace_io.hh"
-#include "trace/trace_stats.hh"
-#include "util/logging.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

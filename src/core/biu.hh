@@ -18,11 +18,11 @@
 
 #include <cstdint>
 
-#include "core/correlation.hh"
-#include "obs/probe.hh"
-#include "trace/branch_record.hh"
 #include "util/flat_map.hh"
+#include "util/probe.hh"
 #include "util/table.hh"
+#include "trace/branch_record.hh"
+#include "core/correlation.hh"
 
 namespace ibp::core {
 
@@ -108,7 +108,7 @@ class Biu
     util::FlatMap<trace::Addr, BiuEntry> map_;
     util::AssocTable<BiuEntry> table_;
     std::uint64_t evictions_ = 0;
-    obs::HighWater occupancy_;
+    util::HighWater occupancy_;
 };
 
 } // namespace ibp::core

@@ -160,6 +160,14 @@ FilteredPpm::loadProbes(util::StateReader &reader)
     ppm_.loadProbes(reader);
 }
 
+void
+FilteredPpm::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    ppm_.snapshotProbes(registry);
+    registry.counter("filter/evictions", filter_.evictions());
+    registry.counter("filter/conflict_misses", filter_.conflictMisses());
+}
+
 double
 FilteredPpm::filterServeRatio() const
 {

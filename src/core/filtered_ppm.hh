@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <string>
 
-#include "core/ppm_predictor.hh"
+#include "util/table.hh"
 #include "predictors/cascade.hh"
 #include "predictors/predictor.hh"
-#include "util/table.hh"
+#include "core/ppm_predictor.hh"
 
 namespace ibp::core {
 
@@ -51,6 +51,10 @@ class FilteredPpm : public pred::IndirectPredictor
     void loadState(util::StateReader &reader) override;
     void saveProbes(util::StateWriter &writer) const override;
     void loadProbes(util::StateReader &reader) override;
+
+    /** Forwards the wrapped PPM stack's probes and adds the filter
+     *  table's eviction/conflict counters under "filter/...". */
+    void snapshotProbes(obs::ProbeRegistry &registry) const override;
 
     /** Fraction of predictions served by the filter stage. */
     double filterServeRatio() const;

@@ -25,9 +25,9 @@
 #include <cstdint>
 #include <vector>
 
-#include "predictors/predictor.hh"
 #include "util/sat_counter.hh"
 #include "util/table.hh"
+#include "predictors/predictor.hh"
 
 namespace ibp::core {
 
@@ -152,8 +152,11 @@ class MarkovTable
     std::uint64_t
     extReduce(std::uint64_t index) const
     {
+        // The hot-path copy of util::reduceIndex with the power-of-two
+        // mask precomputed; the modulo arm only runs for non-pow2
+        // ablation geometries.
         return extMask_ ? (index & extMask_)
-                        : (index % config_.entries);
+                        : (index % config_.entries); // ibp-lint: allow(table-modulo)
     }
 
     MarkovProbe probeSlow(std::uint64_t index, std::uint64_t tag);

@@ -22,12 +22,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/markov_table.hh"
-#include "core/sfsxs.hh"
-#include "obs/probe.hh"
+#include "util/histogram.hh"
+#include "util/probe.hh"
 #include "predictors/path_history.hh"
 #include "predictors/predictor.hh"
-#include "util/histogram.hh"
+#include "core/markov_table.hh"
+#include "core/sfsxs.hh"
 
 namespace ibp::core {
 
@@ -121,7 +121,7 @@ class Ppm
      * no usable state and fell through to order j-1 (PPM's escape
      * symbol).  Probe-gated: all-zero unless IBP_INSTRUMENT.
      */
-    const obs::ProbeHistogram &escapeHistogram() const
+    const util::ProbeHistogram &escapeHistogram() const
     {
         return escapes_;
     }
@@ -183,7 +183,7 @@ class Ppm
 
     util::Histogram accesses_;
     util::Histogram misses_;
-    obs::ProbeHistogram escapes_;
+    util::ProbeHistogram escapes_;
 };
 
 } // namespace ibp::core

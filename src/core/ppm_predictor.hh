@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <string>
 
+#include "predictors/path_history.hh"
+#include "predictors/predictor.hh"
 #include "core/biu.hh"
 #include "core/correlation.hh"
 #include "core/ppm.hh"
-#include "predictors/path_history.hh"
-#include "predictors/predictor.hh"
 
 namespace ibp::core {
 
@@ -189,7 +189,7 @@ class PpmPredictor final : public pred::IndirectPredictor
     std::uint64_t pibSelected = 0;
     std::uint64_t selectTotal = 0;
     /** PB<->PIB preference changes of per-branch selection counters. */
-    obs::Counter selectorFlips_;
+    util::Counter selectorFlips_;
 };
 
 /** The paper's Figure-6 2K-entry PPM-hyb configuration. */

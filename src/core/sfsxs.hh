@@ -20,8 +20,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "predictors/path_history.hh"
 #include "util/bitops.hh"
+#include "predictors/path_history.hh"
 
 namespace ibp::core {
 

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Clock readings for the observability layer: monotonic wall-clock
+ * seconds and per-thread CPU time for honest parallel-speedup
+ * accounting.
+ *
+ * Summing the calling thread's CPU time across workers reconstructs
+ * what a workload would have cost serially, without the inflation
+ * wall-clock readings suffer when workers are descheduled under
+ * oversubscription.
+ */
+
+#ifndef IBP_OBS_CPUTIME_HH_
+#define IBP_OBS_CPUTIME_HH_
+
+#include <chrono>
+#include <ctime>
+
+namespace ibp::obs {
+
+/**
+ * Monotonic wall-clock seconds.  Only differences of two readings are
+ * meaningful.  This is the sanctioned clock for timing instrumentation
+ * outside obs/ itself: raw std::chrono::*::now() calls elsewhere in
+ * src/ are a determinism lint error (ibp_lint rule determinism-clock),
+ * keeping every wall-clock read auditable in one layer.
+ */
+inline double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Seconds of CPU time consumed by the calling thread.  Falls back to
+ * a monotonic wall clock where the POSIX thread clock is unavailable;
+ * only differences of two readings are meaningful.
+ */
+inline double
+threadCpuSeconds()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return wallSeconds();
+}
+
+} // namespace ibp::obs
+
+#endif // IBP_OBS_CPUTIME_HH_

@@ -18,7 +18,7 @@
 #include <string>
 #include <utility>
 
-#include "util/cputime.hh"
+#include "obs/cputime.hh"
 
 namespace ibp::obs {
 
@@ -61,7 +61,7 @@ class ScopedPhase
     ScopedPhase(PhaseTimer &timer, std::string name)
         : timer_(timer), name_(std::move(name)),
           wallStart_(std::chrono::steady_clock::now()),
-          cpuStart_(util::threadCpuSeconds())
+          cpuStart_(obs::threadCpuSeconds())
     {
     }
 
@@ -74,7 +74,7 @@ class ScopedPhase
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - wallStart_)
                 .count();
-        timer_.add(name_, wall, util::threadCpuSeconds() - cpuStart_);
+        timer_.add(name_, wall, obs::threadCpuSeconds() - cpuStart_);
     }
 
   private:

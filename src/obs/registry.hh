@@ -3,8 +3,8 @@
  * ProbeRegistry: a named snapshot of probe values.
  *
  * The write side of instrumentation lives in the hot structures as
- * obs::Counter / obs::HighWater / obs::ProbeHistogram members (see
- * probe.hh).  The read side is this registry: after a run, each
+ * util::Counter / util::HighWater / util::ProbeHistogram members (see
+ * util/probe.hh).  The read side is this registry: after a run, each
  * component copies its probe values in under stable slash-separated
  * names ("ppm/order_depth", "biu/evictions", ...).  Registries from
  * independent runs merge by summation, which is how the suite runner
@@ -23,8 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "obs/probe.hh"
 #include "util/histogram.hh"
+#include "util/probe.hh"
 #include "util/serde.hh"
 
 namespace ibp::obs {
@@ -41,11 +41,11 @@ class ProbeRegistry
     }
 
     /** Convenience overloads for the probe primitives. */
-    void counter(const std::string &name, const Counter &c)
+    void counter(const std::string &name, const util::Counter &c)
     {
         counter(name, c.value());
     }
-    void counter(const std::string &name, const HighWater &h)
+    void counter(const std::string &name, const util::HighWater &h)
     {
         // Merged as a sum like any counter; meaningful per-run, and an
         // upper bound after cross-run aggregation.
@@ -66,7 +66,7 @@ class ProbeRegistry
     }
 
     void
-    histogram(const std::string &name, const ProbeHistogram &h)
+    histogram(const std::string &name, const util::ProbeHistogram &h)
     {
         histogram(name, h.snapshot());
     }

@@ -50,7 +50,7 @@ BuildInfo::current()
 #else
     info.gitSha = "unknown";
 #endif
-    info.instrumented = kInstrumentEnabled;
+    info.instrumented = util::kInstrumentEnabled;
     return info;
 }
 

@@ -40,7 +40,7 @@ struct BuildInfo
     std::string buildType; ///< CMAKE_BUILD_TYPE
     std::string flags;     ///< compile flags summary
     std::string gitSha;    ///< HEAD at configure time ("unknown" if none)
-    bool instrumented = kInstrumentEnabled;
+    bool instrumented = util::kInstrumentEnabled;
 
     /** The values baked into this binary. */
     static BuildInfo current();

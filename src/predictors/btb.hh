@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <string>
 
-#include "predictors/predictor.hh"
 #include "util/bitops.hh"
 #include "util/table.hh"
+#include "predictors/predictor.hh"
 
 namespace ibp::pred {
 
@@ -95,7 +95,7 @@ class Btb final : public IndirectPredictor
      *  this is the direct-mapped analogue of a tagged conflict miss:
      *  either the branch changed targets or another branch aliased
      *  into the slot. */
-    obs::Counter replacements_;
+    util::Counter replacements_;
 };
 
 /** Tagless BTB with 2-bit replacement hysteresis (final + inline for
@@ -156,7 +156,7 @@ class Btb2b final : public IndirectPredictor
 
     util::DirectTable<TargetEntry> table_;
     /** Hysteresis-approved target replacements of live entries. */
-    obs::Counter replacements_;
+    util::Counter replacements_;
 };
 
 } // namespace ibp::pred

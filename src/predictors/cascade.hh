@@ -24,9 +24,9 @@
 #include <cstdint>
 #include <string>
 
+#include "util/table.hh"
 #include "predictors/dpath.hh"
 #include "predictors/predictor.hh"
-#include "util/table.hh"
 
 namespace ibp::pred {
 

@@ -21,9 +21,9 @@
 #include <string>
 #include <vector>
 
-#include "trace/branch_record.hh"
 #include "util/sat_counter.hh"
 #include "util/table.hh"
+#include "trace/branch_record.hh"
 
 namespace ibp::pred {
 

@@ -18,10 +18,10 @@
 #include <string>
 #include <vector>
 
-#include "predictors/path_history.hh"
-#include "predictors/predictor.hh"
 #include "util/sat_counter.hh"
 #include "util/table.hh"
+#include "predictors/path_history.hh"
+#include "predictors/predictor.hh"
 
 namespace ibp::pred {
 
@@ -117,6 +117,14 @@ class Dpath : public IndirectPredictor
     void loadState(util::StateReader &reader) override;
     void saveProbes(util::StateWriter &writer) const override;
     void loadProbes(util::StateReader &reader) override;
+
+    /** No gated probes yet (the component predictors keep their own);
+     *  the explicit no-op override records that as a deliberate choice
+     *  (serde-coverage lint). */
+    void snapshotProbes(obs::ProbeRegistry &registry) const override
+    {
+        (void)registry;
+    }
 
   private:
     struct Selector

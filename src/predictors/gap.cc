@@ -24,8 +24,9 @@ Gap::slotFor(trace::Addr pc) const
     // PHTs.
     const std::uint64_t hashed = (pc >> 2) ^ history_.value();
     Slot slot;
-    slot.index = hashed % config_.entriesPerPht;
-    slot.pht = ((pc >> 2) / config_.entriesPerPht) % config_.numPhts;
+    slot.index = util::reduceIndex(hashed, config_.entriesPerPht);
+    slot.pht = util::reduceIndex((pc >> 2) / config_.entriesPerPht,
+                                 config_.numPhts);
     return slot;
 }
 

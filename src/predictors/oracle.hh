@@ -47,6 +47,13 @@ class Oracle : public IndirectPredictor
     void saveState(util::StateWriter &writer) const override;
     void loadState(util::StateReader &reader) override;
 
+    /** No gated probes; the explicit no-op override records that as a
+     *  deliberate choice (serde-coverage lint). */
+    void snapshotProbes(obs::ProbeRegistry &registry) const override
+    {
+        (void)registry;
+    }
+
     /** Number of distinct contexts seen so far. */
     std::size_t contexts() const { return table_.size(); }
 

@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <vector>
 
-#include "trace/branch_record.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/serde.hh"
 #include "util/table.hh"
+#include "trace/branch_record.hh"
 
 namespace ibp::pred {
 

@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <string>
 
-#include "obs/registry.hh"
-#include "trace/branch_record.hh"
 #include "util/sat_counter.hh"
 #include "util/serde.hh"
+#include "trace/branch_record.hh"
+#include "obs/registry.hh"
 
 namespace ibp::pred {
 

@@ -15,9 +15,9 @@
 #include <cstdint>
 #include <vector>
 
-#include "obs/probe.hh"
-#include "trace/branch_record.hh"
+#include "util/probe.hh"
 #include "util/serde.hh"
+#include "trace/branch_record.hh"
 
 namespace ibp::pred {
 
@@ -130,8 +130,8 @@ class ReturnAddressStack
     std::vector<trace::Addr> stack_;
     std::size_t top_ = 0;  ///< index of the next free slot
     std::size_t live_ = 0; ///< valid entries (saturates at depth)
-    obs::Counter overflows_;
-    obs::Counter underflows_;
+    util::Counter overflows_;
+    util::Counter underflows_;
 };
 
 } // namespace ibp::pred

@@ -31,14 +31,14 @@
 #include <string>
 #include <vector>
 
+#include "util/serde.hh"
+#include "trace/trace_io.hh"
 #include "obs/registry.hh"
+#include "workload/profiles.hh"
+#include "workload/program.hh"
 #include "predictors/predictor.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
-#include "trace/trace_io.hh"
-#include "util/serde.hh"
-#include "workload/profiles.hh"
-#include "workload/program.hh"
 
 namespace ibp::sim {
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "core/ppm_predictor.hh"
 #include "predictors/btb.hh"
+#include "core/ppm_predictor.hh"
 
 namespace ibp::sim {
 

@@ -17,11 +17,11 @@
 
 #include <cstdint>
 
+#include "trace/trace_buffer.hh"
 #include "obs/registry.hh"
 #include "predictors/predictor.hh"
 #include "predictors/ras.hh"
 #include "sim/metrics.hh"
-#include "trace/trace_buffer.hh"
 
 namespace ibp::sim {
 

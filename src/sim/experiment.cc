@@ -11,22 +11,21 @@
 #include <sstream>
 #include <utility>
 
-#include "sim/checkpoint.hh"
-#include "util/cputime.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "obs/cputime.hh"
 #include "workload/program.hh"
+#include "sim/checkpoint.hh"
 
 namespace ibp::sim {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
+/** Seconds elapsed since a wallSeconds() reading. */
 double
-secondsSince(Clock::time_point start)
+secondsSince(double start)
 {
-    return std::chrono::duration<double>(Clock::now() - start).count();
+    return obs::wallSeconds() - start;
 }
 
 /**
@@ -70,7 +69,7 @@ class TraceCache
         if (!generate)
             return future.get();
 
-        const auto start = Clock::now();
+        const double start = obs::wallSeconds();
         try {
             // Generate unpacked, then pack for residency: the cache
             // holds (and every replaying cell streams) 16-byte
@@ -329,7 +328,7 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
                const std::vector<std::string> &predictor_names,
                const SuiteOptions &options, SuiteTiming *timing)
 {
-    const auto wall_start = Clock::now();
+    const double wall_start = obs::wallSeconds();
     double trace_gen = 0;
     SuiteResult result;
     result.predictorNames = predictor_names;
@@ -354,7 +353,7 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
 
         trace::TraceBuffer buffer;
         if (row_needs_trace) {
-            const auto gen_start = Clock::now();
+            const double gen_start = obs::wallSeconds();
             buffer = generateTrace(profile, options.traceScale);
             trace_gen += secondsSince(gen_start);
         }
@@ -373,8 +372,8 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
             auto predictor = makePredictor(name, options.factory);
             ReplaySession session(options.engine);
             buffer.rewind();
-            const auto cell_start = Clock::now();
-            const double cpu_start = util::threadCpuSeconds();
+            const double cell_start = obs::wallSeconds();
+            const double cpu_start = obs::threadCpuSeconds();
 
             if (progress.partial.valid &&
                 progress.partial.row == row_name &&
@@ -415,7 +414,7 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
             obs::ProbeRegistry probes;
             session.snapshotProbes(probes, *predictor);
             CellResult cell = cellFromMetrics(session.metrics());
-            cell.cpuSeconds = util::threadCpuSeconds() - cpu_start;
+            cell.cpuSeconds = obs::threadCpuSeconds() - cpu_start;
             cell.wallSeconds = secondsSince(cell_start);
             result.probes[name].merge(probes);
             row.push_back(cell);
@@ -501,7 +500,7 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
         std::size_t c;
     };
 
-    const auto wall_start = Clock::now();
+    const double wall_start = obs::wallSeconds();
     std::vector<CellTask> tasks;
     std::vector<std::future<CellOutput>> futures;
     tasks.reserve(rows * cols);
@@ -528,8 +527,8 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                     // waiters burn ~no CPU while blocked, so the sum
                     // over cells reconstructs the serial cost without
                     // double-counting or oversubscription inflation.
-                    const auto cell_start = Clock::now();
-                    const double cpu_start = util::threadCpuSeconds();
+                    const double cell_start = obs::wallSeconds();
+                    const double cpu_start = obs::threadCpuSeconds();
                     CellOutput output;
                     const auto buffer = generateTraceCached(
                         profiles[r], options.traceScale,
@@ -541,7 +540,7 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                     output.cell = cellFromMetrics(
                         engine.run(source, *predictor, &output.probes));
                     output.cell.cpuSeconds =
-                        util::threadCpuSeconds() - cpu_start;
+                        obs::threadCpuSeconds() - cpu_start;
                     output.cell.wallSeconds = secondsSince(cell_start);
                     return output;
                 }));

@@ -29,13 +29,13 @@
 #include <string>
 #include <vector>
 
+#include "trace/packed_trace.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
+#include "workload/profiles.hh"
 #include "sim/engine.hh"
 #include "sim/factory.hh"
 #include "sim/metrics.hh"
-#include "trace/packed_trace.hh"
-#include "workload/profiles.hh"
 
 namespace ibp::sim {
 

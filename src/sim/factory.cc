@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/filtered_ppm.hh"
-#include "core/ppm_predictor.hh"
+#include "util/logging.hh"
 #include "predictors/btb.hh"
 #include "predictors/cascade.hh"
 #include "predictors/dpath.hh"
 #include "predictors/gap.hh"
 #include "predictors/oracle.hh"
 #include "predictors/target_cache.hh"
-#include "util/logging.hh"
+#include "core/filtered_ppm.hh"
+#include "core/ppm_predictor.hh"
 
 namespace ibp::sim {
 

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "predictors/btb.hh"
 #include "util/logging.hh"
+#include "predictors/btb.hh"
 
 namespace ibp::sim {
 

@@ -23,10 +23,10 @@
 #include <string>
 #include <unordered_set>
 
+#include "trace/trace_buffer.hh"
 #include "predictors/cond.hh"
 #include "predictors/predictor.hh"
 #include "predictors/ras.hh"
-#include "trace/trace_buffer.hh"
 
 namespace ibp::sim {
 

@@ -16,9 +16,9 @@
 #include <map>
 #include <vector>
 
-#include "trace/branch_record.hh"
 #include "util/serde.hh"
 #include "util/stats.hh"
+#include "trace/branch_record.hh"
 
 namespace ibp::sim {
 

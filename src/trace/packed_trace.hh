@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/logging.hh"
 #include "trace/branch_record.hh"
 #include "trace/trace_buffer.hh"
-#include "util/logging.hh"
 
 namespace ibp::trace {
 

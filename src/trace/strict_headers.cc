@@ -1,0 +1,11 @@
+/**
+ * @file
+ * Strict-warning coverage for the header-only parts of trace/
+ * (see util/strict_headers.cc for the rationale).
+ */
+
+#include "trace/branch_record.hh"
+#include "trace/packed_trace.hh"
+#include "trace/trace_buffer.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"

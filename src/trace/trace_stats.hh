@@ -12,9 +12,9 @@
 #include <map>
 #include <vector>
 
+#include "util/stats.hh"
 #include "trace/branch_record.hh"
 #include "trace/trace_buffer.hh"
-#include "util/stats.hh"
 
 namespace ibp::trace {
 

@@ -123,6 +123,22 @@ isPowerOf2(std::uint64_t value)
 }
 
 /**
+ * Reduce an arbitrary hash to a valid index in [0, @p count): a single
+ * AND on power-of-two counts, a modulo otherwise.  The two agree for
+ * powers of two, so callers switching to this helper change no
+ * simulated number.  This is the sanctioned reduction for indexing off
+ * counts that have no Table object (ibp_lint rule table-modulo bans
+ * raw `%` indexing in the predictor layers); tables precompute the
+ * mask in their own reduce() instead.
+ */
+constexpr std::uint64_t
+reduceIndex(std::uint64_t hash, std::uint64_t count)
+{
+    // ibp-lint: allow(table-modulo) -- this is the sanctioned fallback
+    return isPowerOf2(count) ? (hash & (count - 1)) : (hash % count);
+}
+
+/**
  * gshare index: XOR a history value with a PC, keeping @p index_bits.
  * The PC is pre-shifted right by 2 (branch addresses are word aligned
  * on the Alpha-like machines the paper models).

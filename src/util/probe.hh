@@ -16,12 +16,13 @@
  * one-primitive equivalent, e.g. remembering a pre-update state to
  * detect a transition.
  *
- * This header is dependency-free so the lowest layers (util/table.hh)
- * can embed probes without a cycle.
+ * This header is dependency-free and lives at the bottom of the layer
+ * stack so the lowest layers (util/table.hh) can embed probes without
+ * a cycle; the read side (ProbeRegistry, reports) stays in obs/.
  */
 
-#ifndef IBP_OBS_PROBE_HH_
-#define IBP_OBS_PROBE_HH_
+#ifndef IBP_UTIL_PROBE_HH_
+#define IBP_UTIL_PROBE_HH_
 
 #include <cstdint>
 #include <vector>
@@ -33,7 +34,7 @@
 #define IBP_PROBE(...)
 #endif
 
-namespace ibp::obs {
+namespace ibp::util {
 
 #ifdef IBP_INSTRUMENT
 inline constexpr bool kInstrumentEnabled = true;
@@ -177,6 +178,6 @@ class ProbeHistogram
     IBP_PROBE(std::vector<std::uint64_t> counts_;)
 };
 
-} // namespace ibp::obs
+} // namespace ibp::util
 
-#endif // IBP_OBS_PROBE_HH_
+#endif // IBP_UTIL_PROBE_HH_

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Strict-warning coverage for the header-only parts of util/.
+ *
+ * The IBP_WERROR gate (-Werror -Wshadow -Wconversion -Wold-style-cast)
+ * applies to the translation units of this library; headers that no
+ * .cc file happens to include would escape it.  This TU includes every
+ * util header so the whole layer is compiled under the strict set.
+ */
+
+#include "util/bitops.hh"
+#include "util/flat_map.hh"
+#include "util/histogram.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/probe.hh"
+#include "util/random.hh"
+#include "util/sat_counter.hh"
+#include "util/serde.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"

@@ -23,9 +23,9 @@
 #include <cstdint>
 #include <vector>
 
-#include "obs/probe.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/probe.hh"
 #include "util/serde.hh"
 
 #ifdef IBP_CHECKED_TABLES
@@ -356,8 +356,8 @@ class AssocTable
     std::uint64_t setMask_;
     std::vector<Line> lines_;
     std::uint64_t clock_ = 0;
-    obs::Counter evictions_;
-    obs::Counter conflictMisses_;
+    Counter evictions_;
+    Counter conflictMisses_;
 };
 
 } // namespace ibp::util

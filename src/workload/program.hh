@@ -26,9 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "util/random.hh"
 #include "trace/branch_record.hh"
 #include "trace/trace_buffer.hh"
-#include "util/random.hh"
 #include "workload/behavior.hh"
 
 namespace ibp::workload {

@@ -1,0 +1,19 @@
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long long
+fixtureEntropy()
+{
+    std::random_device device;                         // determinism-random
+    std::srand(42);                                    // determinism-random
+    unsigned long long x = std::rand();                // determinism-random
+    x += std::time(nullptr);                           // determinism-clock
+    x += std::chrono::steady_clock::now()              // determinism-clock
+             .time_since_epoch()
+             .count();
+    // ibp-lint: allow(determinism-random)
+    x += std::rand(); // suppressed on purpose
+    return x;
+}

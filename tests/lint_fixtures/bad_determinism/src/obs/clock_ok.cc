@@ -1,0 +1,10 @@
+#include <chrono>
+
+// obs/ owns the wall clock: this must NOT be flagged.
+double
+fixtureWall()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}

@@ -1,0 +1,10 @@
+#include "thing.hh"
+
+#include <vector>
+
+#include "sim/engine.hh"
+#include "core/markov_table.hh"
+#include "util/bitops.hh"
+#include "trace/branch_record.hh"
+
+int fixture_dummy_thing = 0;

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_THING_HH_
+#define FIXTURE_THING_HH_
+int fixtureThing();
+#endif

@@ -1,0 +1,9 @@
+// Back-edge: trace (layer 1) including predictors (layer 4).
+#include "predictors/btb.hh"
+// Library code must never include app-tier headers.
+#include "tests/helpers.hh"
+// Fine: same layer and below.
+#include "util/bitops.hh"
+#include "trace/branch_record.hh"
+
+int fixture_dummy_trace = 0;

@@ -1,0 +1,7 @@
+#ifndef FIXTURE_BAD_UTIL_HH_
+#define FIXTURE_BAD_UTIL_HH_
+
+// Back-edge: util (layer 0) must not reach up into sim (layer 6).
+#include "sim/engine.hh"
+
+#endif

@@ -1,0 +1,28 @@
+#ifndef FIXTURE_WIDGETS_HH_
+#define FIXTURE_WIDGETS_HH_
+
+#include <cstdint>
+
+// Manifest records a stale hash for Widget: serde-manifest (drift).
+class Widget
+{
+  public:
+    void saveState(int &writer) const;
+    void loadState(int &reader);
+
+  private:
+    std::uint64_t seen = 0;
+    std::uint64_t hits = 0;
+};
+
+// Checkpointed but absent from the manifest: serde-manifest (new).
+class Gadget
+{
+  public:
+    void saveState(int &writer) const;
+
+  private:
+    int level = 0;
+};
+
+#endif

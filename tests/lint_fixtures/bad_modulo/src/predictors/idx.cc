@@ -1,0 +1,13 @@
+#include <cstdint>
+
+std::uint64_t
+fixtureIndex(std::uint64_t hash, std::uint64_t entries,
+             std::uint64_t ways)
+{
+    fatal_if(entries % ways != 0, "geometry"); // exempt: validation
+    static_assert(8 % 2 == 0, "also exempt");
+    std::uint64_t suppressed =
+        hash % ways; // ibp-lint: allow(table-modulo)
+    suppressed += 1;
+    return suppressed + hash % entries; // table-modulo
+}

@@ -1,0 +1,19 @@
+struct Registry
+{
+    void counter(const char *name, int value);
+    void histogram(const char *name, int value);
+};
+
+struct Thing
+{
+    void snapshotProbes(Registry &registry) const;
+    int hits = 0;
+};
+
+void
+Thing::snapshotProbes(Registry &registry) const
+{
+    registry.counter("ppm/order_hits", hits);  // fine
+    registry.counter("Bad/CamelName", hits);   // probe-name
+    registry.histogram("trailing/slash/", 0);  // probe-name
+}

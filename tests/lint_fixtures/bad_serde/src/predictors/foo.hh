@@ -1,0 +1,30 @@
+#ifndef FIXTURE_FOO_HH_
+#define FIXTURE_FOO_HH_
+
+#include "predictors/predictor.hh"
+
+// Declares none of the serde surface: three serde-coverage findings.
+class Foo : public IndirectPredictor
+{
+  public:
+    int state = 0;
+};
+
+// Declares everything itself: clean.
+class Bar : public IndirectPredictor
+{
+  public:
+    void saveState(int &writer) const override;
+    void loadState(int &reader) override;
+    void snapshotProbes(int &registry) const override;
+    int state = 0;
+};
+
+// Inherits the full surface from Bar (below the root): clean.
+class Baz : public Bar
+{
+  public:
+    int more = 0;
+};
+
+#endif

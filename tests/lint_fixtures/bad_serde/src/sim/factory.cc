@@ -1,0 +1,14 @@
+#include <memory>
+#include <string_view>
+
+#include "predictors/foo.hh"
+
+std::unique_ptr<IndirectPredictor>
+makePredictor(std::string_view name)
+{
+    if (name == "Foo")
+        return std::make_unique<Foo>();
+    if (name == "Bar" || name == "Bar-strict")
+        return std::make_unique<Bar>();
+    return nullptr;
+}

@@ -1,0 +1,21 @@
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string
+fixtureAggregate()
+{
+    std::unordered_map<std::string, int> counts;
+    counts["a"] = 1;
+    std::string out;
+    for (const auto &[key, value] : counts) { // determinism-unordered-iter
+        out += key;
+        out += static_cast<char>('0' + value);
+    }
+
+    // Iterating the *outer* vector is deterministic: not flagged.
+    std::vector<std::unordered_map<std::string, int>> shards;
+    for (const auto &shard : shards)
+        out += static_cast<char>('0' + static_cast<int>(shard.size()));
+    return out;
+}

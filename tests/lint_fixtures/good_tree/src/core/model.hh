@@ -1,0 +1,20 @@
+#ifndef FIXTURE_GOOD_MODEL_HH_
+#define FIXTURE_GOOD_MODEL_HH_
+
+#include <cstdint>
+
+#include "util/maths.hh"
+#include "predictors/predictor.hh"
+
+class Model : public IndirectPredictor
+{
+  public:
+    void saveState(int &writer) const override;
+    void loadState(int &reader) override;
+    void snapshotProbes(int &registry) const override;
+
+  private:
+    std::uint64_t table = 0;
+};
+
+#endif

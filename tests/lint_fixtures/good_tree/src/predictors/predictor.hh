@@ -1,0 +1,13 @@
+#ifndef FIXTURE_GOOD_PREDICTOR_HH_
+#define FIXTURE_GOOD_PREDICTOR_HH_
+
+class IndirectPredictor
+{
+  public:
+    virtual ~IndirectPredictor() = default;
+    virtual void saveState(int &writer) const { (void)writer; }
+    virtual void loadState(int &reader) { (void)reader; }
+    virtual void snapshotProbes(int &registry) const { (void)registry; }
+};
+
+#endif

@@ -1,0 +1,12 @@
+#include <memory>
+#include <string_view>
+
+#include "core/model.hh"
+
+std::unique_ptr<IndirectPredictor>
+makePredictor(std::string_view name)
+{
+    if (name == "Model")
+        return std::make_unique<Model>();
+    return nullptr;
+}

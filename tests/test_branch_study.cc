@@ -5,10 +5,10 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/branch_study.hh"
-#include "sim/experiment.hh"
 #include "workload/profiles.hh"
 #include "workload/program.hh"
+#include "sim/branch_study.hh"
+#include "sim/experiment.hh"
 
 namespace {
 

@@ -25,13 +25,13 @@
 #include <string>
 #include <vector>
 
+#include "util/random.hh"
+#include "trace/trace_io.hh"
+#include "workload/profiles.hh"
+#include "workload/program.hh"
 #include "sim/checkpoint.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "trace/trace_io.hh"
-#include "util/random.hh"
-#include "workload/profiles.hh"
-#include "workload/program.hh"
 
 namespace {
 

@@ -30,11 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "util/serde.hh"
+#include "workload/profiles.hh"
 #include "sim/checkpoint.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "util/serde.hh"
-#include "workload/profiles.hh"
 
 #ifndef IBP_GOLDEN_DIR
 #error "tests/CMakeLists.txt must define IBP_GOLDEN_DIR"

@@ -9,21 +9,21 @@
 
 #include <sstream>
 
-#include "core/ppm.hh"
-#include "core/sfsxs.hh"
-#include "obs/report.hh"
-#include "predictors/cond.hh"
-#include "predictors/path_history.hh"
-#include "sim/branch_study.hh"
-#include "sim/factory.hh"
-#include "sim/frontend.hh"
-#include "trace/trace_io.hh"
 #include "util/histogram.hh"
 #include "util/random.hh"
 #include "util/sat_counter.hh"
 #include "util/table.hh"
+#include "trace/trace_io.hh"
+#include "obs/report.hh"
 #include "workload/behavior.hh"
 #include "workload/program.hh"
+#include "predictors/cond.hh"
+#include "predictors/path_history.hh"
+#include "core/ppm.hh"
+#include "core/sfsxs.hh"
+#include "sim/branch_study.hh"
+#include "sim/factory.hh"
+#include "sim/frontend.hh"
 
 namespace {
 

@@ -5,10 +5,10 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/factory.hh"
-#include "sim/frontend.hh"
 #include "workload/profiles.hh"
 #include "sim/experiment.hh"
+#include "sim/factory.hh"
+#include "sim/frontend.hh"
 
 namespace {
 

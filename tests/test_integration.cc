@@ -9,11 +9,11 @@
 
 #include <sstream>
 
+#include "trace/trace_io.hh"
+#include "workload/profiles.hh"
 #include "core/ppm_predictor.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
-#include "trace/trace_io.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * ibp_lint rule tests: each fixture tree under tests/lint_fixtures/
+ * violates exactly one rule family, and the real source tree must
+ * lint clean.  The fixtures are the executable specification of the
+ * rule surface — when a rule changes, its fixture changes in the same
+ * commit.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using ibp::lint::Finding;
+using ibp::lint::Options;
+using ibp::lint::Result;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(IBP_LINT_FIXTURES_DIR) + "/" + name;
+}
+
+Result
+lintTree(const std::string &root,
+         std::set<std::string> only_rules = {})
+{
+    Options options;
+    options.root = root;
+    options.onlyRules = std::move(only_rules);
+    return ibp::lint::runLint(options);
+}
+
+/** rule id -> occurrence count. */
+std::map<std::string, int>
+ruleCounts(const Result &result)
+{
+    std::map<std::string, int> counts;
+    for (const Finding &finding : result.findings)
+        ++counts[finding.rule];
+    return counts;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Copy a fixture into a scratch dir so --fix style tests can touch
+ *  it.  A fresh copy per call keeps tests independent. */
+fs::path
+scratchCopy(const std::string &fixture, const std::string &tag)
+{
+    const fs::path dst =
+        fs::path(::testing::TempDir()) / ("ibp_lint_" + tag);
+    fs::remove_all(dst);
+    fs::copy(fixturePath(fixture), dst,
+             fs::copy_options::recursive);
+    return dst;
+}
+
+TEST(LintFixtures, LayeringBackEdgesAndAppIncludes)
+{
+    const Result result = lintTree(fixturePath("bad_layering"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts, (std::map<std::string, int>{{"layering", 3}}));
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+
+    bool saw_back_edge = false, saw_app_include = false;
+    for (const Finding &finding : result.findings) {
+        saw_back_edge |=
+            finding.message.find("back-edge") != std::string::npos;
+        saw_app_include |=
+            finding.message.find("tests/ headers") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_back_edge);
+    EXPECT_TRUE(saw_app_include);
+}
+
+TEST(LintFixtures, IncludeOrderDetected)
+{
+    const Result result = lintTree(fixturePath("bad_include_order"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"include-order", 1}}));
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].file, "src/sim/thing.cc");
+    EXPECT_EQ(result.findings[0].line, 5);
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+}
+
+TEST(LintFixtures, IncludeOrderFixDryRunTouchesNothing)
+{
+    const fs::path file = fs::path(fixturePath("bad_include_order")) /
+                          "src/sim/thing.cc";
+    const std::string before = readFile(file);
+
+    Options options;
+    options.root = fixturePath("bad_include_order");
+    options.fixDryRun = true;
+    const Result result = ibp::lint::runLint(options);
+
+    EXPECT_NE(result.fixDiff.find("+#include \"util/bitops.hh\""),
+              std::string::npos)
+        << result.fixDiff;
+    EXPECT_EQ(readFile(file), before) << "dry run must not rewrite";
+    // Findings stay unfixed, so the exit code still signals.
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+}
+
+TEST(LintFixtures, IncludeOrderFixRepairsTheTree)
+{
+    const fs::path root = scratchCopy("bad_include_order", "fix");
+
+    Options options;
+    options.root = root.string();
+    options.fix = true;
+    const Result fixed = ibp::lint::runLint(options);
+    ASSERT_EQ(fixed.findings.size(), 1u);
+    EXPECT_TRUE(fixed.findings[0].fixed);
+    // Everything repaired: the run reports success...
+    EXPECT_EQ(ibp::lint::exitCodeFor(fixed), 0);
+    // ...and a second run finds nothing left.
+    const Result again = lintTree(root.string());
+    EXPECT_TRUE(again.findings.empty());
+
+    const std::string text = readFile(root / "src/sim/thing.cc");
+    EXPECT_LT(text.find("util/bitops.hh"),
+              text.find("trace/branch_record.hh"));
+    EXPECT_LT(text.find("trace/branch_record.hh"),
+              text.find("core/markov_table.hh"));
+    EXPECT_LT(text.find("core/markov_table.hh"),
+              text.find("sim/engine.hh"));
+}
+
+TEST(LintFixtures, DeterminismRandomAndClock)
+{
+    const Result result = lintTree(fixturePath("bad_determinism"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"determinism-clock", 2},
+                                          {"determinism-random", 3}}));
+    EXPECT_EQ(result.suppressed, 1) << "allow(determinism-random)";
+    for (const Finding &finding : result.findings)
+        EXPECT_EQ(finding.file, "src/core/det.cc")
+            << "obs/ owns the wall clock and must not be flagged";
+}
+
+TEST(LintFixtures, UnorderedIterationOnlyWhenDirect)
+{
+    const Result result = lintTree(fixturePath("bad_unordered"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(
+        counts,
+        (std::map<std::string, int>{{"determinism-unordered-iter", 1}}));
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_NE(result.findings[0].message.find("`counts`"),
+              std::string::npos);
+}
+
+TEST(LintFixtures, TableModuloExemptsValidationAndAllows)
+{
+    const Result result = lintTree(fixturePath("bad_modulo"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"table-modulo", 1}}));
+    EXPECT_EQ(result.suppressed, 1);
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].line, 12);
+}
+
+TEST(LintFixtures, SerdeCoverageFlagsEachMissingOverride)
+{
+    const Result result =
+        lintTree(fixturePath("bad_serde"), {"serde-coverage"});
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"serde-coverage", 3}}));
+    std::set<std::string> methods;
+    for (const Finding &finding : result.findings) {
+        EXPECT_EQ(finding.file, "src/predictors/foo.hh");
+        EXPECT_NE(finding.message.find("`Foo`"), std::string::npos);
+        for (const char *m :
+             {"saveState", "loadState", "snapshotProbes"})
+            if (finding.message.find(m) != std::string::npos)
+                methods.insert(m);
+    }
+    EXPECT_EQ(methods.size(), 3u)
+        << "one finding per missing method";
+
+    // The factory registrations were parsed from the if-chain.
+    EXPECT_EQ(result.factoryPredictors,
+              (std::map<std::string, std::string>{
+                  {"Foo", "Foo"},
+                  {"Bar", "Bar"},
+                  {"Bar-strict", "Bar"}}));
+}
+
+TEST(LintFixtures, SerdeManifestDriftNewAndStale)
+{
+    const Result result =
+        lintTree(fixturePath("bad_manifest"), {"serde-manifest"});
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"serde-manifest", 3}}));
+    std::set<std::string> subjects;
+    for (const Finding &finding : result.findings)
+        for (const char *who : {"Widget", "Gadget", "Ghost"})
+            if (finding.message.find(who) != std::string::npos)
+                subjects.insert(who);
+    EXPECT_EQ(subjects.size(), 3u)
+        << "drift, unrecorded and stale entries each get a finding";
+}
+
+TEST(LintFixtures, SerdeManifestUpdateRepairs)
+{
+    const fs::path root = scratchCopy("bad_manifest", "manifest");
+    Options options;
+    options.root = root.string();
+    options.updateManifest = true;
+    const Result updated = ibp::lint::runLint(options);
+    EXPECT_TRUE(updated.manifestUpdated);
+
+    const Result again =
+        lintTree(root.string(), {"serde-manifest"});
+    EXPECT_TRUE(again.findings.empty())
+        << "regenerated manifest must match the tree";
+}
+
+TEST(LintFixtures, ProbeNameConvention)
+{
+    const Result result = lintTree(fixturePath("bad_probe"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"probe-name", 2}}));
+    for (const Finding &finding : result.findings)
+        EXPECT_NE(finding.message.find("[a-z0-9_]"),
+                  std::string::npos);
+}
+
+TEST(LintFixtures, GoodTreeIsClean)
+{
+    const Result result = lintTree(fixturePath("good_tree"));
+    EXPECT_TRUE(result.findings.empty()) << [&] {
+        std::ostringstream out;
+        ibp::lint::writeTextReport(out, result);
+        return out.str();
+    }();
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 0);
+}
+
+TEST(LintFixtures, DeletingAnOverrideBreaksCoverage)
+{
+    // The acceptance property behind serde-coverage: removing one
+    // serde override from an otherwise clean tree must produce a
+    // lint error.
+    const fs::path root = scratchCopy("good_tree", "coverage");
+    const fs::path header = root / "src/core/model.hh";
+    std::string text = readFile(header);
+    const std::string decl =
+        "    void snapshotProbes(int &registry) const override;\n";
+    const std::size_t at = text.find(decl);
+    ASSERT_NE(at, std::string::npos);
+    text.erase(at, decl.size());
+    std::ofstream(header, std::ios::binary) << text;
+
+    const Result result = lintTree(root.string());
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"serde-coverage", 1}}));
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_NE(result.findings[0].message.find("snapshotProbes"),
+              std::string::npos);
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+}
+
+// ---------------------------------------------------------------------
+// The real tree
+
+TEST(LintRealTree, LintsClean)
+{
+    const Result result = lintTree(IBP_LINT_SOURCE_ROOT);
+    std::ostringstream report;
+    ibp::lint::writeTextReport(report, result);
+    EXPECT_TRUE(result.findings.empty()) << report.str();
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 0);
+    EXPECT_GT(result.scannedFiles.size(), 100u)
+        << "scan missed most of the tree; check collectFiles()";
+}
+
+TEST(LintRealTree, FactoryRegistrationsAllCovered)
+{
+    const Result result = lintTree(IBP_LINT_SOURCE_ROOT);
+    // Every spelled-out predictor name the factory accepts, mapped to
+    // its implementing class.  A new registration must extend this
+    // list (and carry the full serde surface to keep LintsClean
+    // green).
+    EXPECT_EQ(result.factoryPredictors.size(), 21u);
+    const std::set<std::string> classes = [&] {
+        std::set<std::string> out;
+        for (const auto &[name, cls] : result.factoryPredictors)
+            out.insert(cls);
+        return out;
+    }();
+    EXPECT_EQ(classes,
+              (std::set<std::string>{"Btb", "Btb2b", "Cascade",
+                                     "Dpath", "FilteredPpm", "Gap",
+                                     "Oracle", "PpmPredictor",
+                                     "TargetCache"}));
+
+    // Checkpointed classes carry manifest hashes.
+    for (const char *cls : {"PpmPredictor", "Cascade", "Btb",
+                            "FilteredPpm", "MarkovTable"})
+        EXPECT_TRUE(result.serdeHashes.count(cls))
+            << cls << " lost its saveState() tracking";
+}
+
+} // namespace

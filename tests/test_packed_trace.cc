@@ -12,13 +12,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/random.hh"
+#include "trace/packed_trace.hh"
+#include "trace/trace_buffer.hh"
+#include "workload/profiles.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "trace/packed_trace.hh"
-#include "trace/trace_buffer.hh"
-#include "util/random.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

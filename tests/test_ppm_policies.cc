@@ -7,11 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/profiles.hh"
 #include "core/ppm.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

@@ -11,10 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "workload/profiles.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

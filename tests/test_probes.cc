@@ -6,21 +6,21 @@
  * IBP_INSTRUMENT is compiled in the primitives record, and when it is
  * compiled out they must read as all-zero no-ops with a stable shape
  * (ProbeHistogram keeps its bucket count either way).  Branching on
- * obs::kInstrumentEnabled keeps one test binary honest in both
+ * util::kInstrumentEnabled keeps one test binary honest in both
  * configs instead of #ifdef-ing half the suite away.
  */
 
 #include <gtest/gtest.h>
 
-#include "obs/probe.hh"
+#include "util/probe.hh"
 #include "obs/registry.hh"
 
 namespace {
 
-using ibp::obs::Counter;
-using ibp::obs::HighWater;
-using ibp::obs::kInstrumentEnabled;
-using ibp::obs::ProbeHistogram;
+using ibp::util::Counter;
+using ibp::util::HighWater;
+using ibp::util::kInstrumentEnabled;
+using ibp::util::ProbeHistogram;
 using ibp::obs::ProbeRegistry;
 
 TEST(Probes, CounterBumpsWhenInstrumented)

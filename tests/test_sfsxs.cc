@@ -8,9 +8,9 @@
 #include <set>
 #include <vector>
 
-#include "core/sfsxs.hh"
-#include "util/random.hh"
 #include "util/bitops.hh"
+#include "util/random.hh"
+#include "core/sfsxs.hh"
 
 namespace {
 

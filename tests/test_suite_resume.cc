@@ -20,12 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
+#include "workload/profiles.hh"
 #include "sim/checkpoint.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
-#include "util/logging.hh"
-#include "workload/profiles.hh"
 
 namespace {
 

@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "obs/probe.hh"
 #include "util/histogram.hh"
+#include "util/probe.hh"
 #include "util/table.hh"
 
 namespace {
@@ -149,7 +149,7 @@ TEST(AssocTable, EvictionProbeCountsValidVictimsOnly)
     t.insert(0, 2, {2}); // fills the free way: no eviction
     EXPECT_EQ(t.evictions(), 0u);
     t.insert(0, 3, {3}); // displaces the LRU line
-    const auto expected = ibp::obs::kInstrumentEnabled ? 1u : 0u;
+    const auto expected = ibp::util::kInstrumentEnabled ? 1u : 0u;
     EXPECT_EQ(t.evictions(), expected);
 }
 
@@ -162,7 +162,7 @@ TEST(AssocTable, ConflictMissProbeCountsMissesInLiveSets)
     t.insert(0, 1, {1});
     // Miss in a set that already holds a line: a conflict.
     EXPECT_EQ(t.lookup(0, 9), nullptr);
-    const auto expected = ibp::obs::kInstrumentEnabled ? 1u : 0u;
+    const auto expected = ibp::util::kInstrumentEnabled ? 1u : 0u;
     EXPECT_EQ(t.conflictMisses(), expected);
     // Misses in the other (still empty) set stay cold.
     EXPECT_EQ(t.lookup(1, 9), nullptr);

@@ -8,8 +8,8 @@
 
 #include <sstream>
 
-#include "trace/trace_io.hh"
 #include "util/random.hh"
+#include "trace/trace_io.hh"
 
 namespace {
 

@@ -26,8 +26,8 @@
 #include <string>
 #include <vector>
 
-#include "sim/checkpoint.hh"
 #include "util/serde.hh"
+#include "sim/checkpoint.hh"
 
 namespace {
 

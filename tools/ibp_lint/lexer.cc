@@ -1,0 +1,224 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace ibp::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Record `ibp-lint: allow(rule-a, rule-b)` pragmas found in a
+ *  comment whose text starts at @p line. */
+void
+recordPragmas(LexedFile &out, const std::string &comment, int line)
+{
+    const std::string marker = "ibp-lint:";
+    std::size_t at = comment.find(marker);
+    while (at != std::string::npos) {
+        std::size_t i = at + marker.size();
+        while (i < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[i])))
+            ++i;
+        const std::string verb = "allow";
+        if (comment.compare(i, verb.size(), verb) == 0) {
+            i += verb.size();
+            while (i < comment.size() &&
+                   std::isspace(static_cast<unsigned char>(comment[i])))
+                ++i;
+            if (i < comment.size() && comment[i] == '(') {
+                ++i;
+                std::string rule;
+                for (; i < comment.size() && comment[i] != ')'; ++i) {
+                    const char c = comment[i];
+                    if (c == ',' || std::isspace(
+                                        static_cast<unsigned char>(c))) {
+                        if (!rule.empty())
+                            out.allows[line].insert(rule);
+                        rule.clear();
+                    } else {
+                        rule += c;
+                    }
+                }
+                if (!rule.empty())
+                    out.allows[line].insert(rule);
+            }
+        }
+        at = comment.find(marker, at + marker.size());
+    }
+}
+
+} // namespace
+
+LexedFile
+lexFile(const std::string &text)
+{
+    LexedFile out;
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool bol = true; // at beginning of line (modulo whitespace)
+
+    const auto peek = [&](std::size_t k) {
+        return i + k < n ? text[i + k] : '\0';
+    };
+    const auto push = [&](TokenKind kind, std::string tok) {
+        out.tokens.push_back(Token{kind, std::move(tok), line});
+        bol = false;
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            bol = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+        if (c == '\\' && peek(1) == '\n') { // line continuation
+            ++line;
+            i += 2;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            const std::size_t start = i + 2;
+            while (i < n && text[i] != '\n')
+                ++i;
+            recordPragmas(out, text.substr(start, i - start), line);
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            const int start_line = line;
+            const std::size_t start = i + 2;
+            i += 2;
+            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            recordPragmas(out, text.substr(start, i - start),
+                          start_line);
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        if (c == '#' && bol) {
+            // Preprocessor directive.  #include is recorded and
+            // swallowed; every other directive is tokenized normally
+            // so rules still see macro bodies.
+            std::size_t j = i + 1;
+            while (j < n && (text[j] == ' ' || text[j] == '\t'))
+                ++j;
+            std::size_t w = j;
+            while (w < n && isIdentBody(text[w]))
+                ++w;
+            if (text.compare(j, w - j, "include") == 0) {
+                std::size_t k = w;
+                while (k < n && (text[k] == ' ' || text[k] == '\t'))
+                    ++k;
+                if (k < n && (text[k] == '"' || text[k] == '<')) {
+                    const char close = text[k] == '"' ? '"' : '>';
+                    const std::size_t path_start = k + 1;
+                    std::size_t path_end = path_start;
+                    while (path_end < n && text[path_end] != close &&
+                           text[path_end] != '\n')
+                        ++path_end;
+                    out.includes.push_back(
+                        Include{text.substr(path_start,
+                                            path_end - path_start),
+                                close == '>', line});
+                }
+                while (i < n && text[i] != '\n')
+                    ++i;
+                continue;
+            }
+            push(TokenKind::Punct, "#");
+            ++i;
+            continue;
+        }
+        if (c == '"') {
+            std::string value;
+            ++i;
+            while (i < n && text[i] != '"') {
+                if (text[i] == '\\' && i + 1 < n) {
+                    value += text[i];
+                    value += text[i + 1];
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n')
+                    ++line; // unterminated; keep scanning safely
+                value += text[i];
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            push(TokenKind::String, value);
+            continue;
+        }
+        if (c == '\'') {
+            std::string value;
+            ++i;
+            while (i < n && text[i] != '\'') {
+                if (text[i] == '\\' && i + 1 < n) {
+                    value += text[i];
+                    value += text[i + 1];
+                    i += 2;
+                    continue;
+                }
+                value += text[i];
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            push(TokenKind::CharLit, value);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < n &&
+                   (isIdentBody(text[j]) || text[j] == '.' ||
+                    text[j] == '\'' ||
+                    ((text[j] == '+' || text[j] == '-') && j > i &&
+                     (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                      text[j - 1] == 'p' || text[j - 1] == 'P'))))
+                ++j;
+            push(TokenKind::Number, text.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < n && isIdentBody(text[j]))
+                ++j;
+            push(TokenKind::Identifier, text.substr(i, j - i));
+            i = j;
+            continue;
+        }
+        if (c == ':' && peek(1) == ':') {
+            push(TokenKind::Punct, "::");
+            i += 2;
+            continue;
+        }
+        push(TokenKind::Punct, std::string(1, c));
+        ++i;
+    }
+    out.lineCount = line;
+    return out;
+}
+
+} // namespace ibp::lint

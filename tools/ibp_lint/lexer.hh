@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A minimal C++ tokenizer for ibp_lint.
+ *
+ * This is not a compiler front end: it splits a translation unit into
+ * identifiers, literals and punctuation with line numbers, strips
+ * comments (capturing `// ibp-lint: allow(<rule>)` suppression
+ * pragmas), and records #include directives.  That is exactly enough
+ * surface for the project-invariant rules in lint.cc — include-graph
+ * layering, banned-token determinism checks, and token-pattern
+ * heuristics over class bodies — while staying dependency-free and
+ * fast enough to lex the whole tree on every commit.
+ */
+
+#ifndef IBP_TOOLS_IBP_LINT_LEXER_HH_
+#define IBP_TOOLS_IBP_LINT_LEXER_HH_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ibp::lint {
+
+enum class TokenKind
+{
+    Identifier,
+    Number,
+    String, ///< text holds the literal's contents, quotes stripped
+    CharLit,
+    Punct, ///< single characters, except "::" which stays one token
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line;
+};
+
+/** One #include directive. */
+struct Include
+{
+    std::string path;
+    bool angled = false;
+    int line = 0;
+};
+
+/** A lexed source file. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Include> includes;
+    /** line -> rule ids suppressed by an `ibp-lint: allow(...)`
+     *  comment starting on that line ("all" suppresses every rule). */
+    std::map<int, std::set<std::string>> allows;
+    int lineCount = 0;
+};
+
+/** Tokenize @p text (the contents of one source file). */
+LexedFile lexFile(const std::string &text);
+
+} // namespace ibp::lint
+
+#endif // IBP_TOOLS_IBP_LINT_LEXER_HH_

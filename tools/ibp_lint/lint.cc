@@ -1,0 +1,1193 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "util/json.hh"
+
+#include "lexer.hh"
+
+namespace ibp::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Layer model
+
+/** The enforced include DAG, lowest layer first.  A file in layer L
+ *  may include headers from layers with rank <= rank(L) only. */
+const std::vector<std::string> kLayers = {
+    "util", "trace", "obs", "workload", "predictors", "core", "sim",
+};
+
+constexpr int kRankLocal = -1;   ///< "bench_util.hh"-style local header
+constexpr int kRankUnknown = 50; ///< quoted path outside the DAG
+constexpr int kRankApp = 100;    ///< bench/tools/tests/examples
+
+int
+layerRank(const std::string &layer)
+{
+    for (std::size_t i = 0; i < kLayers.size(); ++i)
+        if (kLayers[i] == layer)
+            return static_cast<int>(i);
+    return kRankUnknown;
+}
+
+/** First path segment of an include path ("util/json.hh" -> "util"). */
+std::string
+firstSegment(const std::string &path)
+{
+    const std::size_t slash = path.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+bool
+isAppDir(const std::string &dir)
+{
+    return dir == "bench" || dir == "tools" || dir == "tests" ||
+           dir == "examples";
+}
+
+// ---------------------------------------------------------------------
+// Per-file state
+
+struct SourceFile
+{
+    std::string relPath;
+    std::string dir;     ///< "src", "bench", "tools", ...
+    std::string layer;   ///< src layer name, empty for app tier
+    int rank = kRankApp; ///< layer rank, kRankApp for app tier
+    std::string text;
+    std::vector<std::string> lines;
+    LexedFile lexed;
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+    return lines;
+}
+
+// ---------------------------------------------------------------------
+// Class model (serde-coverage, serde-manifest, probe-name)
+
+struct ClassInfo
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+    std::vector<std::string> bases;
+    std::set<std::string> methods; ///< identifiers called/declared with
+                                   ///< '(' at class-body depth 1
+    bool declaresSaveState = false;
+    std::string shapeHash; ///< hex FNV-1a of the data-member tokens
+};
+
+std::string
+fnv1a(const std::vector<std::string> &tokens)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const std::string &token : tokens) {
+        for (const char c : token) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 1099511628211ULL;
+        }
+        hash ^= 0x1f; // token separator
+        hash *= 1099511628211ULL;
+    }
+    std::ostringstream hex;
+    hex << std::hex;
+    hex.width(16);
+    hex.fill('0');
+    hex << hash;
+    return hex.str();
+}
+
+/** Index of the token matching the brace/paren opened at @p open
+ *  (tokens[open] must be "{" or "("); tokens.size() if unbalanced. */
+std::size_t
+matchingClose(const std::vector<Token> &tokens, std::size_t open)
+{
+    const std::string &opener = tokens[open].text;
+    const std::string closer = opener == "{" ? "}" : ")";
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].text == opener)
+            ++depth;
+        else if (tokens[i].text == closer && --depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+bool
+isAccessSpecifier(const std::string &text)
+{
+    return text == "public" || text == "private" || text == "protected";
+}
+
+/**
+ * Hash the serialized-shape-relevant declarations of a class body:
+ * every depth-1 statement that looks like a data member or nested type
+ * definition.  Chunks containing a top-level '(' (function
+ * declarations, macro splices like IBP_PROBE(...)) and chunks starting
+ * with using/typedef/friend/template/static are skipped; brace-init
+ * members and nested struct/enum bodies are included.  The result is a
+ * deliberately coarse fingerprint: any change to it means the
+ * checkpoint byte stream may have changed shape.
+ */
+std::string
+shapeHash(const std::vector<Token> &tokens, std::size_t bodyBegin,
+          std::size_t bodyEnd)
+{
+    std::vector<std::string> shape;
+    std::vector<std::string> chunk;
+    bool chunkHasParen = false;
+
+    const auto flush = [&](bool keep) {
+        if (keep && !chunk.empty() && !chunkHasParen) {
+            static const std::set<std::string> excluded = {
+                "using", "typedef", "friend", "template", "static",
+            };
+            if (!excluded.count(chunk.front()))
+                for (std::string &t : chunk)
+                    shape.push_back(std::move(t));
+        }
+        chunk.clear();
+        chunkHasParen = false;
+    };
+
+    for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
+        const Token &token = tokens[i];
+        if (isAccessSpecifier(token.text) && i + 1 < bodyEnd &&
+            tokens[i + 1].text == ":") {
+            flush(false);
+            ++i;
+            continue;
+        }
+        if (token.text == "(") {
+            chunkHasParen = true;
+            i = std::min(matchingClose(tokens, i), bodyEnd);
+            continue;
+        }
+        if (token.text == "{") {
+            const std::size_t close =
+                std::min(matchingClose(tokens, i), bodyEnd);
+            if (chunkHasParen) {
+                // Function definition: skip the body, drop the chunk.
+                i = close;
+                flush(false);
+            } else {
+                // Brace-init member or nested type definition: its
+                // contents are shape-relevant.
+                for (std::size_t j = i; j <= close && j < bodyEnd; ++j)
+                    chunk.push_back(tokens[j].text);
+                i = close;
+            }
+            continue;
+        }
+        if (token.text == ";") {
+            flush(true);
+            continue;
+        }
+        chunk.push_back(token.text);
+    }
+    flush(true);
+    return fnv1a(shape);
+}
+
+/** Extract every class/struct definition from one lexed file. */
+std::vector<ClassInfo>
+extractClasses(const SourceFile &file)
+{
+    std::vector<ClassInfo> classes;
+    const std::vector<Token> &tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            (tokens[i].text != "class" && tokens[i].text != "struct"))
+            continue;
+        if (i > 0 && tokens[i - 1].text == "enum")
+            continue; // enum class
+        std::size_t j = i + 1;
+        if (j >= tokens.size() ||
+            tokens[j].kind != TokenKind::Identifier)
+            continue; // anonymous
+        ClassInfo info;
+        info.name = tokens[j].text;
+        info.file = file.relPath;
+        info.line = tokens[i].line;
+        ++j;
+        if (j < tokens.size() && tokens[j].text == "final")
+            ++j;
+        if (j < tokens.size() && tokens[j].text == ":") {
+            // Base clause: remember the last identifier of each
+            // qualified base name at angle depth 0.
+            int angle = 0;
+            std::string last;
+            ++j;
+            for (; j < tokens.size() && tokens[j].text != ";" &&
+                   !(tokens[j].text == "{" && angle == 0);
+                 ++j) {
+                const Token &t = tokens[j];
+                if (t.text == "<")
+                    ++angle;
+                else if (t.text == ">")
+                    --angle;
+                else if (t.text == "," && angle == 0) {
+                    if (!last.empty())
+                        info.bases.push_back(last);
+                    last.clear();
+                } else if (t.kind == TokenKind::Identifier &&
+                           angle == 0 && t.text != "virtual" &&
+                           !isAccessSpecifier(t.text)) {
+                    last = t.text;
+                }
+            }
+            if (!last.empty())
+                info.bases.push_back(last);
+        }
+        if (j >= tokens.size() || tokens[j].text != "{")
+            continue; // forward declaration or variable
+        const std::size_t bodyBegin = j + 1;
+        const std::size_t bodyEnd = matchingClose(tokens, j);
+
+        int depth = 1;
+        for (std::size_t k = bodyBegin; k < bodyEnd; ++k) {
+            const Token &t = tokens[k];
+            if (t.text == "{")
+                ++depth;
+            else if (t.text == "}")
+                --depth;
+            else if (depth == 1 &&
+                     t.kind == TokenKind::Identifier &&
+                     k + 1 < bodyEnd && tokens[k + 1].text == "(")
+                info.methods.insert(t.text);
+        }
+        info.declaresSaveState = info.methods.count("saveState") > 0;
+        if (info.declaresSaveState || !info.bases.empty())
+            info.shapeHash = shapeHash(tokens, bodyBegin, bodyEnd);
+        classes.push_back(std::move(info));
+    }
+    return classes;
+}
+
+// ---------------------------------------------------------------------
+// The lint context
+
+class Linter
+{
+  public:
+    explicit Linter(const Options &options) : options_(options) {}
+
+    Result
+    run()
+    {
+        collectFiles();
+        for (SourceFile &file : files_) {
+            ruleLayering(file);
+            ruleIncludeOrder(file);
+            ruleDeterminismTokens(file);
+            ruleUnorderedIteration(file);
+            ruleTableModulo(file);
+        }
+        buildClassModel();
+        ruleSerdeCoverage();
+        ruleSerdeManifest();
+        ruleProbeNames();
+        applyFixes();
+        std::sort(result_.findings.begin(), result_.findings.end(),
+                  [](const Finding &a, const Finding &b) {
+                      return std::tie(a.file, a.line, a.rule) <
+                             std::tie(b.file, b.line, b.rule);
+                  });
+        return std::move(result_);
+    }
+
+  private:
+    bool
+    ruleEnabled(const std::string &rule) const
+    {
+        return options_.onlyRules.empty() ||
+               options_.onlyRules.count(rule) > 0;
+    }
+
+    /** Report a finding unless an allow() pragma on the same or the
+     *  preceding line suppresses it. */
+    void
+    report(const SourceFile &file, const std::string &rule, int line,
+           std::string message)
+    {
+        if (!ruleEnabled(rule))
+            return;
+        for (int at = line; at >= line - 1; --at) {
+            auto it = file.lexed.allows.find(at);
+            if (it != file.lexed.allows.end() &&
+                (it->second.count(rule) || it->second.count("all"))) {
+                ++result_.suppressed;
+                return;
+            }
+        }
+        result_.findings.push_back(
+            Finding{rule, file.relPath, line, std::move(message)});
+    }
+
+    void
+    collectFiles()
+    {
+        const fs::path root(options_.root);
+        std::vector<std::string> rels;
+        for (const char *top :
+             {"src", "bench", "tools", "tests", "examples"}) {
+            const fs::path dir = root / top;
+            if (!fs::is_directory(dir))
+                continue;
+            for (auto it = fs::recursive_directory_iterator(dir);
+                 it != fs::recursive_directory_iterator(); ++it) {
+                const fs::path &path = it->path();
+                const std::string rel =
+                    fs::relative(path, root).generic_string();
+                if (it->is_directory()) {
+                    // Intentionally-broken lint fixtures and build
+                    // trees are not part of the linted tree.
+                    if (rel == "tests/lint_fixtures" ||
+                        path.filename().string().rfind("build", 0) ==
+                            0)
+                        it.disable_recursion_pending();
+                    continue;
+                }
+                const std::string ext = path.extension().string();
+                if (ext == ".hh" || ext == ".cc")
+                    rels.push_back(rel);
+            }
+        }
+        std::sort(rels.begin(), rels.end());
+        for (const std::string &rel : rels) {
+            SourceFile file;
+            file.relPath = rel;
+            const std::size_t slash = rel.find('/');
+            file.dir = rel.substr(0, slash);
+            if (file.dir == "src") {
+                const std::size_t next = rel.find('/', slash + 1);
+                if (next != std::string::npos) {
+                    file.layer =
+                        rel.substr(slash + 1, next - slash - 1);
+                    file.rank = layerRank(file.layer);
+                }
+            }
+            std::ifstream in(root / rel, std::ios::binary);
+            if (!in) {
+                std::cerr << "ibp_lint: cannot read " << rel << "\n";
+                continue;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            file.text = buffer.str();
+            file.lines = splitLines(file.text);
+            file.lexed = lexFile(file.text);
+            result_.scannedFiles.push_back(rel);
+            files_.push_back(std::move(file));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: layering
+
+    void
+    ruleLayering(const SourceFile &file)
+    {
+        for (const Include &include : file.lexed.includes) {
+            if (include.angled)
+                continue;
+            const std::string segment = firstSegment(include.path);
+            if (file.dir == "src") {
+                if (isAppDir(segment)) {
+                    report(file, "layering", include.line,
+                           "src/ must not include \"" + include.path +
+                               "\": " + segment +
+                               "/ headers sit above the library "
+                               "layers");
+                    continue;
+                }
+                const int rank = layerRank(segment);
+                if (rank == kRankUnknown)
+                    continue; // relative or generated header
+                if (rank > file.rank) {
+                    std::string allowed;
+                    for (int i = 0; i <= file.rank; ++i)
+                        allowed += (i ? ", " : "") + kLayers[i];
+                    report(file, "layering", include.line,
+                           "back-edge include \"" + include.path +
+                               "\": " + segment + " (layer " +
+                               std::to_string(rank) +
+                               ") is above " + file.layer +
+                               " (layer " +
+                               std::to_string(file.rank) +
+                               "); allowed layers: " + allowed);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: include-order (fixable)
+
+    struct IncludeRun
+    {
+        std::vector<std::size_t> members; ///< indices into includes
+        int startLine = 0;
+    };
+
+    /** Sort key for one project include within a run. */
+    static std::pair<int, std::string>
+    orderKey(const SourceFile &file, const Include &include,
+             bool isFirstInclude)
+    {
+        const std::string segment = firstSegment(include.path);
+        if (segment.empty())
+            return {kRankLocal, include.path};
+        // The own header of a .cc stays first, matching the
+        // include-what-you-use convention.
+        if (isFirstInclude && file.relPath.size() >= 3 &&
+            file.relPath.compare(file.relPath.size() - 3, 3, ".cc") ==
+                0) {
+            const std::string stem = fs::path(file.relPath)
+                                         .stem()
+                                         .string();
+            if (fs::path(include.path).stem().string() == stem)
+                return {kRankLocal - 1, include.path};
+        }
+        return {layerRank(segment), include.path};
+    }
+
+    void
+    ruleIncludeOrder(SourceFile &file)
+    {
+        const std::vector<Include> &includes = file.lexed.includes;
+        std::vector<IncludeRun> runs;
+        IncludeRun current;
+        int prevLine = -10;
+        for (std::size_t i = 0; i < includes.size(); ++i) {
+            const Include &include = includes[i];
+            if (include.angled) {
+                prevLine = -10;
+                continue;
+            }
+            if (include.line != prevLine + 1) {
+                if (current.members.size() > 1)
+                    runs.push_back(current);
+                current = IncludeRun{};
+                current.startLine = include.line;
+            }
+            current.members.push_back(i);
+            prevLine = include.line;
+        }
+        if (current.members.size() > 1)
+            runs.push_back(current);
+
+        for (const IncludeRun &run : runs) {
+            std::vector<std::size_t> sorted = run.members;
+            std::sort(sorted.begin(), sorted.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return orderKey(file, includes[a], a == 0) <
+                                 orderKey(file, includes[b], b == 0);
+                      });
+            if (sorted == run.members)
+                continue;
+            std::string want;
+            for (std::size_t idx : sorted)
+                want += (want.empty() ? "\"" : ", \"") +
+                        includes[idx].path + "\"";
+            report(file, "include-order", run.startLine,
+                   "project includes not in layer order; expected " +
+                       want + " (ibp_lint --fix reorders them)");
+            FixRun fix;
+            fix.file = &file;
+            for (std::size_t idx : run.members)
+                fix.lines.push_back(includes[idx].line);
+            for (std::size_t idx : sorted)
+                fix.sortedLines.push_back(includes[idx].line);
+            fixRuns_.push_back(std::move(fix));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rules: determinism-random, determinism-clock
+
+    void
+    ruleDeterminismTokens(const SourceFile &file)
+    {
+        // The observability layer owns wall clocks; everything the
+        // simulator computes must be a pure function of the trace.
+        if (file.dir != "src" || file.layer == "obs")
+            return;
+        static const std::set<std::string> banned_random = {
+            "rand",    "srand",   "rand_r",        "drand48",
+            "lrand48", "mrand48", "random_device",
+        };
+        const std::vector<Token> &tokens = file.lexed.tokens;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token &token = tokens[i];
+            if (token.kind != TokenKind::Identifier)
+                continue;
+            const bool called =
+                i + 1 < tokens.size() && tokens[i + 1].text == "(";
+            if (banned_random.count(token.text) &&
+                (called || token.text == "random_device")) {
+                report(file, "determinism-random", token.line,
+                       "non-deterministic source `" + token.text +
+                           "` (use util::Rng, which is seeded and "
+                           "checkpointable)");
+                continue;
+            }
+            if (token.text == "now" && called && i > 0 &&
+                tokens[i - 1].text == "::" &&
+                i + 2 < tokens.size() && tokens[i + 2].text == ")") {
+                report(file, "determinism-clock", token.line,
+                       "raw ::now() wall-clock read outside obs/ "
+                       "(use obs::wallSeconds()/obs::PhaseTimer so "
+                       "every clock read is auditable)");
+                continue;
+            }
+            if (token.text == "time" && called) {
+                const bool qualified =
+                    i > 0 && tokens[i - 1].text == "::";
+                const bool argless_form =
+                    i + 2 < tokens.size() &&
+                    (tokens[i + 2].text == "0" ||
+                     tokens[i + 2].text == "NULL" ||
+                     tokens[i + 2].text == "nullptr");
+                if (qualified || argless_form)
+                    report(file, "determinism-clock", token.line,
+                           "time() wall-clock read outside obs/");
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: determinism-unordered-iter
+
+    void
+    ruleUnorderedIteration(const SourceFile &file)
+    {
+        if (file.dir != "src")
+            return;
+        const std::vector<Token> &tokens = file.lexed.tokens;
+
+        // Names declared directly as unordered containers (members or
+        // locals).  Container-of-container declarations are skipped:
+        // iterating the outer vector is deterministic.
+        std::set<std::string> unordered;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token &token = tokens[i];
+            if (token.text != "unordered_map" &&
+                token.text != "unordered_set" &&
+                token.text != "unordered_multimap" &&
+                token.text != "unordered_multiset")
+                continue;
+            std::size_t j = i + 1;
+            if (j < tokens.size() && tokens[j].text == "<") {
+                int angle = 0;
+                for (; j < tokens.size(); ++j) {
+                    if (tokens[j].text == "<")
+                        ++angle;
+                    else if (tokens[j].text == ">" && --angle == 0) {
+                        ++j;
+                        break;
+                    } else if (tokens[j].text == ";" ||
+                               tokens[j].text == "{")
+                        break; // not a template argument list
+                }
+            }
+            while (j < tokens.size() && (tokens[j].text == "*" ||
+                                         tokens[j].text == "&" ||
+                                         tokens[j].text == "const"))
+                ++j;
+            if (j < tokens.size() &&
+                tokens[j].kind == TokenKind::Identifier)
+                unordered.insert(tokens[j].text);
+        }
+        if (unordered.empty())
+            return;
+
+        // Range-for loops whose range expression names one of them.
+        for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+            if (tokens[i].text != "for" || tokens[i + 1].text != "(")
+                continue;
+            const std::size_t close = matchingClose(tokens, i + 1);
+            // Find the range-for ':' at paren depth 1 (skip "::").
+            int depth = 0;
+            std::size_t colon = 0;
+            for (std::size_t j = i + 1; j < close; ++j) {
+                if (tokens[j].text == "(")
+                    ++depth;
+                else if (tokens[j].text == ")")
+                    --depth;
+                else if (tokens[j].text == ";")
+                    break; // classic for loop
+                else if (tokens[j].text == ":" && depth == 1) {
+                    colon = j;
+                    break;
+                }
+            }
+            if (colon == 0)
+                continue;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (tokens[j].kind == TokenKind::Identifier &&
+                    unordered.count(tokens[j].text)) {
+                    report(file, "determinism-unordered-iter",
+                           tokens[j].line,
+                           "iteration over unordered container `" +
+                               tokens[j].text +
+                               "`: traversal order is "
+                               "implementation-defined and leaks "
+                               "into metrics/reports/serde (sort "
+                               "into a vector or use std::map / "
+                               "util::FlatMap)");
+                    break;
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: table-modulo
+
+    void
+    ruleTableModulo(const SourceFile &file)
+    {
+        if (file.layer != "core" && file.layer != "predictors")
+            return;
+        static const std::set<std::string> exempt_calls = {
+            "fatal_if", "panic_if",      "fatal",
+            "panic",    "static_assert", "assert",
+            "ibp_table_check",
+        };
+        const std::vector<Token> &tokens = file.lexed.tokens;
+        int depth = 0;
+        std::vector<int> exempt_depths;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token &token = tokens[i];
+            if (token.text == "(") {
+                ++depth;
+                if (i > 0 &&
+                    tokens[i - 1].kind == TokenKind::Identifier &&
+                    exempt_calls.count(tokens[i - 1].text))
+                    exempt_depths.push_back(depth);
+            } else if (token.text == ")") {
+                if (!exempt_depths.empty() &&
+                    exempt_depths.back() == depth)
+                    exempt_depths.pop_back();
+                --depth;
+            } else if (token.text == "%" && exempt_depths.empty()) {
+                report(file, "table-modulo", token.line,
+                       "modulo indexing in the predictor layers: use "
+                       "Table::reduce() or util::reduceIndex() "
+                       "(masked on power-of-two geometries, PR 2)");
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Class model + serde rules
+
+    void
+    buildClassModel()
+    {
+        for (const SourceFile &file : files_) {
+            if (file.dir != "src")
+                continue;
+            for (ClassInfo &info : extractClasses(file)) {
+                auto [it, fresh] =
+                    classes_.try_emplace(info.name, info);
+                if (!fresh) {
+                    // Same name in two files (nested helpers like
+                    // "Slot"): key the duplicate by file to keep the
+                    // manifest deterministic.
+                    classes_.try_emplace(
+                        info.name + "@" + info.file, info);
+                }
+                fileByPath_.emplace(info.file, nullptr);
+            }
+        }
+    }
+
+    const SourceFile *
+    findFile(const std::string &relPath) const
+    {
+        for (const SourceFile &file : files_)
+            if (file.relPath == relPath)
+                return &file;
+        return nullptr;
+    }
+
+    /** True when @p name transitively derives from IndirectPredictor
+     *  through classes visible in the tree. */
+    bool
+    derivesFromPredictor(const std::string &name,
+                         std::set<std::string> &seen) const
+    {
+        if (!seen.insert(name).second)
+            return false;
+        auto it = classes_.find(name);
+        if (it == classes_.end())
+            return false;
+        for (const std::string &base : it->second.bases) {
+            if (base == "IndirectPredictor")
+                return true;
+            if (derivesFromPredictor(base, seen))
+                return true;
+        }
+        return false;
+    }
+
+    /** True when @p name or a proper ancestor *below* the
+     *  IndirectPredictor root declares @p method. */
+    bool
+    declaresThroughChain(const std::string &name,
+                         const std::string &method,
+                         std::set<std::string> &seen) const
+    {
+        if (name == "IndirectPredictor" || name == "Predictor")
+            return false; // the root's no-op default does not count
+        if (!seen.insert(name).second)
+            return false;
+        auto it = classes_.find(name);
+        if (it == classes_.end())
+            return false;
+        if (it->second.methods.count(method))
+            return true;
+        for (const std::string &base : it->second.bases) {
+            std::set<std::string> chain = seen;
+            if (declaresThroughChain(base, method, chain))
+                return true;
+        }
+        return false;
+    }
+
+    /** Parse sim/factory.cc: registered name -> implementing class. */
+    void
+    parseFactory()
+    {
+        const SourceFile *factory = findFile("src/sim/factory.cc");
+        if (!factory)
+            return;
+        const std::vector<Token> &tokens = factory->lexed.tokens;
+        // Find the makePredictor() definition body.
+        std::size_t body_begin = 0, body_end = 0;
+        for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+            if (tokens[i].text != "makePredictor" ||
+                tokens[i + 1].text != "(")
+                continue;
+            const std::size_t params = matchingClose(tokens, i + 1);
+            if (params + 1 < tokens.size() &&
+                tokens[params + 1].text == "{") {
+                body_begin = params + 2;
+                body_end = matchingClose(tokens, params + 1);
+                break;
+            }
+        }
+        if (body_begin == 0)
+            return;
+        std::set<std::string> pending;
+        for (std::size_t i = body_begin; i < body_end; ++i) {
+            const Token &token = tokens[i];
+            // "==" is two Punct tokens in this lexer.
+            if (token.text == "=" && i + 2 < body_end &&
+                tokens[i + 1].text == "=" &&
+                tokens[i + 2].kind == TokenKind::String) {
+                pending.insert(tokens[i + 2].text);
+            } else if (token.text == "starts_with" &&
+                       i + 2 < body_end &&
+                       tokens[i + 1].text == "(" &&
+                       tokens[i + 2].kind == TokenKind::String) {
+                pending.insert(tokens[i + 2].text + "*");
+            } else if (token.text == "make_unique" &&
+                       i + 1 < body_end &&
+                       tokens[i + 1].text == "<") {
+                std::string cls;
+                for (std::size_t j = i + 2;
+                     j < body_end && tokens[j].text != ">"; ++j)
+                    if (tokens[j].kind == TokenKind::Identifier)
+                        cls = tokens[j].text;
+                for (const std::string &name : pending)
+                    result_.factoryPredictors[name] = cls;
+                pending.clear();
+            }
+        }
+    }
+
+    void
+    ruleSerdeCoverage()
+    {
+        parseFactory();
+        // Every factory-registered class plus every class deriving
+        // from IndirectPredictor must carry the full serde surface.
+        std::set<std::string> required;
+        for (const auto &[name, cls] : result_.factoryPredictors) {
+            (void)name;
+            if (!cls.empty())
+                required.insert(cls);
+        }
+        for (const auto &[name, info] : classes_) {
+            (void)info;
+            std::set<std::string> seen;
+            if (derivesFromPredictor(name, seen))
+                required.insert(name);
+        }
+        for (const std::string &name : required) {
+            auto it = classes_.find(name);
+            if (it == classes_.end()) {
+                // Registered in the factory but not found in src/.
+                Finding finding;
+                finding.rule = "serde-coverage";
+                finding.file = "src/sim/factory.cc";
+                finding.message =
+                    "factory registers class `" + name +
+                    "` but no definition was found under src/";
+                if (ruleEnabled(finding.rule))
+                    result_.findings.push_back(std::move(finding));
+                continue;
+            }
+            const ClassInfo &info = it->second;
+            const SourceFile *file = findFile(info.file);
+            for (const char *method :
+                 {"saveState", "loadState", "snapshotProbes"}) {
+                std::set<std::string> seen;
+                if (declaresThroughChain(name, method, seen))
+                    continue;
+                const std::string message =
+                    "predictor class `" + name + "` does not declare " +
+                    method +
+                    "() (directly or via a base): checkpoints would "
+                    "silently skip its state";
+                if (file)
+                    report(*file, "serde-coverage", info.line,
+                           message);
+            }
+        }
+    }
+
+    void
+    ruleSerdeManifest()
+    {
+        // Tracked set: every class that declares saveState() itself.
+        std::map<std::string, const ClassInfo *> tracked;
+        for (const auto &[key, info] : classes_)
+            if (info.declaresSaveState)
+                tracked.emplace(key, &info);
+        for (const auto &[key, info] : tracked)
+            result_.serdeHashes[key] = info->shapeHash;
+
+        const fs::path manifest_path =
+            fs::path(options_.root) / options_.manifestPath;
+
+        if (options_.updateManifest) {
+            fs::create_directories(manifest_path.parent_path());
+            std::ofstream out(manifest_path);
+            util::JsonWriter json(out);
+            json.beginObject();
+            json.key("comment").value(
+                "Serialized-state shape manifest, generated by "
+                "`ibp_lint --update-manifest`.  Each entry hashes the "
+                "data-member declarations of a class that implements "
+                "saveState(); the serde-manifest lint rule fails when "
+                "a hash drifts, forcing a conscious review of "
+                "checkpoint compatibility (and a format-version bump "
+                "where needed) before regenerating.");
+            json.key("format").value(1);
+            json.key("classes").beginObject();
+            for (const auto &[key, info] : tracked)
+                json.key(key).value(info->shapeHash);
+            json.endObject();
+            json.endObject();
+            out << "\n";
+            result_.manifestUpdated = true;
+            return;
+        }
+
+        if (!fs::exists(manifest_path)) {
+            if (tracked.empty())
+                return; // nothing checkpointed, nothing to pin
+            Finding finding;
+            finding.rule = "serde-manifest";
+            finding.file = options_.manifestPath;
+            finding.message =
+                "serde manifest missing; generate it with "
+                "`ibp_lint --update-manifest`";
+            if (ruleEnabled(finding.rule))
+                result_.findings.push_back(std::move(finding));
+            return;
+        }
+        std::ifstream in(manifest_path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const util::JsonValue doc = util::parseJson(buffer.str());
+        const util::JsonValue *recorded = doc.find("classes");
+        std::map<std::string, std::string> old_hashes;
+        if (recorded)
+            for (const auto &[key, value] : recorded->asObject())
+                old_hashes[key] = value.asString();
+
+        for (const auto &[key, info] : tracked) {
+            const SourceFile *file = findFile(info->file);
+            auto it = old_hashes.find(key);
+            if (it == old_hashes.end()) {
+                if (file)
+                    report(*file, "serde-manifest", info->line,
+                           "class `" + key +
+                               "` implements saveState() but has no "
+                               "serde manifest entry; review its "
+                               "checkpoint format, then run "
+                               "`ibp_lint --update-manifest`");
+                continue;
+            }
+            if (it->second != info->shapeHash && file)
+                report(*file, "serde-manifest", info->line,
+                       "serialized-state shape of `" + key +
+                           "` changed (manifest " + it->second +
+                           ", tree " + info->shapeHash +
+                           "): audit saveState()/loadState() and "
+                           "bump the relevant format version, then "
+                           "run `ibp_lint --update-manifest`");
+        }
+        for (const auto &[key, hash] : old_hashes) {
+            (void)hash;
+            if (!tracked.count(key)) {
+                Finding finding;
+                finding.rule = "serde-manifest";
+                finding.file = options_.manifestPath;
+                finding.message =
+                    "manifest entry `" + key +
+                    "` has no matching class in src/; run "
+                    "`ibp_lint --update-manifest`";
+                if (ruleEnabled(finding.rule))
+                    result_.findings.push_back(std::move(finding));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: probe-name
+
+    static bool
+    validProbeName(const std::string &name)
+    {
+        if (name.empty() || name.front() == '/' || name.back() == '/')
+            return false;
+        bool segment_empty = true;
+        for (const char c : name) {
+            if (c == '/') {
+                if (segment_empty)
+                    return false;
+                segment_empty = true;
+            } else if ((c >= 'a' && c <= 'z') ||
+                       (c >= '0' && c <= '9') || c == '_') {
+                segment_empty = false;
+            } else {
+                return false;
+            }
+        }
+        return !segment_empty;
+    }
+
+    void
+    ruleProbeNames()
+    {
+        for (const SourceFile &file : files_) {
+            if (file.dir != "src")
+                continue;
+            const std::vector<Token> &tokens = file.lexed.tokens;
+            for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+                if (tokens[i].text != "snapshotProbes" ||
+                    tokens[i + 1].text != "(")
+                    continue;
+                std::size_t j = matchingClose(tokens, i + 1) + 1;
+                while (j < tokens.size() &&
+                       (tokens[j].text == "const" ||
+                        tokens[j].text == "override" ||
+                        tokens[j].text == "final" ||
+                        tokens[j].text == "noexcept"))
+                    ++j;
+                if (j >= tokens.size() || tokens[j].text != "{")
+                    continue; // declaration only
+                const std::size_t body_end = matchingClose(tokens, j);
+                for (std::size_t k = j; k + 3 < body_end; ++k) {
+                    if (tokens[k].text != "." ||
+                        (tokens[k + 1].text != "counter" &&
+                         tokens[k + 1].text != "histogram") ||
+                        tokens[k + 2].text != "(" ||
+                        tokens[k + 3].kind != TokenKind::String)
+                        continue;
+                    const std::string &name = tokens[k + 3].text;
+                    if (!validProbeName(name))
+                        report(file, "probe-name", tokens[k + 3].line,
+                               "probe name \"" + name +
+                                   "\" violates the convention "
+                                   "[a-z0-9_]+(/[a-z0-9_]+)*");
+                }
+                i = body_end;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // --fix engine (include reordering)
+
+    struct FixRun
+    {
+        SourceFile *file = nullptr;
+        std::vector<int> lines;       ///< original 1-based line slots
+        std::vector<int> sortedLines; ///< source line for each slot
+    };
+
+    void
+    applyFixes()
+    {
+        if (!options_.fix && !options_.fixDryRun)
+            return;
+        std::map<SourceFile *, std::vector<FixRun *>> by_file;
+        for (FixRun &run : fixRuns_)
+            by_file[run.file].push_back(&run);
+
+        std::ostringstream diff;
+        for (auto &[file, runs] : by_file) {
+            std::vector<std::string> lines = file->lines;
+            diff << "--- a/" << file->relPath << "\n"
+                 << "+++ b/" << file->relPath << "\n";
+            for (const FixRun *run : runs) {
+                diff << "@@ -" << run->lines.front() << ","
+                     << run->lines.size() << " +"
+                     << run->lines.front() << ","
+                     << run->lines.size() << " @@\n";
+                for (int line : run->lines)
+                    diff << "-" << file->lines[line - 1] << "\n";
+                for (int line : run->sortedLines)
+                    diff << "+" << file->lines[line - 1] << "\n";
+                for (std::size_t i = 0; i < run->lines.size(); ++i)
+                    lines[run->lines[i] - 1] =
+                        file->lines[run->sortedLines[i] - 1];
+            }
+            if (options_.fix) {
+                std::ofstream out(fs::path(options_.root) /
+                                  file->relPath);
+                for (const std::string &line : lines)
+                    out << line << "\n";
+                for (Finding &finding : result_.findings)
+                    if (finding.rule == "include-order" &&
+                        finding.file == file->relPath)
+                        finding.fixed = true;
+            }
+        }
+        result_.fixDiff = diff.str();
+    }
+
+    Options options_;
+    Result result_;
+    std::vector<SourceFile> files_;
+    std::map<std::string, ClassInfo> classes_;
+    std::map<std::string, const SourceFile *> fileByPath_;
+    std::vector<FixRun> fixRuns_;
+};
+
+} // namespace
+
+Result
+runLint(const Options &options)
+{
+    return Linter(options).run();
+}
+
+int
+exitCodeFor(const Result &result)
+{
+    for (const Finding &finding : result.findings)
+        if (!finding.fixed)
+            return 1;
+    return 0;
+}
+
+void
+writeJsonReport(std::ostream &out, const Options &options,
+                const Result &result)
+{
+    util::JsonWriter json(out);
+    json.beginObject();
+    json.key("schema").value("ibp-lint-v1");
+    json.key("root").value(options.root);
+    json.key("clean").value(exitCodeFor(result) == 0);
+    json.key("files_scanned")
+        .value(static_cast<std::uint64_t>(result.scannedFiles.size()));
+    json.key("suppressed")
+        .value(static_cast<std::int64_t>(result.suppressed));
+
+    std::map<std::string, std::uint64_t> counts;
+    for (const Finding &finding : result.findings)
+        ++counts[finding.rule];
+    json.key("counts").beginObject();
+    for (const auto &[rule, count] : counts)
+        json.key(rule).value(count);
+    json.endObject();
+
+    json.key("factory_predictors").beginObject();
+    for (const auto &[name, cls] : result.factoryPredictors)
+        json.key(name).value(cls);
+    json.endObject();
+
+    json.key("serde_classes").beginObject();
+    for (const auto &[name, hash] : result.serdeHashes)
+        json.key(name).value(hash);
+    json.endObject();
+
+    json.key("findings").beginArray();
+    for (const Finding &finding : result.findings) {
+        json.beginObject();
+        json.key("rule").value(finding.rule);
+        json.key("file").value(finding.file);
+        json.key("line").value(
+            static_cast<std::int64_t>(finding.line));
+        json.key("message").value(finding.message);
+        json.key("fixed").value(finding.fixed);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+}
+
+void
+writeTextReport(std::ostream &out, const Result &result)
+{
+    for (const Finding &finding : result.findings)
+        out << finding.file << ":" << finding.line << ": ["
+            << finding.rule << "] " << finding.message
+            << (finding.fixed ? " (fixed)" : "") << "\n";
+    int open = 0;
+    for (const Finding &finding : result.findings)
+        if (!finding.fixed)
+            ++open;
+    out << (open == 0 ? "ibp_lint: clean" : "ibp_lint: ")
+        << (open == 0 ? std::string()
+                      : std::to_string(open) + " finding(s)");
+    out << " (" << result.scannedFiles.size() << " files, "
+        << result.suppressed << " suppressed)\n";
+}
+
+} // namespace ibp::lint

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The ibp_lint rule engine: project-invariant static analysis over
+ * the repository tree.
+ *
+ * Rules (each individually suppressible with a trailing or
+ * preceding-line `// ibp-lint: allow(<rule>)` comment):
+ *
+ *  - layering                  back-edge #include against the layer
+ *                              DAG util < trace < obs < workload <
+ *                              predictors < core < sim, and any
+ *                              tests//bench//tools/ include from src/
+ *  - include-order             project include blocks not sorted into
+ *                              layer order (fixable with --fix)
+ *  - determinism-random       rand()/srand()/std::random_device in
+ *                              src/ outside obs/
+ *  - determinism-clock         argless ::now() or time() wall-clock
+ *                              reads in src/ outside obs/
+ *  - determinism-unordered-iter range-for iteration over a
+ *                              std::unordered_map/set declared in the
+ *                              same file (order feeds metrics,
+ *                              reports or serde)
+ *  - table-modulo              `%` indexing in src/core or
+ *                              src/predictors outside geometry
+ *                              validation (use Table::reduce() or
+ *                              util::reduceIndex())
+ *  - serde-coverage            a factory-registered predictor (or any
+ *                              IndirectPredictor subclass in src/)
+ *                              missing saveState/loadState/
+ *                              snapshotProbes declarations
+ *  - serde-manifest            the member-declaration shape hash of a
+ *                              checkpointed class differs from
+ *                              tools/lint/serde_manifest.json
+ *                              (regenerate with --update-manifest)
+ *  - probe-name                probe names registered in
+ *                              snapshotProbes() not matching
+ *                              [a-z0-9_]+(/[a-z0-9_]+)*
+ */
+
+#ifndef IBP_TOOLS_IBP_LINT_LINT_HH_
+#define IBP_TOOLS_IBP_LINT_LINT_HH_
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ibp::lint {
+
+struct Finding
+{
+    std::string rule;
+    std::string file; ///< path relative to the lint root
+    int line = 0;
+    std::string message;
+    bool fixed = false; ///< repaired by --fix in this run
+};
+
+struct Options
+{
+    std::string root;                   ///< repository root to scan
+    std::string manifestPath;           ///< relative to root
+    bool updateManifest = false;        ///< rewrite the serde manifest
+    bool fix = false;                   ///< apply mechanical fixes
+    bool fixDryRun = false;             ///< print the diff, touch nothing
+    std::set<std::string> onlyRules;    ///< empty = all rules
+
+    Options() : manifestPath("tools/lint/serde_manifest.json") {}
+};
+
+struct Result
+{
+    std::vector<Finding> findings;
+    int suppressed = 0;            ///< findings silenced by allow()
+    std::vector<std::string> scannedFiles;
+    /** factory-registered predictor name -> implementing class. */
+    std::map<std::string, std::string> factoryPredictors;
+    /** checkpointed class -> current shape hash (hex). */
+    std::map<std::string, std::string> serdeHashes;
+    std::string fixDiff;           ///< unified diff of --fix rewrites
+    bool manifestUpdated = false;
+};
+
+/** Run every (selected) rule over the tree under options.root. */
+Result runLint(const Options &options);
+
+/** 0 when no unfixed findings remain, 1 otherwise. */
+int exitCodeFor(const Result &result);
+
+/** Machine-readable report (schema "ibp-lint-v1"). */
+void writeJsonReport(std::ostream &out, const Options &options,
+                     const Result &result);
+
+/** Human-readable file:line: [rule] message listing. */
+void writeTextReport(std::ostream &out, const Result &result);
+
+} // namespace ibp::lint
+
+#endif // IBP_TOOLS_IBP_LINT_LINT_HH_

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ibp_lint CLI: project-invariant static analysis for this tree.
+ *
+ * Exit codes: 0 clean (or everything fixed), 1 findings remain,
+ * 2 usage / IO error.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+
+#include "lint.hh"
+
+namespace {
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: ibp_lint [options]\n"
+           "\n"
+           "Project-invariant static analysis over src/, bench/,\n"
+           "tools/, tests/ and examples/.\n"
+           "\n"
+           "  --root <dir>        tree to scan (default: .)\n"
+           "  --json              machine-readable report on stdout\n"
+           "  --rule <id>         run only this rule (repeatable)\n"
+           "  --fix               reorder project includes into layer\n"
+           "                      order in place\n"
+           "  --fix-dry-run       print the --fix diff, change nothing\n"
+           "  --update-manifest   regenerate the serde shape manifest\n"
+           "  --manifest <path>   manifest path relative to the root\n"
+           "                      (default: tools/lint/serde_manifest.json)\n"
+           "  --help              this text\n"
+           "\n"
+           "Suppress one finding with a comment on (or directly above)\n"
+           "the offending line:  // ibp-lint: allow(rule-id)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ibp::lint::Options options;
+    options.root = ".";
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "ibp_lint: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--fix") {
+            options.fix = true;
+        } else if (arg == "--fix-dry-run") {
+            options.fixDryRun = true;
+        } else if (arg == "--update-manifest") {
+            options.updateManifest = true;
+        } else if (arg == "--root") {
+            options.root = need_value("--root");
+        } else if (arg == "--manifest") {
+            options.manifestPath = need_value("--manifest");
+        } else if (arg == "--rule") {
+            options.onlyRules.insert(need_value("--rule"));
+        } else {
+            std::cerr << "ibp_lint: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (!std::filesystem::is_directory(options.root)) {
+        std::cerr << "ibp_lint: root '" << options.root
+                  << "' is not a directory\n";
+        return 2;
+    }
+
+    const ibp::lint::Result result = ibp::lint::runLint(options);
+
+    if ((options.fix || options.fixDryRun) && !result.fixDiff.empty())
+        std::cerr << result.fixDiff;
+    if (result.manifestUpdated)
+        std::cerr << "ibp_lint: wrote " << options.manifestPath << "\n";
+
+    if (json)
+        ibp::lint::writeJsonReport(std::cout, options, result);
+    else
+        ibp::lint::writeTextReport(std::cout, result);
+
+    return ibp::lint::exitCodeFor(result);
+}

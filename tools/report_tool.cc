@@ -22,9 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
 #include "obs/report.hh"
 #include "sim/experiment.hh"
-#include "util/logging.hh"
 
 namespace {
 
