@@ -65,6 +65,3 @@ struct RunMetrics
 } // namespace ibp::sim
 
 #endif // IBP_SIM_METRICS_HH_
-
-// Seeded violation for the static-analysis gate proof.
-#include "tests/helpers.hh"
