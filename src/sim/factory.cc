@@ -230,4 +230,16 @@ figure7Predictors()
     return {"PPM-hyb", "PPM-PIB", "PPM-hyb-biased"};
 }
 
+std::vector<std::string>
+allPredictors()
+{
+    return {"BTB",           "BTB2b",          "GAp",
+            "TC-PIB",        "TC-PB",          "TC-IND",
+            "Dpath",         "Cascade",        "Cascade-strict",
+            "PPM-hyb",       "PPM-PIB",        "PPM-hyb-biased",
+            "PPM-tagged",    "PPM-gshare",     "PPM-low",
+            "PPM-inclusive", "PPM-confidence", "PPM-vote2",
+            "PPM-vote4",     "Filtered-PPM",   "Oracle-PIB@4"};
+}
+
 } // namespace ibp::sim

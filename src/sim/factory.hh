@@ -43,6 +43,14 @@ std::vector<std::string> figure6Predictors();
 /** The Figure-7 PPM-variant line-up. */
 std::vector<std::string> figure7Predictors();
 
+/**
+ * Every name the factory spells out, plus the reference Oracle-PIB@4
+ * — the full 21-name lineup the property harness and the adversarial
+ * fuzzer iterate.  Kept in sync with makePredictor() by the
+ * FactoryRegistrationsAllCovered lint test.
+ */
+std::vector<std::string> allPredictors();
+
 } // namespace ibp::sim
 
 #endif // IBP_SIM_FACTORY_HH_

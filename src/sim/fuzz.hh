@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic coverage-guided adversarial fuzzer over the synthetic
+ * workload space (the driver half; the search-space operators live in
+ * workload/adversarial.hh).
+ *
+ * The fuzzer evolves BenchmarkProfiles from the seed corpus and
+ * scores each novel candidate with the differential harness, hunting
+ * three finding kinds:
+ *
+ *  - RankingInversion: a paper-reference-better predictor loses to a
+ *    reference-worse one by at least the margin — an adversarial
+ *    workload worth pinning as a regression profile.
+ *  - OracleDeviation: a predictor beats the analytic misprediction
+ *    floor by more than the statistical tolerance — impossible for a
+ *    causal predictor, so always a harness or predictor bug.
+ *  - ReplayDivergence: checkpoint-at-midpoint + restore disagrees
+ *    with a straight run — a serde bug surfaced by this workload.
+ *
+ * Determinism contract: the full run — corpus, findings, JSON report
+ * — is a pure function of FuzzOptions.  Candidates are generated in
+ * fixed-size waves from per-index split RNGs and results are folded
+ * in index order, so the thread count changes wall-clock only, never
+ * a byte of output (extends the PR-1 bit-identity guarantee).
+ */
+
+#ifndef IBP_SIM_FUZZ_HH_
+#define IBP_SIM_FUZZ_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hh"
+#include "workload/adversarial.hh"
+#include "sim/differential.hh"
+
+namespace ibp::sim {
+
+/** Everything that parameterizes one fuzzing run. */
+struct FuzzOptions
+{
+    std::uint64_t seed = 42;
+    /** Candidates generated (novel ones get simulated). */
+    std::uint64_t budget = 2'000;
+    /** Branch records per candidate trace. */
+    std::uint64_t records = 8'000;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** Shrink findings into minimal reproducers. */
+    bool minimize = true;
+    /** Percentage points a reference pair must invert by. */
+    double inversionMargin = 2.0;
+    /** Percentage points below the analytic floor (on top of the
+     *  4-sigma binomial allowance) that count as a deviation. */
+    double oracleTolerance = 1.0;
+    /** Lineup under test; empty = the full factory lineup. */
+    std::vector<std::string> predictors;
+};
+
+/** What kind of bug/workload a finding pins down. */
+enum class FindingKind : std::uint8_t
+{
+    RankingInversion,
+    OracleDeviation,
+    ReplayDivergence,
+};
+
+/** Stable lowercase name ("ranking-inversion", ...). */
+std::string findingKindName(FindingKind kind);
+
+/** One reproducible finding. */
+struct FuzzFinding
+{
+    FindingKind kind = FindingKind::RankingInversion;
+    /** Inversion: the reference-better predictor that lost.
+     *  Deviation/divergence: the predictor concerned. */
+    std::string better;
+    /** Inversion: the reference-worse predictor that won. */
+    std::string worse;
+    double betterMissPercent = 0;
+    double worseMissPercent = 0;
+    /** Severity in percentage points (0 for replay divergences). */
+    double margin = 0;
+    /** Analytic floor (OracleDeviation only). */
+    double floorPercent = 0;
+    std::string detail;
+    /** The workload that reproduces the finding. */
+    workload::BenchmarkProfile profile;
+    bool minimized = false;
+    /** Global candidate index that first surfaced it. */
+    std::uint64_t foundAtEval = 0;
+};
+
+/** Dedup identity: kind plus the predictors involved. */
+std::string findingKey(const FuzzFinding &finding);
+
+/** Filesystem-safe name for a committed reproducer profile. */
+std::string suggestedProfileName(const FuzzFinding &finding);
+
+/** Aggregate outcome of a fuzzing run. */
+struct FuzzReport
+{
+    FuzzOptions options;
+    std::vector<FuzzFinding> findings; ///< deduped, sorted by key
+    std::uint64_t generated = 0;       ///< candidates produced
+    std::uint64_t evaluated = 0;       ///< candidates simulated
+    std::uint64_t skippedCovered = 0;  ///< pruned by coverage signature
+    std::uint64_t coverageClasses = 0; ///< distinct signatures seen
+    std::uint64_t shrinkEvals = 0;     ///< minimizer re-evaluations
+    std::uint64_t waves = 0;
+};
+
+/**
+ * Score one profile: synthesize its trace, run the lineup, and return
+ * every finding it reproduces.  @p replay_names selects which
+ * predictors get the (relatively expensive) checkpoint-resume check;
+ * the wave driver rotates one per candidate, the minimizer and the
+ * regression replayer pass the predictors they care about.
+ */
+std::vector<FuzzFinding>
+evaluateProfile(const workload::BenchmarkProfile &profile,
+                const FuzzOptions &options,
+                const std::vector<std::string> &replay_names = {});
+
+/**
+ * Shrink @p finding's profile while it still reproduces (same finding
+ * key at full margin), greedily accepting shrinkCandidates() steps.
+ * @param shrink_evals accumulates re-evaluation count.
+ */
+FuzzFinding minimizeFinding(const FuzzFinding &finding,
+                            const FuzzOptions &options,
+                            std::uint64_t &shrink_evals);
+
+/**
+ * Run the whole search.  @p probes, when non-null, receives the
+ * fuzzer's coverage counters ("fuzz/evals", "fuzz/findings", ...).
+ */
+FuzzReport runFuzz(const FuzzOptions &options,
+                   obs::ProbeRegistry *probes = nullptr);
+
+/**
+ * Emit the machine-readable findings document (schema "ibp-fuzz-v1").
+ * Deterministic: no timestamps, no host info; two runs with equal
+ * options produce byte-identical documents.
+ */
+void writeFindingsJson(std::ostream &out, const FuzzReport &report);
+
+} // namespace ibp::sim
+
+#endif // IBP_SIM_FUZZ_HH_

@@ -1,0 +1,724 @@
+#include "workload/adversarial.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "workload/behavior.hh"
+
+namespace ibp::workload {
+
+namespace {
+
+using BC = BehaviorClass;
+
+std::uint64_t
+clampU64(std::uint64_t v, std::uint64_t lo, std::uint64_t hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Matcher (pattern, text) families with known analytic structure. */
+struct MatcherFamily
+{
+    const char *name;
+    std::string pattern;
+    std::string text;
+};
+
+std::vector<MatcherFamily>
+matcherFamilies()
+{
+    auto repeat = [](const std::string &unit, std::size_t n) {
+        std::string out;
+        for (std::size_t i = 0; i < n; ++i)
+            out += unit;
+        return out;
+    };
+    return {
+        {"unary", "aaa", repeat("a", 48)},
+        {"ab-over-as", "ab", repeat("a", 32)},
+        {"aa-over-abs", "aa", repeat("ab", 24)},
+        {"fib", "abaab", repeat("abaababa", 8)},
+    };
+}
+
+/**
+ * Clamp every knob of @p profile into ProfileBounds and repair any
+ * structurally unusable state (no sites, matcher without a pattern,
+ * offset+order beyond the path window, ...).  Idempotent; both the
+ * mutator and the JSON decoder funnel through here so no profile that
+ * escapes this function can trip a synthesize() panic.
+ */
+void
+sanitizeProfile(BenchmarkProfile &profile)
+{
+    using PB = ProfileBounds;
+    SynthesisParams &prog = profile.program;
+
+    profile.records =
+        clampU64(profile.records, PB::kMinRecords, PB::kMaxRecords);
+    // Seeds live in the JSON number domain (IEEE doubles): keep them
+    // under 2^53 so a saved reproducer replays the exact same trace.
+    prog.seed &= (std::uint64_t{1} << 53) - 1;
+    if (prog.seed == 0)
+        prog.seed = 1;
+    prog.helperFunctions = clampU64(prog.helperFunctions, 1, 16);
+    prog.helperBlocks =
+        static_cast<unsigned>(clampU64(prog.helperBlocks, 1, 5));
+    prog.caseChainLen =
+        static_cast<unsigned>(clampU64(prog.caseChainLen, 1, 4));
+    prog.helperCondBias = std::clamp(prog.helperCondBias, 0.05, 0.95);
+    prog.caseCondBias = std::clamp(prog.caseCondBias, 0.05, 0.95);
+
+    if (prog.sites.size() > PB::kMaxSiteSpecs)
+        prog.sites.resize(PB::kMaxSiteSpecs);
+
+    bool any_mt = false;
+    for (HotSiteSpec &site : prog.sites) {
+        site.count = clampU64(site.count, 1, PB::kMaxClones);
+        site.numTargets = clampU64(site.numTargets, 1, PB::kMaxTargets);
+        site.order =
+            static_cast<unsigned>(clampU64(site.order, 1, PB::kMaxOrder));
+        site.symbolBits =
+            static_cast<unsigned>(clampU64(site.symbolBits, 1, 4));
+        site.noise = std::clamp(site.noise, 0.0, 0.5);
+        site.heat = std::clamp(site.heat, 0.001, 1.0);
+        site.meanDwell = std::clamp(site.meanDwell, 1.0, 100'000.0);
+        if (site.offset + site.order > 32)
+            site.offset = 32 - site.order;
+
+        if (site.behavior == BC::SparsePib ||
+            site.behavior == BC::SparsePb) {
+            if (site.taps.empty())
+                site.taps = {0, 5};
+            if (site.taps.size() > PB::kMaxTaps)
+                site.taps.resize(PB::kMaxTaps);
+            for (unsigned &tap : site.taps)
+                tap = std::min(tap, PB::kMaxTap);
+            std::sort(site.taps.begin(), site.taps.end());
+            site.taps.erase(
+                std::unique(site.taps.begin(), site.taps.end()),
+                site.taps.end());
+        }
+        if (site.behavior == BC::Matcher) {
+            if (site.pattern.empty() || site.text.empty()) {
+                site.pattern = "aa";
+                site.text = "abababab";
+            }
+            if (site.pattern.size() > PB::kMaxTextLen)
+                site.pattern.resize(PB::kMaxTextLen);
+            if (site.text.size() > PB::kMaxTextLen)
+                site.text.resize(PB::kMaxTextLen);
+            // Matcher sites drive a switch; calls would recurse the
+            // state cycle through helper returns for no extra signal.
+            site.call = false;
+        }
+        any_mt |= site.numTargets > 1;
+    }
+    if (prog.sites.empty() || !any_mt) {
+        HotSiteSpec driver;
+        driver.behavior = BC::Uniform;
+        driver.numTargets = 2;
+        driver.order = 1;
+        driver.noise = 0.0;
+        driver.heat = 1.0;
+        prog.sites.insert(prog.sites.begin(), driver);
+    }
+}
+
+HotSiteSpec
+simpleSite(BC behavior, std::size_t count, std::size_t targets,
+           unsigned order, double noise, double heat = 1.0)
+{
+    HotSiteSpec s;
+    s.behavior = behavior;
+    s.count = count;
+    s.numTargets = targets;
+    s.order = order;
+    s.noise = noise;
+    s.heat = heat;
+    return s;
+}
+
+BenchmarkProfile
+seedBase(std::string name, std::string note, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.benchmark = std::move(name);
+    p.language = "C";
+    p.note = std::move(note);
+    p.records = 8'000;
+    p.program.seed = seed;
+    p.program.helperFunctions = 8;
+    p.program.helperBlocks = 2;
+    p.program.caseChainLen = 2;
+    p.program.caseCondBias = 0.8;
+    p.program.helperCondBias = 0.85;
+    return p;
+}
+
+double
+noiseBucket(double noise)
+{
+    if (noise <= 0)
+        return 0;
+    if (noise < 0.005)
+        return 1;
+    if (noise < 0.02)
+        return 2;
+    if (noise < 0.1)
+        return 3;
+    return 4;
+}
+
+double
+heatBucket(double heat)
+{
+    if (heat >= 1.0)
+        return 0;
+    if (heat >= 0.1)
+        return 1;
+    if (heat >= 0.01)
+        return 2;
+    return 3;
+}
+
+} // namespace
+
+BenchmarkProfile
+sparseProfile(std::uint64_t seed, std::vector<unsigned> taps,
+              std::size_t targets, double noise)
+{
+    auto p = seedBase("sparse", "sparse long-range PIB taps", seed);
+    HotSiteSpec hot =
+        simpleSite(BC::SparsePib, 2, targets, 1, noise);
+    hot.taps = std::move(taps);
+    hot.symbolBits = 2;
+    p.program.sites = {
+        simpleSite(BC::Uniform, 1, 3, 1, 0.0), // driver entropy
+        simpleSite(BC::Monomorphic, 4, 2, 1, 0.002), // tap spacers
+        hot,
+    };
+    sanitizeProfile(p);
+    return p;
+}
+
+BenchmarkProfile
+matcherProfile(std::uint64_t seed, const std::string &pattern,
+               const std::string &text, bool kmp)
+{
+    auto p = seedBase("matcher",
+                      kmp ? "KMP automaton stream"
+                          : "MP automaton stream",
+                      seed);
+    HotSiteSpec hot = simpleSite(BC::Matcher, 1,
+                                 std::max<std::size_t>(pattern.size(), 2),
+                                 1, 0.0);
+    hot.pattern = pattern;
+    hot.text = text;
+    hot.kmp = kmp;
+    p.program.sites = {
+        hot,
+        simpleSite(BC::Monomorphic, 2, 2, 1, 0.001),
+    };
+    sanitizeProfile(p);
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+adversarialSeeds()
+{
+    std::vector<BenchmarkProfile> seeds;
+
+    {
+        // Shrunk perl-family mix: aliasing pressure from arity.
+        auto p = seedBase("mix-alias", "high-arity PIB pressure", 0xad01);
+        p.program.caseCondBias = 0.5;
+        p.program.sites = {
+            simpleSite(BC::Uniform, 1, 4, 1, 0.0),
+            simpleSite(BC::PibCorrelated, 2, 8, 3, 0.012),
+            simpleSite(BC::Monomorphic, 4, 2, 1, 0.002),
+            simpleSite(BC::Phased, 2, 6, 1, 0.0),
+        };
+        seeds.push_back(std::move(p));
+    }
+    {
+        // Deep-offset PIB: rewards long history, starves short.
+        auto p = seedBase("mix-deep", "offset-7 deep correlation", 0xad02);
+        auto deep = simpleSite(BC::PibCorrelated, 1, 6, 1, 0.01);
+        deep.offset = 7;
+        deep.symbolBits = 1;
+        p.program.sites = {
+            simpleSite(BC::Uniform, 1, 4, 1, 0.0),
+            simpleSite(BC::Monomorphic, 7, 2, 1, 0.002),
+            deep,
+            simpleSite(BC::PbCorrelated, 1, 6, 2, 0.015),
+        };
+        seeds.push_back(std::move(p));
+    }
+    {
+        // Filter prey: monomorphic flood + a rare hot core.
+        auto p = seedBase("mix-filter", "mono-heavy, filter-friendly",
+                          0xad03);
+        p.program.sites = {
+            simpleSite(BC::Uniform, 1, 3, 1, 0.0),
+            simpleSite(BC::Monomorphic, 6, 2, 1, 0.002),
+            simpleSite(BC::PibCorrelated, 1, 6, 2, 0.015),
+            simpleSite(BC::Monomorphic, 1, 2, 1, 0.001, 0.005),
+        };
+        seeds.push_back(std::move(p));
+    }
+
+    // Sparse long-range taps: spread, clustered-deep, and mixed.
+    seeds.push_back(sparseProfile(0xad04, {0, 9}, 6, 0.01));
+    seeds.push_back(sparseProfile(0xad05, {7, 8}, 6, 0.005));
+    seeds.push_back(sparseProfile(0xad06, {1, 5, 13}, 8, 0.01));
+
+    // Matcher families, MP and KMP flavours.
+    for (const MatcherFamily &family : matcherFamilies()) {
+        seeds.push_back(matcherProfile(0xad10, family.pattern,
+                                       family.text, false));
+        seeds.push_back(matcherProfile(0xad11, family.pattern,
+                                       family.text, true));
+    }
+
+    std::size_t index = 0;
+    for (BenchmarkProfile &seed : seeds) {
+        seed.input = std::to_string(index++);
+        sanitizeProfile(seed);
+    }
+    return seeds;
+}
+
+BenchmarkProfile
+mutateProfile(const BenchmarkProfile &parent, util::Rng &rng)
+{
+    using PB = ProfileBounds;
+    BenchmarkProfile child = parent;
+    SynthesisParams &prog = child.program;
+
+    // One to three stacked mutations: single steps explore the local
+    // neighbourhood, stacks jump ridges.
+    const std::size_t steps = 1 + rng.below(3);
+    for (std::size_t step = 0; step < steps; ++step) {
+        HotSiteSpec &site =
+            prog.sites[rng.below(prog.sites.size())];
+        switch (rng.below(14)) {
+          case 0: // reseed the program
+            prog.seed = rng() | 1;
+            break;
+          case 1:
+            site.numTargets = 1 + rng.below(PB::kMaxTargets);
+            break;
+          case 2:
+            site.order = 1 + static_cast<unsigned>(
+                rng.below(PB::kMaxOrder));
+            break;
+          case 3:
+            site.offset =
+                static_cast<unsigned>(rng.below(16));
+            break;
+          case 4: {
+            static constexpr double kNoise[] = {0.0, 0.002, 0.01,
+                                                0.05, 0.2, 0.4};
+            site.noise = kNoise[rng.below(6)];
+            break;
+          }
+          case 5: {
+            static constexpr double kHeat[] = {1.0, 1.0, 0.3, 0.05,
+                                               0.005};
+            site.heat = kHeat[rng.below(5)];
+            break;
+          }
+          case 6:
+            site.symbolBits = 1 + static_cast<unsigned>(rng.below(4));
+            break;
+          case 7:
+            site.count = 1 + rng.below(PB::kMaxClones);
+            break;
+          case 8: { // reclass the site
+            static constexpr BC kClasses[] = {
+                BC::Monomorphic, BC::Phased,   BC::PbCorrelated,
+                BC::PibCorrelated, BC::SelfCorrelated, BC::Uniform,
+                BC::SparsePib,   BC::SparsePb, BC::Matcher};
+            site.behavior = kClasses[rng.below(9)];
+            if (site.behavior == BC::Matcher) {
+                const auto families = matcherFamilies();
+                const MatcherFamily &family =
+                    families[rng.below(families.size())];
+                site.pattern = family.pattern;
+                site.text = family.text;
+                site.kmp = rng.chance(0.5);
+            }
+            break;
+          }
+          case 9: // rewire a tap (sanitize sorts and dedupes)
+            if (!site.taps.empty() && rng.chance(0.5))
+                site.taps[rng.below(site.taps.size())] =
+                    static_cast<unsigned>(rng.below(PB::kMaxTap + 1));
+            else if (site.taps.size() < PB::kMaxTaps)
+                site.taps.push_back(
+                    static_cast<unsigned>(rng.below(PB::kMaxTap + 1)));
+            break;
+          case 10: // clone a site spec
+            if (prog.sites.size() < PB::kMaxSiteSpecs)
+                prog.sites.push_back(site);
+            break;
+          case 11: // drop a site spec
+            if (prog.sites.size() > 1)
+                prog.sites.erase(prog.sites.begin() +
+                                 rng.below(prog.sites.size()));
+            break;
+          case 12:
+            prog.caseChainLen =
+                1 + static_cast<unsigned>(rng.below(4));
+            prog.helperBlocks =
+                1 + static_cast<unsigned>(rng.below(5));
+            break;
+          case 13: {
+            static constexpr double kBias[] = {0.5, 0.65, 0.8, 0.95};
+            prog.caseCondBias = kBias[rng.below(4)];
+            prog.helperCondBias = kBias[rng.below(4)];
+            break;
+          }
+        }
+    }
+    sanitizeProfile(child);
+    return child;
+}
+
+std::vector<BenchmarkProfile>
+shrinkCandidates(const BenchmarkProfile &profile)
+{
+    using PB = ProfileBounds;
+    std::vector<BenchmarkProfile> out;
+    auto emit = [&](auto &&edit) {
+        BenchmarkProfile candidate = profile;
+        edit(candidate);
+        sanitizeProfile(candidate);
+        out.push_back(std::move(candidate));
+    };
+
+    // Structure first: dropping a whole spec shrinks fastest.
+    for (std::size_t i = 0; i < profile.program.sites.size(); ++i)
+        if (profile.program.sites.size() > 1)
+            emit([i](BenchmarkProfile &p) {
+                p.program.sites.erase(p.program.sites.begin() + i);
+            });
+    if (profile.records > PB::kMinRecords)
+        emit([](BenchmarkProfile &p) { p.records /= 2; });
+    for (std::size_t i = 0; i < profile.program.sites.size(); ++i) {
+        const HotSiteSpec &site = profile.program.sites[i];
+        auto tweak = [&](auto &&edit) {
+            emit([i, &edit](BenchmarkProfile &p) {
+                edit(p.program.sites[i]);
+            });
+        };
+        if (site.count > 1)
+            tweak([](HotSiteSpec &s) { s.count = 1; });
+        if (site.numTargets > 2)
+            tweak([](HotSiteSpec &s) {
+                s.numTargets = std::max<std::size_t>(2,
+                                                     s.numTargets / 2);
+            });
+        if (site.noise > 0)
+            tweak([](HotSiteSpec &s) { s.noise = 0; });
+        if (site.heat < 1.0)
+            tweak([](HotSiteSpec &s) { s.heat = 1.0; });
+        if (site.order > 1)
+            tweak([](HotSiteSpec &s) { s.order = s.order / 2; });
+        if (site.offset > 0)
+            tweak([](HotSiteSpec &s) { s.offset /= 2; });
+        if (site.taps.size() > 1)
+            tweak([](HotSiteSpec &s) { s.taps.pop_back(); });
+        if (site.behavior == BehaviorClass::Matcher &&
+            site.text.size() > 4)
+            tweak([](HotSiteSpec &s) {
+                s.text.resize(s.text.size() / 2);
+            });
+    }
+    if (profile.program.caseChainLen > 1)
+        emit([](BenchmarkProfile &p) { p.program.caseChainLen = 1; });
+    if (profile.program.helperBlocks > 1)
+        emit([](BenchmarkProfile &p) { p.program.helperBlocks = 1; });
+    return out;
+}
+
+std::uint64_t
+coverageSignature(const SynthesisParams &params)
+{
+    std::uint64_t h = 0x5ec7a9u;
+    auto fold = [&h](std::uint64_t v) { h = mixHash(h, v + 1); };
+    fold(params.caseChainLen);
+    fold(params.helperBlocks);
+    fold(static_cast<std::uint64_t>(params.caseCondBias * 20));
+    fold(static_cast<std::uint64_t>(params.helperCondBias * 20));
+    for (const HotSiteSpec &site : params.sites) {
+        fold(static_cast<std::uint64_t>(site.behavior));
+        fold(site.call);
+        fold(std::min<std::size_t>(site.count, 4)); // 4+ clones alike
+        fold(site.numTargets);
+        fold(site.order);
+        fold(site.offset);
+        fold(site.symbolBits);
+        fold(static_cast<std::uint64_t>(noiseBucket(site.noise)));
+        fold(static_cast<std::uint64_t>(heatBucket(site.heat)));
+        for (unsigned tap : site.taps)
+            fold(tap);
+        fold(site.pattern.size());
+        fold(site.text.size());
+        fold(site.kmp);
+    }
+    return h;
+}
+
+double
+analyticMissFloorPercent(const SynthesisParams &params)
+{
+    double weight = 0, floor = 0;
+    for (const HotSiteSpec &site : params.sites) {
+        if (site.numTargets <= 1)
+            continue; // single-target: never multi-target, never missed
+        const double execs =
+            static_cast<double>(site.count) * site.heat;
+        const double stray =
+            static_cast<double>(site.numTargets - 1) /
+            static_cast<double>(site.numTargets);
+        double miss = 0;
+        switch (site.behavior) {
+          case BC::Uniform:
+            miss = stray;
+            break;
+          case BC::Monomorphic:
+            // Strays are drawn from targets 1..T-1, never the mode.
+            miss = site.noise;
+            break;
+          case BC::Phased:
+            // One unavoidable miss per geometric dwell expiry.
+            miss = site.meanDwell > 1 ? 1.0 / site.meanDwell : stray;
+            break;
+          case BC::PbCorrelated:
+          case BC::PibCorrelated:
+          case BC::SelfCorrelated:
+          case BC::SparsePib:
+          case BC::SparsePb:
+            // The hash target is knowable; only the uniform noise
+            // draw is irreducible, and it lands on the hash target
+            // itself 1/T of the time.
+            miss = site.noise * stray;
+            break;
+          case BC::Matcher:
+            miss = 0; // deterministic state cycle
+            break;
+        }
+        weight += execs;
+        floor += execs * miss;
+    }
+    return weight > 0 ? 100.0 * floor / weight : 0.0;
+}
+
+std::string
+behaviorClassName(BehaviorClass behavior)
+{
+    switch (behavior) {
+      case BC::Monomorphic:
+        return "monomorphic";
+      case BC::Phased:
+        return "phased";
+      case BC::PbCorrelated:
+        return "pb";
+      case BC::PibCorrelated:
+        return "pib";
+      case BC::SelfCorrelated:
+        return "self";
+      case BC::Uniform:
+        return "uniform";
+      case BC::SparsePib:
+        return "sparse-pib";
+      case BC::SparsePb:
+        return "sparse-pb";
+      case BC::Matcher:
+        return "matcher";
+    }
+    panic("unknown behaviour class");
+}
+
+BehaviorClass
+behaviorClassFromName(const std::string &name)
+{
+    static const std::pair<const char *, BC> kNames[] = {
+        {"monomorphic", BC::Monomorphic}, {"phased", BC::Phased},
+        {"pb", BC::PbCorrelated},         {"pib", BC::PibCorrelated},
+        {"self", BC::SelfCorrelated},     {"uniform", BC::Uniform},
+        {"sparse-pib", BC::SparsePib},    {"sparse-pb", BC::SparsePb},
+        {"matcher", BC::Matcher},
+    };
+    for (const auto &[spelled, behavior] : kNames)
+        if (name == spelled)
+            return behavior;
+    fatal("unknown behaviour class name: ", name);
+}
+
+void
+writeProfileJson(util::JsonWriter &json, const BenchmarkProfile &profile)
+{
+    const SynthesisParams &prog = profile.program;
+    json.beginObject();
+    json.key("benchmark").value(profile.benchmark);
+    json.key("input").value(profile.input);
+    json.key("language").value(profile.language);
+    json.key("note").value(profile.note);
+    json.key("records").value(profile.records);
+    json.key("instructions_per_branch")
+        .value(profile.instructionsPerBranch);
+    json.key("program").beginObject();
+    json.key("seed").value(prog.seed);
+    json.key("helper_functions")
+        .value(static_cast<std::uint64_t>(prog.helperFunctions));
+    json.key("helper_blocks").value(prog.helperBlocks);
+    json.key("helper_cond_bias").value(prog.helperCondBias);
+    json.key("case_chain_len").value(prog.caseChainLen);
+    json.key("case_cond_bias").value(prog.caseCondBias);
+    json.key("sites").beginArray();
+    for (const HotSiteSpec &site : prog.sites) {
+        json.beginObject();
+        json.key("behavior").value(behaviorClassName(site.behavior));
+        json.key("call").value(site.call);
+        json.key("count").value(static_cast<std::uint64_t>(site.count));
+        json.key("num_targets")
+            .value(static_cast<std::uint64_t>(site.numTargets));
+        json.key("order").value(site.order);
+        json.key("offset").value(site.offset);
+        json.key("symbol_bits").value(site.symbolBits);
+        json.key("noise").value(site.noise);
+        json.key("mean_dwell").value(site.meanDwell);
+        json.key("heat").value(site.heat);
+        if (!site.taps.empty()) {
+            json.key("taps").beginArray();
+            for (unsigned tap : site.taps)
+                json.value(tap);
+            json.endArray();
+        }
+        if (!site.pattern.empty()) {
+            json.key("pattern").value(site.pattern);
+            json.key("text").value(site.text);
+            json.key("kmp").value(site.kmp);
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.endObject();
+}
+
+std::string
+profileToJson(const BenchmarkProfile &profile)
+{
+    std::ostringstream out;
+    {
+        util::JsonWriter json(out);
+        writeProfileJson(json, profile);
+    }
+    return out.str();
+}
+
+BenchmarkProfile
+profileFromJson(const util::JsonValue &value)
+{
+    BenchmarkProfile profile;
+    profile.benchmark = value.get("benchmark").asString();
+    if (value.has("input"))
+        profile.input = value.get("input").asString();
+    if (value.has("language"))
+        profile.language = value.get("language").asString();
+    if (value.has("note"))
+        profile.note = value.get("note").asString();
+    if (value.has("records"))
+        profile.records = value.get("records").asUint();
+    if (value.has("instructions_per_branch"))
+        profile.instructionsPerBranch =
+            value.get("instructions_per_branch").asDouble();
+
+    const util::JsonValue &prog = value.get("program");
+    SynthesisParams &params = profile.program;
+    params.seed = prog.get("seed").asUint();
+    if (prog.has("helper_functions"))
+        params.helperFunctions =
+            static_cast<std::size_t>(prog.get("helper_functions").asUint());
+    if (prog.has("helper_blocks"))
+        params.helperBlocks =
+            static_cast<unsigned>(prog.get("helper_blocks").asUint());
+    if (prog.has("helper_cond_bias"))
+        params.helperCondBias = prog.get("helper_cond_bias").asDouble();
+    if (prog.has("case_chain_len"))
+        params.caseChainLen =
+            static_cast<unsigned>(prog.get("case_chain_len").asUint());
+    if (prog.has("case_cond_bias"))
+        params.caseCondBias = prog.get("case_cond_bias").asDouble();
+
+    params.sites.clear();
+    for (const util::JsonValue &entry : prog.get("sites").asArray()) {
+        HotSiteSpec site;
+        site.behavior =
+            behaviorClassFromName(entry.get("behavior").asString());
+        if (entry.has("call"))
+            site.call = entry.get("call").asBool();
+        if (entry.has("count"))
+            site.count =
+                static_cast<std::size_t>(entry.get("count").asUint());
+        if (entry.has("num_targets"))
+            site.numTargets = static_cast<std::size_t>(
+                entry.get("num_targets").asUint());
+        if (entry.has("order"))
+            site.order =
+                static_cast<unsigned>(entry.get("order").asUint());
+        if (entry.has("offset"))
+            site.offset =
+                static_cast<unsigned>(entry.get("offset").asUint());
+        if (entry.has("symbol_bits"))
+            site.symbolBits =
+                static_cast<unsigned>(entry.get("symbol_bits").asUint());
+        if (entry.has("noise"))
+            site.noise = entry.get("noise").asDouble();
+        if (entry.has("mean_dwell"))
+            site.meanDwell = entry.get("mean_dwell").asDouble();
+        if (entry.has("heat"))
+            site.heat = entry.get("heat").asDouble();
+        if (entry.has("taps"))
+            for (const util::JsonValue &tap :
+                 entry.get("taps").asArray())
+                site.taps.push_back(
+                    static_cast<unsigned>(tap.asUint()));
+        if (entry.has("pattern")) {
+            site.pattern = entry.get("pattern").asString();
+            site.text = entry.get("text").asString();
+            if (entry.has("kmp"))
+                site.kmp = entry.get("kmp").asBool();
+        }
+        params.sites.push_back(std::move(site));
+    }
+    sanitizeProfile(profile);
+    return profile;
+}
+
+BenchmarkProfile
+loadProfileFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot open profile file: ", path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return profileFromJson(util::parseJson(text.str()));
+}
+
+void
+saveProfileFile(const std::string &path, const BenchmarkProfile &profile)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatal_if(!out, "cannot write profile file: ", path);
+    out << profileToJson(profile) << "\n";
+}
+
+} // namespace ibp::workload

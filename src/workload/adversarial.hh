@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Adversarial workload search space: seed profiles, mutation and
+ * shrinking operators, coverage signatures, and an analytic
+ * misprediction floor — the workload-side half of the fuzzer (the
+ * driver loop lives in sim/fuzz.hh; the layering keeps everything
+ * that understands SynthesisParams structure down here).
+ *
+ * The search space is BenchmarkProfile: the same representation the
+ * standard suite uses, so any finding the fuzzer shrinks is directly
+ * a committable, replayable benchmark (tests/regression_profiles/).
+ * Seeds combine the calibrated suite families with two analytically
+ * grounded ones: sparse long-range tap correlations (Zouzias et al. —
+ * the family most likely to invert context-depth-limited predictors)
+ * and MP/KMP matcher streams (Nicaud et al. — closed-form oracles,
+ * see kmp.hh).
+ */
+
+#ifndef IBP_WORKLOAD_ADVERSARIAL_HH_
+#define IBP_WORKLOAD_ADVERSARIAL_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/random.hh"
+#include "workload/profiles.hh"
+
+namespace ibp::workload {
+
+/** Hard bounds the mutator and codec clamp every profile into. */
+struct ProfileBounds
+{
+    static constexpr std::size_t kMaxSiteSpecs = 16;
+    static constexpr std::size_t kMaxClones = 8;
+    static constexpr std::size_t kMaxTargets = 12;
+    static constexpr unsigned kMaxOrder = 8;
+    static constexpr unsigned kMaxTap = 23;
+    static constexpr std::size_t kMaxTaps = 8;
+    static constexpr std::size_t kMaxTextLen = 64;
+    static constexpr std::uint64_t kMinRecords = 2'000;
+    static constexpr std::uint64_t kMaxRecords = 200'000;
+};
+
+/**
+ * The fuzzer's seed corpus: a compact profile per family —
+ * suite-derived mixes plus the sparse-tap and matcher generators.
+ * Every seed is already clamped to ProfileBounds (records included),
+ * so mutation chains stay inside tractable evaluation budgets.
+ */
+std::vector<BenchmarkProfile> adversarialSeeds();
+
+/**
+ * A sparse long-range correlation profile: one driver feeding hot
+ * PIB sites that read only the given @p taps (positions in the PIB
+ * path, 0 = most recent), buffered by monomorphic stations so the
+ * informative symbols sit exactly where the taps point.
+ */
+BenchmarkProfile sparseProfile(std::uint64_t seed,
+                               std::vector<unsigned> taps,
+                               std::size_t targets, double noise);
+
+/**
+ * A matcher profile: the MP or KMP automaton-state stream of
+ * (pattern, text) replayed as a hot switch site (see MatcherBehavior).
+ * Deterministic — its misprediction structure has closed forms.
+ */
+BenchmarkProfile matcherProfile(std::uint64_t seed,
+                                const std::string &pattern,
+                                const std::string &text, bool kmp);
+
+/**
+ * One random mutation of @p parent: a numeric tweak (targets, order,
+ * offset, noise, heat, taps, seed, ...) or a structural one (clone /
+ * drop / reclass a site, swap the matcher family).  The result is
+ * clamped into ProfileBounds and always synthesizable.
+ */
+BenchmarkProfile mutateProfile(const BenchmarkProfile &parent,
+                               util::Rng &rng);
+
+/**
+ * Single-step shrink candidates for the minimizer, roughly ordered by
+ * how much structure each removes (site drops first, knob nudges
+ * last).  The fuzzer greedily keeps any candidate that still
+ * reproduces its finding.
+ */
+std::vector<BenchmarkProfile>
+shrinkCandidates(const BenchmarkProfile &profile);
+
+/**
+ * Structural coverage signature: a hash of the profile's quantized
+ * feature vector (per-site class/arity/order/offset/noise-bucket/
+ * heat-bucket/taps/matcher family plus the global shape knobs).  Two
+ * profiles with equal signatures exercise the same predictor-relevant
+ * structure; the fuzzer keeps a seen-set of signatures and only
+ * spends budget on novel ones (coverage-guided search).
+ */
+std::uint64_t coverageSignature(const SynthesisParams &params);
+
+/**
+ * Information-theoretic lower bound on any predictor's misprediction
+ * percentage over the profile's multi-target indirect executions:
+ * heat-weighted irreducible noise per site (uniform drivers miss
+ * (T-1)/T, noisy correlated sites miss noise*(T-1)/T, monomorphic
+ * strays miss noise, phased sites miss ~1/meanDwell, matcher and
+ * noise-free correlated sites are fully learnable).  A measured miss
+ * rate *below* this floor minus tolerance is a correctness finding,
+ * not a good predictor.
+ */
+double analyticMissFloorPercent(const SynthesisParams &params);
+
+/** Spelled-out BehaviorClass name used by the JSON codec. */
+std::string behaviorClassName(BehaviorClass behavior);
+
+/** Parse behaviorClassName() output; fatal() on unknown names. */
+BehaviorClass behaviorClassFromName(const std::string &name);
+
+/** Emit @p profile as a JSON object on an open writer. */
+void writeProfileJson(util::JsonWriter &json,
+                      const BenchmarkProfile &profile);
+
+/** Whole-document convenience wrapper around writeProfileJson(). */
+std::string profileToJson(const BenchmarkProfile &profile);
+
+/** Decode a profile object; missing fields keep their defaults,
+ *  everything is clamped into ProfileBounds. */
+BenchmarkProfile profileFromJson(const util::JsonValue &value);
+
+/** Load a profile document from @p path; fatal() when unreadable. */
+BenchmarkProfile loadProfileFile(const std::string &path);
+
+/** Write profileToJson() to @p path (trailing newline included). */
+void saveProfileFile(const std::string &path,
+                     const BenchmarkProfile &profile);
+
+} // namespace ibp::workload
+
+#endif // IBP_WORKLOAD_ADVERSARIAL_HH_

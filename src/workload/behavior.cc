@@ -1,7 +1,10 @@
 #include "workload/behavior.hh"
 
+#include <algorithm>
+
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "workload/kmp.hh"
 
 namespace ibp::workload {
 
@@ -84,6 +87,83 @@ PathCorrelatedBehavior::name() const
     if (offset_ > 0)
         name += "@" + std::to_string(offset_);
     return name;
+}
+
+SparseCorrelatedBehavior::SparseCorrelatedBehavior(
+    StreamKind stream, std::vector<unsigned> taps, unsigned symbol_bits,
+    double noise, std::uint64_t site_key)
+    : stream_(stream), taps_(std::move(taps)), symbolBits(symbol_bits),
+      noise_(noise), siteKey(site_key)
+{
+    panic_if(taps_.empty(), "SparseCorrelatedBehavior needs >= 1 tap");
+    panic_if(symbol_bits == 0 || symbol_bits > 10,
+             "symbol quantization out of range: ", symbol_bits);
+    for (unsigned tap : taps_)
+        panic_if(tap >= 32,
+                 "tap reaches beyond the tracked path depth: ", tap);
+    // Canonical tap order keeps the hash independent of spec order.
+    std::sort(taps_.begin(), taps_.end());
+    taps_.erase(std::unique(taps_.begin(), taps_.end()), taps_.end());
+}
+
+std::size_t
+SparseCorrelatedBehavior::nextTarget(const PathState &path,
+                                     std::size_t num_targets,
+                                     util::Rng &rng)
+{
+    if (num_targets <= 1)
+        return 0;
+    if (noise_ > 0 && rng.chance(noise_))
+        return rng.below(num_targets);
+    std::uint64_t h = siteKey;
+    for (unsigned tap : taps_) {
+        std::uint64_t sym =
+            util::selectLow(path.recent(stream_, tap) >> 2, symbolBits);
+        // Fold the tap position in so symbol-equal taps stay distinct.
+        h = mixHash(h, (static_cast<std::uint64_t>(tap) << 10 | sym) + 1);
+    }
+    return h % num_targets;
+}
+
+std::string
+SparseCorrelatedBehavior::name() const
+{
+    std::string name =
+        stream_ == StreamKind::AllBranches ? "sparse-pb" : "sparse-pib";
+    for (unsigned tap : taps_)
+        name += "." + std::to_string(tap);
+    return name;
+}
+
+MatcherBehavior::MatcherBehavior(const std::string &pattern,
+                                 const std::string &text, bool kmp)
+    : kmp_(kmp)
+{
+    panic_if(pattern.empty(), "MatcherBehavior needs a pattern");
+    panic_if(text.empty(), "MatcherBehavior needs a text");
+    MatchSpec spec;
+    spec.pattern = pattern;
+    spec.text = text;
+    spec.kmp = kmp;
+    states_ = runMatcher(spec).states;
+    panic_if(states_.empty(), "matcher produced no comparisons");
+}
+
+std::size_t
+MatcherBehavior::nextTarget(const PathState &path, std::size_t num_targets,
+                            util::Rng &rng)
+{
+    (void)path;
+    (void)rng;
+    const std::size_t state = states_[pos_];
+    pos_ = pos_ + 1 == states_.size() ? 0 : pos_ + 1;
+    return num_targets <= 1 ? 0 : state % num_targets;
+}
+
+std::string
+MatcherBehavior::name() const
+{
+    return kmp_ ? "matcher-kmp" : "matcher-mp";
 }
 
 SelfCorrelatedBehavior::SelfCorrelatedBehavior(unsigned order, double noise,

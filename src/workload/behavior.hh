@@ -20,6 +20,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/random.hh"
 #include "util/serde.hh"
@@ -233,6 +234,83 @@ class PathCorrelatedBehavior : public Behavior
     double noise_;
     std::uint64_t siteKey;
     unsigned offset_;
+};
+
+/**
+ * Sparsely path-correlated behaviour: the target depends on an
+ * explicit *set* of path positions (taps) rather than a contiguous
+ * window.  This is the Zouzias et al. sparse long-range correlation
+ * shape: only a few informative branches, scattered deep in the path,
+ * carry the signal, and everything between them is noise.  Predictors
+ * that hash a contiguous history window of depth d capture a tap only
+ * when d exceeds the tap position, so sites with spread-out taps are
+ * exactly where context-depth-limited predictors diverge — the
+ * adversarial fuzzer's richest hunting ground for ranking inversions.
+ */
+class SparseCorrelatedBehavior : public Behavior
+{
+  public:
+    SparseCorrelatedBehavior(StreamKind stream,
+                             std::vector<unsigned> taps,
+                             unsigned symbol_bits, double noise,
+                             std::uint64_t site_key);
+
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override;
+
+    const std::vector<unsigned> &taps() const { return taps_; }
+
+  private:
+    StreamKind stream_;
+    std::vector<unsigned> taps_;
+    unsigned symbolBits;
+    double noise_;
+    std::uint64_t siteKey;
+};
+
+/**
+ * Matcher-derived behaviour: replays the automaton-state sequence of a
+ * Morris-Pratt / KMP run (see kmp.hh) as an indirect-target stream —
+ * a threaded-code dispatch on the matcher state.  The state cycle is
+ * precomputed at construction and walked deterministically, so the
+ * satCounterMisses()/analytic*() closed forms in kmp.hh are exact
+ * oracles for the resulting trace.  Noise-free and rng-free.
+ */
+class MatcherBehavior : public Behavior
+{
+  public:
+    /** @param pattern non-empty pattern; @param text searched text;
+     *  @param kmp strong (KMP) vs weak (MP) failure function. */
+    MatcherBehavior(const std::string &pattern, const std::string &text,
+                    bool kmp);
+
+    std::size_t nextTarget(const PathState &path, std::size_t num_targets,
+                           util::Rng &rng) override;
+    std::string name() const override;
+
+    /** Length of the precomputed state cycle. */
+    std::size_t cycleLength() const { return states_.size(); }
+
+    void saveState(util::StateWriter &writer) const override
+    {
+        writer.writeVarint(pos_);
+    }
+
+    void loadState(util::StateReader &reader) override
+    {
+        const std::uint64_t pos = reader.readVarint();
+        if (reader.ok() && pos >= states_.size()) {
+            reader.fail("matcher cursor beyond its state cycle");
+            return;
+        }
+        pos_ = static_cast<std::size_t>(pos);
+    }
+
+  private:
+    bool kmp_;
+    std::vector<std::size_t> states_;
+    std::size_t pos_ = 0;
 };
 
 /**

@@ -1,0 +1,160 @@
+#include "workload/kmp.hh"
+
+#include "util/logging.hh"
+#include "util/sat_counter.hh"
+
+namespace ibp::workload {
+
+std::vector<int>
+weakBorders(const std::string &pattern)
+{
+    const std::size_t m = pattern.size();
+    fatal_if(m == 0, "weakBorders: empty pattern");
+    std::vector<int> fail(m + 1, 0);
+    fail[0] = -1;
+    std::size_t k = 0; // border length of pattern[0..j)
+    for (std::size_t j = 1; j < m; ++j) {
+        while (k > 0 && pattern[j] != pattern[k])
+            k = static_cast<std::size_t>(fail[k]);
+        if (pattern[j] == pattern[k])
+            ++k;
+        fail[j + 1] = static_cast<int>(k);
+    }
+    return fail;
+}
+
+std::vector<int>
+strongBorders(const std::string &pattern)
+{
+    const std::size_t m = pattern.size();
+    const std::vector<int> weak = weakBorders(pattern);
+    std::vector<int> strong(m + 1, -1);
+    for (std::size_t j = 1; j < m; ++j) {
+        const int b = weak[j];
+        if (pattern[static_cast<std::size_t>(b)] != pattern[j])
+            strong[j] = b;
+        else
+            strong[j] = strong[static_cast<std::size_t>(b)];
+    }
+    if (m >= 1)
+        strong[m] = weak[m]; // full match: no mismatch character
+    return strong;
+}
+
+MatcherRun
+runMatcher(const MatchSpec &spec)
+{
+    fatal_if(spec.pattern.empty(), "runMatcher: empty pattern");
+    const std::string &p = spec.pattern;
+    const std::string &t = spec.text;
+    const std::size_t m = p.size();
+    const std::size_t n = t.size();
+    const std::vector<int> weak = weakBorders(p);
+    const std::vector<int> fail = spec.kmp ? strongBorders(p) : weak;
+
+    MatcherRun run;
+    run.eqOutcomes.reserve(n * 2);
+    run.states.reserve(n * 2);
+
+    std::size_t i = 0, j = 0;
+    while (i < n) {
+        run.states.push_back(j);
+        const bool eq = t[i] == p[j];
+        run.eqOutcomes.push_back(eq);
+        if (eq) {
+            ++i;
+            ++j;
+            if (j == m) {
+                ++run.occurrences;
+                j = static_cast<std::size_t>(weak[m] < 0 ? 0 : weak[m]);
+            }
+        } else if (fail[j] < 0) {
+            ++i;
+            j = 0;
+        } else {
+            j = static_cast<std::size_t>(fail[j]);
+        }
+    }
+    return run;
+}
+
+std::uint64_t
+satCounterMisses(const std::vector<bool> &outcomes, unsigned bits,
+                 unsigned initial)
+{
+    util::SatCounter counter(bits, initial);
+    std::uint64_t misses = 0;
+    for (const bool taken : outcomes) {
+        misses += counter.high() != taken;
+        if (taken)
+            counter.increment();
+        else
+            counter.decrement();
+    }
+    return misses;
+}
+
+/*
+ * Closed-form derivations (2-bit counter, initial value 1, predicts
+ * taken iff value >= 2):
+ *
+ * a^m over a^n.  Every comparison matches, so the stream is T^n.  The
+ * counter mispredicts the first T (1 -> predicts not-taken), moves to
+ * 2 and stays high: exactly 1 miss for n >= 1.
+ *
+ * "ab" over a^n.  i=0 matches 'a' (T); every later text position
+ * first fails at j=1 ('a' vs 'b', F) and then matches at j=0 (T),
+ * giving T (F T)^{n-1}, 2n - 1 comparisons.  The counter bounces
+ * between 1 and 2 exactly out of phase: after the initial miss at
+ * value 1 it sits at 2 predicting taken into every F, drops to 1
+ * predicting not-taken into every T.  Every comparison mispredicts:
+ * 2n - 1 misses.  (The strong border of "ab" at j=1 equals the weak
+ * one, so MP and KMP behave identically here.)
+ *
+ * "aa" over (ab)^k.  MP compares (T F F)^k — match at j=0, fail at
+ * j=1, re-fail the same text character at j=0 after the weak border
+ * resets j.  Counter trace: cycle 1 misses T (1) and F (2) then
+ * predicts the second F correctly and lands at 0; every later cycle
+ * misses only its T (0 -> predicts not-taken, back to 1) and predicts
+ * both Fs: k + 1 misses over 3k comparisons.  KMP's strong border at
+ * j=1 ('a' == 'a' makes the border useless) skips the re-comparison:
+ * (T F)^k over 2k comparisons, the same out-of-phase bounce as the
+ * "ab" family, and every comparison mispredicts: 2k misses.  KMP
+ * therefore mispredicts strictly more than MP for every k >= 2 —
+ * Nicaud et al.'s headline phenomenon.
+ */
+
+std::uint64_t
+analyticUnaryMisses(std::size_t n)
+{
+    return n >= 1 ? 1 : 0;
+}
+
+std::uint64_t
+analyticAbOverAsMisses(std::size_t n)
+{
+    return n == 0 ? 0 : 2 * static_cast<std::uint64_t>(n) - 1;
+}
+
+std::uint64_t
+analyticAbOverAsCompares(std::size_t n)
+{
+    return n == 0 ? 0 : 2 * static_cast<std::uint64_t>(n) - 1;
+}
+
+std::uint64_t
+analyticAaOverAbMisses(std::size_t k, bool kmp)
+{
+    if (k == 0)
+        return 0;
+    return kmp ? 2 * static_cast<std::uint64_t>(k)
+               : static_cast<std::uint64_t>(k) + 1;
+}
+
+std::uint64_t
+analyticAaOverAbCompares(std::size_t k, bool kmp)
+{
+    return (kmp ? 2 : 3) * static_cast<std::uint64_t>(k);
+}
+
+} // namespace ibp::workload

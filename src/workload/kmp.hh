@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Morris-Pratt / Knuth-Morris-Pratt algorithm-derived branch streams
+ * with *exact* analytical misprediction oracles.
+ *
+ * Nicaud, Pivoteau & Vialette ("Branch Prediction Analysis of
+ * Morris-Pratt and Knuth-Morris-Pratt Algorithms") analyse the
+ * character-comparison branch of the MP/KMP inner loop under
+ * saturating-counter direction predictors and show, counter-
+ * intuitively, that KMP's "smarter" strong failure function can
+ * *increase* mispredictions.  We reproduce that analysis as a
+ * workload generator: runMatcher() executes the canonical matcher
+ * loop over (pattern, text) and records the comparison-branch outcome
+ * stream plus the automaton state before each comparison, and the
+ * analytic*Misses() functions give closed-form exact misprediction
+ * counts for specific (pattern, text) families — ground truth the
+ * property tests and the adversarial fuzzer assert against with
+ * equality, not tolerances.
+ *
+ * The state sequence doubles as an indirect-branch target stream (a
+ * threaded-code dispatch on the automaton state), which is how the
+ * matcher families enter the synthetic-program substrate (see
+ * MatcherBehavior in behavior.hh).
+ */
+
+#ifndef IBP_WORKLOAD_KMP_HH_
+#define IBP_WORKLOAD_KMP_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ibp::workload {
+
+/** One pattern-matching run: pattern searched in text. */
+struct MatchSpec
+{
+    std::string pattern;
+    std::string text;
+    /** false: Morris-Pratt (weak borders); true: KMP (strong). */
+    bool kmp = false;
+};
+
+/**
+ * Weak failure function (Morris-Pratt): fail[j] for j in [0, m] is
+ * the length of the longest proper border of pattern[0..j), with the
+ * conventional fail[0] = -1 sentinel meaning "advance the text".
+ */
+std::vector<int> weakBorders(const std::string &pattern);
+
+/**
+ * Strong failure function (Knuth-Morris-Pratt): as weakBorders() but
+ * a border whose next character equals the mismatching pattern
+ * character is skipped (it would fail again immediately).  Only
+ * positions [0, m) are meaningful — a full match shifts by the weak
+ * border in both algorithms (there is no mismatch character).
+ */
+std::vector<int> strongBorders(const std::string &pattern);
+
+/** Everything one matcher run produces. */
+struct MatcherRun
+{
+    /** Comparison-branch outcomes: true iff text[i] == pattern[j]. */
+    std::vector<bool> eqOutcomes;
+    /** Automaton state j *before* each comparison (in [0, m)). */
+    std::vector<std::size_t> states;
+    /** Pattern occurrences found. */
+    std::uint64_t occurrences = 0;
+};
+
+/**
+ * Run the canonical MP/KMP loop:
+ *
+ *     i = 0; j = 0;
+ *     while (i < n) {
+ *         if (text[i] == pattern[j]) {           // the analysed branch
+ *             ++i; ++j;
+ *             if (j == m) { ++occurrences; j = weak[m]; }
+ *         } else if (fail[j] < 0) { ++i; j = 0; }
+ *         else j = fail[j];
+ *     }
+ *
+ * with fail = weakBorders (MP) or strongBorders (KMP).
+ */
+MatcherRun runMatcher(const MatchSpec &spec);
+
+/**
+ * Mispredictions of an n-bit saturating-counter direction predictor
+ * over a branch-outcome stream: predicts taken iff the counter is in
+ * its high half (value > max/2), then counts toward the actual
+ * outcome.  This is the predictor model of the Nicaud et al.
+ * analysis (their 2-bit "saturating counter" flip-on-two-misses
+ * automaton) realized with util::SatCounter semantics.
+ */
+std::uint64_t satCounterMisses(const std::vector<bool> &outcomes,
+                               unsigned bits = 2, unsigned initial = 1);
+
+/**
+ * Closed forms for a 2-bit counter starting at 1 (weakly not-taken),
+ * derived in kmp.cc from the comparison streams of each family.
+ * All are exact for every parameter value, MP and KMP alike unless
+ * the signature says otherwise.
+ */
+
+/** pattern = a^m searched in text = a^n: stream T^n, 1 warmup miss. */
+std::uint64_t analyticUnaryMisses(std::size_t n);
+
+/** pattern = "ab" searched in a^n: stream T(FT)^{n-1}; every
+ *  comparison mispredicts. */
+std::uint64_t analyticAbOverAsMisses(std::size_t n);
+
+/** Comparisons performed for the "ab" over a^n family: 2n - 1. */
+std::uint64_t analyticAbOverAsCompares(std::size_t n);
+
+/**
+ * pattern = "aa" searched in (ab)^k — the Nicaud et al. separation:
+ * MP compares (TFF)^k and mispredicts k + 1 times; KMP's strong
+ * border skips the re-comparison, compares (TF)^k and mispredicts on
+ * every one of its 2k comparisons.  KMP is strictly worse for k >= 2.
+ */
+std::uint64_t analyticAaOverAbMisses(std::size_t k, bool kmp);
+
+/** Comparisons for the "aa" over (ab)^k family: MP 3k, KMP 2k. */
+std::uint64_t analyticAaOverAbCompares(std::size_t k, bool kmp);
+
+} // namespace ibp::workload
+
+#endif // IBP_WORKLOAD_KMP_HH_

@@ -41,6 +41,17 @@ makeBehavior(const HotSiteSpec &spec, std::uint64_t site_key)
             spec.order, spec.noise, site_key);
       case BehaviorClass::Uniform:
         return std::make_unique<UniformBehavior>();
+      case BehaviorClass::SparsePib:
+        return std::make_unique<SparseCorrelatedBehavior>(
+            StreamKind::MtIndirect, spec.taps, spec.symbolBits,
+            spec.noise, site_key);
+      case BehaviorClass::SparsePb:
+        return std::make_unique<SparseCorrelatedBehavior>(
+            StreamKind::AllBranches, spec.taps, spec.symbolBits,
+            spec.noise, site_key);
+      case BehaviorClass::Matcher:
+        return std::make_unique<MatcherBehavior>(spec.pattern, spec.text,
+                                                 spec.kmp);
     }
     panic("unknown behaviour class");
 }

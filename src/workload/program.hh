@@ -53,6 +53,9 @@ enum class BehaviorClass : std::uint8_t
     PibCorrelated,
     SelfCorrelated,
     Uniform,
+    SparsePib,  ///< sparse tap-set PIB correlation (Zouzias et al.)
+    SparsePb,   ///< sparse tap-set PB correlation
+    Matcher,    ///< MP/KMP automaton-state stream (Nicaud et al.)
 };
 
 /**
@@ -165,6 +168,13 @@ struct HotSiteSpec
     double noise = 0.05;        ///< uniform-draw probability
     double meanDwell = 1000.0;  ///< phased behaviour dwell
     double heat = 1.0;          ///< per-loop-pass execution probability
+
+    /** Sparse* classes: explicit path tap positions (symbols back). */
+    std::vector<unsigned> taps;
+    /** Matcher class: the (pattern, text) pair and MP/KMP choice. */
+    std::string pattern;
+    std::string text;
+    bool kmp = false;
 };
 
 /** Whole-program synthesis parameters (one per benchmark profile). */

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
+#include "util/serde.hh"
 #include "workload/behavior.hh"
 
 namespace {
@@ -196,6 +198,91 @@ TEST(UniformBehavior, CoversTargets)
         ++seen[b.nextTarget(path, 5, rng)];
     for (int count : seen)
         EXPECT_GT(count, 700);
+}
+
+TEST(SparseCorrelatedBehavior, ReadsOnlyItsTaps)
+{
+    // Noise-free sparse behaviour is a pure function of the tapped
+    // path positions: perturbing an untapped depth never moves the
+    // target, perturbing a tapped one does.
+    ibp::util::Rng rng(1);
+    SparseCorrelatedBehavior b(StreamKind::MtIndirect, {0, 3}, 2, 0.0,
+                               0xBEEF);
+    EXPECT_EQ(b.taps(), (std::vector<unsigned>{0, 3}));
+
+    auto path_with = [](std::uint64_t depth1) {
+        PathState path;
+        // Pushed oldest first: the symbols land at depths 3, 2, 1, 0.
+        path.push(StreamKind::MtIndirect, 0x11 << 2);
+        path.push(StreamKind::MtIndirect, 0x22 << 2);
+        path.push(StreamKind::MtIndirect, depth1 << 2);
+        path.push(StreamKind::MtIndirect, 0x33 << 2);
+        return path;
+    };
+    const PathState base = path_with(0x44);
+    const std::size_t target = b.nextTarget(base, 64, rng);
+    EXPECT_EQ(b.nextTarget(base, 64, rng), target)
+        << "noise-free sparse behaviour must be deterministic";
+    EXPECT_EQ(b.nextTarget(path_with(0x55), 64, rng), target)
+        << "depth 1 is untapped; changing it moved the target";
+
+    PathState tapped = path_with(0x44);
+    tapped.push(StreamKind::MtIndirect, 0x77 << 2); // shifts all taps
+    EXPECT_NE(b.nextTarget(tapped, 64, rng), target)
+        << "tapped symbols changed but the target did not";
+}
+
+TEST(SparseCorrelatedBehavior, NameListsTheTaps)
+{
+    SparseCorrelatedBehavior pib(StreamKind::MtIndirect, {1, 5, 13}, 2,
+                                 0.25, 1);
+    EXPECT_NE(pib.name().find("sparse-pib"), std::string::npos)
+        << pib.name();
+}
+
+TEST(MatcherBehavior, WalksTheAutomatonStateCycle)
+{
+    // "aa" over "abab" under MP compares (TFF)^2 from states
+    // [0,1,0,0,1,0]; the behaviour replays that cycle as targets,
+    // modulo the site's arity, ignoring path and rng entirely.
+    ibp::util::Rng rng(1);
+    PathState path;
+    MatcherBehavior b("aa", "abab", false);
+    ASSERT_EQ(b.cycleLength(), 6u);
+    const std::vector<std::size_t> expected = {0, 1, 0, 0, 1, 0};
+    for (int lap = 0; lap < 2; ++lap)
+        for (std::size_t state : expected)
+            EXPECT_EQ(b.nextTarget(path, 2, rng), state);
+}
+
+TEST(MatcherBehavior, CursorSurvivesSaveAndLoad)
+{
+    ibp::util::Rng rng(1);
+    PathState path;
+    MatcherBehavior original("aa", "abab", false);
+    original.nextTarget(path, 2, rng);
+    original.nextTarget(path, 2, rng);
+
+    ibp::util::StateWriter writer;
+    original.saveState(writer);
+    MatcherBehavior restored("aa", "abab", false);
+    ibp::util::StateReader reader(writer.bytes());
+    restored.loadState(reader);
+    ASSERT_TRUE(reader.ok());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(restored.nextTarget(path, 2, rng),
+                  original.nextTarget(path, 2, rng));
+}
+
+TEST(MatcherBehavior, RejectsCursorBeyondItsCycle)
+{
+    ibp::util::StateWriter writer;
+    writer.writeVarint(1'000);
+    MatcherBehavior behavior("aa", "abab", false);
+    ibp::util::StateReader reader(writer.bytes());
+    behavior.loadState(reader);
+    EXPECT_FALSE(reader.ok())
+        << "an out-of-cycle cursor must latch a decode error";
 }
 
 TEST(MixHash, KeySensitivity)

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Analytical ground-truth tests for the MP/KMP matcher streams: the
+ * measured misprediction count of the saturating-counter model over
+ * each generated comparison stream must equal the Nicaud et al.
+ * closed forms EXACTLY — equality assertions, no tolerances.  These
+ * are the oracles the adversarial fuzzer's matcher families lean on,
+ * so any drift here invalidates fuzz findings before it corrupts
+ * committed regression profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/kmp.hh"
+
+namespace {
+
+using namespace ibp::workload;
+
+std::string
+repeat(const std::string &unit, std::size_t times)
+{
+    std::string out;
+    for (std::size_t i = 0; i < times; ++i)
+        out += unit;
+    return out;
+}
+
+TEST(KmpBorders, WeakBordersOfKnownPatterns)
+{
+    EXPECT_EQ(weakBorders("aa"), (std::vector<int>{-1, 0, 1}));
+    EXPECT_EQ(weakBorders("ab"), (std::vector<int>{-1, 0, 0}));
+    EXPECT_EQ(weakBorders("aba"), (std::vector<int>{-1, 0, 0, 1}));
+    EXPECT_EQ(weakBorders("abaab"),
+              (std::vector<int>{-1, 0, 0, 1, 1, 2}));
+    EXPECT_EQ(weakBorders("aaaa"),
+              (std::vector<int>{-1, 0, 1, 2, 3}));
+}
+
+TEST(KmpBorders, StrongBordersSkipRefailingBorders)
+{
+    // A border whose next character re-fails is chained through: for
+    // "aa" the length-0 border of "a" would compare 'a' again, so the
+    // strong function falls straight to the sentinel.
+    EXPECT_EQ(strongBorders("aa"), (std::vector<int>{-1, -1, 1}));
+    EXPECT_EQ(strongBorders("ab"), (std::vector<int>{-1, 0, 0}));
+    EXPECT_EQ(strongBorders("abaab"),
+              (std::vector<int>{-1, 0, -1, 1, 0, 2}));
+    // Unary patterns: every interior strong border collapses to -1;
+    // the full-match slot keeps the weak value (no mismatch char).
+    EXPECT_EQ(strongBorders("aaaa"),
+              (std::vector<int>{-1, -1, -1, -1, 3}));
+}
+
+TEST(KmpOracle, UnaryFamilyHasExactlyOneWarmupMiss)
+{
+    for (std::size_t m : {std::size_t{1}, std::size_t{3}}) {
+        for (std::size_t n : {std::size_t{1}, std::size_t{8},
+                              std::size_t{48}}) {
+            if (n < m)
+                continue;
+            for (bool kmp : {false, true}) {
+                const MatcherRun run = runMatcher(
+                    {repeat("a", m), repeat("a", n), kmp});
+                // Every text character is compared exactly once and
+                // matches; the match prefix carries over.
+                EXPECT_EQ(run.eqOutcomes.size(), n);
+                EXPECT_EQ(run.occurrences, n - m + 1);
+                EXPECT_EQ(satCounterMisses(run.eqOutcomes),
+                          analyticUnaryMisses(n))
+                    << "a^" << m << " over a^" << n
+                    << (kmp ? " kmp" : " mp");
+            }
+        }
+    }
+    EXPECT_EQ(analyticUnaryMisses(0), 0u);
+    EXPECT_EQ(analyticUnaryMisses(1), 1u);
+    EXPECT_EQ(analyticUnaryMisses(48), 1u);
+}
+
+TEST(KmpOracle, AbOverUnaryTextMissesEveryComparison)
+{
+    // Pattern "ab" in a^n: the stream T(FT)^{n-1} keeps the 2-bit
+    // counter oscillating between its two weak states, so every one
+    // of the 2n - 1 comparisons mispredicts — for MP and KMP alike
+    // (the strong border of "ab" at the mismatch position equals the
+    // weak one).
+    for (std::size_t n : {std::size_t{2}, std::size_t{5},
+                          std::size_t{32}}) {
+        for (bool kmp : {false, true}) {
+            const MatcherRun run =
+                runMatcher({"ab", repeat("a", n), kmp});
+            EXPECT_EQ(run.eqOutcomes.size(),
+                      analyticAbOverAsCompares(n));
+            EXPECT_EQ(run.eqOutcomes.size(), 2 * n - 1);
+            EXPECT_EQ(run.occurrences, 0u);
+            EXPECT_EQ(satCounterMisses(run.eqOutcomes),
+                      analyticAbOverAsMisses(n))
+                << "ab over a^" << n << (kmp ? " kmp" : " mp");
+        }
+    }
+}
+
+TEST(KmpOracle, AaOverAbSeparatesKmpFromMp)
+{
+    // The Nicaud et al. headline: on "aa" over (ab)^k, KMP's strong
+    // failure function does *fewer* comparisons (2k vs 3k) but
+    // mispredicts *more* (2k vs k + 1) — strictly worse for k >= 2.
+    for (std::size_t k : {std::size_t{1}, std::size_t{2},
+                          std::size_t{3}, std::size_t{24}}) {
+        const MatcherRun mp = runMatcher({"aa", repeat("ab", k), false});
+        const MatcherRun kmp = runMatcher({"aa", repeat("ab", k), true});
+
+        EXPECT_EQ(mp.eqOutcomes.size(),
+                  analyticAaOverAbCompares(k, false));
+        EXPECT_EQ(mp.eqOutcomes.size(), 3 * k);
+        EXPECT_EQ(satCounterMisses(mp.eqOutcomes),
+                  analyticAaOverAbMisses(k, false));
+        EXPECT_EQ(satCounterMisses(mp.eqOutcomes), k + 1);
+
+        EXPECT_EQ(kmp.eqOutcomes.size(),
+                  analyticAaOverAbCompares(k, true));
+        EXPECT_EQ(kmp.eqOutcomes.size(), 2 * k);
+        EXPECT_EQ(satCounterMisses(kmp.eqOutcomes),
+                  analyticAaOverAbMisses(k, true));
+        EXPECT_EQ(satCounterMisses(kmp.eqOutcomes), 2 * k);
+
+        if (k >= 2) {
+            EXPECT_GT(satCounterMisses(kmp.eqOutcomes),
+                      satCounterMisses(mp.eqOutcomes))
+                << "KMP must be strictly worse at k=" << k;
+        }
+    }
+}
+
+TEST(KmpOracle, SatCounterModelBasics)
+{
+    EXPECT_EQ(satCounterMisses({}), 0u);
+    // All-taken from the weakly-not-taken init: one warmup miss.
+    EXPECT_EQ(satCounterMisses(std::vector<bool>(10, true)), 1u);
+    // All-not-taken: never mispredicts.
+    EXPECT_EQ(satCounterMisses(std::vector<bool>(10, false)), 0u);
+    // Strict alternation starting taken pins the counter between the
+    // two weak states: every outcome mispredicts.
+    std::vector<bool> alternating;
+    for (int i = 0; i < 12; ++i)
+        alternating.push_back(i % 2 == 0);
+    EXPECT_EQ(satCounterMisses(alternating), alternating.size());
+}
+
+TEST(KmpOracle, StatesStayInsidePatternAndFeedBehavior)
+{
+    // The automaton-state stream (what MatcherBehavior replays as
+    // indirect targets) must stay inside [0, m) and align 1:1 with
+    // the comparison stream.
+    for (bool kmp : {false, true}) {
+        const MatcherRun run =
+            runMatcher({"abaab", repeat("abaababa", 8), kmp});
+        ASSERT_EQ(run.states.size(), run.eqOutcomes.size());
+        for (std::size_t state : run.states)
+            EXPECT_LT(state, 5u);
+        // The analysed branch outcome is recomputable from the state:
+        // comparing under the same (pattern, text) walk is what the
+        // closed forms assume.
+        EXPECT_GT(run.occurrences, 0u);
+    }
+}
+
+} // namespace

@@ -323,11 +323,59 @@ TEST(LintRealTree, FactoryRegistrationsAllCovered)
                                      "Oracle", "PpmPredictor",
                                      "TargetCache"}));
 
-    // Checkpointed classes carry manifest hashes.
+    // Checkpointed classes carry manifest hashes — including the
+    // matcher workload behaviour the adversarial fuzzer added.
     for (const char *cls : {"PpmPredictor", "Cascade", "Btb",
-                            "FilteredPpm", "MarkovTable"})
+                            "FilteredPpm", "MarkovTable",
+                            "MatcherBehavior"})
         EXPECT_TRUE(result.serdeHashes.count(cls))
             << cls << " lost its saveState() tracking";
+}
+
+TEST(LintRealTree, FixIsIdempotentOnTheFuzzerWorkloadFiles)
+{
+    // Scratch tree holding the adversarial-fuzzer workload sources,
+    // with one include order scrambled: --fix must repair it in one
+    // pass, and a second --fix pass must find nothing and rewrite
+    // nothing (byte-identical files) — fix convergence on the newest
+    // corner of the tree.
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "ibp_lint_fuzz_fix";
+    fs::remove_all(root);
+    fs::create_directories(root / "src/workload");
+    const fs::path source =
+        fs::path(IBP_LINT_SOURCE_ROOT) / "src/workload";
+    for (const char *name :
+         {"adversarial.cc", "adversarial.hh", "kmp.cc", "kmp.hh"})
+        fs::copy_file(source / name, root / "src/workload" / name);
+
+    const fs::path victim = root / "src/workload/adversarial.cc";
+    std::string text = readFile(victim);
+    const std::string lower = "#include \"util/logging.hh\"\n";
+    const std::string upper = "#include \"workload/behavior.hh\"\n";
+    ASSERT_NE(text.find(lower + upper), std::string::npos)
+        << "adversarial.cc include block changed; update this test";
+    text.replace(text.find(lower + upper),
+                 lower.size() + upper.size(), upper + lower);
+    std::ofstream(victim, std::ios::binary) << text;
+
+    Options options;
+    options.root = root.string();
+    options.onlyRules = {"include-order"};
+    options.fix = true;
+    const Result first = ibp::lint::runLint(options);
+    ASSERT_EQ(first.findings.size(), 1u);
+    EXPECT_TRUE(first.findings[0].fixed);
+    EXPECT_EQ(ibp::lint::exitCodeFor(first), 0);
+
+    const std::string after_first = readFile(victim);
+    EXPECT_EQ(after_first, readFile(source / "adversarial.cc"))
+        << "fix must restore the canonical include order";
+
+    const Result second = ibp::lint::runLint(options);
+    EXPECT_TRUE(second.findings.empty());
+    EXPECT_EQ(readFile(victim), after_first)
+        << "second --fix pass must be a byte-level no-op";
 }
 
 } // namespace

@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
+#include "util/serde.hh"
+#include "workload/adversarial.hh"
 #include "workload/profiles.hh"
+#include "workload/program.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
@@ -19,19 +23,6 @@
 namespace {
 
 using namespace ibp::sim;
-
-const std::vector<std::string> &
-allPredictors()
-{
-    static const std::vector<std::string> names = {
-        "BTB", "BTB2b", "GAp", "TC-PIB", "TC-PB", "TC-IND", "Dpath",
-        "Cascade", "Cascade-strict", "PPM-hyb", "PPM-PIB",
-        "PPM-hyb-biased", "PPM-tagged", "PPM-gshare", "PPM-low",
-        "PPM-inclusive", "PPM-confidence", "PPM-vote2", "PPM-vote4",
-        "Filtered-PPM", "Oracle-PIB@4",
-    };
-    return names;
-}
 
 const ibp::trace::TraceBuffer &
 sharedTrace()
@@ -159,6 +150,142 @@ TEST_P(PredictorPropertyTest, SurvivesDegenerateInputs)
         predictor->observe(r);
     }
     SUCCEED();
+}
+
+std::vector<std::uint8_t>
+stateBytes(const ibp::pred::IndirectPredictor &predictor)
+{
+    ibp::util::StateWriter writer;
+    predictor.saveState(writer);
+    return writer.bytes();
+}
+
+TEST_P(PredictorPropertyTest, FusedPredictAndUpdateMatchesSplitCalls)
+{
+    // The engine's hot loop uses the fused predictAndUpdate(); its
+    // contract is exact equivalence to the split predict()-then-
+    // update() protocol.  Drive one clone through each, and a third
+    // through repeated predict() calls: predictions must agree
+    // throughout (predict() is idempotent before its update()), and
+    // the fused/split clones must end byte-identical.
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    auto split = makePredictor(GetParam());
+    auto fused = makePredictor(GetParam());
+    auto thrice = makePredictor(GetParam());
+
+    trace.rewind();
+    ibp::trace::BranchRecord record;
+    std::uint64_t replayed = 0;
+    while (trace.next(record) && replayed++ < 5000) {
+        if (record.multiTarget) {
+            const auto a = split->predict(record.pc);
+            split->update(record.pc, record.target);
+            const auto b =
+                fused->predictAndUpdate(record.pc, record.target);
+            thrice->predict(record.pc);
+            thrice->predict(record.pc);
+            const auto c = thrice->predict(record.pc);
+            EXPECT_EQ(a.valid, b.valid);
+            EXPECT_EQ(a.target, b.target);
+            EXPECT_EQ(a.valid, c.valid);
+            EXPECT_EQ(a.target, c.target);
+            thrice->update(record.pc, record.target);
+        }
+        split->observe(record);
+        fused->observe(record);
+        thrice->observe(record);
+    }
+    EXPECT_EQ(stateBytes(*split), stateBytes(*fused))
+        << "fused predictAndUpdate() diverged from the split protocol";
+}
+
+TEST_P(PredictorPropertyTest, TableOccupancyReachesAFixedPoint)
+{
+    // Context tables key on bounded history, so a recurring stream
+    // must stop allocating: replaying the same trace a second and
+    // third time sees only already-known contexts (the history at
+    // every pass boundary is identical), and storage must not move
+    // past the second pass.  Unbounded growth here means a predictor
+    // leaks table entries per record rather than per novel context.
+    auto predictor = makePredictor(GetParam());
+    ibp::trace::TraceBuffer trace = sharedTrace();
+    Engine engine;
+    trace.rewind();
+    engine.run(trace, *predictor);
+    const std::uint64_t after_first = predictor->storageBits();
+    trace.rewind();
+    engine.run(trace, *predictor);
+    const std::uint64_t after_second = predictor->storageBits();
+    trace.rewind();
+    engine.run(trace, *predictor);
+    EXPECT_EQ(predictor->storageBits(), after_second)
+        << "occupancy still growing on a fully recurring stream";
+    // Known contexts recur: the second pass may only add entries for
+    // the handful of pass-boundary histories, never re-learn the
+    // trace.
+    EXPECT_LE(after_second - after_first, after_first / 50)
+        << "second replay of identical records re-allocated tables";
+}
+
+TEST_P(PredictorPropertyTest, NeverBeatsTheAnalyticOracleFloor)
+{
+    // On a pure uniform-draw site no causal predictor resolves better
+    // than (T-1)/T; a measured miss rate below that floor (minus a
+    // 4-sigma binomial allowance) would mean the harness leaks the
+    // future into the predictor.
+    ibp::workload::BenchmarkProfile profile;
+    profile.benchmark = "uniform-floor";
+    profile.records = 30'000;
+    profile.program.seed = 0xF100F;
+    ibp::workload::HotSiteSpec site;
+    site.behavior = ibp::workload::BehaviorClass::Uniform;
+    site.numTargets = 4;
+    profile.program.sites = {site};
+    const double floor =
+        ibp::workload::analyticMissFloorPercent(profile.program);
+    EXPECT_DOUBLE_EQ(floor, 75.0);
+
+    const ibp::trace::TraceBuffer trace = generateTrace(profile);
+    ibp::trace::ReplaySource source(trace);
+    auto predictor = makePredictor(GetParam());
+    Engine engine;
+    const RunMetrics metrics = engine.run(source, *predictor);
+    ASSERT_GE(metrics.mtIndirect, 1000u);
+    const double p = floor / 100.0;
+    const double sigma_pp =
+        400.0 *
+        std::sqrt(p * (1.0 - p) /
+                  static_cast<double>(metrics.mtIndirect));
+    EXPECT_GE(metrics.missPercent(), floor - sigma_pp)
+        << "beat the information-theoretic floor: future leak";
+}
+
+TEST_P(PredictorPropertyTest, SingleSteppedReplayIsBitIdentical)
+{
+    // A ReplaySession stepped one record at a time must agree with
+    // Engine::run()'s batched path byte-for-byte: same metrics bytes,
+    // same final predictor state bytes.
+    ibp::trace::TraceBuffer trace = sharedTrace();
+
+    auto batched = makePredictor(GetParam());
+    trace.rewind();
+    Engine engine;
+    const RunMetrics full = engine.run(trace, *batched);
+
+    auto stepped = makePredictor(GetParam());
+    trace.rewind();
+    ReplaySession session;
+    while (session.run(trace, *stepped, 1) == 1) {
+    }
+
+    ibp::util::StateWriter full_metrics;
+    full.saveState(full_metrics);
+    ibp::util::StateWriter step_metrics;
+    session.metrics().saveState(step_metrics);
+    EXPECT_EQ(full_metrics.bytes(), step_metrics.bytes())
+        << "metrics diverged between batched and stepped replay";
+    EXPECT_EQ(stateBytes(*batched), stateBytes(*stepped))
+        << "architectural state diverged under single-stepping";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Adversarial workload fuzzer CLI.
+ *
+ * Runs the deterministic coverage-guided search (sim/fuzz.hh) and
+ * emits the machine-readable findings document on stdout (or --out),
+ * with a human summary on stderr.  Typical workflows:
+ *
+ *   fuzz_tool --seed=42 --budget=2000                 # PR-sized run
+ *   fuzz_tool --seed=7 --budget=20000 --out=f.json    # nightly run
+ *   fuzz_tool --budget=500 --emit-profiles=profiles/  # save repros
+ *   fuzz_tool --known=tests/regression_profiles ...   # CI gate: exit
+ *       3 only when a finding's key is not already pinned there
+ *
+ * The JSON document is a pure function of the options (threads
+ * excluded), so two runs with the same seed/budget are byte-identical
+ * — which is itself asserted in CI.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.hh"
+#include "obs/registry.hh"
+#include "workload/adversarial.hh"
+#include "sim/fuzz.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: fuzz_tool [options]\n"
+           "  --seed=N            master search seed (default 42)\n"
+           "  --budget=N          candidates to generate (default "
+           "2000)\n"
+           "  --records=N         records per candidate trace "
+           "(default 8000)\n"
+           "  --threads=N         worker threads (default: all "
+           "cores)\n"
+           "  --margin=PP         ranking-inversion margin in "
+           "percentage\n"
+           "                      points (default 2.0)\n"
+           "  --tolerance=PP      oracle-deviation tolerance "
+           "(default 1.0)\n"
+           "  --predictor=NAME    restrict the lineup (repeatable)\n"
+           "  --minimize          shrink findings (default)\n"
+           "  --no-minimize       keep findings as found\n"
+           "  --out=FILE          findings JSON path (default "
+           "stdout)\n"
+           "  --emit-profiles=DIR write each finding's reproducer "
+           "profile\n"
+           "  --known=DIR         exit 0 when every finding's key "
+           "matches a\n"
+           "                      profile already in DIR; exit 3 "
+           "otherwise\n"
+           "  --help              this text\n";
+}
+
+bool
+parseFlag(std::string_view arg, std::string_view name,
+          std::string_view &value)
+{
+    if (!arg.starts_with(name))
+        return false;
+    arg.remove_prefix(name.size());
+    if (!arg.starts_with("="))
+        return false;
+    arg.remove_prefix(1);
+    value = arg;
+    return true;
+}
+
+std::uint64_t
+parseU64(std::string_view value, std::string_view flag)
+{
+    std::uint64_t out = 0;
+    for (char c : value) {
+        fatal_if(c < '0' || c > '9', "bad ", flag, " value: ",
+                 std::string(value));
+        out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    fatal_if(value.empty(), "empty ", flag, " value");
+    return out;
+}
+
+double
+parseDouble(std::string_view value, std::string_view flag)
+{
+    try {
+        return std::stod(std::string(value));
+    } catch (...) {
+        fatal("bad ", flag, " value: ", std::string(value));
+    }
+}
+
+/**
+ * Collect the finding keys already pinned under a regression-profile
+ * directory: each committed profile names its key in the "note" field
+ * via the reproducer naming convention, so matching on the suggested
+ * name is enough (and keeps the files self-describing).
+ */
+std::vector<std::string>
+knownProfileNames(const std::string &dir)
+{
+    std::vector<std::string> names;
+    if (!fs::is_directory(dir))
+        return names;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".json")
+            names.push_back(entry.path().stem().string());
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ibp::sim::FuzzOptions options;
+    std::string out_path;
+    std::string emit_dir;
+    std::string known_dir;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string_view value;
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--minimize") {
+            options.minimize = true;
+        } else if (arg == "--no-minimize") {
+            options.minimize = false;
+        } else if (parseFlag(arg, "--seed", value)) {
+            options.seed = parseU64(value, "--seed");
+        } else if (parseFlag(arg, "--budget", value)) {
+            options.budget = parseU64(value, "--budget");
+        } else if (parseFlag(arg, "--records", value)) {
+            options.records = parseU64(value, "--records");
+        } else if (parseFlag(arg, "--threads", value)) {
+            options.threads =
+                static_cast<unsigned>(parseU64(value, "--threads"));
+        } else if (parseFlag(arg, "--margin", value)) {
+            options.inversionMargin = parseDouble(value, "--margin");
+        } else if (parseFlag(arg, "--tolerance", value)) {
+            options.oracleTolerance =
+                parseDouble(value, "--tolerance");
+        } else if (parseFlag(arg, "--predictor", value)) {
+            options.predictors.emplace_back(value);
+        } else if (parseFlag(arg, "--out", value)) {
+            out_path = std::string(value);
+        } else if (parseFlag(arg, "--emit-profiles", value)) {
+            emit_dir = std::string(value);
+        } else if (parseFlag(arg, "--known", value)) {
+            known_dir = std::string(value);
+        } else {
+            usage(std::cerr);
+            fatal("unknown argument: ", std::string(arg));
+        }
+    }
+    fatal_if(options.budget == 0, "--budget must be >= 1");
+
+    ibp::obs::ProbeRegistry probes;
+    const ibp::sim::FuzzReport report =
+        ibp::sim::runFuzz(options, &probes);
+
+    if (out_path.empty()) {
+        ibp::sim::writeFindingsJson(std::cout, report);
+    } else {
+        std::ofstream out(out_path, std::ios::binary);
+        fatal_if(!out, "cannot write ", out_path);
+        ibp::sim::writeFindingsJson(out, report);
+    }
+
+    if (!emit_dir.empty()) {
+        fs::create_directories(emit_dir);
+        for (const auto &finding : report.findings)
+            ibp::workload::saveProfileFile(
+                (fs::path(emit_dir) /
+                 (ibp::sim::suggestedProfileName(finding) + ".json"))
+                    .string(),
+                finding.profile);
+    }
+
+    std::cerr << "fuzz: " << report.generated << " generated, "
+              << report.evaluated << " evaluated ("
+              << report.skippedCovered << " coverage-pruned, "
+              << report.waves << " waves), " << report.shrinkEvals
+              << " shrink evals, " << report.findings.size()
+              << " findings\n";
+    for (const auto &finding : report.findings)
+        std::cerr << "  [" << ibp::sim::findingKindName(finding.kind)
+                  << "] " << finding.detail
+                  << (finding.minimized ? " (minimized)" : "") << "\n";
+
+    if (!known_dir.empty()) {
+        const std::vector<std::string> known =
+            knownProfileNames(known_dir);
+        bool all_known = true;
+        for (const auto &finding : report.findings) {
+            const std::string name =
+                ibp::sim::suggestedProfileName(finding);
+            bool matched = false;
+            for (const std::string &k : known)
+                matched |= k == name;
+            if (!matched) {
+                std::cerr << "new finding not pinned under "
+                          << known_dir << ": " << name << "\n";
+                all_known = false;
+            }
+        }
+        if (!all_known)
+            return 3;
+    }
+    return 0;
+}
