@@ -10,6 +10,7 @@
 
 #include <sstream>
 
+#include "util/table.hh"
 #include "trace/trace_io.hh"
 #include "workload/profiles.hh"
 #include "core/sfsxs.hh"
@@ -66,6 +67,70 @@ PREDICTOR_BENCH(Cascade, "Cascade");
 PREDICTOR_BENCH(PpmHyb, "PPM-hyb");
 PREDICTOR_BENCH(PpmPib, "PPM-PIB");
 PREDICTOR_BENCH(FilteredPpm, "Filtered-PPM");
+
+// --- AssocTable (SoA arena) primitives --------------------------------
+// The tagged-table layout is the hot data structure under Dpath,
+// Cascade and Filtered-PPM; these pin the per-operation cost of the
+// structure-of-arrays planes so a layout regression shows up here
+// before it shows up as predictor throughput.
+
+/// A 512-set x 4-way table of 8-byte payloads (the Dpath-class shape).
+constexpr std::size_t kTableSets = 512;
+constexpr std::size_t kTableWays = 4;
+
+static void
+BM_AssocTableLookupHit(benchmark::State &state)
+{
+    ibp::util::AssocTable<std::uint64_t> table(kTableSets, kTableWays);
+    // Populate every way so hit lookups scan a full set.
+    for (std::uint64_t set = 0; set < kTableSets; ++set)
+        for (std::uint64_t way = 0; way < kTableWays; ++way)
+            table.insert(set, way + 1, set * kTableWays + way);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        const std::uint64_t set = table.reduce(key);
+        const std::uint64_t *entry =
+            table.lookup(set, (key % kTableWays) + 1);
+        benchmark::DoNotOptimize(entry);
+        key += 0x9E3779B9;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssocTableLookupHit);
+
+static void
+BM_AssocTableFindWayMiss(benchmark::State &state)
+{
+    ibp::util::AssocTable<std::uint64_t> table(kTableSets, kTableWays);
+    for (std::uint64_t set = 0; set < kTableSets; ++set)
+        for (std::uint64_t way = 0; way < kTableWays; ++way)
+            table.insert(set, way + 1, 0);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        // Tag 0 is never inserted: every probe scans all ways and
+        // misses — the worst case of the branch-free way scan.
+        benchmark::DoNotOptimize(table.findWay(table.reduce(key), 0));
+        key += 0x9E3779B9;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssocTableFindWayMiss);
+
+static void
+BM_AssocTableInsertEvict(benchmark::State &state)
+{
+    ibp::util::AssocTable<std::uint64_t> table(kTableSets, kTableWays);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        // Distinct tags per insert keep every set at capacity, so the
+        // steady state is one LRU eviction per insert.
+        table.insert(table.reduce(key), key + 1, key);
+        benchmark::DoNotOptimize(table);
+        key += 0x9E3779B9;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssocTableInsertEvict);
 
 static void
 BM_SfsxsHash(benchmark::State &state)

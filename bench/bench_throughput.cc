@@ -19,11 +19,17 @@
  * The pair prices the packed format's memory savings (unpack
  * arithmetic vs. 1.5x less trace traffic) instead of hiding it.
  *
- * Usage: bench_throughput [records] [out.json]
+ * Usage: bench_throughput [records] [out.json] [--baseline=FILE]
  *   records  trace length (default 200000)
  *   out.json output path (default BENCH_throughput.json in the CWD)
+ *   --baseline=FILE  gate this run against a committed baseline JSON:
+ *     per-predictor span/packed throughput ratios are normalized by
+ *     the run's median ratio (cancelling machine-speed differences
+ *     between the baseline host and this one) and the process exits
+ *     nonzero if any predictor fell more than 15% below the pack.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -100,6 +106,93 @@ struct PredictorResult
     Timing packed; ///< trace-cache path: packed records, span-unpacked
 };
 
+/** Per-predictor regression tolerance after median normalization. */
+constexpr double kGateTolerance = 0.85;
+
+double
+median(std::vector<double> values)
+{
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 ? values[n / 2]
+                 : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/**
+ * Compare this run against a committed baseline JSON (schema v2 or
+ * v3 — the measurement keys are unchanged).  Raw branches/s are not
+ * comparable across hosts, so each predictor's fresh/baseline ratio
+ * is normalized by the run's median ratio: a uniformly faster or
+ * slower machine scales every ratio alike and cancels out, while one
+ * predictor regressing relative to the pack stands out.  A predictor
+ * is flagged when either its span or its packed normalized ratio
+ * drops below kGateTolerance.
+ * @return the number of flagged predictors (0 = gate passes).
+ */
+int
+gateAgainstBaseline(const std::vector<PredictorResult> &results,
+                    const std::string &baseline_path)
+{
+    std::ifstream in(baseline_path);
+    fatal_if(!in, "cannot open baseline ", baseline_path);
+    const ibp::util::JsonValue root = ibp::util::parseJson(in);
+    const ibp::util::JsonValue *baseline_preds =
+        root.find("predictors");
+    fatal_if(!baseline_preds,
+             "baseline ", baseline_path, " has no predictors object");
+
+    struct Ratio
+    {
+        std::string name;
+        double span = 0;
+        double packed = 0;
+    };
+    std::vector<Ratio> ratios;
+    std::vector<double> all;
+    for (const auto &result : results) {
+        const ibp::util::JsonValue *entry =
+            baseline_preds->find(result.name);
+        if (!entry)
+            continue; // newly added predictor: nothing to gate against
+        Ratio ratio;
+        ratio.name = result.name;
+        ratio.span = result.span.branchesPerSec /
+                     entry->get("branches_per_sec").asDouble();
+        ratio.packed = result.packed.branchesPerSec /
+                       entry->get("packed_branches_per_sec").asDouble();
+        all.push_back(ratio.span);
+        all.push_back(ratio.packed);
+        ratios.push_back(ratio);
+    }
+    fatal_if(all.empty(),
+             "baseline ", baseline_path,
+             " shares no predictors with this run");
+
+    const double scale = median(all);
+    std::cout << "\nbaseline gate vs " << baseline_path
+              << " (median speed ratio " << scale
+              << ", tolerance " << kGateTolerance << "):\n";
+    int flagged = 0;
+    for (const auto &ratio : ratios) {
+        const double span_norm = ratio.span / scale;
+        const double packed_norm = ratio.packed / scale;
+        const bool bad = span_norm < kGateTolerance ||
+                         packed_norm < kGateTolerance;
+        flagged += bad ? 1 : 0;
+        std::cout << "  " << ratio.name;
+        for (std::size_t pad = ratio.name.size(); pad < 14; ++pad)
+            std::cout << ' ';
+        std::cout << "span x" << span_norm << "  packed x"
+                  << packed_norm << (bad ? "  REGRESSED\n" : "\n");
+    }
+    if (flagged)
+        std::cout << flagged << " predictor(s) regressed >15% vs "
+                  << "the baseline\n";
+    else
+        std::cout << "gate passed\n";
+    return flagged;
+}
+
 } // namespace
 
 int
@@ -107,10 +200,20 @@ main(int argc, char **argv)
 {
     std::uint64_t records = 200'000;
     std::string out_path = "BENCH_throughput.json";
-    if (argc > 1)
-        records = std::strtoull(argv[1], nullptr, 10);
-    if (argc > 2)
-        out_path = argv[2];
+    std::string baseline_path;
+    std::vector<char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--baseline=", 0) == 0)
+            baseline_path =
+                arg.substr(std::string("--baseline=").size());
+        else
+            positional.push_back(argv[i]);
+    }
+    if (positional.size() > 0)
+        records = std::strtoull(positional[0], nullptr, 10);
+    if (positional.size() > 1)
+        out_path = positional[1];
     fatal_if(records == 0, "bench_throughput: records must be > 0");
 
     auto profile = ibp::workload::smokeProfile();
@@ -165,16 +268,17 @@ main(int argc, char **argv)
     }
 
     // --- JSON -------------------------------------------------------------
-    // v2: same measurement keys as v1, plus build metadata (compiler,
-    // flags, git sha, probe configuration) so a regression report can
-    // always be traced back to the binary that produced it.
+    // v3: v2's measurement and build keys, plus per-predictor
+    // iteration/branch counts so the committed file doubles as a
+    // self-documenting baseline for the --baseline gate (how much
+    // signal each number carries is visible in the file itself).
     const auto build = ibp::obs::BuildInfo::current();
     std::ofstream out(out_path);
     fatal_if(!out, "cannot open ", out_path, " for writing");
     {
         ibp::util::JsonWriter json(out);
         json.beginObject();
-        json.key("schema").value("ibp-bench-throughput-v2");
+        json.key("schema").value("ibp-bench-throughput-v3");
         json.key("build").beginObject();
         json.key("compiler").value(build.compiler);
         json.key("build_type").value(build.buildType);
@@ -194,6 +298,10 @@ main(int argc, char **argv)
                 .value(result.span.branchesPerSec);
             json.key("packed_branches_per_sec")
                 .value(result.packed.branchesPerSec);
+            json.key("span_iterations")
+                .value(std::uint64_t{result.span.iterations});
+            json.key("packed_iterations")
+                .value(std::uint64_t{result.packed.iterations});
             json.endObject();
         }
         json.endObject();
@@ -202,5 +310,9 @@ main(int argc, char **argv)
     out << '\n';
 
     std::cout << "\nwrote " << out_path << "\n";
+
+    if (!baseline_path.empty() &&
+        gateAgainstBaseline(results, baseline_path) > 0)
+        return 1;
     return 0;
 }

@@ -71,6 +71,11 @@ threadCount(int argc, char **argv, unsigned fallback = 0)
  * An interrupted run restarted with the same path and --resume skips
  * every finished cell and produces a report that `report_tool --diff`
  * finds identical to an uninterrupted run's.
+ *
+ * One-pass replay (generate/decode each trace once, feed every
+ * predictor column from the shared records — bit-identical, usually
+ * faster) is enabled by:
+ *   --one-pass               (IBP_ONE_PASS=1)
  */
 inline ibp::sim::SuiteOptions
 suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
@@ -83,6 +88,8 @@ suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
         options.checkpointEvery = std::strtoull(env, nullptr, 10);
     if (const char *env = std::getenv("IBP_RESUME"))
         options.resume = std::string(env) != "0";
+    if (const char *env = std::getenv("IBP_ONE_PASS"))
+        options.onePass = std::string(env) != "0";
 
     // Split flags from positionals so `bench --resume 0.1` and
     // `bench 0.1 --resume` both work.
@@ -98,6 +105,8 @@ suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
                 nullptr, 10);
         else if (arg == "--resume")
             options.resume = true;
+        else if (arg == "--one-pass")
+            options.onePass = true;
         else
             positional.push_back(argv[i]);
     }

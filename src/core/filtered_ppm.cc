@@ -37,8 +37,20 @@ FilteredPpm::filterTag(trace::Addr pc) const
 pred::Prediction
 FilteredPpm::predict(trace::Addr pc)
 {
-    const FilterEntry *fentry =
-        filter_.lookup(filterSet(pc), filterTag(pc));
+    // Resolve the filter slot once and cache it for the paired
+    // update(); findWay + touchWay/noteLookupMiss is the exact split
+    // of what lookup() does.
+    lastFilterSet_ = filterSet(pc);
+    lastFilterTag_ = filterTag(pc);
+    lastFilterWay_ = filter_.findWay(lastFilterSet_, lastFilterTag_);
+    haveFilterSlot_ = true;
+    const FilterEntry *fentry = nullptr;
+    if (lastFilterWay_ == util::AssocTable<FilterEntry>::kNoWay) {
+        filter_.noteLookupMiss(lastFilterSet_);
+    } else {
+        filter_.touchWay(lastFilterSet_, lastFilterWay_);
+        fentry = &filter_.wayEntry(lastFilterSet_, lastFilterWay_);
+    }
     lastFilter = fentry ? pred::Prediction{fentry->entry.valid,
                                            fentry->entry.target}
                         : pred::Prediction{};
@@ -62,23 +74,42 @@ FilteredPpm::predict(trace::Addr pc)
 void
 FilteredPpm::update(trace::Addr pc, trace::Addr target)
 {
-    FilterEntry *fentry = filter_.lookup(filterSet(pc), filterTag(pc));
-    if (fentry) {
-        const bool filter_right = fentry->entry.valid &&
-                                  fentry->entry.target == target;
+    // Consume the slot predict() resolved (nothing inserts into the
+    // filter between a predict and its update, so the cached way and
+    // a rescan are interchangeable); fall back to a fresh scan after
+    // a checkpoint restore.
+    std::uint64_t set;
+    std::uint64_t tag;
+    std::size_t way;
+    if (haveFilterSlot_) {
+        set = lastFilterSet_;
+        tag = lastFilterTag_;
+        way = lastFilterWay_;
+        haveFilterSlot_ = false;
+    } else {
+        set = filterSet(pc);
+        tag = filterTag(pc);
+        way = filter_.findWay(set, tag);
+    }
+    if (way != util::AssocTable<FilterEntry>::kNoWay) {
+        filter_.touchWay(set, way);
+        FilterEntry &fentry = filter_.wayEntry(set, way);
+        const bool filter_right = fentry.entry.valid &&
+                                  fentry.entry.target == target;
         if (!filter_right) {
             // Promotion: leaky promotes at the first filter miss,
             // strict only once the hysteresis counter is exhausted
             // (persistent misbehaviour).
             if (config_.mode == pred::FilterMode::Leaky ||
-                fentry->entry.counter.value() == 0)
-                fentry->provenPolymorphic = true;
+                fentry.entry.counter.value() == 0)
+                fentry.provenPolymorphic = true;
         }
-        fentry->entry.train(target);
+        fentry.entry.train(target);
     } else {
+        filter_.noteLookupMiss(set);
         FilterEntry fresh;
         fresh.entry.train(target);
-        filter_.insert(filterSet(pc), filterTag(pc), fresh);
+        filter_.insert(set, tag, fresh);
     }
 
     if (ppmPredicted)
@@ -110,6 +141,7 @@ FilteredPpm::reset()
     ppmPredicted = false;
     servedByFilter = 0;
     servedTotal = 0;
+    haveFilterSlot_ = false;
 }
 
 void
@@ -144,6 +176,9 @@ FilteredPpm::loadState(util::StateReader &reader)
     servedTotal = reader.readU64();
     if (reader.ok() && servedByFilter > servedTotal)
         reader.fail("filter serve counters inconsistent");
+    // The cached filter slot is transient: a restored predictor
+    // rescans on its next update.
+    haveFilterSlot_ = false;
 }
 
 void

@@ -35,7 +35,7 @@ struct FilteredPpmConfig
 };
 
 /** A Cascade-style filter stage in front of a PPM predictor. */
-class FilteredPpm : public pred::IndirectPredictor
+class FilteredPpm final : public pred::IndirectPredictor
 {
   public:
     explicit FilteredPpm(const FilteredPpmConfig &config,
@@ -44,6 +44,27 @@ class FilteredPpm : public pred::IndirectPredictor
     std::string name() const override { return name_; }
     pred::Prediction predict(trace::Addr pc) override;
     void update(trace::Addr pc, trace::Addr target) override;
+
+    /** Fused fast path: the filter way resolved by predict() is
+     *  consumed directly by update(), and every inner-PPM call is
+     *  statically dispatched.  Bit-identical to split
+     *  predict()+update(). */
+    pred::Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target) override
+    {
+        const pred::Prediction predicted = FilteredPpm::predict(pc);
+        FilteredPpm::update(pc, target);
+        return predicted;
+    }
+
+    /** Replay lookahead: prefetch the filter set for an upcoming
+     *  @p pc (the PPM stack hashes on history unknown this early). */
+    void
+    prefetchFor(trace::Addr pc) const
+    {
+        filter_.prefetchSet(filterSet(pc));
+    }
+
     void observe(const trace::BranchRecord &record) override;
     std::uint64_t storageBits() const override;
     void reset() override;
@@ -81,6 +102,15 @@ class FilteredPpm : public pred::IndirectPredictor
     bool ppmPredicted = false; ///< PPM stack consulted this branch
     std::uint64_t servedByFilter = 0;
     std::uint64_t servedTotal = 0;
+
+    // Filter slot resolved by the most recent predict(), consumed by
+    // the next update() to skip re-hashing and the second tag scan.
+    // Transient (never serialized): loadState()/reset() drop it so a
+    // restored predictor rescans, exactly like the historical path.
+    std::uint64_t lastFilterSet_ = 0;
+    std::uint64_t lastFilterTag_ = 0;
+    std::size_t lastFilterWay_ = 0;
+    bool haveFilterSlot_ = false;
 };
 
 } // namespace ibp::core

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Strict-warning coverage for the header-only parts of obs/.
+ *
+ * The IBP_WERROR gate (-Werror -Wshadow -Wconversion -Wold-style-cast)
+ * applies to the translation units of this library; headers that no
+ * .cc file happens to include would escape it.  This TU includes every
+ * obs header so the whole layer is compiled under the strict set.
+ */
+
+#include "obs/cputime.hh"
+#include "obs/phase_timer.hh"
+#include "obs/registry.hh"
+#include "obs/report.hh"

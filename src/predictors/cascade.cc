@@ -32,8 +32,20 @@ Cascade::filterTag(trace::Addr pc) const
 Prediction
 Cascade::predict(trace::Addr pc)
 {
-    const FilterEntry *fentry =
-        filter_.lookup(filterSet(pc), filterTag(pc));
+    // Resolve the filter slot once and cache it for the paired
+    // update(); findWay + touchWay/noteLookupMiss is the exact split
+    // of what lookup() does.
+    lastFilterSet_ = filterSet(pc);
+    lastFilterTag_ = filterTag(pc);
+    lastFilterWay_ = filter_.findWay(lastFilterSet_, lastFilterTag_);
+    haveFilterSlot_ = true;
+    const FilterEntry *fentry = nullptr;
+    if (lastFilterWay_ == util::AssocTable<FilterEntry>::kNoWay) {
+        filter_.noteLookupMiss(lastFilterSet_);
+    } else {
+        filter_.touchWay(lastFilterSet_, lastFilterWay_);
+        fentry = &filter_.wayEntry(lastFilterSet_, lastFilterWay_);
+    }
     lastFilter = fentry ? Prediction{fentry->entry.valid,
                                      fentry->entry.target}
                         : Prediction{};
@@ -63,16 +75,35 @@ Cascade::update(trace::Addr pc, trace::Addr target)
 {
     const bool filter_right = lastFilter.hit(target);
 
-    // Stage 1: the filter always learns.
-    FilterEntry *fentry = filter_.lookup(filterSet(pc), filterTag(pc));
-    if (fentry) {
-        if (!filter_right)
-            fentry->provenPolymorphic = true;
+    // Stage 1: the filter always learns.  Consume the slot predict()
+    // resolved (nothing inserts into the filter between a predict and
+    // its update, so the cached way and a rescan are interchangeable);
+    // fall back to a fresh scan after a checkpoint restore.
+    std::uint64_t set;
+    std::uint64_t tag;
+    std::size_t way;
+    if (haveFilterSlot_) {
+        set = lastFilterSet_;
+        tag = lastFilterTag_;
+        way = lastFilterWay_;
+        haveFilterSlot_ = false;
+    } else {
+        set = filterSet(pc);
+        tag = filterTag(pc);
+        way = filter_.findWay(set, tag);
+    }
+    FilterEntry *fentry = nullptr;
+    if (way != util::AssocTable<FilterEntry>::kNoWay) {
+        filter_.touchWay(set, way);
+        fentry = &filter_.wayEntry(set, way);
+        // Unconditional OR-store beats a data-dependent branch here.
+        fentry->provenPolymorphic |= !filter_right;
         fentry->entry.train(target);
     } else {
+        filter_.noteLookupMiss(set);
         FilterEntry fresh;
         fresh.entry.train(target);
-        filter_.insert(filterSet(pc), filterTag(pc), fresh);
+        filter_.insert(set, tag, fresh);
     }
 
     // Stage 2: any filter failure — wrong target, cold miss, or a
@@ -128,6 +159,7 @@ Cascade::reset()
     lastMain = {};
     servedByFilter = 0;
     servedTotal = 0;
+    haveFilterSlot_ = false;
 }
 
 void
@@ -160,6 +192,9 @@ Cascade::loadState(util::StateReader &reader)
     servedTotal = reader.readU64();
     if (reader.ok() && servedByFilter > servedTotal)
         reader.fail("Cascade serve counters inconsistent");
+    // The cached filter slot is transient: a restored predictor
+    // rescans on its next update.
+    haveFilterSlot_ = false;
 }
 
 void

@@ -50,7 +50,7 @@ struct CascadeConfig
 };
 
 /** The two-stage Cascade. */
-class Cascade : public IndirectPredictor
+class Cascade final : public IndirectPredictor
 {
   public:
     explicit Cascade(const CascadeConfig &config,
@@ -59,6 +59,28 @@ class Cascade : public IndirectPredictor
     std::string name() const override { return name_; }
     Prediction predict(trace::Addr pc) override;
     void update(trace::Addr pc, trace::Addr target) override;
+
+    /** Fused fast path: the filter way and the main-component slots
+     *  resolved by predict() are consumed directly by update(), so
+     *  each table is walked once per branch.  Bit-identical to split
+     *  predict()+update(). */
+    Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target) override
+    {
+        const Prediction predicted = Cascade::predict(pc);
+        Cascade::update(pc, target);
+        return predicted;
+    }
+
+    /** Replay lookahead: prefetch the filter set and the main
+     *  predictor's lines for an upcoming @p pc. */
+    void
+    prefetchFor(trace::Addr pc) const
+    {
+        filter_.prefetchSet(filterSet(pc));
+        main_.prefetchFor(pc);
+    }
+
     void observe(const trace::BranchRecord &record) override;
     void snapshotProbes(obs::ProbeRegistry &registry) const override;
     std::uint64_t storageBits() const override;
@@ -90,6 +112,15 @@ class Cascade : public IndirectPredictor
     Prediction lastMain;
     std::uint64_t servedByFilter = 0;
     std::uint64_t servedTotal = 0;
+
+    // Filter slot resolved by the most recent predict(), consumed by
+    // the next update() to skip re-hashing and the second tag scan.
+    // Transient (never serialized): loadState()/reset() drop it so a
+    // restored predictor rescans, exactly like the historical path.
+    std::uint64_t lastFilterSet_ = 0;
+    std::uint64_t lastFilterTag_ = 0;
+    std::size_t lastFilterWay_ = 0;
+    bool haveFilterSlot_ = false;
 };
 
 } // namespace ibp::pred

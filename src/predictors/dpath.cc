@@ -17,20 +17,35 @@ PathComponent::PathComponent(const PathComponentConfig &config)
     fatal_if(config.entries == 0, "PathComponent needs entries");
     fatal_if(config.tagged && config.entries % config.ways != 0,
              "tagged PathComponent: entries must be a multiple of ways");
+
+    // Precompute the across-targets interleave as per-history-byte
+    // lookup tables.  The reference mapping (see indexHash) sends
+    // source history bit s = t*per + i to output bit i*targets + t,
+    // kept while the output bit is below 32; each LUT entry is the OR
+    // of the images of one byte's set bits.
+    const unsigned per = config.bitsPerTarget;
+    const unsigned targets = config.historyBits / per;
+    acrossLut_.resize((config.historyBits + 7) / 8);
+    for (std::size_t b = 0; b < acrossLut_.size(); ++b) {
+        for (unsigned v = 0; v < 256; ++v) {
+            std::uint32_t image = 0;
+            for (unsigned k = 0; k < 8; ++k) {
+                if (((v >> k) & 1) == 0)
+                    continue;
+                const unsigned s =
+                    static_cast<unsigned>(8 * b) + k;
+                if (s >= per * targets)
+                    continue;
+                // Bit-permutation arithmetic, not a table index.
+                // ibp-lint: allow(table-modulo)
+                const unsigned out = (s % per) * targets + s / per;
+                if (out < 32)
+                    image |= std::uint32_t{1} << out;
+            }
+            acrossLut_[b][v] = image;
+        }
+    }
 }
-
-namespace {
-
-/** SplitMix64 finalizer: scrambles every history bit into the hash. */
-constexpr std::uint64_t
-scramble(std::uint64_t value)
-{
-    value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    value = (value ^ (value >> 27)) * 0x94d049bb133111ebULL;
-    return value ^ (value >> 31);
-}
-
-} // namespace
 
 std::uint64_t
 PathComponent::indexHash(trace::Addr pc) const
@@ -43,17 +58,13 @@ PathComponent::indexHash(trace::Addr pc) const
     // grants only ~k/2 bits to the path.  This is deliberately weaker
     // than gshare's full-register XOR — path reach survives, but at a
     // fraction of a bit per target, which is the design point the
-    // paper's Dpath/Cascade occupy.
-    const unsigned per = config_.bitsPerTarget;
-    const unsigned targets = config_.historyBits / per;
+    // paper's Dpath/Cascade occupy.  Both interleaves are constant
+    // time: the across step ORs one precomputed LUT entry per history
+    // byte (constructor), the address step is a Morton spread.
     const std::uint64_t hist = history_.value();
     std::uint64_t across = 0;
-    unsigned out_bit = 0;
-    for (unsigned i = 0; i < per && out_bit < 32; ++i)
-        for (unsigned t = 0; t < targets && out_bit < 32;
-             ++t, ++out_bit)
-            if ((hist >> (t * per + i)) & 1)
-                across |= std::uint64_t{1} << out_bit;
+    for (std::size_t b = 0; b < acrossLut_.size(); ++b)
+        across |= acrossLut_[b][(hist >> (8 * b)) & 0xFF];
     return util::interleaveBits(pc >> 2, across, 16);
 }
 
@@ -77,10 +88,16 @@ PathComponent::predict(trace::Addr pc)
     }
     lastSet = assoc_.reduce(indexHash(pc));
     lastTag = tagHash(pc);
-    const TargetEntry *entry = assoc_.lookup(lastSet, lastTag);
-    if (!entry)
+    const std::size_t way = assoc_.findWay(lastSet, lastTag);
+    lastWay_ = way;
+    haveSlot_ = true;
+    if (way == util::AssocTable<TargetEntry>::kNoWay) {
+        assoc_.noteLookupMiss(lastSet);
         return {};
-    return {entry->valid, entry->target};
+    }
+    assoc_.touchWay(lastSet, way);
+    const TargetEntry &entry = assoc_.wayEntry(lastSet, way);
+    return {entry.valid, entry.target};
 }
 
 void
@@ -90,14 +107,38 @@ PathComponent::update(trace::Addr target, bool allocate)
         direct_.at(lastIndex).train(target);
         return;
     }
-    TargetEntry *entry = assoc_.lookup(lastSet, lastTag);
-    if (entry) {
-        entry->train(target);
-    } else if (allocate) {
-        TargetEntry fresh;
-        fresh.train(target);
-        assoc_.insert(lastSet, lastTag, fresh);
+    // Consume the way predict() resolved; fall back to a fresh scan
+    // when no predict preceded this update (checkpoint restore).  The
+    // hit/miss outcome cannot change in between — nothing inserts into
+    // this component's table between a predict and its update — so the
+    // cached way and a rescan are interchangeable, touch for touch.
+    std::size_t way;
+    if (haveSlot_) {
+        way = lastWay_;
+        haveSlot_ = false;
+    } else {
+        way = assoc_.findWay(lastSet, lastTag);
     }
+    if (way != util::AssocTable<TargetEntry>::kNoWay) {
+        assoc_.touchWay(lastSet, way);
+        assoc_.wayEntry(lastSet, way).train(target);
+    } else {
+        assoc_.noteLookupMiss(lastSet);
+        if (allocate) {
+            TargetEntry fresh;
+            fresh.train(target);
+            assoc_.insert(lastSet, lastTag, fresh);
+        }
+    }
+}
+
+void
+PathComponent::prefetch(trace::Addr pc) const
+{
+    if (!config_.tagged)
+        direct_.prefetchEntry(direct_.reduce(indexHash(pc)));
+    else
+        assoc_.prefetchSet(assoc_.reduce(indexHash(pc)));
 }
 
 void
@@ -120,6 +161,7 @@ PathComponent::reset()
     history_.reset();
     direct_.reset();
     assoc_.reset();
+    haveSlot_ = false;
 }
 
 void
@@ -148,6 +190,8 @@ PathComponent::loadState(util::StateReader &reader)
     lastIndex = reader.readU64();
     lastSet = reader.readU64();
     lastTag = reader.readU64();
+    // The cached way is transient: a restored component rescans.
+    haveSlot_ = false;
 }
 
 void
@@ -197,10 +241,15 @@ Dpath::updateWithAllocate(trace::Addr pc, trace::Addr target,
     const bool short_right = lastShort.hit(target);
     const bool long_right = lastLong.hit(target);
     Selector &sel = selector_.at(selector_.reduce(pc >> 2));
-    if (long_right && !short_right)
-        sel.counter.increment();
-    else if (short_right && !long_right)
-        sel.counter.decrement();
+    // Select-based saturating bump: whether the components disagree is
+    // data-dependent and unpredictable, so the if/else-if form eats a
+    // branch mispredict on most selector-moving branches.
+    const int delta =
+        static_cast<int>(long_right) - static_cast<int>(short_right);
+    const unsigned cur = sel.counter.value();
+    const unsigned up = cur == sel.counter.max() ? cur : cur + 1;
+    const unsigned down = cur == 0 ? 0u : cur - 1;
+    sel.counter.set(delta > 0 ? up : delta < 0 ? down : cur);
 
     short_.update(target, allocate);
     long_.update(target, allocate);

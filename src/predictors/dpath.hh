@@ -14,6 +14,7 @@
 #ifndef IBP_PREDICTORS_DPATH_HH_
 #define IBP_PREDICTORS_DPATH_HH_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -58,6 +59,11 @@ class PathComponent
      */
     void update(trace::Addr target, bool allocate);
 
+    /** Pull the table line @p pc's next access will touch into cache
+     *  (replay lookahead; no architectural effect).  Exact when the
+     *  path history already reflects every record before @p pc. */
+    void prefetch(trace::Addr pc) const;
+
     void observe(const trace::BranchRecord &record);
     std::uint64_t storageBits() const;
     void reset();
@@ -77,10 +83,23 @@ class PathComponent
     util::DirectTable<TargetEntry> direct_;
     util::AssocTable<TargetEntry> assoc_;
 
+    // Per-byte lookup tables for the across-targets interleave of the
+    // path register: acrossLut_[b][v] is the interleaved image of
+    // history byte b holding value v.  Built once from the geometry in
+    // the constructor; OR-ing one entry per history byte replaces the
+    // historical bit-at-a-time double loop on every index hash.
+    std::vector<std::array<std::uint32_t, 256>> acrossLut_;
+
     // Slot captured at predict time for the follow-up update.
     std::uint64_t lastIndex = 0;
     std::uint64_t lastSet = 0;
     std::uint64_t lastTag = 0;
+    // Way resolved by the most recent predict(), consumed by the next
+    // update() to skip the second tag scan.  Transient (never
+    // serialized): loadState()/reset() drop it so a restored component
+    // falls back to the full scan, exactly like the historical path.
+    std::size_t lastWay_ = 0;
+    bool haveSlot_ = false;
 };
 
 /** Dual-path hybrid configuration. */
@@ -94,7 +113,7 @@ struct DpathConfig
 };
 
 /** The dual-path hybrid. */
-class Dpath : public IndirectPredictor
+class Dpath final : public IndirectPredictor
 {
   public:
     explicit Dpath(const DpathConfig &config, std::string name = "Dpath");
@@ -102,6 +121,28 @@ class Dpath : public IndirectPredictor
     std::string name() const override { return name_; }
     Prediction predict(trace::Addr pc) override;
     void update(trace::Addr pc, trace::Addr target) override;
+
+    /** Fused fast path: one table walk per component per branch (the
+     *  slot each predict() resolves is handed straight to update()).
+     *  Bit-identical to split predict()+update(). */
+    Prediction
+    predictAndUpdate(trace::Addr pc, trace::Addr target) override
+    {
+        const Prediction predicted = Dpath::predict(pc);
+        Dpath::update(pc, target);
+        return predicted;
+    }
+
+    /** Replay lookahead: prefetch both components' lines and the
+     *  selector row for an upcoming @p pc. */
+    void
+    prefetchFor(trace::Addr pc) const
+    {
+        short_.prefetch(pc);
+        long_.prefetch(pc);
+        selector_.prefetchEntry(selector_.reduce(pc >> 2));
+    }
+
     void observe(const trace::BranchRecord &record) override;
     std::uint64_t storageBits() const override;
     void reset() override;

@@ -166,30 +166,33 @@ class IndirectPredictor
  */
 struct TargetEntry
 {
-    bool valid = false;
+    // Declaration order packs the entry into 16 bytes (target, then
+    // the 6-byte counter, then the flag) — table footprint is replay
+    // bandwidth, so entry size is a measured quantity, not taste.
     trace::Addr target = 0;
     util::SatCounter counter{2, 1};
+    bool valid = false;
 
-    /** Train with the resolved target under the hysteresis policy. */
+    /** Train with the resolved target under the hysteresis policy.
+     *
+     *  Written as selects rather than an if-chain: which arm runs
+     *  depends on hash-indexed table contents, so the host CPU cannot
+     *  predict it — the branchy form costs a mispredict on a large
+     *  fraction of trains in every table-heavy predictor's hot loop.
+     */
     void
     train(trace::Addr actual)
     {
-        if (!valid) {
-            valid = true;
-            target = actual;
-            counter.set(1);
-            return;
-        }
-        if (target == actual) {
-            counter.increment();
-            return;
-        }
-        if (counter.value() == 0) {
-            target = actual;
-            counter.set(1);
-        } else {
-            counter.decrement();
-        }
+        const unsigned cur = counter.value();
+        const bool match = valid && target == actual;
+        // Replace the target when the entry is empty or its hysteresis
+        // has decayed to zero ("updated on two consecutive misses").
+        const bool replace = !valid || (!match && cur == 0);
+        const unsigned bumped = cur == counter.max() ? cur : cur + 1;
+        // On the mismatch-decrement arm cur > 0, so cur - 1 is safe.
+        counter.set(replace ? 1u : match ? bumped : cur - 1);
+        target = replace ? actual : target;
+        valid = true;
     }
 
     /** Storage cost of one entry in bits (target field width 64). */

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "predictors/btb.hh"
+#include "predictors/cascade.hh"
+#include "predictors/dpath.hh"
+#include "core/filtered_ppm.hh"
 #include "core/ppm_predictor.hh"
 
 namespace ibp::sim {
@@ -10,14 +13,73 @@ namespace ibp::sim {
 namespace {
 
 /**
- * The replay loop, templated on the concrete predictor type.  For the
- * hot predictor classes (final types dispatched below) the compiler
- * devirtualizes and inlines predictAndUpdate()/observe() straight into
- * the loop; instantiated with the base class it degrades to exactly
- * one virtual call per predicted branch and one per observed record.
- * Either way the per-record protocol — predict -> update -> observe,
- * in trace order — is the same code, so metrics are bit-identical
- * across instantiations.
+ * The per-span replay loop, templated on the concrete predictor type.
+ * For the hot predictor classes (final types dispatched below) the
+ * compiler devirtualizes and inlines predictAndUpdate()/observe()
+ * straight into the loop; instantiated with the base class it degrades
+ * to exactly one virtual call per predicted branch and one per
+ * observed record.  Either way the per-record protocol — predict ->
+ * update -> observe, in trace order — is the same code, so metrics are
+ * bit-identical across instantiations *and* across span sizes: no
+ * state outlives a record beyond the RAS, metrics and predictor, so
+ * chunking a trace differently cannot change a simulated number.
+ *
+ * Predictors exposing prefetchFor() get replay lookahead: after record
+ * b completes (post-observe), the table lines record b+distance will
+ * touch are prefetched.  At distance 1 the hint is exact — the history
+ * registers already hold the state the upcoming predict will hash.
+ */
+template <typename Predictor>
+inline void
+replaySpan(const trace::BranchRecord *span, std::size_t n,
+           bool use_ras, bool per_site, bool observes,
+           std::size_t prefetch_distance, Predictor &predictor,
+           pred::ReturnAddressStack &ras, RunMetrics &metrics)
+{
+    metrics.branches += n;
+    for (std::size_t b = 0; b < n; ++b) {
+        const trace::BranchRecord &record = span[b];
+
+        if (record.isPredictedIndirect()) {
+            ++metrics.mtIndirect;
+            const pred::Prediction prediction =
+                predictor.predictAndUpdate(record.pc, record.target);
+            const bool miss = !prediction.hit(record.target);
+            metrics.indirectMisses.sample(miss);
+            metrics.noPrediction.sample(!prediction.valid);
+            if (per_site) {
+                SiteMetrics &site = metrics.perSite[record.pc];
+                site.misses.sample(miss);
+                site.lastTarget = record.target;
+            }
+        } else if (record.kind == trace::BranchKind::Return &&
+                   use_ras) {
+            trace::Addr predicted = 0;
+            const bool got = ras.pop(predicted);
+            metrics.returnMisses.sample(!got ||
+                                        predicted != record.target);
+        }
+
+        if (record.call && use_ras)
+            ras.push(record.pc + 4);
+
+        if (observes)
+            predictor.observe(record);
+
+        if constexpr (requires(const Predictor &p, trace::Addr a) {
+                          p.prefetchFor(a);
+                      }) {
+            const std::size_t ahead = b + prefetch_distance;
+            if (prefetch_distance != 0 && ahead < n &&
+                span[ahead].isPredictedIndirect())
+                predictor.prefetchFor(span[ahead].pc);
+        }
+    }
+}
+
+/**
+ * The batched replay driver: pulls spans (or bounded batches) from the
+ * source and runs each through replaySpan().
  *
  * @p limit bounds the records consumed (ReplaySession::kNoLimit = run
  * to exhaustion).  The unbounded case keeps the zero-copy nextSpan()
@@ -36,6 +98,7 @@ replay(const EngineConfig &config, trace::BranchSource &source,
     const bool use_ras = config.useRas;
     const bool per_site = config.perSiteStats;
     const bool observes = predictor.wantsObserve();
+    const std::size_t prefetch_distance = config.prefetchDistance;
     const bool unbounded = limit == ReplaySession::kNoLimit;
 
     std::uint64_t consumed = 0;
@@ -56,38 +119,9 @@ replay(const EngineConfig &config, trace::BranchSource &source,
                 break;
             span = batch;
         }
-        metrics.branches += n;
         consumed += n;
-
-        for (std::size_t b = 0; b < n; ++b) {
-            const trace::BranchRecord &record = span[b];
-
-            if (record.isPredictedIndirect()) {
-                ++metrics.mtIndirect;
-                const pred::Prediction prediction =
-                    predictor.predictAndUpdate(record.pc, record.target);
-                const bool miss = !prediction.hit(record.target);
-                metrics.indirectMisses.sample(miss);
-                metrics.noPrediction.sample(!prediction.valid);
-                if (per_site) {
-                    SiteMetrics &site = metrics.perSite[record.pc];
-                    site.misses.sample(miss);
-                    site.lastTarget = record.target;
-                }
-            } else if (record.kind == trace::BranchKind::Return &&
-                       use_ras) {
-                trace::Addr predicted = 0;
-                const bool got = ras.pop(predicted);
-                metrics.returnMisses.sample(!got ||
-                                            predicted != record.target);
-            }
-
-            if (record.call && use_ras)
-                ras.push(record.pc + 4);
-
-            if (observes)
-                predictor.observe(record);
-        }
+        replaySpan(span, n, use_ras, per_site, observes,
+                   prefetch_distance, predictor, ras, metrics);
     }
     return consumed;
 }
@@ -110,6 +144,12 @@ dispatchReplay(const EngineConfig &config, trace::BranchSource &source,
         return replay(config, source, *btb2b, ras, metrics, limit);
     if (auto *ppm = dynamic_cast<core::PpmPredictor *>(&predictor))
         return replay(config, source, *ppm, ras, metrics, limit);
+    if (auto *dpath = dynamic_cast<pred::Dpath *>(&predictor))
+        return replay(config, source, *dpath, ras, metrics, limit);
+    if (auto *cascade = dynamic_cast<pred::Cascade *>(&predictor))
+        return replay(config, source, *cascade, ras, metrics, limit);
+    if (auto *fppm = dynamic_cast<core::FilteredPpm *>(&predictor))
+        return replay(config, source, *fppm, ras, metrics, limit);
     return replay(config, source, predictor, ras, metrics, limit);
 }
 
@@ -180,6 +220,59 @@ void
 ReplaySession::loadProbes(util::StateReader &reader)
 {
     ras_.loadProbes(reader);
+}
+
+template <typename Predictor>
+void
+SpanDriver::feedAs(SpanDriver &driver, const trace::BranchRecord *span,
+                   std::size_t n)
+{
+    auto &predictor = static_cast<Predictor &>(*driver.predictor_);
+    replaySpan(span, n, driver.config_.useRas,
+               driver.config_.perSiteStats, predictor.wantsObserve(),
+               driver.config_.prefetchDistance, predictor, driver.ras_,
+               driver.metrics_);
+}
+
+SpanDriver::FeedFn
+SpanDriver::selectFeed(pred::IndirectPredictor &predictor)
+{
+    // The same type switch dispatchReplay() uses, resolved once at
+    // construction instead of once per run.
+    if (dynamic_cast<pred::Btb *>(&predictor))
+        return &feedAs<pred::Btb>;
+    if (dynamic_cast<pred::Btb2b *>(&predictor))
+        return &feedAs<pred::Btb2b>;
+    if (dynamic_cast<core::PpmPredictor *>(&predictor))
+        return &feedAs<core::PpmPredictor>;
+    if (dynamic_cast<pred::Dpath *>(&predictor))
+        return &feedAs<pred::Dpath>;
+    if (dynamic_cast<pred::Cascade *>(&predictor))
+        return &feedAs<pred::Cascade>;
+    if (dynamic_cast<core::FilteredPpm *>(&predictor))
+        return &feedAs<core::FilteredPpm>;
+    return &feedAs<pred::IndirectPredictor>;
+}
+
+SpanDriver::SpanDriver(const EngineConfig &config,
+                       pred::IndirectPredictor &predictor)
+    : config_(config), predictor_(&predictor),
+      feed_(selectFeed(predictor)), ras_(config.rasDepth)
+{
+}
+
+void
+SpanDriver::feed(const trace::BranchRecord *span, std::size_t n)
+{
+    feed_(*this, span, n);
+}
+
+void
+SpanDriver::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    registry.counter("ras/overflows", ras_.overflows());
+    registry.counter("ras/underflows", ras_.underflows());
+    predictor_->snapshotProbes(registry);
 }
 
 } // namespace ibp::sim

@@ -31,6 +31,22 @@ struct EngineConfig
     bool useRas = true;        ///< predict returns with a RAS
     std::size_t rasDepth = 16;
     bool perSiteStats = false; ///< collect the per-site breakdown
+
+    /**
+     * Replay lookahead: while processing record b of a span, prefetch
+     * the table lines record b+distance will touch (predictors opting
+     * in via prefetchFor()).  0 disables.  Purely a cache hint — no
+     * simulated number changes at any distance; distance 1 is exact
+     * (issued after observe(), when the history registers already
+     * match the upcoming predict's view).
+     *
+     * Off by default: at paper-scale geometries every table is
+     * cache-resident and the hint recomputes the index hash, which
+     * measured as a 15-25% *loss* on Dpath/Cascade (see
+     * EXPERIMENTS.md).  The knob exists for scaled-up sweeps
+     * (--scale well past 1) whose tables outgrow the cache.
+     */
+    std::size_t prefetchDistance = 0;
 };
 
 /** The trace-driven engine. */
@@ -113,6 +129,51 @@ class ReplaySession
 
   private:
     EngineConfig config_;
+    pred::ReturnAddressStack ras_;
+    RunMetrics metrics_;
+};
+
+/**
+ * A per-predictor replay cursor for one-pass-many-predictors suite
+ * runs: the suite decodes each trace span once and feeds it to every
+ * predictor's driver in turn, so trace generation/decode cost is paid
+ * per benchmark instead of per cell.
+ *
+ * Each driver owns the engine-side state a ReplaySession would (RAS +
+ * metrics) and routes spans through the same devirtualized loop the
+ * batched replay uses — the concrete-type dispatch happens once, at
+ * construction.  Feeding a trace in spans of any size is bit-identical
+ * to one ReplaySession::run() over the whole trace: the loop carries
+ * no cross-span state beyond the RAS, metrics and predictor.
+ */
+class SpanDriver
+{
+  public:
+    SpanDriver(const EngineConfig &config,
+               pred::IndirectPredictor &predictor);
+
+    /** Replay @p n decoded records through the predictor. */
+    void feed(const trace::BranchRecord *span, std::size_t n);
+
+    /** Metrics accumulated so far. */
+    const RunMetrics &metrics() const { return metrics_; }
+
+    /** RAS + predictor probe snapshots (same order as a session). */
+    void snapshotProbes(obs::ProbeRegistry &registry) const;
+
+  private:
+    using FeedFn = void (*)(SpanDriver &, const trace::BranchRecord *,
+                            std::size_t);
+
+    template <typename Predictor>
+    static void feedAs(SpanDriver &driver,
+                       const trace::BranchRecord *span, std::size_t n);
+
+    static FeedFn selectFeed(pred::IndirectPredictor &predictor);
+
+    EngineConfig config_;
+    pred::IndirectPredictor *predictor_;
+    FeedFn feed_;
     pred::ReturnAddressStack ras_;
     RunMetrics metrics_;
 };

@@ -322,12 +322,132 @@ writeSuiteProgress(const SuiteOptions &options,
         warn("checkpoint write failed: ", status.message());
 }
 
+/**
+ * Records per one-pass chunk.  Small enough that a chunk (96 KiB of
+ * 24-byte records) stays cache-resident while every predictor column
+ * consumes it; any size produces the same matrix (span-size
+ * invariance of the replay loop).
+ */
+constexpr std::size_t kOnePassChunk = 4096;
+
+/** Per-column state for a one-pass row: a factory-fresh predictor,
+ *  its span driver, and this cell's accumulated replay time. */
+struct OnePassColumn
+{
+    std::unique_ptr<pred::IndirectPredictor> predictor;
+    std::unique_ptr<SpanDriver> driver;
+    double wallSeconds = 0;
+    double cpuSeconds = 0;
+};
+
+std::vector<OnePassColumn>
+makeOnePassColumns(const std::vector<std::string> &predictor_names,
+                   const SuiteOptions &options)
+{
+    std::vector<OnePassColumn> columns(predictor_names.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        columns[c].predictor =
+            makePredictor(predictor_names[c], options.factory);
+        columns[c].driver = std::make_unique<SpanDriver>(
+            options.engine, *columns[c].predictor);
+    }
+    return columns;
+}
+
+/** Feed one decoded chunk to every column, timing each feed. */
+void
+feedOnePassChunk(std::vector<OnePassColumn> &columns,
+                 const trace::BranchRecord *chunk, std::size_t n)
+{
+    for (auto &column : columns) {
+        const double wall_start = obs::wallSeconds();
+        const double cpu_start = obs::threadCpuSeconds();
+        column.driver->feed(chunk, n);
+        column.cpuSeconds += obs::threadCpuSeconds() - cpu_start;
+        column.wallSeconds += secondsSince(wall_start);
+    }
+}
+
+/** Harvest a finished one-pass row into cells + merged probes. */
+std::vector<CellResult>
+harvestOnePassRow(std::vector<OnePassColumn> &columns,
+                  const std::vector<std::string> &predictor_names,
+                  SuiteResult &result)
+{
+    std::vector<CellResult> row;
+    row.reserve(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        obs::ProbeRegistry probes;
+        columns[c].driver->snapshotProbes(probes);
+        CellResult cell = cellFromMetrics(columns[c].driver->metrics());
+        cell.wallSeconds = columns[c].wallSeconds;
+        cell.cpuSeconds = columns[c].cpuSeconds;
+        result.probes[predictor_names[c]].merge(probes);
+        row.push_back(cell);
+    }
+    return row;
+}
+
+/**
+ * The serial one-pass path: one trace per row, decoded once, all
+ * predictor columns fed from the shared records chunk by chunk.
+ */
+SuiteResult
+runSuiteOnePassSerial(
+    const std::vector<workload::BenchmarkProfile> &profiles,
+    const std::vector<std::string> &predictor_names,
+    const SuiteOptions &options, SuiteTiming *timing)
+{
+    const double wall_start = obs::wallSeconds();
+    double trace_gen = 0;
+    SuiteResult result;
+    result.predictorNames = predictor_names;
+
+    for (const auto &profile : profiles) {
+        result.rowNames.push_back(profile.fullName());
+
+        const double gen_start = obs::wallSeconds();
+        trace::TraceBuffer buffer =
+            generateTrace(profile, options.traceScale);
+        trace_gen += secondsSince(gen_start);
+
+        auto columns = makeOnePassColumns(predictor_names, options);
+        buffer.rewind();
+        const trace::BranchRecord *span = nullptr;
+        std::size_t n = 0;
+        while ((n = buffer.nextSpan(span)) != 0) {
+            for (std::size_t off = 0; off < n; off += kOnePassChunk) {
+                const std::size_t len =
+                    std::min(kOnePassChunk, n - off);
+                feedOnePassChunk(columns, span + off, len);
+            }
+        }
+        result.cells.push_back(
+            harvestOnePassRow(columns, predictor_names, result));
+    }
+    if (timing) {
+        timing->wallSeconds = secondsSince(wall_start);
+        timing->serialEquivalentSeconds = timing->wallSeconds;
+        timing->traceGenSeconds = trace_gen;
+        timing->threadsUsed = 1;
+    }
+    return result;
+}
+
 /** The legacy serial path: one trace per row, one cell at a time. */
 SuiteResult
 runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
                const std::vector<std::string> &predictor_names,
                const SuiteOptions &options, SuiteTiming *timing)
 {
+    if (options.onePass) {
+        if (options.checkpointPath.empty())
+            return runSuiteOnePassSerial(profiles, predictor_names,
+                                         options, timing);
+        warn("one-pass suite mode does not support checkpointing; "
+             "using the per-cell path");
+    }
+
     const double wall_start = obs::wallSeconds();
     double trace_gen = 0;
     SuiteResult result;
@@ -440,6 +560,98 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
     return result;
 }
 
+/**
+ * The parallel one-pass path: one task per benchmark row.  Each task
+ * decodes the row's memoized packed trace once — chunk by chunk into a
+ * stack ring — and feeds every predictor column from the shared
+ * decode, so the per-cell decode cost of the cell-sharded path is paid
+ * once per row.  Rows are independent (own predictors, own cursor, own
+ * drivers), so the matrix stays bitwise invariant to scheduling and
+ * thread count; results and probes are collected in row order off
+ * futures, giving the same merge order as the serial paths.
+ */
+SuiteResult
+runSuiteOnePassParallel(
+    const std::vector<workload::BenchmarkProfile> &profiles,
+    const std::vector<std::string> &predictor_names,
+    const SuiteOptions &options, SuiteTiming *timing,
+    unsigned threads)
+{
+    SuiteResult result;
+    result.predictorNames = predictor_names;
+    result.rowNames.reserve(profiles.size());
+    for (const auto &profile : profiles)
+        result.rowNames.push_back(profile.fullName());
+
+    struct RowOutput
+    {
+        std::vector<CellResult> cells;
+        std::vector<obs::ProbeRegistry> probes;
+        double genSeconds = 0;
+        double cpuSeconds = 0; ///< whole task: gen + decode + replay
+    };
+
+    const double wall_start = obs::wallSeconds();
+    std::vector<std::future<RowOutput>> futures;
+    futures.reserve(profiles.size());
+    {
+        util::ThreadPool pool(threads);
+        for (std::size_t r = 0; r < profiles.size(); ++r) {
+            futures.push_back(pool.submit([&profiles,
+                                           &predictor_names, &options,
+                                           r] {
+                const double cpu_start = obs::threadCpuSeconds();
+                RowOutput output;
+                const auto buffer = generateTraceCached(
+                    profiles[r], options.traceScale,
+                    &output.genSeconds);
+                trace::PackedReplaySource source(*buffer);
+                auto columns =
+                    makeOnePassColumns(predictor_names, options);
+                std::vector<trace::BranchRecord> ring(kOnePassChunk);
+                std::size_t n = 0;
+                while ((n = source.nextBatch(ring.data(),
+                                             ring.size())) != 0)
+                    feedOnePassChunk(columns, ring.data(), n);
+                output.probes.resize(columns.size());
+                output.cells.reserve(columns.size());
+                for (std::size_t c = 0; c < columns.size(); ++c) {
+                    columns[c].driver->snapshotProbes(
+                        output.probes[c]);
+                    CellResult cell = cellFromMetrics(
+                        columns[c].driver->metrics());
+                    cell.wallSeconds = columns[c].wallSeconds;
+                    cell.cpuSeconds = columns[c].cpuSeconds;
+                    output.cells.push_back(cell);
+                }
+                output.cpuSeconds =
+                    obs::threadCpuSeconds() - cpu_start;
+                return output;
+            }));
+        }
+
+        double serial_equivalent = 0;
+        double trace_gen = 0;
+        for (std::size_t r = 0; r < futures.size(); ++r) {
+            RowOutput output = futures[r].get();
+            for (std::size_t c = 0; c < predictor_names.size(); ++c)
+                result.probes[predictor_names[c]].merge(
+                    output.probes[c]);
+            result.cells.push_back(std::move(output.cells));
+            serial_equivalent += output.cpuSeconds;
+            trace_gen += output.genSeconds;
+        }
+        if (timing) {
+            timing->serialEquivalentSeconds = serial_equivalent;
+            timing->traceGenSeconds = trace_gen;
+            timing->threadsUsed = pool.threadCount();
+        }
+    }
+    if (timing)
+        timing->wallSeconds = secondsSince(wall_start);
+    return result;
+}
+
 } // namespace
 
 SuiteResult
@@ -462,6 +674,15 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
 {
     const unsigned threads =
         util::ThreadPool::resolveThreads(options.threads);
+
+    if (options.onePass) {
+        if (options.checkpointPath.empty())
+            return runSuiteOnePassParallel(profiles, predictor_names,
+                                           options, timing, threads);
+        warn("one-pass suite mode does not support checkpointing; "
+             "using the per-cell path");
+    }
+
     const std::size_t rows = profiles.size();
     const std::size_t cols = predictor_names.size();
 

@@ -75,6 +75,21 @@ struct SuiteOptions
 
     /** Resume from checkpointPath if it exists and matches. */
     bool resume = false;
+
+    /**
+     * One-pass-many-predictors replay: generate/decode each
+     * benchmark's trace once and feed every predictor column from the
+     * shared records (in chunks, so the stream stays cache-resident),
+     * instead of re-reading the trace once per cell.  Amortizes the
+     * trace generation/decode cost across the whole row on both the
+     * serial and the row-sharded parallel path.  Results are
+     * bit-identical to the per-cell paths — the replay loop carries no
+     * cross-chunk state beyond each driver's RAS/metrics/predictor —
+     * and invariant to thread count.  Incompatible with checkpointing
+     * (cells finish together, so there is no per-cell completion
+     * order); a run requesting both warns and uses the per-cell path.
+     */
+    bool onePass = false;
 };
 
 /** Wall-clock accounting for one suite run (or an aggregate of runs). */

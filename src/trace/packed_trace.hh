@@ -180,9 +180,12 @@ class PackedTraceBuffer : public BranchSink
 class PackedReplaySource : public BranchSource
 {
   public:
-    /** Records unpacked per nextSpan() call: sized so the scratch run
-     *  stays L1-resident. */
-    static constexpr std::size_t kSpanRecords = 256;
+    /** Records unpacked per nextSpan() call.  A few thousand records
+     *  amortize the per-span virtual call and driver overhead to
+     *  nothing and keep the engine's replay lookahead (prefetch)
+     *  effective deep into the span; the decode ring (96 KiB) plus
+     *  the packed run it reads (64 KiB) stay L2-resident. */
+    static constexpr std::size_t kSpanRecords = 4096;
 
     explicit PackedReplaySource(const PackedTraceBuffer &buffer)
         : buffer_(&buffer)
@@ -214,8 +217,12 @@ class PackedReplaySource : public BranchSource
     std::size_t
     nextSpan(const BranchRecord *&span) override
     {
-        const std::size_t n = nextBatch(scratch_, kSpanRecords);
-        span = scratch_;
+        // The ring is allocated on first use so cursors that only
+        // ever nextBatch() (bounded replays) stay allocation-free.
+        if (ring_.empty())
+            ring_.resize(kSpanRecords);
+        const std::size_t n = nextBatch(ring_.data(), kSpanRecords);
+        span = ring_.data();
         return n;
     }
 
@@ -238,7 +245,7 @@ class PackedReplaySource : public BranchSource
   private:
     const PackedTraceBuffer *buffer_;
     std::size_t cursor_ = 0;
-    BranchRecord scratch_[kSpanRecords];
+    std::vector<BranchRecord> ring_; ///< nextSpan() decode ring
 };
 
 } // namespace ibp::trace

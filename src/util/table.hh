@@ -82,6 +82,20 @@ class DirectTable
         return entries_[index];
     }
 
+    /** Hint the cache to pull @p index's entry (replay lookahead). */
+    void
+    prefetchEntry(std::uint64_t index) const
+    {
+        ibp_table_check(index >= entries_.size(), "DirectTable index ",
+                        index, " out of range (size ", entries_.size(),
+                        ")");
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&entries_[index]);
+#else
+        (void)index;
+#endif
+    }
+
     void
     reset()
     {
@@ -129,21 +143,42 @@ class DirectTable
  * PHTs be modelled exactly.  Lookup/insert use a (set index, tag) pair
  * computed by the caller so different predictors can use different
  * index/tag hash functions.
+ *
+ * Storage is a structure-of-arrays arena: the valid bits, tags, LRU
+ * stamps and payload entries live in four contiguous planes rather
+ * than one array-of-structs line vector.  A way scan then walks a
+ * handful of adjacent tag words (branch-free select over the set's
+ * slice) instead of striding over interleaved payload bytes, and a
+ * predictor can prefetch a set's slice ahead of time.  The serialized
+ * byte stream interleaves the planes per line, exactly matching the
+ * historical array-of-structs layout, so checkpoints are unaffected.
+ *
+ * Slot protocol for fused predict/update paths: findWay() locates a
+ * way without side effects; touchWay()/wayEntry() promote and access
+ * it; noteLookupMiss() records the conflict-miss probe a failed
+ * lookup() would have counted.  lookup() == findWay + (touchWay |
+ * noteLookupMiss), so callers caching the way between a predict and
+ * its update reproduce the split protocol bit for bit.
  */
 template <typename Entry>
 class AssocTable
 {
   public:
+    /** findWay() result for a tag miss. */
+    static constexpr std::size_t kNoWay = ~std::size_t{0};
+
     AssocTable(std::size_t sets, std::size_t ways)
         : numSets(sets), numWays(ways),
-          setMask_(isPowerOf2(sets) ? sets - 1 : 0), lines_(sets * ways)
+          setMask_(isPowerOf2(sets) ? sets - 1 : 0),
+          valid_(sets * ways, 0), tags_(sets * ways, 0),
+          lastUse_(sets * ways, 0), entries_(sets * ways)
     {
         panic_if(sets == 0 || ways == 0, "AssocTable: empty geometry");
     }
 
     std::size_t sets() const { return numSets; }
     std::size_t ways() const { return numWays; }
-    std::size_t size() const { return lines_.size(); }
+    std::size_t size() const { return entries_.size(); }
 
     /** Reduce an arbitrary hash to a valid set index: masked when the
      *  set count is a power of two, modulo otherwise. */
@@ -154,32 +189,105 @@ class AssocTable
     }
 
     /**
+     * Locate @p tag in @p set without touching LRU state or probes.
+     * The scan is branch-free over the set's contiguous tag slice
+     * (no early exit), selecting the lowest matching way — the same
+     * way a first-match scan would report.
+     * @return the way index, or kNoWay on a tag miss.
+     */
+    std::size_t
+    findWay(std::uint64_t set, std::uint64_t tag) const
+    {
+        ibp_table_check(set >= numSets, "AssocTable set out of range");
+        const std::size_t base = set * numWays;
+        std::size_t found = kNoWay;
+        for (std::size_t w = numWays; w-- > 0;) {
+            const bool match =
+                valid_[base + w] != 0 && tags_[base + w] == tag;
+            found = match ? w : found;
+        }
+        return found;
+    }
+
+    /** Promote @p way of @p set to MRU (the LRU side of a hit). */
+    void
+    touchWay(std::uint64_t set, std::size_t way)
+    {
+        ibp_table_check(set >= numSets || way >= numWays,
+                        "AssocTable slot out of range");
+        lastUse_[set * numWays + way] = ++clock_;
+    }
+
+    /** Payload of a specific (set, way) slot. */
+    Entry &
+    wayEntry(std::uint64_t set, std::size_t way)
+    {
+        ibp_table_check(set >= numSets || way >= numWays,
+                        "AssocTable slot out of range");
+        return entries_[set * numWays + way];
+    }
+
+    const Entry &
+    wayEntry(std::uint64_t set, std::size_t way) const
+    {
+        ibp_table_check(set >= numSets || way >= numWays,
+                        "AssocTable slot out of range");
+        return entries_[set * numWays + way];
+    }
+
+    /**
+     * Record the probe side of a failed lookup in @p set: a miss in a
+     * set that already holds valid lines is a (capacity or tag)
+     * conflict — the branch's state may have been evicted by a
+     * competitor.  Occupancy is only scanned in instrumented builds.
+     */
+    void
+    noteLookupMiss(std::uint64_t set)
+    {
+        IBP_PROBE(if (setOccupancy(set) > 0) conflictMisses_.bump();)
+        (void)set;
+    }
+
+    /** Hint the cache to pull @p set's tag/LRU/payload slices (replay
+     *  lookahead; no architectural effect). */
+    void
+    prefetchSet(std::uint64_t set) const
+    {
+        ibp_table_check(set >= numSets, "AssocTable set out of range");
+#if defined(__GNUC__) || defined(__clang__)
+        const std::size_t base = set * numWays;
+        __builtin_prefetch(&valid_[base]);
+        __builtin_prefetch(&tags_[base]);
+        __builtin_prefetch(&lastUse_[base]);
+        __builtin_prefetch(&entries_[base]);
+#else
+        (void)set;
+#endif
+    }
+
+    /**
      * Find the entry with @p tag in @p set and promote it to MRU.
      * @return pointer to the entry, or nullptr on miss.
      */
     Entry *
     lookup(std::uint64_t set, std::uint64_t tag)
     {
-        Line *line = findLine(set, tag);
-        if (!line) {
-            // A miss in a set that already holds valid lines is a
-            // (capacity or tag) conflict: the branch's state may have
-            // been evicted by a competitor.  Occupancy is only scanned
-            // in instrumented builds.
-            IBP_PROBE(if (setOccupancy(set) > 0)
-                          conflictMisses_.bump();)
+        const std::size_t way = findWay(set, tag);
+        if (way == kNoWay) {
+            noteLookupMiss(set);
             return nullptr;
         }
-        touch(line);
-        return &line->entry;
+        touchWay(set, way);
+        return &entries_[set * numWays + way];
     }
 
     /** Find without updating LRU state (for probes/tests). */
     const Entry *
     peek(std::uint64_t set, std::uint64_t tag) const
     {
-        const Line *line = findLine(set, tag);
-        return line ? &line->entry : nullptr;
+        const std::size_t way = findWay(set, tag);
+        return way == kNoWay ? nullptr
+                             : &entries_[set * numWays + way];
     }
 
     /**
@@ -191,27 +299,27 @@ class AssocTable
     insert(std::uint64_t set, std::uint64_t tag, Entry entry)
     {
         ibp_table_check(set >= numSets, "AssocTable set out of range");
-        Line *victim = nullptr;
+        const std::size_t base = set * numWays;
+        std::size_t victim = 0;
         std::uint64_t oldest = 0;
         bool first = true;
         for (std::size_t w = 0; w < numWays; ++w) {
-            Line &line = lineAt(set, w);
-            if (!line.valid) {
-                victim = &line;
+            if (!valid_[base + w]) {
+                victim = w;
                 break;
             }
-            if (first || line.lastUse < oldest) {
-                oldest = line.lastUse;
-                victim = &line;
+            if (first || lastUse_[base + w] < oldest) {
+                oldest = lastUse_[base + w];
+                victim = w;
                 first = false;
             }
         }
-        IBP_PROBE(if (victim->valid) evictions_.bump();)
-        victim->valid = true;
-        victim->tag = tag;
-        victim->entry = std::move(entry);
-        touch(victim);
-        return victim->entry;
+        IBP_PROBE(if (valid_[base + victim]) evictions_.bump();)
+        valid_[base + victim] = 1;
+        tags_[base + victim] = tag;
+        entries_[base + victim] = std::move(entry);
+        lastUse_[base + victim] = ++clock_;
+        return entries_[base + victim];
     }
 
     /** Inserts that displaced a live line (0 when probes are off). */
@@ -230,7 +338,7 @@ class AssocTable
         ibp_table_check(set >= numSets, "AssocTable set out of range");
         std::size_t n = 0;
         for (std::size_t w = 0; w < numWays; ++w)
-            if (lines_[set * numWays + w].valid)
+            if (valid_[set * numWays + w])
                 ++n;
         return n;
     }
@@ -240,8 +348,8 @@ class AssocTable
     occupancy() const
     {
         std::size_t n = 0;
-        for (const auto &line : lines_)
-            if (line.valid)
+        for (const std::uint8_t v : valid_)
+            if (v)
                 ++n;
         return n;
     }
@@ -249,8 +357,11 @@ class AssocTable
     void
     reset()
     {
-        for (auto &line : lines_)
-            line = Line{};
+        std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+        std::fill(tags_.begin(), tags_.end(), std::uint64_t{0});
+        std::fill(lastUse_.begin(), lastUse_.end(), std::uint64_t{0});
+        for (auto &entry : entries_)
+            entry = Entry{};
         clock_ = 0;
         evictions_.reset();
         conflictMisses_.reset();
@@ -258,7 +369,8 @@ class AssocTable
 
     /** Serialize geometry, LRU clock and every line (tags and LRU
      *  stamps included: restored lookup/eviction order must be
-     *  bit-identical). */
+     *  bit-identical).  Planes are interleaved per line, preserving
+     *  the pre-SoA stream byte for byte. */
     template <typename SaveEntry>
     void
     saveState(StateWriter &writer, SaveEntry &&save) const
@@ -266,11 +378,11 @@ class AssocTable
         writer.writeVarint(numSets);
         writer.writeVarint(numWays);
         writer.writeU64(clock_);
-        for (const Line &line : lines_) {
-            writer.writeBool(line.valid);
-            writer.writeU64(line.tag);
-            writer.writeU64(line.lastUse);
-            save(writer, line.entry);
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            writer.writeBool(valid_[i] != 0);
+            writer.writeU64(tags_[i]);
+            writer.writeU64(lastUse_[i]);
+            save(writer, entries_[i]);
         }
     }
 
@@ -287,11 +399,11 @@ class AssocTable
             return;
         }
         clock_ = reader.readU64();
-        for (Line &line : lines_) {
-            line.valid = reader.readBool();
-            line.tag = reader.readU64();
-            line.lastUse = reader.readU64();
-            load(reader, line.entry);
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            valid_[i] = reader.readBool() ? 1 : 0;
+            tags_[i] = reader.readU64();
+            lastUse_[i] = reader.readU64();
+            load(reader, entries_[i]);
         }
     }
 
@@ -312,49 +424,14 @@ class AssocTable
     }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        Entry entry{};
-    };
-
-    Line &
-    lineAt(std::uint64_t set, std::size_t way)
-    {
-        return lines_[set * numWays + way];
-    }
-
-    const Line *
-    findLine(std::uint64_t set, std::uint64_t tag) const
-    {
-        ibp_table_check(set >= numSets, "AssocTable set out of range");
-        for (std::size_t w = 0; w < numWays; ++w) {
-            const Line &line = lines_[set * numWays + w];
-            if (line.valid && line.tag == tag)
-                return &line;
-        }
-        return nullptr;
-    }
-
-    Line *
-    findLine(std::uint64_t set, std::uint64_t tag)
-    {
-        return const_cast<Line *>(
-            static_cast<const AssocTable *>(this)->findLine(set, tag));
-    }
-
-    void
-    touch(Line *line)
-    {
-        line->lastUse = ++clock_;
-    }
-
     std::size_t numSets;
     std::size_t numWays;
     std::uint64_t setMask_;
-    std::vector<Line> lines_;
+    // The four SoA planes, each sets*ways long, indexed set*ways+way.
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<Entry> entries_;
     std::uint64_t clock_ = 0;
     Counter evictions_;
     Counter conflictMisses_;
