@@ -61,7 +61,9 @@ main(int argc, char **argv)
                                                             : "NO")
               << '\n';
 
-    ibp::bench::writeRunReport(
-        ibp::sim::buildRunReport("bench_fig6", options, result, timing));
+    const auto report =
+        ibp::sim::buildRunReport("bench_fig6", options, result, timing);
+    ibp::bench::writeRunReport(report);
+    ibp::bench::writeTimelineTrace(report);
     return 0;
 }

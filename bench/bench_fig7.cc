@@ -66,7 +66,9 @@ main(int argc, char **argv)
                  "PIB-dominated runs: "
               << pib_wins << "/4\n";
 
-    ibp::bench::writeRunReport(
-        ibp::sim::buildRunReport("bench_fig7", options, result, timing));
+    const auto report =
+        ibp::sim::buildRunReport("bench_fig7", options, result, timing);
+    ibp::bench::writeRunReport(report);
+    ibp::bench::writeTimelineTrace(report);
     return 0;
 }

@@ -76,5 +76,6 @@ main(int argc, char **argv)
     report.scalars["ordering_holds"] = ordering_holds;
     report.scalars["btb_worst"] = btb_worst;
     ibp::bench::writeRunReport(report);
+    ibp::bench::writeTimelineTrace(report);
     return 0;
 }

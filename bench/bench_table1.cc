@@ -116,5 +116,6 @@ main(int argc, char **argv)
     report.serialEquivalentSeconds = timing.serialEquivalentSeconds;
     report.threadsUsed = timing.threadsUsed;
     ibp::bench::writeRunReport(report);
+    ibp::bench::writeTimelineTrace(report);
     return 0;
 }

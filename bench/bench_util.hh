@@ -22,9 +22,25 @@
 
 #include "util/thread_pool.hh"
 #include "obs/report.hh"
+#include "obs/trace_event.hh"
 #include "sim/experiment.hh"
 
 namespace ibp::bench {
+
+/** Default timeline window when --timeline= is given alone. */
+inline constexpr std::uint64_t kDefaultTimelineInterval = 100000;
+
+/**
+ * Where this driver writes its Perfetto trace ("" = no export).  Set
+ * by suiteOptions() from --timeline=/IBP_TIMELINE; read back by
+ * writeTimelineTrace().
+ */
+inline std::string &
+timelineTracePath()
+{
+    static std::string path;
+    return path;
+}
 
 /** Resolve the trace scale from argv/environment. */
 inline double
@@ -76,6 +92,17 @@ threadCount(int argc, char **argv, unsigned fallback = 0)
  * predictor column from the shared records — bit-identical, usually
  * faster) is enabled by:
  *   --one-pass               (IBP_ONE_PASS=1)
+ *
+ * Timeline tracing (see obs/timeline.hh):
+ *   --timeline=<path>        (IBP_TIMELINE)  export a Perfetto trace
+ *                            to <path> and enable sampling (at the
+ *                            default interval unless overridden)
+ *   --timeline-interval=<n>  (IBP_TIMELINE_INTERVAL)  records per
+ *                            window; sampling on without any export
+ * Sampling never changes a figure/table number — windows close at
+ * record-count boundaries the replay already honours (span-size
+ * invariance) — it only adds the timeline section to the run report
+ * and, with a path, the exported trace.
  */
 inline ibp::sim::SuiteOptions
 suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
@@ -90,6 +117,11 @@ suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
         options.resume = std::string(env) != "0";
     if (const char *env = std::getenv("IBP_ONE_PASS"))
         options.onePass = std::string(env) != "0";
+    if (const char *env = std::getenv("IBP_TIMELINE"))
+        timelineTracePath() = env;
+    if (const char *env = std::getenv("IBP_TIMELINE_INTERVAL"))
+        options.engine.timeline.interval =
+            std::strtoull(env, nullptr, 10);
 
     // Split flags from positionals so `bench --resume 0.1` and
     // `bench 0.1 --resume` both work.
@@ -107,8 +139,20 @@ suiteOptions(int argc, char **argv, double scale_fallback = 1.0)
             options.resume = true;
         else if (arg == "--one-pass")
             options.onePass = true;
+        else if (arg.rfind("--timeline=", 0) == 0)
+            timelineTracePath() =
+                arg.substr(std::string("--timeline=").size());
+        else if (arg.rfind("--timeline-interval=", 0) == 0)
+            options.engine.timeline.interval = std::strtoull(
+                arg.c_str() + std::string("--timeline-interval=").size(),
+                nullptr, 10);
         else
             positional.push_back(argv[i]);
+    }
+    if (!timelineTracePath().empty()) {
+        if (options.engine.timeline.interval == 0)
+            options.engine.timeline.interval = kDefaultTimelineInterval;
+        ibp::obs::globalTraceLog().setEnabled(true);
     }
     const int pos_argc = static_cast<int>(positional.size());
     options.traceScale =
@@ -164,6 +208,29 @@ writeRunReport(const ibp::obs::RunReport &report)
         return;
     ibp::obs::writeReportFile(path, report);
     std::printf("report: %s\n", path.c_str());
+}
+
+/**
+ * Export the Perfetto trace requested by --timeline=/IBP_TIMELINE:
+ * the global log's wall-clock spans plus one branch-time process per
+ * report timeline cell.  No-op when no path was requested.
+ */
+inline void
+writeTimelineTrace(const ibp::obs::RunReport &report)
+{
+    const std::string &path = timelineTracePath();
+    if (path.empty())
+        return;
+    std::vector<ibp::obs::TraceEvent> events =
+        ibp::obs::globalTraceLog().snapshot();
+    std::uint64_t pid = ibp::obs::kTimelinePidBase;
+    for (const auto &entry : report.timelines)
+        ibp::obs::appendTimelineEvents(
+            entry.timeline, entry.row + " x " + entry.predictor, pid++,
+            events);
+    ibp::obs::writeTraceEventsFile(path, events);
+    std::printf("timeline trace: %s (%zu events, %zu cells)\n",
+                path.c_str(), events.size(), report.timelines.size());
 }
 
 /** Print one paper-vs-measured comparison row. */

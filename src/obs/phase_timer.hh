@@ -13,7 +13,6 @@
 #ifndef IBP_OBS_PHASE_TIMER_HH_
 #define IBP_OBS_PHASE_TIMER_HH_
 
-#include <chrono>
 #include <map>
 #include <string>
 #include <utility>
@@ -60,7 +59,7 @@ class ScopedPhase
   public:
     ScopedPhase(PhaseTimer &timer, std::string name)
         : timer_(timer), name_(std::move(name)),
-          wallStart_(std::chrono::steady_clock::now()),
+          wallStart_(obs::wallSeconds()),
           cpuStart_(obs::threadCpuSeconds())
     {
     }
@@ -70,17 +69,14 @@ class ScopedPhase
 
     ~ScopedPhase()
     {
-        const double wall =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - wallStart_)
-                .count();
-        timer_.add(name_, wall, obs::threadCpuSeconds() - cpuStart_);
+        timer_.add(name_, obs::wallSeconds() - wallStart_,
+                   obs::threadCpuSeconds() - cpuStart_);
     }
 
   private:
     PhaseTimer &timer_;
     std::string name_;
-    std::chrono::steady_clock::time_point wallStart_;
+    double wallStart_;
     double cpuStart_;
 };
 

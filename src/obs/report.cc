@@ -64,6 +64,16 @@ RunReport::findCell(const std::string &row,
     return nullptr;
 }
 
+const ReportTimeline *
+RunReport::findTimeline(const std::string &row,
+                        const std::string &predictor) const
+{
+    for (const auto &entry : timelines)
+        if (entry.row == row && entry.predictor == predictor)
+            return &entry;
+    return nullptr;
+}
+
 // --- serialization ----------------------------------------------------
 
 void
@@ -141,6 +151,72 @@ writeReport(std::ostream &out, const RunReport &report)
             json.key("predictor").value(column.predictor);
             json.key("mean").value(column.mean);
             json.key("stddev").value(column.stddev);
+            json.endObject();
+        }
+        json.endArray();
+    }
+
+    if (!report.timelines.empty()) {
+        json.key("timelines").beginArray();
+        for (const auto &entry : report.timelines) {
+            const auto &windows = entry.timeline.windows();
+            json.beginObject();
+            json.key("row").value(entry.row);
+            json.key("predictor").value(entry.predictor);
+            json.key("interval").value(entry.timeline.interval());
+            // Columnar windows: one array per metric, index = window.
+            json.key("windows").beginObject();
+            json.key("end_branch").beginArray();
+            for (const auto &w : windows)
+                json.value(w.endBranch);
+            json.endArray();
+            json.key("predictions").beginArray();
+            for (const auto &w : windows)
+                json.value(w.predictions);
+            json.endArray();
+            json.key("misses").beginArray();
+            for (const auto &w : windows)
+                json.value(w.misses);
+            json.endArray();
+            json.key("no_predictions").beginArray();
+            for (const auto &w : windows)
+                json.value(w.noPredictions);
+            json.endArray();
+            json.endObject();
+            // Counter series: union of names, missing windows as 0.
+            std::map<std::string, bool> counter_names;
+            for (const auto &w : windows)
+                for (const auto &[name, value] : w.counters)
+                    counter_names[name] = true;
+            if (!counter_names.empty()) {
+                json.key("counters").beginObject();
+                for (const auto &[name, unused] : counter_names) {
+                    (void)unused;
+                    json.key(name).beginArray();
+                    for (const auto &w : windows) {
+                        const auto it = w.counters.find(name);
+                        json.value(it == w.counters.end() ? 0
+                                                          : it->second);
+                    }
+                    json.endArray();
+                }
+                json.endObject();
+            }
+            // Written for human readers; readers recompute it from
+            // the windows, so it can never drift from them.
+            json.key("segmentation").beginObject();
+            json.key("has_change_point")
+                .value(entry.segmentation.hasChangePoint);
+            json.key("steady_start")
+                .value(static_cast<std::uint64_t>(
+                    entry.segmentation.steadyStart));
+            json.key("warmup_miss_percent")
+                .value(entry.segmentation.warmupMissPercent);
+            json.key("steady_miss_percent")
+                .value(entry.segmentation.steadyMissPercent);
+            json.key("overall_miss_percent")
+                .value(entry.segmentation.overallMissPercent);
+            json.endObject();
             json.endObject();
         }
         json.endArray();
@@ -261,6 +337,60 @@ readReport(std::istream &in)
             column.mean = value.get("mean").asDouble();
             column.stddev = value.get("stddev").asDouble();
             report.sweep.push_back(std::move(column));
+        }
+    }
+
+    if (const auto *timelines = doc.find("timelines")) {
+        for (const auto &value : timelines->asArray()) {
+            ReportTimeline entry;
+            entry.row = value.get("row").asString();
+            entry.predictor = value.get("predictor").asString();
+            entry.timeline.setInterval(
+                value.get("interval").asUint());
+            const auto &windows = value.get("windows");
+            const auto &ends = windows.get("end_branch").asArray();
+            const auto &preds = windows.get("predictions").asArray();
+            const auto &misses = windows.get("misses").asArray();
+            const auto &nopreds =
+                windows.get("no_predictions").asArray();
+            fatal_if(preds.size() != ends.size() ||
+                         misses.size() != ends.size() ||
+                         nopreds.size() != ends.size(),
+                     "timeline (", entry.row, ", ", entry.predictor,
+                     ") has ragged window arrays");
+            for (std::size_t w = 0; w < ends.size(); ++w) {
+                TimelineWindow window;
+                window.endBranch = ends[w].asUint();
+                window.predictions = preds[w].asUint();
+                window.misses = misses[w].asUint();
+                window.noPredictions = nopreds[w].asUint();
+                entry.timeline.append(std::move(window));
+            }
+            if (const auto *counters = value.find("counters")) {
+                // Rebuild per-window maps from the columnar series;
+                // every window carries the full name union.
+                std::vector<TimelineWindow> rebuilt(
+                    entry.timeline.windows());
+                for (const auto &[name, series] :
+                     counters->asObject()) {
+                    const auto &samples = series.asArray();
+                    fatal_if(samples.size() != rebuilt.size(),
+                             "timeline (", entry.row, ", ",
+                             entry.predictor, ") counter ", name,
+                             " has ", samples.size(), " samples for ",
+                             rebuilt.size(), " windows");
+                    for (std::size_t w = 0; w < samples.size(); ++w)
+                        rebuilt[w].counters[name] =
+                            samples[w].asUint();
+                }
+                Timeline with_counters;
+                with_counters.setInterval(entry.timeline.interval());
+                for (auto &window : rebuilt)
+                    with_counters.append(std::move(window));
+                entry.timeline = std::move(with_counters);
+            }
+            entry.segmentation = segmentTimeline(entry.timeline);
+            report.timelines.push_back(std::move(entry));
         }
     }
 
@@ -391,6 +521,95 @@ diffReports(const RunReport &before, const RunReport &after,
                 delta));
     }
 
+    // --- timelines (gating, with the exact offending path) ----------
+    for (const auto &entry : before.timelines) {
+        const ReportTimeline *other =
+            after.findTimeline(entry.row, entry.predictor);
+        const std::string path =
+            "timelines[" + entry.row + ", " + entry.predictor + "]";
+        if (other == nullptr) {
+            diff.failures.push_back(
+                format("%s missing from the second report",
+                       path.c_str()));
+            continue;
+        }
+        if (other->timeline.interval() != entry.timeline.interval()) {
+            diff.failures.push_back(format(
+                "%s.interval %llu -> %llu (different cadence; "
+                "windows are not comparable)",
+                path.c_str(),
+                static_cast<unsigned long long>(
+                    entry.timeline.interval()),
+                static_cast<unsigned long long>(
+                    other->timeline.interval())));
+            continue;
+        }
+        const auto &a = entry.timeline.windows();
+        const auto &b = other->timeline.windows();
+        if (a.size() != b.size()) {
+            diff.failures.push_back(format(
+                "%s has %zu windows -> %zu (run length changed?)",
+                path.c_str(), a.size(), b.size()));
+            continue;
+        }
+        for (std::size_t w = 0; w < a.size(); ++w) {
+            const std::string wpath =
+                format("%s.windows[%zu] (end_branch %llu)",
+                       path.c_str(), w,
+                       static_cast<unsigned long long>(
+                           a[w].endBranch));
+            if (a[w].endBranch != b[w].endBranch) {
+                diff.failures.push_back(format(
+                    "%s.windows[%zu].end_branch %llu -> %llu",
+                    path.c_str(), w,
+                    static_cast<unsigned long long>(a[w].endBranch),
+                    static_cast<unsigned long long>(b[w].endBranch)));
+                continue;
+            }
+            if (a[w].predictions != b[w].predictions)
+                diff.failures.push_back(format(
+                    "%s predictions %llu -> %llu", wpath.c_str(),
+                    static_cast<unsigned long long>(a[w].predictions),
+                    static_cast<unsigned long long>(
+                        b[w].predictions)));
+            const double delta =
+                b[w].missPercent() - a[w].missPercent();
+            if (std::abs(delta) > tolerancePct)
+                diff.failures.push_back(format(
+                    "%s miss%% %.4f -> %.4f (%+.4f points, "
+                    "tolerance %.4f)",
+                    wpath.c_str(), a[w].missPercent(),
+                    b[w].missPercent(), delta, tolerancePct));
+            for (const auto &[name, value] : a[w].counters) {
+                const auto it = b[w].counters.find(name);
+                const std::uint64_t bval =
+                    it == b[w].counters.end() ? 0 : it->second;
+                if (bval != value)
+                    diff.notes.push_back(format(
+                        "%s counter %s %llu -> %llu", wpath.c_str(),
+                        name.c_str(),
+                        static_cast<unsigned long long>(value),
+                        static_cast<unsigned long long>(bval)));
+            }
+        }
+        // Steady-state regressions gate even when every window stays
+        // inside tolerance individually: a sustained drift matters
+        // more than a one-window blip.
+        const double steady_delta =
+            other->segmentation.steadyMissPercent -
+            entry.segmentation.steadyMissPercent;
+        if (std::abs(steady_delta) > tolerancePct)
+            diff.failures.push_back(format(
+                "%s steady-state miss%% %.4f -> %.4f (%+.4f points)",
+                path.c_str(), entry.segmentation.steadyMissPercent,
+                other->segmentation.steadyMissPercent, steady_delta));
+    }
+    for (const auto &entry : after.timelines)
+        if (before.findTimeline(entry.row, entry.predictor) == nullptr)
+            diff.notes.push_back(format(
+                "timelines[%s, %s] only in the second report",
+                entry.row.c_str(), entry.predictor.c_str()));
+
     // --- scalars (informational) ------------------------------------
     for (const auto &[name, value] : before.scalars) {
         auto it = after.scalars.find(name);
@@ -489,6 +708,30 @@ printReport(std::ostream &out, const RunReport &report)
         for (const auto &column : report.sweep)
             out << "    " << column.predictor << ": mean "
                 << column.mean << "% +/- " << column.stddev << '\n';
+    }
+
+    if (!report.timelines.empty()) {
+        out << "  timelines: " << report.timelines.size()
+            << " cells, interval "
+            << report.timelines.front().timeline.interval()
+            << " records\n"
+            << std::setprecision(2);
+        for (const auto &entry : report.timelines) {
+            out << "    (" << entry.row << ", " << entry.predictor
+                << "): " << entry.timeline.windows().size()
+                << " windows";
+            if (entry.segmentation.hasChangePoint)
+                out << ", warmup "
+                    << entry.segmentation.warmupMissPercent
+                    << "% -> steady "
+                    << entry.segmentation.steadyMissPercent
+                    << "% from window "
+                    << entry.segmentation.steadyStart;
+            else
+                out << ", steady "
+                    << entry.segmentation.overallMissPercent << "%";
+            out << '\n';
+        }
     }
 
     if (!report.scalars.empty())

@@ -28,6 +28,7 @@
 
 #include "obs/phase_timer.hh"
 #include "obs/registry.hh"
+#include "obs/timeline.hh"
 
 namespace ibp::obs {
 
@@ -66,6 +67,16 @@ struct ReportSweepColumn
     double stddev = 0;
 };
 
+/** One cell's windowed timeline embedded in a report. */
+struct ReportTimeline
+{
+    std::string row;
+    std::string predictor;
+    Timeline timeline;
+    /** Warmup/steady split, recomputed from the windows on read. */
+    TimelineSegmentation segmentation;
+};
+
 /** Everything one driver run emits. */
 struct RunReport
 {
@@ -89,6 +100,9 @@ struct RunReport
     bool hasSweep = false;
     std::vector<ReportSweepColumn> sweep;
 
+    /** Windowed per-cell timelines (empty unless sampling was on). */
+    std::vector<ReportTimeline> timelines;
+
     /** Free-form named numbers (table1 characteristics, ...). */
     std::map<std::string, double> scalars;
 
@@ -100,6 +114,11 @@ struct RunReport
     /** Cell lookup by names; nullptr when absent. */
     const ReportCell *findCell(const std::string &row,
                                const std::string &predictor) const;
+
+    /** Timeline lookup by names; nullptr when absent. */
+    const ReportTimeline *
+    findTimeline(const std::string &row,
+                 const std::string &predictor) const;
 };
 
 /** Serialize @p report as schema-versioned JSON. */

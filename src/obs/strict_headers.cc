@@ -12,3 +12,5 @@
 #include "obs/phase_timer.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
+#include "obs/timeline.hh"
+#include "obs/trace_event.hh"

@@ -1,0 +1,337 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ibp::obs {
+
+std::vector<double>
+Timeline::missCurve() const
+{
+    std::vector<double> curve;
+    curve.reserve(windows_.size());
+    for (const TimelineWindow &window : windows_)
+        curve.push_back(window.missPercent());
+    return curve;
+}
+
+std::vector<std::uint64_t>
+Timeline::predictionWeights() const
+{
+    std::vector<std::uint64_t> weights;
+    weights.reserve(windows_.size());
+    for (const TimelineWindow &window : windows_)
+        weights.push_back(window.predictions);
+    return weights;
+}
+
+void
+Timeline::saveState(util::StateWriter &writer) const
+{
+    writer.writeVarint(interval_);
+    writer.writeVarint(windows_.size());
+    for (const TimelineWindow &window : windows_) {
+        writer.writeU64(window.endBranch);
+        writer.writeU64(window.predictions);
+        writer.writeU64(window.misses);
+        writer.writeU64(window.noPredictions);
+        writer.writeVarint(window.counters.size());
+        for (const auto &[name, value] : window.counters) {
+            writer.writeString(name);
+            writer.writeU64(value);
+        }
+    }
+}
+
+void
+Timeline::loadState(util::StateReader &reader)
+{
+    interval_ = 0;
+    windows_.clear();
+    interval_ = reader.readVarint();
+    const std::uint64_t num_windows = reader.readVarint();
+    // A window is at least 33 bytes (four u64s + a counter count);
+    // larger claims cannot be honest.
+    if (reader.ok() && num_windows > reader.remaining() / 33) {
+        reader.fail("timeline window count overruns input");
+        return;
+    }
+    for (std::uint64_t w = 0; w < num_windows && reader.ok(); ++w) {
+        TimelineWindow window;
+        window.endBranch = reader.readU64();
+        window.predictions = reader.readU64();
+        window.misses = reader.readU64();
+        window.noPredictions = reader.readU64();
+        const std::uint64_t num_counters = reader.readVarint();
+        if (reader.ok() && num_counters > reader.remaining() / 9) {
+            reader.fail("timeline counter count overruns input");
+            return;
+        }
+        for (std::uint64_t i = 0; i < num_counters && reader.ok();
+             ++i) {
+            std::string name = reader.readString();
+            window.counters[std::move(name)] = reader.readU64();
+        }
+        windows_.push_back(std::move(window));
+    }
+    if (!reader.ok())
+        windows_.clear();
+}
+
+void
+TimelineSampler::sample(const TimelineSample &cumulative,
+                        const ProbeRegistry *probes)
+{
+    if (cumulative.branches == last_.branches)
+        return; // idempotent flush: nothing consumed since the last one
+    TimelineWindow window;
+    window.endBranch = cumulative.branches;
+    window.predictions = cumulative.predictions - last_.predictions;
+    window.misses = cumulative.misses - last_.misses;
+    window.noPredictions =
+        cumulative.noPredictions - last_.noPredictions;
+    if (probes && config_.sampleProbes)
+        window.counters = probes->counters();
+    timeline_.append(std::move(window));
+    last_ = cumulative;
+}
+
+Timeline
+TimelineSampler::takeTimeline()
+{
+    Timeline taken = std::move(timeline_);
+    timeline_ = Timeline{};
+    timeline_.setInterval(config_.interval);
+    last_ = TimelineSample{};
+    return taken;
+}
+
+void
+TimelineSampler::saveState(util::StateWriter &writer) const
+{
+    writer.writeU64(last_.branches);
+    writer.writeU64(last_.predictions);
+    writer.writeU64(last_.misses);
+    writer.writeU64(last_.noPredictions);
+    timeline_.saveState(writer);
+}
+
+void
+TimelineSampler::loadState(util::StateReader &reader)
+{
+    last_.branches = reader.readU64();
+    last_.predictions = reader.readU64();
+    last_.misses = reader.readU64();
+    last_.noPredictions = reader.readU64();
+    timeline_.loadState(reader);
+    if (reader.ok() && timeline_.interval() != config_.interval)
+        reader.fail("timeline interval mismatch");
+}
+
+// --- segmentation -----------------------------------------------------
+
+namespace {
+
+/** Weighted sum of squared errors of @p xs[lo, hi) about their mean. */
+struct SegmentStats
+{
+    double weight = 0;
+    double sum = 0;
+    double sumSquares = 0;
+
+    void
+    add(double x, double w)
+    {
+        weight += w;
+        sum += w * x;
+        sumSquares += w * x * x;
+    }
+
+    double mean() const { return weight > 0 ? sum / weight : 0.0; }
+
+    double
+    sse() const
+    {
+        if (weight <= 0)
+            return 0;
+        return sumSquares - sum * sum / weight;
+    }
+};
+
+} // namespace
+
+TimelineSegmentation
+segmentMissCurve(const std::vector<double> &miss_percents,
+                 const std::vector<std::uint64_t> &weights)
+{
+    TimelineSegmentation seg;
+    const std::size_t n = miss_percents.size();
+    const auto weightAt = [&](std::size_t i) {
+        if (weights.empty())
+            return 1.0;
+        return static_cast<double>(weights[i]);
+    };
+
+    SegmentStats whole;
+    for (std::size_t i = 0; i < n; ++i)
+        whole.add(miss_percents[i], weightAt(i));
+    seg.overallMissPercent = whole.mean();
+    seg.warmupMissPercent = seg.overallMissPercent;
+    seg.steadyMissPercent = seg.overallMissPercent;
+    if (n < 4 || whole.weight <= 0)
+        return seg;
+
+    // Best two-segment piecewise-constant fit: scan the split point
+    // with running prefix stats; the suffix is the whole minus the
+    // prefix.  O(n), deterministic accumulation order.
+    const double whole_sse = whole.sse();
+    SegmentStats prefix;
+    double best_cost = whole_sse;
+    std::size_t best_split = 0;
+    double best_warmup = seg.overallMissPercent;
+    double best_steady = seg.overallMissPercent;
+    for (std::size_t split = 1; split < n; ++split) {
+        prefix.add(miss_percents[split - 1], weightAt(split - 1));
+        SegmentStats suffix;
+        suffix.weight = whole.weight - prefix.weight;
+        suffix.sum = whole.sum - prefix.sum;
+        suffix.sumSquares = whole.sumSquares - prefix.sumSquares;
+        if (prefix.weight <= 0 || suffix.weight <= 0)
+            continue;
+        const double cost = prefix.sse() + suffix.sse();
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_split = split;
+            best_warmup = prefix.mean();
+            best_steady = suffix.mean();
+        }
+    }
+
+    // Accept the split only when it explains materially more variance
+    // than the single mean (>= 10% SSE reduction) and the two levels
+    // are apart enough to matter (>= 0.25 miss points): a flat noisy
+    // curve must not grow a phantom warmup phase.
+    constexpr double kMinReduction = 0.10;
+    constexpr double kMinLevelGap = 0.25;
+    if (best_split == 0 || whole_sse <= 0 ||
+        best_cost > (1.0 - kMinReduction) * whole_sse ||
+        std::abs(best_steady - best_warmup) < kMinLevelGap)
+        return seg;
+
+    seg.hasChangePoint = true;
+    seg.steadyStart = best_split;
+    seg.warmupMissPercent = best_warmup;
+    seg.steadyMissPercent = best_steady;
+    return seg;
+}
+
+TimelineSegmentation
+segmentTimeline(const Timeline &timeline)
+{
+    return segmentMissCurve(timeline.missCurve(),
+                            timeline.predictionWeights());
+}
+
+// --- milestones -------------------------------------------------------
+
+namespace {
+
+/** Counters whose dynamics are milestone-worthy. */
+bool
+interestingCounter(const std::string &name)
+{
+    for (const char *needle :
+         {"evict", "overflow", "underflow", "flip", "reset"})
+        if (name.find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<TimelineMilestone>
+timelineMilestones(const Timeline &timeline)
+{
+    std::vector<TimelineMilestone> milestones;
+    const auto &windows = timeline.windows();
+    if (windows.empty())
+        return milestones;
+
+    // Per-counter running state, keyed in the (ordered) counter map's
+    // iteration order so output is deterministic.
+    struct CounterState
+    {
+        std::uint64_t previous = 0; ///< cumulative at last window
+        double deltaSum = 0;        ///< sum of deltas so far
+        std::uint64_t deltaWindows = 0;
+        bool sawFirst = false;
+        bool sawBurst = false;
+    };
+    std::map<std::string, CounterState> state;
+
+    for (const TimelineWindow &window : windows) {
+        for (const auto &[name, value] : window.counters) {
+            if (!interestingCounter(name))
+                continue;
+            CounterState &cs = state[name];
+            const std::uint64_t delta =
+                value >= cs.previous ? value - cs.previous : 0;
+            if (!cs.sawFirst && value > 0) {
+                cs.sawFirst = true;
+                milestones.push_back(TimelineMilestone{
+                    window.endBranch, "first", name, delta});
+            } else if (!cs.sawBurst && cs.deltaWindows >= 2 &&
+                       cs.deltaSum > 0) {
+                const double trailing =
+                    cs.deltaSum /
+                    static_cast<double>(cs.deltaWindows);
+                if (static_cast<double>(delta) > 4.0 * trailing) {
+                    cs.sawBurst = true;
+                    milestones.push_back(TimelineMilestone{
+                        window.endBranch, "burst", name, delta});
+                }
+            }
+            cs.deltaSum += static_cast<double>(delta);
+            ++cs.deltaWindows;
+            cs.previous = value;
+        }
+    }
+    return milestones;
+}
+
+// --- sparklines -------------------------------------------------------
+
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static const char *const kBlocks[] = {
+        "▁", "▂", "▃", "▄",
+        "▅", "▆", "▇", "█",
+    };
+    constexpr std::size_t kLevels =
+        sizeof(kBlocks) / sizeof(kBlocks[0]);
+
+    if (values.empty())
+        return "";
+    const auto [lo_it, hi_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double lo = *lo_it;
+    const double span = *hi_it - lo;
+
+    std::string out;
+    out.reserve(values.size() * 3);
+    for (double value : values) {
+        std::size_t level = kLevels / 2; // flat series: mid blocks
+        if (span > 0) {
+            const double norm = (value - lo) / span;
+            level = static_cast<std::size_t>(
+                norm * static_cast<double>(kLevels - 1) + 0.5);
+            level = std::min(level, kLevels - 1);
+        }
+        out += kBlocks[level];
+    }
+    return out;
+}
+
+} // namespace ibp::obs

@@ -288,7 +288,9 @@ suiteFingerprint(const std::vector<workload::BenchmarkProfile> &profiles,
     out << "v" << kCheckpointVersion << "|scale=" << scale
         << "|size=" << size << "|ras=" << (options.engine.useRas ? 1 : 0)
         << ":" << options.engine.rasDepth
-        << "|persite=" << (options.engine.perSiteStats ? 1 : 0);
+        << "|persite=" << (options.engine.perSiteStats ? 1 : 0)
+        << "|timeline=" << options.engine.timeline.interval << ":"
+        << (options.engine.timeline.sampleProbes ? 1 : 0);
     for (const auto &profile : profiles)
         out << "|row=" << profile.fullName() << ":"
             << profile.program.seed << ":" << profile.records;
@@ -317,6 +319,7 @@ encodeSuiteProgress(const SuiteProgress &progress)
         writer.writeDouble(cell.cell.wallSeconds);
         writer.writeDouble(cell.cell.cpuSeconds);
         cell.probes.saveState(writer);
+        cell.timeline.saveState(writer);
         writer.endSection();
     }
 
@@ -366,6 +369,7 @@ decodeSuiteProgress(const std::vector<std::uint8_t> &bytes,
             cell.cell.wallSeconds = payload.readDouble();
             cell.cell.cpuSeconds = payload.readDouble();
             cell.probes.loadState(payload);
+            cell.timeline.loadState(payload);
             if (util::Status status = closePayload(payload, "cell");
                 !status.ok())
                 return status;

@@ -118,6 +118,10 @@ struct CompletedCell
     std::string col; ///< predictor name
     CellResult cell;
     obs::ProbeRegistry probes;
+    /** The cell's sampled timeline (empty when sampling was off), so
+     *  a resumed run reproduces the uninterrupted run's timeline
+     *  section byte for byte. */
+    obs::Timeline timeline;
 };
 
 /**

@@ -163,17 +163,20 @@ Engine::Engine(const EngineConfig &config)
 RunMetrics
 Engine::run(trace::BranchSource &source,
             pred::IndirectPredictor &predictor,
-            obs::ProbeRegistry *probes)
+            obs::ProbeRegistry *probes, obs::Timeline *timeline)
 {
     ReplaySession session(config_);
     session.run(source, predictor);
     if (probes)
         session.snapshotProbes(*probes, predictor);
+    if (timeline)
+        *timeline = session.takeTimeline();
     return session.metrics();
 }
 
 ReplaySession::ReplaySession(const EngineConfig &config)
-    : config_(config), ras_(config.rasDepth)
+    : config_(config), ras_(config.rasDepth),
+      sampler_(config.timeline)
 {
 }
 
@@ -182,8 +185,55 @@ ReplaySession::run(trace::BranchSource &source,
                    pred::IndirectPredictor &predictor,
                    std::uint64_t limit)
 {
-    return dispatchReplay(config_, source, predictor, ras_, metrics_,
-                          limit);
+    if (!sampler_.enabled())
+        return dispatchReplay(config_, source, predictor, ras_,
+                              metrics_, limit);
+
+    // Sampling run: replay in sub-limits clamped to the next window
+    // boundary.  Span-size invariance of the replay loop means the
+    // chunking changes no simulated number; boundaries are absolute
+    // record counts, so the windows are identical however the run is
+    // sliced across bounded calls or checkpoint/resume cycles.
+    const bool unbounded = limit == kNoLimit;
+    std::uint64_t consumed = 0;
+    for (;;) {
+        const std::uint64_t boundary =
+            sampler_.nextBoundary(metrics_.branches);
+        std::uint64_t want = boundary - metrics_.branches;
+        if (!unbounded)
+            want = std::min(want, limit - consumed);
+        const std::uint64_t ran = dispatchReplay(
+            config_, source, predictor, ras_, metrics_, want);
+        consumed += ran;
+        if (metrics_.branches == boundary)
+            sampleTimeline(predictor);
+        if (ran < want) {
+            // Source exhausted: close the final partial window (a
+            // no-op when the trace ended exactly on a boundary).
+            sampleTimeline(predictor);
+            break;
+        }
+        if (!unbounded && consumed == limit)
+            break;
+    }
+    return consumed;
+}
+
+void
+ReplaySession::sampleTimeline(const pred::IndirectPredictor &predictor)
+{
+    obs::TimelineSample sample;
+    sample.branches = metrics_.branches;
+    sample.predictions = metrics_.mtIndirect;
+    sample.misses = metrics_.indirectMisses.events();
+    sample.noPredictions = metrics_.noPrediction.events();
+    if (!sampler_.config().sampleProbes) {
+        sampler_.sample(sample, nullptr);
+        return;
+    }
+    obs::ProbeRegistry probes;
+    snapshotProbes(probes, predictor);
+    sampler_.sample(sample, &probes);
 }
 
 void
@@ -201,6 +251,12 @@ ReplaySession::saveState(util::StateWriter &writer) const
 {
     metrics_.saveState(writer);
     ras_.saveState(writer);
+    // Timeline-off sessions keep the pre-timeline byte layout; both
+    // sides condition on the same config, so a snapshot restores only
+    // into an identically configured session (the checkpoint
+    // contract).
+    if (sampler_.enabled())
+        sampler_.saveState(writer);
 }
 
 void
@@ -208,6 +264,8 @@ ReplaySession::loadState(util::StateReader &reader)
 {
     metrics_.loadState(reader);
     ras_.loadState(reader);
+    if (sampler_.enabled())
+        sampler_.loadState(reader);
 }
 
 void
@@ -257,14 +315,57 @@ SpanDriver::selectFeed(pred::IndirectPredictor &predictor)
 SpanDriver::SpanDriver(const EngineConfig &config,
                        pred::IndirectPredictor &predictor)
     : config_(config), predictor_(&predictor),
-      feed_(selectFeed(predictor)), ras_(config.rasDepth)
+      feed_(selectFeed(predictor)), ras_(config.rasDepth),
+      sampler_(config.timeline)
 {
 }
 
 void
 SpanDriver::feed(const trace::BranchRecord *span, std::size_t n)
 {
-    feed_(*this, span, n);
+    if (!sampler_.enabled()) {
+        feed_(*this, span, n);
+        return;
+    }
+    // Split the span at window boundaries (absolute record counts),
+    // so one-pass timelines match the per-cell paths byte for byte
+    // regardless of the chunk size the suite feeds.
+    std::size_t off = 0;
+    while (off < n) {
+        const std::uint64_t boundary =
+            sampler_.nextBoundary(metrics_.branches);
+        const std::size_t len =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                n - off, boundary - metrics_.branches));
+        feed_(*this, span + off, len);
+        off += len;
+        if (metrics_.branches == boundary)
+            sampleTimeline();
+    }
+}
+
+void
+SpanDriver::sampleTimeline()
+{
+    obs::TimelineSample sample;
+    sample.branches = metrics_.branches;
+    sample.predictions = metrics_.mtIndirect;
+    sample.misses = metrics_.indirectMisses.events();
+    sample.noPredictions = metrics_.noPrediction.events();
+    if (!sampler_.config().sampleProbes) {
+        sampler_.sample(sample, nullptr);
+        return;
+    }
+    obs::ProbeRegistry probes;
+    snapshotProbes(probes);
+    sampler_.sample(sample, &probes);
+}
+
+void
+SpanDriver::finishTimeline()
+{
+    if (sampler_.enabled())
+        sampleTimeline();
 }
 
 void

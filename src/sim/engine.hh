@@ -19,6 +19,7 @@
 
 #include "trace/trace_buffer.hh"
 #include "obs/registry.hh"
+#include "obs/timeline.hh"
 #include "predictors/predictor.hh"
 #include "predictors/ras.hh"
 #include "sim/metrics.hh"
@@ -47,6 +48,15 @@ struct EngineConfig
      * (--scale well past 1) whose tables outgrow the cache.
      */
     std::size_t prefetchDistance = 0;
+
+    /**
+     * Windowed timeline sampling (see obs/timeline.hh).  Disabled by
+     * default; when enabled, the replay stops at every interval-th
+     * record to close a timeline window — same records, same
+     * per-record protocol, so no simulated number changes (span-size
+     * invariance), only the sampled curves appear.
+     */
+    obs::TimelineConfig timeline;
 };
 
 /** The trace-driven engine. */
@@ -68,11 +78,14 @@ class Engine
      * @param probes when non-null, receives the RAS and predictor
      *        probe snapshots after the replay (cold path; never read
      *        during it)
+     * @param timeline when non-null and the config enables sampling,
+     *        receives the run's windowed timeline
      * @return the collected metrics
      */
     RunMetrics run(trace::BranchSource &source,
                    pred::IndirectPredictor &predictor,
-                   obs::ProbeRegistry *probes = nullptr);
+                   obs::ProbeRegistry *probes = nullptr,
+                   obs::Timeline *timeline = nullptr);
 
   private:
     EngineConfig config_;
@@ -117,7 +130,25 @@ class ReplaySession
     void snapshotProbes(obs::ProbeRegistry &registry,
                         const pred::IndirectPredictor &predictor) const;
 
-    /** Serialize the engine-side state (metrics + RAS ring). */
+    /**
+     * The timeline sampled so far (empty when the config disables
+     * sampling).  run() closes the final partial window when the
+     * source is exhausted, so after a run to exhaustion this is the
+     * complete series.
+     */
+    const obs::Timeline &timeline() const
+    {
+        return sampler_.timeline();
+    }
+
+    /** Move the sampled timeline out (the sampler resets empty). */
+    obs::Timeline takeTimeline() { return sampler_.takeTimeline(); }
+
+    /**
+     * Serialize the engine-side state (metrics + RAS ring, plus the
+     * timeline sampler when the config enables sampling — keeping the
+     * timeline-off byte layout identical to pre-timeline sessions).
+     */
     void saveState(util::StateWriter &writer) const;
 
     /** Restore a saved session of the same configuration. */
@@ -128,9 +159,13 @@ class ReplaySession
     void loadProbes(util::StateReader &reader);
 
   private:
+    /** Close the timeline window ending at the current position. */
+    void sampleTimeline(const pred::IndirectPredictor &predictor);
+
     EngineConfig config_;
     pred::ReturnAddressStack ras_;
     RunMetrics metrics_;
+    obs::TimelineSampler sampler_;
 };
 
 /**
@@ -161,7 +196,24 @@ class SpanDriver
     /** RAS + predictor probe snapshots (same order as a session). */
     void snapshotProbes(obs::ProbeRegistry &registry) const;
 
+    /**
+     * Close the final partial timeline window (call once, after the
+     * last feed()); no-op when sampling is off or nothing is pending.
+     */
+    void finishTimeline();
+
+    /** The timeline sampled so far (see ReplaySession::timeline()). */
+    const obs::Timeline &timeline() const
+    {
+        return sampler_.timeline();
+    }
+
+    obs::Timeline takeTimeline() { return sampler_.takeTimeline(); }
+
   private:
+    /** Close the timeline window ending at the current position. */
+    void sampleTimeline();
+
     using FeedFn = void (*)(SpanDriver &, const trace::BranchRecord *,
                             std::size_t);
 
@@ -176,6 +228,7 @@ class SpanDriver
     FeedFn feed_;
     pred::ReturnAddressStack ras_;
     RunMetrics metrics_;
+    obs::TimelineSampler sampler_;
 };
 
 } // namespace ibp::sim

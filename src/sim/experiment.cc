@@ -14,6 +14,7 @@
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "obs/cputime.hh"
+#include "obs/trace_event.hh"
 #include "workload/program.hh"
 #include "sim/checkpoint.hh"
 
@@ -368,15 +369,16 @@ feedOnePassChunk(std::vector<OnePassColumn> &columns,
     }
 }
 
-/** Harvest a finished one-pass row into cells + merged probes. */
+/** Harvest a finished one-pass row into cells + probes + timelines. */
 std::vector<CellResult>
 harvestOnePassRow(std::vector<OnePassColumn> &columns,
                   const std::vector<std::string> &predictor_names,
-                  SuiteResult &result)
+                  const std::string &row_name, SuiteResult &result)
 {
     std::vector<CellResult> row;
     row.reserve(columns.size());
     for (std::size_t c = 0; c < columns.size(); ++c) {
+        columns[c].driver->finishTimeline();
         obs::ProbeRegistry probes;
         columns[c].driver->snapshotProbes(probes);
         CellResult cell = cellFromMetrics(columns[c].driver->metrics());
@@ -384,6 +386,10 @@ harvestOnePassRow(std::vector<OnePassColumn> &columns,
         cell.cpuSeconds = columns[c].cpuSeconds;
         result.probes[predictor_names[c]].merge(probes);
         row.push_back(cell);
+        if (obs::Timeline timeline = columns[c].driver->takeTimeline();
+            timeline.interval() > 0)
+            result.timelines[row_name][predictor_names[c]] =
+                std::move(timeline);
     }
     return row;
 }
@@ -404,13 +410,20 @@ runSuiteOnePassSerial(
     result.predictorNames = predictor_names;
 
     for (const auto &profile : profiles) {
-        result.rowNames.push_back(profile.fullName());
+        const std::string row_name = profile.fullName();
+        result.rowNames.push_back(row_name);
 
         const double gen_start = obs::wallSeconds();
-        trace::TraceBuffer buffer =
-            generateTrace(profile, options.traceScale);
+        trace::TraceBuffer buffer;
+        {
+            obs::ScopedTraceSpan gen_span("tracegen " + row_name,
+                                          "tracegen");
+            buffer = generateTrace(profile, options.traceScale);
+        }
         trace_gen += secondsSince(gen_start);
 
+        obs::ScopedTraceSpan row_span(row_name + " / one-pass row",
+                                      "cell");
         auto columns = makeOnePassColumns(predictor_names, options);
         buffer.rewind();
         const trace::BranchRecord *span = nullptr;
@@ -422,8 +435,8 @@ runSuiteOnePassSerial(
                 feedOnePassChunk(columns, span + off, len);
             }
         }
-        result.cells.push_back(
-            harvestOnePassRow(columns, predictor_names, result));
+        result.cells.push_back(harvestOnePassRow(
+            columns, predictor_names, row_name, result));
     }
     if (timing) {
         timing->wallSeconds = secondsSince(wall_start);
@@ -473,6 +486,8 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
 
         trace::TraceBuffer buffer;
         if (row_needs_trace) {
+            obs::ScopedTraceSpan gen_span("tracegen " + row_name,
+                                          "tracegen");
             const double gen_start = obs::wallSeconds();
             buffer = generateTrace(profile, options.traceScale);
             trace_gen += secondsSince(gen_start);
@@ -486,9 +501,14 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
                         progress.find(row_name, name)) {
                     result.probes[name].merge(done->probes);
                     row.push_back(done->cell);
+                    if (done->timeline.interval() > 0)
+                        result.timelines[row_name][name] =
+                            done->timeline;
                     continue;
                 }
             }
+            obs::ScopedTraceSpan cell_span(row_name + " / " + name,
+                                           "cell");
             auto predictor = makePredictor(name, options.factory);
             ReplaySession session(options.engine);
             buffer.rewind();
@@ -538,6 +558,7 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
             cell.wallSeconds = secondsSince(cell_start);
             result.probes[name].merge(probes);
             row.push_back(cell);
+            obs::Timeline cell_timeline = session.takeTimeline();
             if (checkpointing) {
                 progress.partial = PartialCell{};
                 CompletedCell done;
@@ -545,9 +566,13 @@ runSuiteSerial(const std::vector<workload::BenchmarkProfile> &profiles,
                 done.col = name;
                 done.cell = cell;
                 done.probes = std::move(probes);
+                done.timeline = cell_timeline;
                 progress.cells.push_back(std::move(done));
                 writeSuiteProgress(options, progress);
             }
+            if (cell_timeline.interval() > 0)
+                result.timelines[row_name][name] =
+                    std::move(cell_timeline);
         }
         result.cells.push_back(std::move(row));
     }
@@ -587,6 +612,7 @@ runSuiteOnePassParallel(
     {
         std::vector<CellResult> cells;
         std::vector<obs::ProbeRegistry> probes;
+        std::vector<obs::Timeline> timelines; ///< per column
         double genSeconds = 0;
         double cpuSeconds = 0; ///< whole task: gen + decode + replay
     };
@@ -601,6 +627,9 @@ runSuiteOnePassParallel(
                                            &predictor_names, &options,
                                            r] {
                 const double cpu_start = obs::threadCpuSeconds();
+                obs::ScopedTraceSpan row_span(
+                    profiles[r].fullName() + " / one-pass row",
+                    "cell");
                 RowOutput output;
                 const auto buffer = generateTraceCached(
                     profiles[r], options.traceScale,
@@ -614,8 +643,10 @@ runSuiteOnePassParallel(
                                              ring.size())) != 0)
                     feedOnePassChunk(columns, ring.data(), n);
                 output.probes.resize(columns.size());
+                output.timelines.resize(columns.size());
                 output.cells.reserve(columns.size());
                 for (std::size_t c = 0; c < columns.size(); ++c) {
+                    columns[c].driver->finishTimeline();
                     columns[c].driver->snapshotProbes(
                         output.probes[c]);
                     CellResult cell = cellFromMetrics(
@@ -623,6 +654,8 @@ runSuiteOnePassParallel(
                     cell.wallSeconds = columns[c].wallSeconds;
                     cell.cpuSeconds = columns[c].cpuSeconds;
                     output.cells.push_back(cell);
+                    output.timelines[c] =
+                        columns[c].driver->takeTimeline();
                 }
                 output.cpuSeconds =
                     obs::threadCpuSeconds() - cpu_start;
@@ -634,9 +667,14 @@ runSuiteOnePassParallel(
         double trace_gen = 0;
         for (std::size_t r = 0; r < futures.size(); ++r) {
             RowOutput output = futures[r].get();
-            for (std::size_t c = 0; c < predictor_names.size(); ++c)
+            for (std::size_t c = 0; c < predictor_names.size(); ++c) {
                 result.probes[predictor_names[c]].merge(
                     output.probes[c]);
+                if (output.timelines[c].interval() > 0)
+                    result.timelines[result.rowNames[r]]
+                                    [predictor_names[c]] =
+                        std::move(output.timelines[c]);
+            }
             result.cells.push_back(std::move(output.cells));
             serial_equivalent += output.cpuSeconds;
             trace_gen += output.genSeconds;
@@ -713,6 +751,7 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
         CellResult cell;
         double genSeconds = 0;
         obs::ProbeRegistry probes;
+        obs::Timeline timeline;
     };
 
     struct CellTask
@@ -736,6 +775,10 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                         result.cells[r][c] = done->cell;
                         result.probes[predictor_names[c]].merge(
                             done->probes);
+                        if (done->timeline.interval() > 0)
+                            result.timelines[result.rowNames[r]]
+                                            [predictor_names[c]] =
+                                done->timeline;
                         continue;
                     }
                 }
@@ -750,6 +793,10 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                     // double-counting or oversubscription inflation.
                     const double cell_start = obs::wallSeconds();
                     const double cpu_start = obs::threadCpuSeconds();
+                    obs::ScopedTraceSpan cell_span(
+                        profiles[r].fullName() + " / " +
+                            predictor_names[c],
+                        "cell");
                     CellOutput output;
                     const auto buffer = generateTraceCached(
                         profiles[r], options.traceScale,
@@ -759,7 +806,8 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                                                    options.factory);
                     Engine engine(options.engine);
                     output.cell = cellFromMetrics(
-                        engine.run(source, *predictor, &output.probes));
+                        engine.run(source, *predictor, &output.probes,
+                                   &output.timeline));
                     output.cell.cpuSeconds =
                         obs::threadCpuSeconds() - cpu_start;
                     output.cell.wallSeconds = secondsSince(cell_start);
@@ -786,9 +834,14 @@ runSuiteParallel(const std::vector<workload::BenchmarkProfile> &profiles,
                 done.col = predictor_names[c];
                 done.cell = output.cell;
                 done.probes = std::move(output.probes);
+                done.timeline = output.timeline;
                 progress.cells.push_back(std::move(done));
                 writeSuiteProgress(options, progress);
             }
+            if (output.timeline.interval() > 0)
+                result.timelines[result.rowNames[r]]
+                                [predictor_names[c]] =
+                    std::move(output.timeline);
         }
         if (timing) {
             timing->serialEquivalentSeconds = serial_equivalent;
@@ -951,6 +1004,25 @@ buildRunReport(const std::string &tool, const SuiteOptions &options,
     }
     for (const auto &[name, registry] : result.probes)
         report.probes[name].merge(registry);
+    // Timelines in suite order (row-major), not map order, so the
+    // report section is deterministic and path-independent.
+    for (const auto &row : result.rowNames) {
+        const auto row_it = result.timelines.find(row);
+        if (row_it == result.timelines.end())
+            continue;
+        for (const auto &predictor : result.predictorNames) {
+            const auto cell_it = row_it->second.find(predictor);
+            if (cell_it == row_it->second.end())
+                continue;
+            obs::ReportTimeline entry;
+            entry.row = row;
+            entry.predictor = predictor;
+            entry.timeline = cell_it->second;
+            entry.segmentation =
+                obs::segmentTimeline(entry.timeline);
+            report.timelines.push_back(std::move(entry));
+        }
+    }
     return report;
 }
 

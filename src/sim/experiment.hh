@@ -138,6 +138,15 @@ struct SuiteResult
      */
     std::map<std::string, obs::ProbeRegistry> probes;
 
+    /**
+     * Per-cell deterministic timelines, [row name][predictor name].
+     * Populated only when SuiteOptions::engine.timeline is enabled;
+     * bit-identical across thread counts, execution paths and
+     * checkpoint/resume, like the matrix itself.
+     */
+    std::map<std::string, std::map<std::string, obs::Timeline>>
+        timelines;
+
     /** Column arithmetic means (the paper's "average" bars). */
     std::vector<double> averages() const;
 

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Strict-warning coverage for the header-only parts of workload/.
+ *
+ * The IBP_WERROR gate (-Werror -Wshadow -Wconversion -Wold-style-cast)
+ * applies to the translation units of this library; headers that no
+ * .cc file happens to include would escape it.  This TU includes every
+ * workload header so the whole layer is compiled under the strict set.
+ */
+
+#include "workload/adversarial.hh"
+#include "workload/behavior.hh"
+#include "workload/kmp.hh"
+#include "workload/profiles.hh"
+#include "workload/program.hh"

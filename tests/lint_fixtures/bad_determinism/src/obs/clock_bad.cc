@@ -1,0 +1,12 @@
+#include <chrono>
+
+// obs/ code outside cputime.hh must go through obs::wallSeconds():
+// a raw ::now() read here IS flagged (the obs rule variant).
+double
+fixtureTimelineStamp()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() // determinism-clock
+                   .time_since_epoch())
+        .count();
+}

@@ -1,8 +1,8 @@
 #include <chrono>
 
-// obs/ owns the wall clock: this must NOT be flagged.
-double
-fixtureWall()
+// The one sanctioned clock shim: raw ::now() here must NOT be flagged.
+inline double
+fixtureWallSeconds()
 {
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())

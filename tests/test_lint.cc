@@ -153,12 +153,24 @@ TEST(LintFixtures, DeterminismRandomAndClock)
     const Result result = lintTree(fixturePath("bad_determinism"));
     const auto counts = ruleCounts(result);
     EXPECT_EQ(counts,
-              (std::map<std::string, int>{{"determinism-clock", 2},
+              (std::map<std::string, int>{{"determinism-clock", 3},
                                           {"determinism-random", 3}}));
     EXPECT_EQ(result.suppressed, 1) << "allow(determinism-random)";
-    for (const Finding &finding : result.findings)
-        EXPECT_EQ(finding.file, "src/core/det.cc")
-            << "obs/ owns the wall clock and must not be flagged";
+    int obs_findings = 0;
+    for (const Finding &finding : result.findings) {
+        if (finding.file == "src/obs/clock_bad.cc") {
+            // obs/ outside cputime.hh gets the variant that points at
+            // the sanctioned shim.
+            ++obs_findings;
+            EXPECT_EQ(finding.rule, "determinism-clock");
+            EXPECT_NE(finding.message.find("obs::wallSeconds()"),
+                      std::string::npos);
+        } else {
+            EXPECT_EQ(finding.file, "src/core/det.cc")
+                << "only cputime.hh may read the clock directly";
+        }
+    }
+    EXPECT_EQ(obs_findings, 1);
 }
 
 TEST(LintFixtures, UnorderedIterationOnlyWhenDirect)

@@ -17,6 +17,7 @@
  * — which is itself asserted in CI.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -28,7 +29,12 @@
 
 #include "util/logging.hh"
 #include "obs/registry.hh"
+#include "obs/timeline.hh"
+#include "obs/trace_event.hh"
 #include "workload/adversarial.hh"
+#include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/factory.hh"
 #include "sim/fuzz.hh"
 
 namespace {
@@ -62,6 +68,11 @@ usage(std::ostream &out)
            "matches a\n"
            "                      profile already in DIR; exit 3 "
            "otherwise\n"
+           "  --timeline=DIR      write a Perfetto trace per finding "
+           "(the\n"
+           "                      involved predictors' windowed miss "
+           "curves\n"
+           "                      over the reproducer workload)\n"
            "  --help              this text\n";
 }
 
@@ -108,6 +119,49 @@ parseDouble(std::string_view value, std::string_view flag)
  * via the reproducer naming convention, so matching on the suggested
  * name is enough (and keeps the files self-describing).
  */
+/**
+ * Write one Perfetto trace for a finding: the involved predictors'
+ * deterministic windowed miss curves over the reproducer workload
+ * (64 windows, probe counters included).  Pure function of the
+ * finding, so reruns regenerate identical traces.
+ */
+void
+writeFindingTimeline(const std::string &dir,
+                     const ibp::sim::FuzzFinding &finding)
+{
+    std::vector<std::string> predictors;
+    if (!finding.better.empty())
+        predictors.push_back(finding.better);
+    if (!finding.worse.empty() && finding.worse != finding.better)
+        predictors.push_back(finding.worse);
+    if (predictors.empty())
+        return;
+
+    ibp::trace::TraceBuffer buffer =
+        ibp::sim::generateTrace(finding.profile);
+    ibp::sim::EngineConfig config;
+    config.timeline.interval =
+        std::max<std::uint64_t>(1, finding.profile.records / 64);
+
+    std::vector<ibp::obs::TraceEvent> events;
+    std::uint64_t pid = ibp::obs::kTimelinePidBase;
+    for (const auto &name : predictors) {
+        auto predictor = ibp::sim::makePredictor(name);
+        ibp::sim::Engine engine(config);
+        ibp::obs::Timeline timeline;
+        buffer.rewind();
+        engine.run(buffer, *predictor, nullptr, &timeline);
+        ibp::obs::appendTimelineEvents(timeline, name, pid++, events);
+    }
+
+    const std::string path =
+        (fs::path(dir) /
+         (ibp::sim::suggestedProfileName(finding) + ".trace.json"))
+            .string();
+    ibp::obs::writeTraceEventsFile(path, events);
+    std::cerr << "timeline: " << path << "\n";
+}
+
 std::vector<std::string>
 knownProfileNames(const std::string &dir)
 {
@@ -129,6 +183,7 @@ main(int argc, char **argv)
     std::string out_path;
     std::string emit_dir;
     std::string known_dir;
+    std::string timeline_dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -162,6 +217,8 @@ main(int argc, char **argv)
             emit_dir = std::string(value);
         } else if (parseFlag(arg, "--known", value)) {
             known_dir = std::string(value);
+        } else if (parseFlag(arg, "--timeline", value)) {
+            timeline_dir = std::string(value);
         } else {
             usage(std::cerr);
             fatal("unknown argument: ", std::string(arg));
@@ -189,6 +246,12 @@ main(int argc, char **argv)
                  (ibp::sim::suggestedProfileName(finding) + ".json"))
                     .string(),
                 finding.profile);
+    }
+
+    if (!timeline_dir.empty()) {
+        fs::create_directories(timeline_dir);
+        for (const auto &finding : report.findings)
+            writeFindingTimeline(timeline_dir, finding);
     }
 
     std::cerr << "fuzz: " << report.generated << " generated, "

@@ -534,10 +534,14 @@ class Linter
     void
     ruleDeterminismTokens(const SourceFile &file)
     {
-        // The observability layer owns wall clocks; everything the
-        // simulator computes must be a pure function of the trace.
-        if (file.dir != "src" || file.layer == "obs")
+        // obs/cputime.hh is the one sanctioned clock shim; everything
+        // else — including the rest of the obs layer (timelines,
+        // trace events, phase timers) — must read time through
+        // obs::wallSeconds()/threadCpuSeconds() so every clock read
+        // funnels through a single auditable chokepoint.
+        if (file.dir != "src" || file.relPath == "src/obs/cputime.hh")
             return;
+        const bool in_obs = file.layer == "obs";
         static const std::set<std::string> banned_random = {
             "rand",    "srand",   "rand_r",        "drand48",
             "lrand48", "mrand48", "random_device",
@@ -561,9 +565,14 @@ class Linter
                 tokens[i - 1].text == "::" &&
                 i + 2 < tokens.size() && tokens[i + 2].text == ")") {
                 report(file, "determinism-clock", token.line,
-                       "raw ::now() wall-clock read outside obs/ "
-                       "(use obs::wallSeconds()/obs::PhaseTimer so "
-                       "every clock read is auditable)");
+                       in_obs
+                           ? "raw ::now() clock read in obs/ outside "
+                             "cputime.hh (route timeline/trace-event "
+                             "timestamps through obs::wallSeconds())"
+                           : "raw ::now() wall-clock read outside "
+                             "obs/ (use obs::wallSeconds()/"
+                             "obs::PhaseTimer so every clock read is "
+                             "auditable)");
                 continue;
             }
             if (token.text == "time" && called) {

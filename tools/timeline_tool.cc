@@ -1,0 +1,268 @@
+/**
+ * @file
+ * timeline_tool: inspect, compare and export the timeline section of
+ * ibp_report.json run reports.
+ *
+ *   timeline_tool <report.json>                print every timeline
+ *   timeline_tool --sparkline <report.json>    one sparkline per cell
+ *   timeline_tool --diff <before> <after>      compare timelines
+ *                 [--tolerance <pct>]          window/steady-state gate
+ *   timeline_tool --export-perfetto <report.json> [--out <path>]
+ *                                              write the branch-time
+ *                                              tracks as Chrome
+ *                                              trace-event JSON
+ *   timeline_tool --emit-golden <out.json>     run the golden timeline
+ *                                              configuration and write
+ *                                              its report
+ *
+ * --diff exits non-zero iff a timeline shape mismatch, a per-window
+ * miss% delta beyond the tolerance, or a steady-state regression is
+ * found; every failure names the exact window/metric path.  CI diffs
+ * fresh --emit-golden runs against tests/golden/timeline_small.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
+#include "obs/trace_event.hh"
+#include "workload/profiles.hh"
+#include "sim/experiment.hh"
+
+namespace {
+
+using namespace ibp;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: timeline_tool <report.json>\n"
+        << "       timeline_tool --sparkline <report.json>\n"
+        << "       timeline_tool --diff <before.json> <after.json>"
+           " [--tolerance <pct>]\n"
+        << "       timeline_tool --export-perfetto <report.json>"
+           " [--out <trace.json>]\n"
+        << "       timeline_tool --emit-golden <out.json>\n";
+    return 2;
+}
+
+int
+printTimelines(const std::string &path)
+{
+    const obs::RunReport report = obs::readReportFile(path);
+    if (report.timelines.empty()) {
+        std::cout << "no timelines in " << path
+                  << " (run the driver with --timeline-interval=)\n";
+        return 0;
+    }
+    for (const auto &entry : report.timelines) {
+        const auto &windows = entry.timeline.windows();
+        std::cout << "(" << entry.row << ", " << entry.predictor
+                  << "): interval " << entry.timeline.interval()
+                  << ", " << windows.size() << " windows\n";
+        for (std::size_t w = 0; w < windows.size(); ++w) {
+            std::printf(
+                "  [%3zu] end %10llu  pred %8llu  miss %7.3f%%"
+                "  nopred %7.3f%%\n",
+                w,
+                static_cast<unsigned long long>(windows[w].endBranch),
+                static_cast<unsigned long long>(
+                    windows[w].predictions),
+                windows[w].missPercent(),
+                windows[w].noPredictionPercent());
+        }
+        if (entry.segmentation.hasChangePoint)
+            std::printf("  warmup %.3f%% -> steady %.3f%% from "
+                        "window %zu\n",
+                        entry.segmentation.warmupMissPercent,
+                        entry.segmentation.steadyMissPercent,
+                        entry.segmentation.steadyStart);
+        else
+            std::printf("  steady throughout (%.3f%%)\n",
+                        entry.segmentation.overallMissPercent);
+        for (const auto &milestone :
+             obs::timelineMilestones(entry.timeline))
+            std::printf("  milestone @%llu: %s %s (delta %llu)\n",
+                        static_cast<unsigned long long>(
+                            milestone.branch),
+                        milestone.kind.c_str(),
+                        milestone.counter.c_str(),
+                        static_cast<unsigned long long>(
+                            milestone.value));
+    }
+    return 0;
+}
+
+int
+sparklines(const std::string &path)
+{
+    const obs::RunReport report = obs::readReportFile(path);
+    if (report.timelines.empty()) {
+        std::cout << "no timelines in " << path << '\n';
+        return 0;
+    }
+    std::size_t width = 0;
+    for (const auto &entry : report.timelines)
+        width = std::max(width,
+                         entry.row.size() + entry.predictor.size() + 3);
+    for (const auto &entry : report.timelines) {
+        const std::string label =
+            entry.row + " / " + entry.predictor;
+        const auto curve = entry.timeline.missCurve();
+        double lo = 0, hi = 0;
+        if (!curve.empty()) {
+            lo = hi = curve.front();
+            for (double v : curve) {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+        }
+        std::printf("%-*s %s  [%.2f%% .. %.2f%%]\n",
+                    static_cast<int>(width), label.c_str(),
+                    obs::sparkline(curve).c_str(), lo, hi);
+    }
+    return 0;
+}
+
+int
+diff(const std::string &before_path, const std::string &after_path,
+     double tolerance)
+{
+    const obs::RunReport before = obs::readReportFile(before_path);
+    const obs::RunReport after = obs::readReportFile(after_path);
+    if (before.timelines.empty() && after.timelines.empty()) {
+        std::cout << "neither report carries timelines; "
+                     "nothing to compare\n";
+        return 0;
+    }
+    // Reuse the report diff engine but keep only timeline findings,
+    // so this tool gates on the curves alone (report_tool --diff is
+    // the whole-report gate).
+    obs::RunReport before_tl;
+    before_tl.timelines = before.timelines;
+    obs::RunReport after_tl;
+    after_tl.timelines = after.timelines;
+    const obs::ReportDiff result =
+        obs::diffReports(before_tl, after_tl, tolerance);
+    obs::printDiff(std::cout, result);
+    return result.clean() ? 0 : 1;
+}
+
+int
+exportPerfetto(const std::string &report_path,
+               const std::string &out_path)
+{
+    const obs::RunReport report = obs::readReportFile(report_path);
+    fatal_if(report.timelines.empty(), "no timelines in ", report_path,
+             "; run the driver with --timeline-interval= first");
+    std::vector<obs::TraceEvent> events;
+    std::uint64_t pid = obs::kTimelinePidBase;
+    for (const auto &entry : report.timelines)
+        obs::appendTimelineEvents(entry.timeline,
+                                  entry.row + " x " + entry.predictor,
+                                  pid++, events);
+    obs::writeTraceEventsFile(out_path, events);
+    std::cout << "wrote " << out_path << " (" << events.size()
+              << " events); open in https://ui.perfetto.dev\n";
+    return 0;
+}
+
+/**
+ * The golden timeline configuration: the golden-suite matrix
+ * (perl/eon/gs.tig x BTB/TC-PIB/Cascade/PPM-hyb at scale 0.02,
+ * serial) sampled every 4000 records with probe sampling off, so the
+ * fixture is identical across instrumented and probe-free builds.
+ */
+int
+emitGolden(const std::string &out_path)
+{
+    const std::vector<std::string> profile_names = {"perl", "eon",
+                                                    "gs.tig"};
+    const std::vector<std::string> predictors = {"BTB", "TC-PIB",
+                                                 "Cascade", "PPM-hyb"};
+
+    const auto suite = workload::standardSuite();
+    std::vector<workload::BenchmarkProfile> profiles;
+    for (const auto &name : profile_names) {
+        const auto *profile = workload::findProfile(suite, name);
+        fatal_if(profile == nullptr, "standard suite lost profile ",
+                 name);
+        profiles.push_back(*profile);
+    }
+
+    sim::SuiteOptions options;
+    options.traceScale = 0.02;
+    options.threads = 1;
+    options.engine.timeline.interval = 4000;
+    options.engine.timeline.sampleProbes = false;
+    sim::SuiteTiming timing;
+    const sim::SuiteResult result =
+        sim::runSuite(profiles, predictors, options, &timing);
+
+    const obs::RunReport report = sim::buildRunReport(
+        "timeline_tool --emit-golden", options, result, timing);
+    obs::writeReportFile(out_path, report);
+    std::cout << "wrote " << out_path << '\n';
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+
+    if (args[0] == "--diff") {
+        double tolerance = 0;
+        std::vector<std::string> paths;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "--tolerance") {
+                if (++i == args.size())
+                    return usage();
+                tolerance = std::strtod(args[i].c_str(), nullptr);
+            } else {
+                paths.push_back(args[i]);
+            }
+        }
+        if (paths.size() != 2 || tolerance < 0)
+            return usage();
+        return diff(paths[0], paths[1], tolerance);
+    }
+
+    if (args[0] == "--sparkline")
+        return args.size() == 2 ? sparklines(args[1]) : usage();
+
+    if (args[0] == "--export-perfetto") {
+        std::string out = "ibp_timeline_trace.json";
+        std::vector<std::string> paths;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "--out") {
+                if (++i == args.size())
+                    return usage();
+                out = args[i];
+            } else {
+                paths.push_back(args[i]);
+            }
+        }
+        if (paths.size() != 1)
+            return usage();
+        return exportPerfetto(paths[0], out);
+    }
+
+    if (args[0] == "--emit-golden")
+        return args.size() == 2 ? emitGolden(args[1]) : usage();
+
+    if (args.size() != 1 || args[0].rfind("--", 0) == 0)
+        return usage();
+    return printTimelines(args[0]);
+}
