@@ -63,8 +63,9 @@ constexpr double kMinSeconds = 0.5;
 /// The bench_micro predictor set — engineering baselines, not a paper
 /// figure, so additions are cheap and encouraged.
 const std::vector<std::string> kPredictors = {
-    "BTB",   "BTB2b",   "GAp",     "TC-PIB",       "Dpath",
-    "Cascade", "PPM-hyb", "PPM-PIB", "Filtered-PPM",
+    "BTB",     "BTB2b",   "GAp",     "TC-PIB",       "Dpath",
+    "Cascade", "PPM-hyb", "PPM-PIB", "Filtered-PPM", "ITTAGE",
+    "Perceptron",
 };
 
 struct Timing

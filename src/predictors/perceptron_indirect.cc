@@ -1,0 +1,247 @@
+#include "predictors/perceptron_indirect.hh"
+
+#include "util/logging.hh"
+
+namespace ibp::pred {
+
+PerceptronIndirect::PerceptronIndirect(
+    const PerceptronIndirectConfig &config, std::string name)
+    : config_(config), name_(std::move(name)),
+      maxWeight_((1 << (config.weightBits - 1)) - 1),
+      pibHistory_(config.pibHistoryBits, config.pibBitsPerTarget,
+                  StreamSel::MtIndirect),
+      pbHistory_(config.pbHistoryBits, config.pbBitsPerTarget,
+                 StreamSel::AllBranches),
+      candidates_(config.candidateSets, config.candidateWays)
+{
+    fatal_if(config.numTables < 2 || config.numTables % 2 != 0,
+             "perceptron needs an even table count (PIB + PB halves)");
+    fatal_if(config.entriesPerTable == 0,
+             "perceptron needs non-empty weight tables");
+    fatal_if(config.weightBits < 2 || config.weightBits > 8,
+             "perceptron weight width out of range");
+    fatal_if(config.trainingThreshold < 0,
+             "perceptron threshold must be non-negative");
+    fatal_if(config.candidateTagBits < 2 || config.candidateTagBits > 30,
+             "perceptron candidate tag width out of range");
+    weights_.reserve(config.numTables);
+    for (std::size_t i = 0; i < config.numTables; ++i)
+        weights_.emplace_back(config.entriesPerTable);
+}
+
+std::uint64_t
+PerceptronIndirect::candidateSet(trace::Addr pc) const
+{
+    const std::uint64_t addr = pc >> 2;
+    return candidates_.reduce(addr ^ (addr >> 9));
+}
+
+std::uint64_t
+PerceptronIndirect::candidateTag(trace::Addr target) const
+{
+    return util::foldXor(target >> 2, 40, config_.candidateTagBits);
+}
+
+std::uint64_t
+PerceptronIndirect::featureIndex(std::size_t table, trace::Addr pc,
+                                 trace::Addr target) const
+{
+    // Half the tables read PIB-register segments, half PB-register
+    // segments; every hash mixes the pc and a fold of the candidate
+    // target so the same weights discriminate between candidates.
+    const std::size_t half = config_.numTables / 2;
+    const bool pib = table < half;
+    const ShiftHistory &history = pib ? pibHistory_ : pbHistory_;
+    const std::size_t lane = pib ? table : table - half;
+    const unsigned segmentBits =
+        history.bits() / static_cast<unsigned>(half);
+    const std::uint64_t segment = util::bitsRange(
+        history.value(), static_cast<unsigned>(lane) * segmentBits,
+        segmentBits);
+    const std::uint64_t folded =
+        util::foldXor(target >> 2, 40, 16);
+    const std::uint64_t hash = (pc >> 2) ^ (segment << 1) ^ folded ^
+                               (table * 0x9E37ull);
+    return weights_[table].reduce(hash);
+}
+
+int
+PerceptronIndirect::score(trace::Addr pc, trace::Addr target) const
+{
+    int sum = 0;
+    for (std::size_t i = 0; i < config_.numTables; ++i)
+        sum += weights_[i].at(featureIndex(i, pc, target));
+    return sum;
+}
+
+Prediction
+PerceptronIndirect::predict(trace::Addr pc)
+{
+    // Pure scan: no LRU touch, no transient slot — update() recomputes
+    // the same candidates because histories only advance in observe().
+    const std::uint64_t set = candidateSet(pc);
+    Prediction best;
+    int bestScore = 0;
+    for (std::size_t way = 0; way < candidates_.ways(); ++way) {
+        const TargetEntry &candidate = candidates_.wayEntry(set, way);
+        if (!candidate.valid)
+            continue;
+        const int sum = score(pc, candidate.target);
+        // Strict comparison: ties resolve to the lowest way, keeping
+        // the choice deterministic under replay.
+        if (!best.valid || sum > bestScore) {
+            best = {true, candidate.target};
+            bestScore = sum;
+        }
+    }
+    return best;
+}
+
+void
+PerceptronIndirect::adjustWeights(trace::Addr pc, trace::Addr target,
+                                  int delta)
+{
+    for (std::size_t i = 0; i < config_.numTables; ++i) {
+        std::int8_t &weight =
+            weights_[i].at(featureIndex(i, pc, target));
+        int adjusted = weight + delta;
+        // Saturate symmetrically so +w and -w training are mirrors.
+        if (adjusted > maxWeight_)
+            adjusted = maxWeight_;
+        if (adjusted < -maxWeight_)
+            adjusted = -maxWeight_;
+        weight = static_cast<std::int8_t>(adjusted);
+    }
+    weightUpdates_.bump();
+}
+
+void
+PerceptronIndirect::update(trace::Addr pc, trace::Addr target)
+{
+    const Prediction prediction = predict(pc);
+    const bool mispredict =
+        !prediction.valid || prediction.target != target;
+
+    // Perceptron rule: train on every mispredict, and on correct
+    // predictions whose margin is still below the threshold.
+    if (mispredict || score(pc, target) < config_.trainingThreshold) {
+        adjustWeights(pc, target, +1);
+        if (prediction.valid && prediction.target != target)
+            adjustWeights(pc, prediction.target, -1);
+    }
+
+    // Keep the candidate cache warm: promote the actual target to MRU
+    // or install it over the LRU way.
+    const std::uint64_t set = candidateSet(pc);
+    const std::uint64_t tag = candidateTag(target);
+    if (TargetEntry *entry = candidates_.lookup(set, tag)) {
+        entry->train(target);
+    } else {
+        TargetEntry fresh;
+        fresh.train(target);
+        candidates_.insert(set, tag, fresh);
+    }
+}
+
+void
+PerceptronIndirect::observe(const trace::BranchRecord &record)
+{
+    pibHistory_.observe(record);
+    pbHistory_.observe(record);
+}
+
+std::uint64_t
+PerceptronIndirect::storageBits() const
+{
+    const std::uint64_t candidateBits =
+        config_.candidateSets * config_.candidateWays *
+        (TargetEntry::bits() + config_.candidateTagBits);
+    const std::uint64_t weightTableBits =
+        config_.numTables * config_.entriesPerTable * config_.weightBits;
+    return candidateBits + weightTableBits + pibHistory_.bits() +
+           pbHistory_.bits();
+}
+
+void
+PerceptronIndirect::reset()
+{
+    pibHistory_.reset();
+    pbHistory_.reset();
+    candidates_.reset();
+    for (auto &table : weights_)
+        table.reset();
+    weightUpdates_.reset();
+}
+
+namespace {
+
+void
+saveWeight(util::StateWriter &writer, const std::int8_t &weight)
+{
+    writer.writeU8(static_cast<std::uint8_t>(weight));
+}
+
+} // namespace
+
+void
+PerceptronIndirect::saveState(util::StateWriter &writer) const
+{
+    pibHistory_.saveState(writer);
+    pbHistory_.saveState(writer);
+    candidates_.saveState(writer, saveTargetEntry);
+    writer.writeVarint(weights_.size());
+    for (const auto &table : weights_)
+        table.saveState(writer, saveWeight);
+}
+
+void
+PerceptronIndirect::loadState(util::StateReader &reader)
+{
+    pibHistory_.loadState(reader);
+    pbHistory_.loadState(reader);
+    candidates_.loadState(reader, loadTargetEntry);
+    const std::uint64_t tables = reader.readVarint();
+    if (reader.ok() && tables != weights_.size()) {
+        reader.fail("perceptron weight-table count mismatch");
+        return;
+    }
+    const int bound = maxWeight_;
+    for (auto &table : weights_) {
+        table.loadState(reader, [bound](util::StateReader &in,
+                                        std::int8_t &weight) {
+            const auto raw =
+                static_cast<std::int8_t>(in.readU8());
+            if (in.ok() && (raw > bound || raw < -bound)) {
+                in.fail("perceptron weight out of range");
+                return;
+            }
+            weight = raw;
+        });
+    }
+}
+
+void
+PerceptronIndirect::saveProbes(util::StateWriter &writer) const
+{
+    writer.writeU64(weightUpdates_.value());
+    candidates_.saveProbes(writer);
+}
+
+void
+PerceptronIndirect::loadProbes(util::StateReader &reader)
+{
+    weightUpdates_.set(reader.readU64());
+    candidates_.loadProbes(reader);
+}
+
+void
+PerceptronIndirect::snapshotProbes(obs::ProbeRegistry &registry) const
+{
+    registry.counter("perceptron/weight_updates", weightUpdates_);
+    registry.counter("perceptron/candidate_evictions",
+                     candidates_.evictions());
+    registry.counter("perceptron/candidate_conflicts",
+                     candidates_.conflictMisses());
+}
+
+} // namespace ibp::pred

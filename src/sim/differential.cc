@@ -47,9 +47,13 @@ runLineup(const trace::TraceBuffer &trace,
 std::vector<std::string>
 referenceRanking()
 {
-    // Figure 6's geometric-mean ordering, best to worst.
-    return {"PPM-hyb", "Cascade", "Dpath", "TC-PIB",
-            "GAp",     "BTB2b",   "BTB"};
+    // Figure 6's geometric-mean ordering, best to worst, with the
+    // post-1998 baselines at the head: on the suite average the
+    // hashed perceptron and ITTAGE beat every 1998 design (see the
+    // "1998 vs. post-1998" table in EXPERIMENTS.md).
+    return {"Perceptron", "ITTAGE", "PPM-hyb", "Cascade",
+            "Dpath",      "TC-PIB", "GAp",     "BTB2b",
+            "BTB"};
 }
 
 ReplayCheck

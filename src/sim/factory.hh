@@ -29,7 +29,8 @@ struct FactoryOptions
  * BTB, BTB2b, GAp, TC-PIB, TC-PB, Dpath, Cascade, Cascade-strict,
  * PPM-hyb, PPM-PIB, PPM-hyb-biased, PPM-tagged, Filtered-PPM,
  * PPM-gshare (SFSXS with pc mixed in), PPM-low (low-order select),
- * Oracle-PIB@<k>.  fatal() on an unknown name.
+ * ITTAGE and Perceptron (the post-1998 baselines at the same 2K-entry
+ * budget), Oracle-PIB@<k>.  fatal() on an unknown name.
  */
 std::unique_ptr<pred::IndirectPredictor>
 makePredictor(std::string_view name, const FactoryOptions &options = {});
@@ -37,15 +38,17 @@ makePredictor(std::string_view name, const FactoryOptions &options = {});
 /** True iff makePredictor() accepts @p name. */
 bool knownPredictor(std::string_view name);
 
-/** The Figure-6 predictor line-up, in the paper's order. */
+/** The Figure-6 line-up: the paper's seven in its order, then the
+ *  post-1998 baselines (ITTAGE, Perceptron) at the same budget. */
 std::vector<std::string> figure6Predictors();
 
-/** The Figure-7 PPM-variant line-up. */
+/** The Figure-7 line-up: the PPM variants first (callers index them
+ *  positionally), then the post-1998 baselines. */
 std::vector<std::string> figure7Predictors();
 
 /**
  * Every name the factory spells out, plus the reference Oracle-PIB@4
- * — the full 21-name lineup the property harness and the adversarial
+ * — the full 23-name lineup the property harness and the adversarial
  * fuzzer iterate.  Kept in sync with makePredictor() by the
  * FactoryRegistrationsAllCovered lint test.
  */

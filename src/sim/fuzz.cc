@@ -222,7 +222,7 @@ minimizeFinding(const FuzzFinding &finding, const FuzzOptions &options,
             : std::vector<std::string>{};
 
     // Reproduction only needs the predictors the finding names, so
-    // shrink probes run a 1-2 entry lineup instead of all 21.
+    // shrink probes run a 1-2 entry lineup instead of all 23.
     FuzzOptions narrowed = options;
     narrowed.predictors = {finding.better};
     if (!finding.worse.empty())

@@ -1,0 +1,15 @@
+#ifndef FIXTURE_PREDICTOR_HH_
+#define FIXTURE_PREDICTOR_HH_
+
+// Miniature of the real root interface: the root's own silent no-op
+// defaults do NOT count as coverage for subclasses.
+class IndirectPredictor
+{
+  public:
+    virtual ~IndirectPredictor() = default;
+    virtual void saveState(int &writer) const { (void)writer; }
+    virtual void loadState(int &reader) { (void)reader; }
+    virtual void snapshotProbes(int &registry) const { (void)registry; }
+};
+
+#endif

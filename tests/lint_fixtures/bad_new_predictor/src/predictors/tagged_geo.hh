@@ -1,0 +1,32 @@
+#ifndef FIXTURE_TAGGED_GEO_HH_
+#define FIXTURE_TAGGED_GEO_HH_
+
+#include "predictors/predictor.hh"
+
+// The realistic way a new predictor lands half-wired: checkpointing
+// exists but the probe snapshot was forgotten.  serde-coverage fires
+// for the missing snapshotProbes, and serde-manifest fires because
+// the class declares saveState without a manifest entry.
+class NewIttage : public IndirectPredictor
+{
+  public:
+    void saveState(int &writer) const override;
+    void loadState(int &reader) override;
+
+  private:
+    int folded = 0;
+    int provider = 0;
+};
+
+// The inverse omission: probes wired, serde forgotten entirely —
+// serde-coverage fires for saveState and loadState.
+class NewPerceptron : public IndirectPredictor
+{
+  public:
+    void snapshotProbes(int &registry) const override;
+
+  private:
+    int weights = 0;
+};
+
+#endif

@@ -1,0 +1,14 @@
+#include <memory>
+#include <string_view>
+
+#include "predictors/tagged_geo.hh"
+
+std::unique_ptr<IndirectPredictor>
+makePredictor(std::string_view name)
+{
+    if (name == "NewITTAGE")
+        return std::make_unique<NewIttage>();
+    if (name == "NewPerceptron")
+        return std::make_unique<NewPerceptron>();
+    return nullptr;
+}

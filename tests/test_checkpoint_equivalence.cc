@@ -48,8 +48,19 @@ const std::vector<std::string> kAllPredictors = {
     "PPM-hyb",      "PPM-PIB",      "PPM-hyb-biased",
     "PPM-tagged",   "PPM-gshare",   "PPM-low",
     "PPM-inclusive", "PPM-confidence", "PPM-vote2",
-    "PPM-vote4",    "Filtered-PPM", "Oracle-PIB@2",
+    "PPM-vote4",    "Filtered-PPM", "ITTAGE",
+    "Perceptron",   "Oracle-PIB@2",
 };
+
+TEST(CheckpointEquivalence, CoversTheWholeLineup)
+{
+    // A predictor registered in the factory but missing here would
+    // silently skip the strongest serde gate in the tree; fail loudly
+    // instead.  kAllPredictors swaps the parameterized Oracle-PIB@4
+    // for @2, so compare counts, not contents.
+    EXPECT_EQ(kAllPredictors.size(), allPredictors().size());
+    EXPECT_EQ(kAllPredictors.size(), 23u);
+}
 
 struct ProfileCase
 {

@@ -17,7 +17,7 @@ TEST(Factory, BuildsEveryKnownName)
          {"BTB", "BTB2b", "GAp", "TC-PIB", "TC-PB", "Dpath", "Cascade",
           "Cascade-strict", "PPM-hyb", "PPM-PIB", "PPM-hyb-biased",
           "PPM-tagged", "PPM-gshare", "PPM-low", "Filtered-PPM",
-          "Oracle-PIB@8"}) {
+          "ITTAGE", "Perceptron", "Oracle-PIB@8"}) {
         EXPECT_TRUE(knownPredictor(name)) << name;
         auto predictor = makePredictor(name);
         ASSERT_NE(predictor, nullptr) << name;
@@ -31,21 +31,28 @@ TEST(Factory, UnknownNameIsNotKnown)
     EXPECT_FALSE(knownPredictor(""));
 }
 
-TEST(Factory, Figure6LineupMatchesPaperOrder)
+TEST(Factory, Figure6LineupMatchesPaperOrderThenModern)
 {
+    // The paper's seven in its order, then the post-1998 baselines.
     const auto names = figure6Predictors();
-    ASSERT_EQ(names.size(), 7u);
+    ASSERT_EQ(names.size(), 9u);
     EXPECT_EQ(names.front(), "BTB");
-    EXPECT_EQ(names.back(), "PPM-hyb");
+    EXPECT_EQ(names[6], "PPM-hyb");
+    EXPECT_EQ(names[7], "ITTAGE");
+    EXPECT_EQ(names[8], "Perceptron");
 }
 
-TEST(Factory, Figure7LineupIsThePpmVariants)
+TEST(Factory, Figure7LineupIsThePpmVariantsThenModern)
 {
+    // bench_fig7 indexes the PPM variants positionally; they must
+    // stay the first three.
     const auto names = figure7Predictors();
-    ASSERT_EQ(names.size(), 3u);
+    ASSERT_EQ(names.size(), 5u);
     EXPECT_EQ(names[0], "PPM-hyb");
     EXPECT_EQ(names[1], "PPM-PIB");
     EXPECT_EQ(names[2], "PPM-hyb-biased");
+    EXPECT_EQ(names[3], "ITTAGE");
+    EXPECT_EQ(names[4], "Perceptron");
 }
 
 TEST(Factory, BudgetsAreComparable)

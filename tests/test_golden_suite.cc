@@ -47,7 +47,7 @@ constexpr double kScale = 0.02;
 
 const std::vector<std::string> kProfiles = {"perl", "eon", "gs.tig"};
 const std::vector<std::string> kPredictors = {
-    "BTB", "TC-PIB", "Cascade", "PPM-hyb",
+    "BTB", "TC-PIB", "Cascade", "PPM-hyb", "ITTAGE", "Perceptron",
 };
 
 std::vector<ibp::workload::BenchmarkProfile>
@@ -92,7 +92,7 @@ serialize(const SuiteResult &result)
         << "# regenerate with IBP_REGEN_GOLDEN=1 (see "
            "tests/test_golden_suite.cc)\n"
         << "# profiles: perl eon gs.tig  scale 0.02  predictors: BTB "
-           "TC-PIB Cascade PPM-hyb\n";
+           "TC-PIB Cascade PPM-hyb ITTAGE Perceptron\n";
     char line[256];
     for (std::size_t r = 0; r < result.rowNames.size(); ++r) {
         for (std::size_t c = 0; c < result.predictorNames.size(); ++c) {

@@ -239,6 +239,52 @@ TEST(LintFixtures, SerdeManifestDriftNewAndStale)
         << "drift, unrecorded and stale entries each get a finding";
 }
 
+TEST(LintFixtures, NewPredictorWithPartialSerdeSurfaceTripsBothGates)
+{
+    // The growth failure mode: a new factory-registered predictor
+    // ships with checkpointing but no probe snapshot (NewIttage) or
+    // probes but no checkpointing (NewPerceptron).  Both serde gates
+    // must fire — coverage for each missing override, manifest for
+    // the unrecorded checkpointed class.
+    const Result result = lintTree(
+        fixturePath("bad_new_predictor"),
+        {"serde-coverage", "serde-manifest"});
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"serde-coverage", 3},
+                                          {"serde-manifest", 1}}));
+
+    std::set<std::string> coverage;
+    for (const Finding &finding : result.findings) {
+        if (finding.rule == "serde-coverage") {
+            EXPECT_EQ(finding.file, "src/predictors/tagged_geo.hh");
+            for (const char *m :
+                 {"saveState", "loadState", "snapshotProbes"})
+                if (finding.message.find(m) != std::string::npos)
+                    coverage.insert(std::string(m) + ":" +
+                                    (finding.message.find("NewIttage") !=
+                                             std::string::npos
+                                         ? "NewIttage"
+                                         : "NewPerceptron"));
+        } else {
+            EXPECT_NE(finding.message.find("NewIttage"),
+                      std::string::npos)
+                << "the checkpointed class is the unrecorded one";
+        }
+    }
+    EXPECT_EQ(coverage,
+              (std::set<std::string>{"snapshotProbes:NewIttage",
+                                     "saveState:NewPerceptron",
+                                     "loadState:NewPerceptron"}));
+
+    // Both names were parsed out of the factory if-chain, so the
+    // registration itself is visible to the coverage rule.
+    EXPECT_EQ(result.factoryPredictors,
+              (std::map<std::string, std::string>{
+                  {"NewITTAGE", "NewIttage"},
+                  {"NewPerceptron", "NewPerceptron"}}));
+}
+
 TEST(LintFixtures, SerdeManifestUpdateRepairs)
 {
     const fs::path root = scratchCopy("bad_manifest", "manifest");
@@ -322,7 +368,7 @@ TEST(LintRealTree, FactoryRegistrationsAllCovered)
     // its implementing class.  A new registration must extend this
     // list (and carry the full serde surface to keep LintsClean
     // green).
-    EXPECT_EQ(result.factoryPredictors.size(), 21u);
+    EXPECT_EQ(result.factoryPredictors.size(), 23u);
     const std::set<std::string> classes = [&] {
         std::set<std::string> out;
         for (const auto &[name, cls] : result.factoryPredictors)
@@ -332,14 +378,16 @@ TEST(LintRealTree, FactoryRegistrationsAllCovered)
     EXPECT_EQ(classes,
               (std::set<std::string>{"Btb", "Btb2b", "Cascade",
                                      "Dpath", "FilteredPpm", "Gap",
-                                     "Oracle", "PpmPredictor",
-                                     "TargetCache"}));
+                                     "Ittage", "Oracle",
+                                     "PerceptronIndirect",
+                                     "PpmPredictor", "TargetCache"}));
 
     // Checkpointed classes carry manifest hashes — including the
     // matcher workload behaviour the adversarial fuzzer added.
     for (const char *cls : {"PpmPredictor", "Cascade", "Btb",
                             "FilteredPpm", "MarkovTable",
-                            "MatcherBehavior"})
+                            "MatcherBehavior", "Ittage",
+                            "PerceptronIndirect"})
         EXPECT_TRUE(result.serdeHashes.count(cls))
             << cls << " lost its saveState() tracking";
 }

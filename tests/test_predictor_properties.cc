@@ -16,6 +16,7 @@
 #include "workload/adversarial.hh"
 #include "workload/profiles.hh"
 #include "workload/program.hh"
+#include "predictors/ittage.hh"
 #include "sim/engine.hh"
 #include "sim/experiment.hh"
 #include "sim/factory.hh"
@@ -286,6 +287,145 @@ TEST_P(PredictorPropertyTest, SingleSteppedReplayIsBitIdentical)
         << "metrics diverged between batched and stepped replay";
     EXPECT_EQ(stateBytes(*batched), stateBytes(*stepped))
         << "architectural state diverged under single-stepping";
+}
+
+// ---------------------------------------------------------------------
+// ITTAGE-specific properties.  The lineup-wide invariants above cover
+// the new predictors through allPredictors(); these pin the three
+// mechanisms that make ITTAGE *ITTAGE* — provider selection, useful
+// counters and the allocation cascade — via the class's test hooks.
+
+ibp::pred::IttageConfig
+tinyIttage(std::size_t components)
+{
+    ibp::pred::IttageConfig config;
+    config.baseEntries = 32;
+    config.numComponents = components;
+    config.entriesPerComponent = 32;
+    config.tagBits = 8;
+    config.minHistory = 2;
+    config.maxHistory = 8;
+    return config;
+}
+
+ibp::trace::BranchRecord
+ittageJmp(ibp::trace::Addr pc, ibp::trace::Addr target)
+{
+    ibp::trace::BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.kind = ibp::trace::BranchKind::IndirectJmp;
+    r.multiTarget = true;
+    return r;
+}
+
+TEST(IttageProperty, LongestMatchingTaggedComponentProvides)
+{
+    // After any stream whatsoever, the prediction for a pc is the
+    // target stored by the longest-history component whose tag
+    // matches, and no longer component matches — the structural
+    // invariant behind the whole TAGE family.
+    ibp::pred::Ittage ittage(tinyIttage(3));
+    std::uint32_t lcg = 0xABCD;
+    for (int i = 0; i < 5000; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        const ibp::trace::Addr pc = 0x120000000 + (lcg >> 22 & 0x7C);
+        const ibp::trace::Addr target =
+            0x120001000 + (lcg >> 18 & 0xC) * 0x400;
+        ittage.predict(pc);
+        ittage.update(pc, target);
+        ittage.observe(ittageJmp(pc, target));
+    }
+
+    int provided = 0;
+    for (ibp::trace::Addr pc = 0x120000000; pc < 0x120000080; pc += 4) {
+        const std::size_t provider = ittage.providerComponent(pc);
+        if (provider == ibp::pred::Ittage::kBase)
+            continue;
+        ++provided;
+        const auto &entry = ittage.componentEntry(provider, pc);
+        ASSERT_TRUE(entry.valid);
+        EXPECT_EQ(entry.tag, ittage.tagFor(provider, pc));
+        const auto prediction = ittage.predict(pc);
+        ASSERT_TRUE(prediction.valid);
+        EXPECT_EQ(prediction.target, entry.target)
+            << "prediction must come from the provider's line";
+        for (std::size_t longer = provider + 1;
+             longer < ittage.historyLengths().size(); ++longer) {
+            const auto &above = ittage.componentEntry(longer, pc);
+            EXPECT_TRUE(!above.valid ||
+                        above.tag != ittage.tagFor(longer, pc))
+                << "a longer-history match was passed over";
+        }
+    }
+    EXPECT_GT(provided, 0) << "stream never engaged a tagged component";
+}
+
+TEST(IttageProperty, UsefulCounterMovesOnDisagreementAndSaturates)
+{
+    // Hand trace on two components, one pc, frozen history.  After
+    // the warmup collisions the provider (component 1) disagrees with
+    // its alternate (component 0) and keeps being right: its useful
+    // counter must climb 1, 2, 3 and then pin at the 2-bit maximum.
+    ibp::pred::Ittage ittage(tinyIttage(2));
+    const ibp::trace::Addr pc = 0x120000040;
+    const ibp::trace::Addr t1 = 0x120001000, t2 = 0x120002000;
+
+    ittage.update(pc, t1); // allocates component 0 <- t1
+    ittage.update(pc, t2); // retargets comp 0, allocates comp 1 <- t2
+    ittage.update(pc, t1); // retargets comp 1 <- t1; comp 0 keeps t2
+    ASSERT_EQ(ittage.providerComponent(pc), 1u);
+    ASSERT_EQ(ittage.componentEntry(0, pc).target, t2);
+    ASSERT_EQ(ittage.componentEntry(1, pc).target, t1);
+    ASSERT_EQ(ittage.componentEntry(1, pc).useful.value(), 0u);
+
+    ittage.update(pc, t1);
+    EXPECT_EQ(ittage.componentEntry(1, pc).useful.value(), 1u);
+    ittage.update(pc, t1);
+    ittage.update(pc, t1);
+    EXPECT_EQ(ittage.componentEntry(1, pc).useful.value(), 3u);
+    ittage.update(pc, t1); // saturated: must hold at max
+    EXPECT_EQ(ittage.componentEntry(1, pc).useful.value(), 3u);
+    EXPECT_TRUE(ittage.componentEntry(1, pc).useful.saturatedHigh());
+}
+
+TEST(IttageProperty, AllocationVictimIsDeterministicShortestFirst)
+{
+    // Each mispredict allocates in exactly the shortest component
+    // above the provider whose slot is free — never a longer one,
+    // never a random one — and a provider already in the longest
+    // component allocates nowhere.
+    ibp::pred::Ittage ittage(tinyIttage(3));
+    const ibp::trace::Addr pc = 0x120000040;
+    const ibp::trace::Addr tA = 0x120001000, tB = 0x120002000;
+    const ibp::trace::Addr tC = 0x120003000, tD = 0x120004000;
+
+    ittage.update(pc, tA); // base provider -> allocate component 0
+    EXPECT_TRUE(ittage.componentEntry(0, pc).valid);
+    EXPECT_FALSE(ittage.componentEntry(1, pc).valid);
+    EXPECT_FALSE(ittage.componentEntry(2, pc).valid);
+
+    ittage.update(pc, tB); // provider comp 0 -> allocate component 1
+    EXPECT_TRUE(ittage.componentEntry(1, pc).valid);
+    EXPECT_FALSE(ittage.componentEntry(2, pc).valid)
+        << "allocation skipped the shortest free component";
+
+    ittage.update(pc, tC); // provider comp 1 -> allocate component 2
+    EXPECT_TRUE(ittage.componentEntry(2, pc).valid);
+    EXPECT_EQ(ittage.providerComponent(pc), 2u);
+
+    ittage.update(pc, tD); // provider is the longest: nothing above
+    EXPECT_EQ(ittage.providerComponent(pc), 2u);
+
+    // Same inputs, fresh instance: byte-identical state, the replay
+    // guarantee the determinism lint exists to protect.
+    ibp::pred::Ittage replay(tinyIttage(3));
+    for (const ibp::trace::Addr t : {tA, tB, tC, tD})
+        replay.update(pc, t);
+    ibp::util::StateWriter a, b;
+    ittage.saveState(a);
+    replay.saveState(b);
+    EXPECT_EQ(a.bytes(), b.bytes());
 }
 
 INSTANTIATE_TEST_SUITE_P(

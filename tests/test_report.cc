@@ -5,7 +5,7 @@
  *
  * The golden test mirrors tests/test_golden_suite.cc (and
  * `report_tool --emit-golden`): perl/eon/gs.tig at scale 0.02 through
- * BTB/TC-PIB/Cascade/PPM-hyb on the serial path.  Its report must
+ * BTB/TC-PIB/Cascade/PPM-hyb/ITTAGE/Perceptron on the serial path.  Its report must
  * diff clean (tolerance 0) against the committed
  * tests/golden/report_small.json in every build configuration —
  * timing and probe deltas are notes, never failures, which is exactly
@@ -220,8 +220,8 @@ goldenReport()
     sim::clearTraceCache();
     const std::vector<std::string> profile_names = {"perl", "eon",
                                                     "gs.tig"};
-    const std::vector<std::string> predictors = {"BTB", "TC-PIB",
-                                                 "Cascade", "PPM-hyb"};
+    const std::vector<std::string> predictors = {
+        "BTB", "TC-PIB", "Cascade", "PPM-hyb", "ITTAGE", "Perceptron"};
     const auto suite = workload::standardSuite();
     std::vector<workload::BenchmarkProfile> profiles;
     for (const auto &name : profile_names) {

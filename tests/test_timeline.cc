@@ -397,8 +397,8 @@ runGoldenReport()
 {
     const std::vector<std::string> profile_names = {"perl", "eon",
                                                     "gs.tig"};
-    const std::vector<std::string> predictors = {"BTB", "TC-PIB",
-                                                 "Cascade", "PPM-hyb"};
+    const std::vector<std::string> predictors = {
+        "BTB", "TC-PIB", "Cascade", "PPM-hyb", "ITTAGE", "Perceptron"};
     const auto suite = workload::standardSuite();
     std::vector<workload::BenchmarkProfile> profiles;
     for (const auto &name : profile_names) {

@@ -64,7 +64,7 @@ diff(const std::string &before_path, const std::string &after_path,
 /**
  * The golden-suite configuration (kept in lockstep with
  * tests/test_golden_suite.cc): perl/eon/gs.tig at scale 0.02 through
- * BTB, TC-PIB, Cascade and PPM-hyb on the serial path, so the
+ * BTB, TC-PIB, Cascade, PPM-hyb, ITTAGE and Perceptron on the serial path, so the
  * accuracy section is bit-reproducible across runs and machines.
  */
 int
@@ -72,8 +72,8 @@ emitGolden(const std::string &out_path)
 {
     const std::vector<std::string> profile_names = {"perl", "eon",
                                                     "gs.tig"};
-    const std::vector<std::string> predictors = {"BTB", "TC-PIB",
-                                                 "Cascade", "PPM-hyb"};
+    const std::vector<std::string> predictors = {
+        "BTB", "TC-PIB", "Cascade", "PPM-hyb", "ITTAGE", "Perceptron"};
 
     const auto suite = workload::standardSuite();
     std::vector<workload::BenchmarkProfile> profiles;

@@ -176,7 +176,7 @@ exportPerfetto(const std::string &report_path,
 
 /**
  * The golden timeline configuration: the golden-suite matrix
- * (perl/eon/gs.tig x BTB/TC-PIB/Cascade/PPM-hyb at scale 0.02,
+ * (perl/eon/gs.tig x BTB/TC-PIB/Cascade/PPM-hyb/ITTAGE/Perceptron at scale 0.02,
  * serial) sampled every 4000 records with probe sampling off, so the
  * fixture is identical across instrumented and probe-free builds.
  */
@@ -185,8 +185,8 @@ emitGolden(const std::string &out_path)
 {
     const std::vector<std::string> profile_names = {"perl", "eon",
                                                     "gs.tig"};
-    const std::vector<std::string> predictors = {"BTB", "TC-PIB",
-                                                 "Cascade", "PPM-hyb"};
+    const std::vector<std::string> predictors = {
+        "BTB", "TC-PIB", "Cascade", "PPM-hyb", "ITTAGE", "Perceptron"};
 
     const auto suite = workload::standardSuite();
     std::vector<workload::BenchmarkProfile> profiles;
