@@ -126,7 +126,7 @@ std::uint64_t
 FilteredPpm::storageBits() const
 {
     const std::uint64_t filter_bits =
-        config_.filterEntries *
+        filter_.size() *
         (pred::TargetEntry::bits() + config_.filterTagBits + 1);
     return filter_bits + ppm_.storageBits();
 }

@@ -15,11 +15,7 @@ PpmCond::patternFor(unsigned j) const
 {
     // Bit i of the pattern is the outcome i steps back, so a state
     // written oldest-to-newest like "101" is literally 0b101.
-    std::uint64_t pattern = 0;
-    for (unsigned i = 0; i < j; ++i)
-        if (history_[i])
-            pattern |= std::uint64_t{1} << i;
-    return pattern;
+    return history_ & util::maskLow(j);
 }
 
 bool
@@ -60,9 +56,9 @@ PpmCond::update(bool outcome)
             ++counts.zero;
     }
 
-    history_.push_front(outcome);
-    if (history_.size() > order_)
-        history_.pop_back();
+    if (order_ > 0)
+        history_ = ((history_ << 1) | (outcome ? 1 : 0)) &
+                   util::maskLow(order_);
     ++bitsSeen;
     lastOrder_ = -1;
 }
@@ -93,7 +89,7 @@ PpmCond::states(unsigned j) const
 void
 PpmCond::reset()
 {
-    history_.clear();
+    history_ = 0;
     for (auto &model : models_)
         model.clear();
     lastOrder_ = -1;

@@ -17,9 +17,10 @@
 #define IBP_CORE_PPM_COND_HH_
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
+
+#include "util/bitops.hh"
 
 namespace ibp::core {
 
@@ -72,7 +73,11 @@ class PpmCond
     std::uint64_t patternFor(unsigned j) const;
 
     unsigned order_;
-    std::deque<bool> history_; ///< front = most recent
+    /** Packed outcome history: bit i = the outcome i steps back (the
+     *  same layout patternFor() hands to the models, so a j-bit
+     *  pattern is just the low j bits).  order_ <= 32 keeps it in one
+     *  word and update() allocation-free. */
+    std::uint64_t history_ = 0;
     std::vector<std::unordered_map<std::uint64_t, TransitionCounts>>
         models_; ///< index j = order j
     int lastOrder_ = -1;

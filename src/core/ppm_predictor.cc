@@ -52,9 +52,9 @@ PpmPredictor::snapshotProbes(obs::ProbeRegistry &registry) const
 std::uint64_t
 PpmPredictor::storageBits() const
 {
-    std::uint64_t bits = ppm_.storageBits() + phrStorageBits();
+    std::uint64_t bits = ppm_.storageBits() + phrStorageBits(pibWord_);
     if (config_.variant != PpmVariant::PibOnly)
-        bits += phrStorageBits() + biu_.storageBits();
+        bits += phrStorageBits(pbWord_) + biu_.storageBits();
     return bits;
 }
 

@@ -159,9 +159,10 @@ class PpmPredictor final : public pred::IndirectPredictor
 
     PpmPredictorConfig config_;
     std::string name_;
-    /** Hardware cost of one PHR: m symbols of phrBitsPerTarget bits. */
+    /** Hardware cost of the PHR behind one SFSXS word: m symbols of
+     *  phrBitsPerTarget bits (the word itself is derived state). */
     std::uint64_t
-    phrStorageBits() const
+    phrStorageBits(const SfsxsWord &) const
     {
         return static_cast<std::uint64_t>(config_.ppm.hash.order) *
                config_.phrBitsPerTarget;

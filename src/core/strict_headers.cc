@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Strict-warning coverage for the header-only parts of core/.
+ *
+ * The IBP_WERROR gate (-Werror -Wshadow -Wconversion -Wold-style-cast)
+ * applies to the translation units of this library; headers that no
+ * .cc file happens to include would escape it.  This TU includes every
+ * core header so the whole layer is compiled under the strict set.
+ */
+
+#include "core/biu.hh"
+#include "core/correlation.hh"
+#include "core/filtered_ppm.hh"
+#include "core/markov_table.hh"
+#include "core/ppm.hh"
+#include "core/ppm_cond.hh"
+#include "core/ppm_predictor.hh"
+#include "core/sfsxs.hh"

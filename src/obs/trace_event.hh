@@ -101,7 +101,7 @@ class TraceEventLog
   private:
     std::atomic<bool> enabled_{false};
     mutable std::mutex mutex_;
-    std::vector<TraceEvent> events_;
+    std::vector<TraceEvent> events_; // ibp-lint: guarded_by(mutex_)
 };
 
 /** The process-global log the suite runner and drivers record into. */

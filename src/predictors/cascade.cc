@@ -145,7 +145,7 @@ std::uint64_t
 Cascade::storageBits() const
 {
     const std::uint64_t filter_bits =
-        config_.filterEntries *
+        filter_.size() *
         (TargetEntry::bits() + config_.filterTagBits + 1);
     return filter_bits + main_.storageBits();
 }

@@ -266,7 +266,7 @@ std::uint64_t
 Dpath::storageBits() const
 {
     return short_.storageBits() + long_.storageBits() +
-           config_.selectorEntries * 2;
+           selector_.size() * 2;
 }
 
 void

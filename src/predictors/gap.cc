@@ -54,8 +54,10 @@ Gap::observe(const trace::BranchRecord &record)
 std::uint64_t
 Gap::storageBits() const
 {
-    return config_.numPhts * config_.entriesPerPht * TargetEntry::bits() +
-           config_.historyBits;
+    std::uint64_t bits = history_.bits();
+    for (const auto &pht : phts_)
+        bits += pht.size() * TargetEntry::bits();
+    return bits;
 }
 
 void

@@ -225,9 +225,9 @@ Ittage::storageBits() const
         64 + config_.tagBits + 2 /* confidence */ + 2 /* useful */ +
         1 /* valid */;
     std::uint64_t bits =
-        config_.baseEntries * TargetEntry::bits() +
-        config_.numComponents * config_.entriesPerComponent * entryBits +
-        history_.storageBits();
+        base_.size() * TargetEntry::bits() + history_.storageBits();
+    for (const auto &component : components_)
+        bits += component.size() * entryBits;
     for (std::size_t i = 0; i < config_.numComponents; ++i)
         bits += indexFolds_[i].width() + tagFoldsA_[i].width() +
                 tagFoldsB_[i].width();

@@ -154,10 +154,11 @@ std::uint64_t
 PerceptronIndirect::storageBits() const
 {
     const std::uint64_t candidateBits =
-        config_.candidateSets * config_.candidateWays *
+        candidates_.size() *
         (TargetEntry::bits() + config_.candidateTagBits);
-    const std::uint64_t weightTableBits =
-        config_.numTables * config_.entriesPerTable * config_.weightBits;
+    std::uint64_t weightTableBits = 0;
+    for (const auto &table : weights_)
+        weightTableBits += table.size() * config_.weightBits;
     return candidateBits + weightTableBits + pibHistory_.bits() +
            pbHistory_.bits();
 }

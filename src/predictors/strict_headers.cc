@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Strict-warning coverage for the header-only parts of predictors/.
+ *
+ * The IBP_WERROR gate (-Werror -Wshadow -Wconversion -Wold-style-cast)
+ * applies to the translation units of this library; headers that no
+ * .cc file happens to include would escape it.  This TU includes every
+ * predictors header so the whole layer is compiled under the strict
+ * set.
+ */
+
+#include "predictors/btb.hh"
+#include "predictors/cascade.hh"
+#include "predictors/cond.hh"
+#include "predictors/dpath.hh"
+#include "predictors/gap.hh"
+#include "predictors/ittage.hh"
+#include "predictors/oracle.hh"
+#include "predictors/path_history.hh"
+#include "predictors/perceptron_indirect.hh"
+#include "predictors/predictor.hh"
+#include "predictors/ras.hh"
+#include "predictors/target_cache.hh"

@@ -41,7 +41,7 @@ TargetCache::observe(const trace::BranchRecord &record)
 std::uint64_t
 TargetCache::storageBits() const
 {
-    return table_.size() * (1 + 64) + config_.historyBits;
+    return table_.size() * (1 + 64) + history_.bits();
 }
 
 void

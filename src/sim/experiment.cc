@@ -147,6 +147,7 @@ class TraceCache
     }
 
     /** Drop ready LRU entries until at most @p keep remain. */
+    // ibp-lint: requires_lock(mutex_)
     void
     evictLocked(std::size_t keep)
     {
@@ -167,11 +168,14 @@ class TraceCache
     }
 
     mutable std::mutex mutex_;
+    // ibp-lint: guarded_by(mutex_)
     std::map<std::string, Entry> entries_;
-    std::size_t capacity_ = 8;
-    std::uint64_t tick_ = 0;
-    std::uint64_t hits_ = 0;   ///< requests satisfied by residency
-    std::uint64_t misses_ = 0; ///< requests that generated
+    std::size_t capacity_ = 8; // ibp-lint: guarded_by(mutex_)
+    std::uint64_t tick_ = 0;   // ibp-lint: guarded_by(mutex_)
+    /** Requests satisfied by residency.  ibp-lint: guarded_by(mutex_) */
+    std::uint64_t hits_ = 0;
+    /** Requests that generated.  ibp-lint: guarded_by(mutex_) */
+    std::uint64_t misses_ = 0;
 };
 
 TraceCache &

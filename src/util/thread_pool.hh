@@ -98,10 +98,10 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<std::function<void()>> queue_; // ibp-lint: guarded_by(mutex_)
     std::mutex mutex_;
     std::condition_variable cv_;
-    bool stopping_ = false;
+    bool stopping_ = false; // ibp-lint: guarded_by(mutex_)
 };
 
 } // namespace ibp::util

@@ -1,0 +1,29 @@
+#ifndef FIXTURE_LEAKY_HH_
+#define FIXTURE_LEAKY_HH_
+
+#include "predictors/predictor.hh"
+
+// Overrides storageBits() but forgets tableB_: one budget-accounting
+// finding on the unreferenced table-like member.
+class Leaky : public IndirectPredictor
+{
+  public:
+    unsigned long
+    storageBits() const override
+    {
+        return tableA_.size() * 66;
+    }
+
+  private:
+    DirectTable<int> tableA_;
+    DirectTable<int> tableB_;
+};
+
+// No storageBits() override at all: one finding on the class.
+class NoBits : public IndirectPredictor
+{
+  private:
+    DirectTable<int> table_;
+};
+
+#endif

@@ -1,0 +1,16 @@
+#ifndef FIXTURE_PREDICTOR_HH_
+#define FIXTURE_PREDICTOR_HH_
+
+// Miniature of the real root interface: the root's zero-cost default
+// does NOT count as a storageBits() override for subclasses.
+class IndirectPredictor
+{
+  public:
+    virtual ~IndirectPredictor() = default;
+    virtual unsigned long storageBits() const { return 0; }
+    virtual void saveState(int &writer) const { (void)writer; }
+    virtual void loadState(int &reader) { (void)reader; }
+    virtual void snapshotProbes(int &registry) const { (void)registry; }
+};
+
+#endif

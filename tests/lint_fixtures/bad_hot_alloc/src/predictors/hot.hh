@@ -1,0 +1,19 @@
+#ifndef FIXTURE_HOT_HH_
+#define FIXTURE_HOT_HH_
+
+#include <vector>
+
+// Allocates on its prediction hot paths; see hot.cc.
+class Hot
+{
+  public:
+    int predict() const;
+    void update(int target);
+
+  private:
+    std::vector<int> history;
+    std::vector<int> names;
+    int *scratch = nullptr;
+};
+
+#endif

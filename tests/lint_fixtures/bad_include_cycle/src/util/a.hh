@@ -1,0 +1,12 @@
+#ifndef FIXTURE_A_HH_
+#define FIXTURE_A_HH_
+
+// Mutually includes b.hh: one include-graph cycle finding.
+#include "util/b.hh"
+
+struct A
+{
+    int value = 0;
+};
+
+#endif

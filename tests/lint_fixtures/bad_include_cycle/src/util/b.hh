@@ -1,0 +1,11 @@
+#ifndef FIXTURE_B_HH_
+#define FIXTURE_B_HH_
+
+#include "util/a.hh"
+
+struct B
+{
+    int value = 0;
+};
+
+#endif

@@ -1,0 +1,8 @@
+// Skips its own thing.hh: one missing-own-header finding.
+#include "util/b.hh"
+
+int
+thing()
+{
+    return B{}.value;
+}

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_THING_HH_
+#define FIXTURE_THING_HH_
+
+int thing();
+
+#endif

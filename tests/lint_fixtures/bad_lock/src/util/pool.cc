@@ -1,0 +1,33 @@
+#include "util/pool.hh"
+
+void
+Pool::post(int task)
+{
+    // Locks the guarding mutex: clean.
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(task);
+}
+
+int
+Pool::steal()
+{
+    // Touches queue_ with no lock and no requires_lock annotation:
+    // one lock-discipline finding (first touch only).
+    if (queue_.empty())
+        return 0;
+    const int task = queue_.back();
+    queue_.pop_back();
+    return task;
+}
+
+// Callers hold the pool lock across the whole drain.
+// ibp-lint: requires_lock(mutex_)
+int
+Pool::drainLocked()
+{
+    int sum = 0;
+    for (int task : queue_)
+        sum += task;
+    queue_.clear();
+    return sum;
+}

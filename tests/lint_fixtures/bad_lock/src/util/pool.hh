@@ -1,0 +1,20 @@
+#ifndef FIXTURE_POOL_HH_
+#define FIXTURE_POOL_HH_
+
+#include <mutex>
+#include <vector>
+
+// One guarded member, three access patterns; see pool.cc.
+class Pool
+{
+  public:
+    void post(int task);
+    int steal();
+    int drainLocked();
+
+  private:
+    std::vector<int> queue_; // ibp-lint: guarded_by(mutex_)
+    std::mutex mutex_;
+};
+
+#endif

@@ -9,6 +9,7 @@
 class Model : public IndirectPredictor
 {
   public:
+    std::uint64_t storageBits() const override;
     void saveState(int &writer) const override;
     void loadState(int &reader) override;
     void snapshotProbes(int &registry) const override;

@@ -311,6 +311,167 @@ TEST(LintFixtures, ProbeNameConvention)
                   std::string::npos);
 }
 
+TEST(LintFixtures, IncludeGraphCycleAndMissingOwnHeader)
+{
+    const Result result = lintTree(fixturePath("bad_include_cycle"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"include-graph", 2}}));
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+
+    bool saw_cycle = false, saw_own_header = false;
+    for (const Finding &finding : result.findings) {
+        if (finding.message.find("include cycle") !=
+            std::string::npos) {
+            saw_cycle = true;
+            // The cycle path names both participants.
+            EXPECT_NE(finding.message.find("src/util/a.hh"),
+                      std::string::npos);
+            EXPECT_NE(finding.message.find("src/util/b.hh"),
+                      std::string::npos);
+        }
+        if (finding.message.find("missing own header") !=
+            std::string::npos) {
+            saw_own_header = true;
+            EXPECT_EQ(finding.file, "src/util/thing.cc");
+            EXPECT_EQ(finding.line, 1);
+        }
+    }
+    EXPECT_TRUE(saw_cycle);
+    EXPECT_TRUE(saw_own_header);
+}
+
+TEST(LintFixtures, HotPathAllocFlagsEachSiteAndHonoursAllow)
+{
+    const Result result = lintTree(fixturePath("bad_hot_alloc"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"hot-path-alloc", 3}}));
+    EXPECT_EQ(result.suppressed, 1)
+        << "the annotated resize() must be suppressed, not reported";
+    std::set<std::string> kinds;
+    for (const Finding &finding : result.findings) {
+        EXPECT_EQ(finding.file, "src/predictors/hot.cc");
+        EXPECT_NE(finding.message.find("Hot::update()"),
+                  std::string::npos)
+            << "predict() is allocation-free and must stay clean";
+        for (const char *kind :
+             {"push_back", "`new`", "std::string"})
+            if (finding.message.find(kind) != std::string::npos)
+                kinds.insert(kind);
+    }
+    EXPECT_EQ(kinds.size(), 3u) << "one finding per allocation kind";
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+}
+
+TEST(LintFixtures, LockDisciplineRequiresGuardOrAnnotation)
+{
+    const Result result = lintTree(fixturePath("bad_lock"));
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"lock-discipline", 1}}));
+    ASSERT_EQ(result.findings.size(), 1u);
+    // post() holds a lock_guard and drainLocked() carries
+    // requires_lock(mutex_): only steal() may be flagged.
+    EXPECT_EQ(result.findings[0].file, "src/util/pool.cc");
+    EXPECT_NE(result.findings[0].message.find("Pool::steal()"),
+              std::string::npos);
+    EXPECT_NE(result.findings[0].message.find("`queue_`"),
+              std::string::npos);
+    EXPECT_NE(result.findings[0].message.find("`mutex_`"),
+              std::string::npos);
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+}
+
+TEST(LintFixtures, BudgetAccountingFlagsOverrideMemberAndManifest)
+{
+    const Result result =
+        lintTree(fixturePath("bad_budget"), {"budget-accounting"});
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"budget-accounting", 3}}));
+
+    bool saw_member = false, saw_override = false,
+         saw_manifest = false;
+    for (const Finding &finding : result.findings) {
+        if (finding.message.find("`tableB_`") != std::string::npos) {
+            saw_member = true;
+            EXPECT_EQ(finding.file, "src/predictors/leaky.hh");
+        }
+        if (finding.message.find("`NoBits`") != std::string::npos) {
+            saw_override = true;
+            EXPECT_NE(finding.message.find("storageBits"),
+                      std::string::npos);
+        }
+        if (finding.message.find("budget manifest missing") !=
+            std::string::npos)
+            saw_manifest = true;
+    }
+    EXPECT_TRUE(saw_member)
+        << "tableA_ is counted, tableB_ is the invisible one";
+    EXPECT_TRUE(saw_override);
+    EXPECT_TRUE(saw_manifest);
+    EXPECT_EQ(ibp::lint::exitCodeFor(result), 1);
+}
+
+TEST(LintFixtures, BudgetManifestUpdateRoundTrips)
+{
+    const fs::path root = scratchCopy("bad_budget", "budget");
+    Options options;
+    options.root = root.string();
+    options.updateManifest = true;
+    const Result updated = ibp::lint::runLint(options);
+    EXPECT_TRUE(updated.manifestUpdated);
+    EXPECT_TRUE(
+        fs::exists(root / "tools/lint/budget_manifest.json"));
+
+    // The manifest findings disappear; the structural ones (missing
+    // override, unreferenced member) are not paper-overable.
+    const Result again =
+        lintTree(root.string(), {"budget-accounting"});
+    const auto counts = ruleCounts(again);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"budget-accounting", 2}}));
+    for (const Finding &finding : again.findings)
+        EXPECT_EQ(finding.message.find("manifest"),
+                  std::string::npos)
+            << finding.message;
+}
+
+TEST(LintFixtures, BudgetManifestDetectsGeometryDrift)
+{
+    // Changing a member's declared type changes the pinned geometry
+    // shape: the drift must be called out with both hashes.
+    const fs::path root = scratchCopy("good_tree", "budget_drift");
+    const fs::path header = root / "src/core/model.hh";
+    std::string text = readFile(header);
+    const std::string decl = "std::uint64_t table = 0;";
+    const std::size_t at = text.find(decl);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, decl.size(), "std::uint32_t table = 0;");
+    std::ofstream(header, std::ios::binary) << text;
+
+    const Result result =
+        lintTree(root.string(), {"budget-accounting"});
+    const auto counts = ruleCounts(result);
+    EXPECT_EQ(counts,
+              (std::map<std::string, int>{{"budget-accounting", 1}}));
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_NE(result.findings[0].message.find("shape"),
+              std::string::npos);
+    EXPECT_NE(result.findings[0].message.find("`Model`"),
+              std::string::npos);
+
+    // --update-manifest repairs the pin in place.
+    Options options;
+    options.root = root.string();
+    options.updateManifest = true;
+    ibp::lint::runLint(options);
+    const Result again =
+        lintTree(root.string(), {"budget-accounting"});
+    EXPECT_TRUE(again.findings.empty());
+}
+
 TEST(LintFixtures, GoodTreeIsClean)
 {
     const Result result = lintTree(fixturePath("good_tree"));
@@ -390,6 +551,18 @@ TEST(LintRealTree, FactoryRegistrationsAllCovered)
                             "PerceptronIndirect"})
         EXPECT_TRUE(result.serdeHashes.count(cls))
             << cls << " lost its saveState() tracking";
+
+    // Every factory name carries a budget geometry hash — the
+    // budget manifest covers the full 23-name lineup, wildcard
+    // included.
+    EXPECT_EQ(result.budgetHashes.size(),
+              result.factoryPredictors.size());
+    EXPECT_TRUE(result.budgetHashes.count("Oracle-PIB@*"));
+    // Names sharing an implementing class share a geometry shape.
+    EXPECT_EQ(result.budgetHashes.at("TC-PIB"),
+              result.budgetHashes.at("TC-PB"));
+    EXPECT_NE(result.budgetHashes.at("BTB"),
+              result.budgetHashes.at("BTB2b"));
 }
 
 TEST(LintRealTree, FixIsIdempotentOnTheFuzzerWorkloadFiles)

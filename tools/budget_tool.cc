@@ -1,0 +1,231 @@
+/**
+ * @file
+ * budget_tool: runtime cross-check of tools/lint/budget_manifest.json
+ * against the live predictor factory.
+ *
+ * The budget manifest has two halves.  The static half (class name +
+ * geometry shape hash) is written by `ibp_lint --update-manifest` from
+ * source text alone; the runtime half (`storage_bits`) can only come
+ * from an actual build, because entry counts flow through the factory's
+ * scaling helpers.  This tool closes the loop:
+ *
+ *  - `--check` (default): instantiate every manifest entry through
+ *    sim::makePredictor() and fail — printing the manifest and live
+ *    totals side by side — when any storageBits() disagrees, when a
+ *    manifest entry no longer instantiates, or when a factory lineup
+ *    name has no manifest entry.
+ *  - `--update`: rewrite the manifest with the live storageBits()
+ *    totals, leaving the static half untouched.
+ *
+ * The wildcard entry `Oracle-PIB@*` covers the whole Oracle-PIB@<k>
+ * family; it is instantiated at the reference path length k=4 (the
+ * lineup's Oracle-PIB@4).
+ *
+ * Exit codes: 0 clean / updated, 1 mismatch, 2 usage / IO error.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/json.hh"
+#include "sim/factory.hh"
+
+namespace {
+
+struct ManifestEntry
+{
+    std::string className;
+    std::string shape;
+    std::uint64_t storageBits = 0;
+};
+
+/** The concrete name a manifest key is instantiated under: a trailing
+ *  '*' (prefix wildcard) resolves to the reference member. */
+std::string
+instantiationName(const std::string &key)
+{
+    if (!key.empty() && key.back() == '*')
+        return key.substr(0, key.size() - 1) + "4";
+    return key;
+}
+
+/** True when lineup name @p name is covered by manifest key @p key. */
+bool
+covers(const std::string &key, const std::string &name)
+{
+    if (!key.empty() && key.back() == '*')
+        return name.rfind(key.substr(0, key.size() - 1), 0) == 0;
+    return key == name;
+}
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: budget_tool [--manifest <path>] [--check|--update]\n"
+           "\n"
+           "Cross-check (or record) the runtime storageBits() totals\n"
+           "in the hardware-budget manifest.  --check is the default;\n"
+           "it exits 1 printing manifest vs live totals on any\n"
+           "disagreement.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string manifest_path = "tools/lint/budget_manifest.json";
+    bool update = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--check") {
+            update = false;
+        } else if (arg == "--update") {
+            update = true;
+        } else if (arg == "--manifest") {
+            if (i + 1 >= argc) {
+                std::cerr << "budget_tool: --manifest requires a "
+                             "value\n";
+                return 2;
+            }
+            manifest_path = argv[++i];
+        } else {
+            std::cerr << "budget_tool: unknown option '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    std::ifstream in(manifest_path, std::ios::binary);
+    if (!in) {
+        std::cerr << "budget_tool: cannot read " << manifest_path
+                  << " (generate it with `ibp_lint "
+                     "--update-manifest` first)\n";
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string comment;
+    std::uint64_t format = 1;
+    std::map<std::string, ManifestEntry> entries;
+    try {
+        const ibp::util::JsonValue doc =
+            ibp::util::parseJson(buffer.str());
+        if (const ibp::util::JsonValue *c = doc.find("comment"))
+            comment = c->asString();
+        if (const ibp::util::JsonValue *f = doc.find("format"))
+            format = f->asUint();
+        const ibp::util::JsonValue *predictors =
+            doc.find("predictors");
+        if (!predictors) {
+            std::cerr << "budget_tool: " << manifest_path
+                      << " has no \"predictors\" object\n";
+            return 2;
+        }
+        for (const auto &[name, entry] : predictors->asObject()) {
+            ManifestEntry parsed;
+            if (const ibp::util::JsonValue *v = entry.find("class"))
+                parsed.className = v->asString();
+            if (const ibp::util::JsonValue *v = entry.find("shape"))
+                parsed.shape = v->asString();
+            if (const ibp::util::JsonValue *v =
+                    entry.find("storage_bits"))
+                parsed.storageBits = v->asUint();
+            entries[name] = parsed;
+        }
+    } catch (const std::exception &error) {
+        std::cerr << "budget_tool: " << manifest_path << ": "
+                  << error.what() << "\n";
+        return 2;
+    }
+
+    // Every lineup name must be covered by some manifest entry, so a
+    // new factory registration cannot dodge the budget audit.
+    int failures = 0;
+    for (const std::string &name : ibp::sim::allPredictors()) {
+        bool found = false;
+        for (const auto &[key, entry] : entries) {
+            (void)entry;
+            if (covers(key, name))
+                found = true;
+        }
+        if (!found) {
+            std::cerr << "budget_tool: lineup predictor " << name
+                      << " has no entry in " << manifest_path
+                      << " (run `ibp_lint --update-manifest`)\n";
+            ++failures;
+        }
+    }
+
+    for (auto &[key, entry] : entries) {
+        const std::string name = instantiationName(key);
+        if (!ibp::sim::knownPredictor(name)) {
+            std::cerr << "budget_tool: manifest entry " << key
+                      << " is not a factory name (run `ibp_lint "
+                         "--update-manifest` to prune it)\n";
+            ++failures;
+            continue;
+        }
+        const auto predictor = ibp::sim::makePredictor(name);
+        const std::uint64_t live = predictor->storageBits();
+        if (update) {
+            entry.storageBits = live;
+            continue;
+        }
+        if (live != entry.storageBits) {
+            std::cerr << "budget_tool: storage mismatch for " << key
+                      << " (class " << entry.className
+                      << "): manifest records " << entry.storageBits
+                      << " bits, live storageBits() reports " << live
+                      << " bits — re-audit the geometry against the "
+                         "2K-entry envelope, then run `budget_tool "
+                         "--update`\n";
+            ++failures;
+        }
+    }
+
+    if (update) {
+        std::ofstream out(manifest_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "budget_tool: cannot write " << manifest_path
+                      << "\n";
+            return 2;
+        }
+        ibp::util::JsonWriter json(out);
+        json.beginObject();
+        json.key("comment").value(comment);
+        json.key("format").value(format);
+        json.key("predictors").beginObject();
+        for (const auto &[key, entry] : entries) {
+            json.key(key).beginObject();
+            json.key("class").value(entry.className);
+            json.key("shape").value(entry.shape);
+            json.key("storage_bits").value(entry.storageBits);
+            json.endObject();
+        }
+        json.endObject();
+        json.endObject();
+        out << "\n";
+        std::cout << "budget_tool: recorded " << entries.size()
+                  << " storage totals in " << manifest_path << "\n";
+        return failures ? 1 : 0;
+    }
+
+    if (failures) {
+        std::cout << "budget_tool: " << failures << " mismatch(es)\n";
+        return 1;
+    }
+    std::cout << "budget_tool: " << entries.size()
+              << " predictors match the recorded storage totals\n";
+    return 0;
+}

@@ -1,0 +1,684 @@
+#include "index.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ibp::lint {
+
+// ---------------------------------------------------------------------
+// Layer model
+
+const std::vector<std::string> kLayers = {
+    "util", "trace", "obs", "workload", "predictors", "core", "sim",
+};
+
+int
+layerRank(const std::string &layer)
+{
+    for (std::size_t i = 0; i < kLayers.size(); ++i)
+        if (kLayers[i] == layer)
+            return static_cast<int>(i);
+    return kRankUnknown;
+}
+
+std::string
+firstSegment(const std::string &path)
+{
+    const std::size_t slash = path.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash);
+}
+
+bool
+isAppDir(const std::string &dir)
+{
+    return dir == "bench" || dir == "tools" || dir == "tests" ||
+           dir == "examples";
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+    return lines;
+}
+
+std::string
+fnv1a(const std::vector<std::string> &tokens)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const std::string &token : tokens) {
+        for (const char c : token) {
+            hash ^= static_cast<unsigned char>(c);
+            hash *= 1099511628211ULL;
+        }
+        hash ^= 0x1f; // token separator
+        hash *= 1099511628211ULL;
+    }
+    std::ostringstream hex;
+    hex << std::hex;
+    hex.width(16);
+    hex.fill('0');
+    hex << hash;
+    return hex.str();
+}
+
+std::size_t
+matchingClose(const std::vector<Token> &tokens, std::size_t open)
+{
+    const std::string &opener = tokens[open].text;
+    const std::string closer = opener == "{" ? "}" : ")";
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].text == opener)
+            ++depth;
+        else if (tokens[i].text == closer && --depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+bool
+isAccessSpecifier(const std::string &text)
+{
+    return text == "public" || text == "private" || text == "protected";
+}
+
+// ---------------------------------------------------------------------
+// Serde-era class model (hash format pinned by serde_manifest.json)
+
+std::string
+shapeHash(const std::vector<Token> &tokens, std::size_t bodyBegin,
+          std::size_t bodyEnd)
+{
+    std::vector<std::string> shape;
+    std::vector<std::string> chunk;
+    bool chunkHasParen = false;
+
+    const auto flush = [&](bool keep) {
+        if (keep && !chunk.empty() && !chunkHasParen) {
+            static const std::set<std::string> excluded = {
+                "using", "typedef", "friend", "template", "static",
+            };
+            if (!excluded.count(chunk.front()))
+                for (std::string &t : chunk)
+                    shape.push_back(std::move(t));
+        }
+        chunk.clear();
+        chunkHasParen = false;
+    };
+
+    for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
+        const Token &token = tokens[i];
+        if (isAccessSpecifier(token.text) && i + 1 < bodyEnd &&
+            tokens[i + 1].text == ":") {
+            flush(false);
+            ++i;
+            continue;
+        }
+        if (token.text == "(") {
+            chunkHasParen = true;
+            i = std::min(matchingClose(tokens, i), bodyEnd);
+            continue;
+        }
+        if (token.text == "{") {
+            const std::size_t close =
+                std::min(matchingClose(tokens, i), bodyEnd);
+            if (chunkHasParen) {
+                // Function definition: skip the body, drop the chunk.
+                i = close;
+                flush(false);
+            } else {
+                // Brace-init member or nested type definition: its
+                // contents are shape-relevant.
+                for (std::size_t j = i; j <= close && j < bodyEnd; ++j)
+                    chunk.push_back(tokens[j].text);
+                i = close;
+            }
+            continue;
+        }
+        if (token.text == ";") {
+            flush(true);
+            continue;
+        }
+        chunk.push_back(token.text);
+    }
+    flush(true);
+    return fnv1a(shape);
+}
+
+std::vector<ClassInfo>
+extractClasses(const SourceFile &file)
+{
+    std::vector<ClassInfo> classes;
+    const std::vector<Token> &tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            (tokens[i].text != "class" && tokens[i].text != "struct"))
+            continue;
+        if (i > 0 && tokens[i - 1].text == "enum")
+            continue; // enum class
+        std::size_t j = i + 1;
+        if (j >= tokens.size() ||
+            tokens[j].kind != TokenKind::Identifier)
+            continue; // anonymous
+        ClassInfo info;
+        info.name = tokens[j].text;
+        info.file = file.relPath;
+        info.line = tokens[i].line;
+        ++j;
+        if (j < tokens.size() && tokens[j].text == "final")
+            ++j;
+        if (j < tokens.size() && tokens[j].text == ":") {
+            // Base clause: remember the last identifier of each
+            // qualified base name at angle depth 0.
+            int angle = 0;
+            std::string last;
+            ++j;
+            for (; j < tokens.size() && tokens[j].text != ";" &&
+                   !(tokens[j].text == "{" && angle == 0);
+                 ++j) {
+                const Token &t = tokens[j];
+                if (t.text == "<")
+                    ++angle;
+                else if (t.text == ">")
+                    --angle;
+                else if (t.text == "," && angle == 0) {
+                    if (!last.empty())
+                        info.bases.push_back(last);
+                    last.clear();
+                } else if (t.kind == TokenKind::Identifier &&
+                           angle == 0 && t.text != "virtual" &&
+                           !isAccessSpecifier(t.text)) {
+                    last = t.text;
+                }
+            }
+            if (!last.empty())
+                info.bases.push_back(last);
+        }
+        if (j >= tokens.size() || tokens[j].text != "{")
+            continue; // forward declaration or variable
+        const std::size_t bodyBegin = j + 1;
+        const std::size_t bodyEnd = matchingClose(tokens, j);
+
+        int depth = 1;
+        for (std::size_t k = bodyBegin; k < bodyEnd; ++k) {
+            const Token &t = tokens[k];
+            if (t.text == "{")
+                ++depth;
+            else if (t.text == "}")
+                --depth;
+            else if (depth == 1 &&
+                     t.kind == TokenKind::Identifier &&
+                     k + 1 < bodyEnd && tokens[k + 1].text == "(")
+                info.methods.insert(t.text);
+        }
+        info.declaresSaveState = info.methods.count("saveState") > 0;
+        if (info.declaresSaveState || !info.bases.empty())
+            info.shapeHash = shapeHash(tokens, bodyBegin, bodyEnd);
+        classes.push_back(std::move(info));
+    }
+    return classes;
+}
+
+// ---------------------------------------------------------------------
+// Semantic index
+
+namespace {
+
+/** Pragma lookup spanning the annotated line and up to two lines
+ *  above it (out-of-line definitions put the return type on its own
+ *  line, so the comment often sits two lines above the name). */
+std::string
+pragmaNear(const std::map<int, std::string> &pragmas, int line,
+           int reach)
+{
+    for (int at = line; at >= line - reach && at > 0; --at) {
+        auto it = pragmas.find(at);
+        if (it != pragmas.end())
+            return it->second;
+    }
+    return std::string();
+}
+
+const std::set<std::string> kDeclExcluded = {
+    "using", "typedef", "friend",  "template",
+    "static", "struct", "class",   "enum",
+    "union",  "public", "private", "protected",
+};
+
+/** Parse a constructor member-init list (tokens between the ':' after
+ *  the parameter list and the opening '{') into per-member extent
+ *  tokens. */
+void
+parseCtorInits(const std::vector<Token> &tokens, std::size_t begin,
+               std::size_t end, IndexedClass &cls)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        if (tokens[i].kind != TokenKind::Identifier)
+            continue;
+        if (i + 1 >= end ||
+            (tokens[i + 1].text != "(" && tokens[i + 1].text != "{"))
+            continue;
+        const std::size_t close = matchingClose(tokens, i + 1);
+        std::vector<std::string> &sink = cls.ctorInits[tokens[i].text];
+        for (std::size_t j = i + 2; j < close && j < end; ++j)
+            sink.push_back(tokens[j].text);
+        i = std::min(close, end);
+    }
+}
+
+/** Extract the members, in-class method bodies and ctor-init extents
+ *  of one class body ([bodyBegin, bodyEnd) at depth 1). */
+void
+indexClassBody(const SourceFile &file, std::size_t bodyBegin,
+               std::size_t bodyEnd, IndexedClass &cls)
+{
+    const std::vector<Token> &tokens = file.lexed.tokens;
+    std::vector<std::size_t> chunk; ///< token indices of the statement
+
+    const auto flushMember = [&] {
+        if (chunk.empty())
+            return;
+        if (kDeclExcluded.count(tokens[chunk.front()].text)) {
+            chunk.clear();
+            return;
+        }
+        // Member name: the last identifier at angle depth 0 before
+        // the initializer ('=', '{' or '[');  the declared type is
+        // everything before it, the extent everything after.
+        int angle = 0;
+        std::size_t nameAt = chunk.size();
+        std::size_t split = chunk.size();
+        for (std::size_t c = 0; c < chunk.size(); ++c) {
+            const Token &t = tokens[chunk[c]];
+            if (t.text == "<")
+                ++angle;
+            else if (t.text == ">")
+                angle = std::max(0, angle - 1);
+            else if (angle == 0 && (t.text == "=" || t.text == "[" ||
+                                    t.text == "{")) {
+                split = c;
+                break;
+            }
+        }
+        for (std::size_t c = 0; c < split; ++c)
+            if (tokens[chunk[c]].kind == TokenKind::Identifier)
+                nameAt = c;
+        if (nameAt == chunk.size()) {
+            chunk.clear();
+            return;
+        }
+        Member member;
+        member.name = tokens[chunk[nameAt]].text;
+        member.line = tokens[chunk[nameAt]].line;
+        for (std::size_t c = 0; c < nameAt; ++c)
+            member.typeTokens.push_back(tokens[chunk[c]].text);
+        for (std::size_t c = nameAt + 1; c < chunk.size(); ++c)
+            member.initTokens.push_back(tokens[chunk[c]].text);
+        member.guardedBy =
+            pragmaNear(file.lexed.guards, member.line, 1);
+        cls.members.push_back(std::move(member));
+        chunk.clear();
+    };
+
+    for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
+        const Token &token = tokens[i];
+        if (isAccessSpecifier(token.text) && i + 1 < bodyEnd &&
+            tokens[i + 1].text == ":") {
+            chunk.clear();
+            ++i;
+            continue;
+        }
+        if (token.text == ";") {
+            flushMember();
+            continue;
+        }
+        if (token.text == "{") {
+            const std::size_t close =
+                std::min(matchingClose(tokens, i), bodyEnd);
+            if (!chunk.empty() &&
+                kDeclExcluded.count(tokens[chunk.front()].text)) {
+                // Nested type definition: indexed separately by the
+                // linear class scan; not a member of this class.
+                chunk.clear();
+                i = close;
+                continue;
+            }
+            // Brace initializer: keep the tokens in the chunk so the
+            // extent expression survives into the shape hash.
+            for (std::size_t j = i; j <= close && j < bodyEnd; ++j)
+                chunk.push_back(j);
+            i = close;
+            continue;
+        }
+        if (token.text == "(") {
+            // A '(' before any '=' at statement level means this
+            // chunk is a method (or macro splice), not a member.
+            bool in_init = false;
+            for (const std::size_t c : chunk)
+                if (tokens[c].text == "=") {
+                    in_init = true;
+                    break;
+                }
+            if (in_init) {
+                const std::size_t close =
+                    std::min(matchingClose(tokens, i), bodyEnd);
+                for (std::size_t j = i; j <= close && j < bodyEnd; ++j)
+                    chunk.push_back(j);
+                i = close;
+                continue;
+            }
+            std::string methodName;
+            int methodLine = token.line;
+            if (!chunk.empty() &&
+                tokens[chunk.back()].kind == TokenKind::Identifier) {
+                methodName = tokens[chunk.back()].text;
+                methodLine = tokens[chunk.back()].line;
+            }
+            std::size_t j =
+                std::min(matchingClose(tokens, i), bodyEnd) + 1;
+            while (j < bodyEnd && (tokens[j].text == "const" ||
+                                   tokens[j].text == "override" ||
+                                   tokens[j].text == "final" ||
+                                   tokens[j].text == "noexcept" ||
+                                   tokens[j].text == "mutable" ||
+                                   tokens[j].text == "&"))
+                ++j;
+            if (j < bodyEnd && tokens[j].text == ":" &&
+                methodName == cls.name) {
+                // In-class constructor: capture the init-list extents.
+                std::size_t open = j + 1;
+                int depth = 0;
+                for (; open < bodyEnd; ++open) {
+                    const std::string &t = tokens[open].text;
+                    if (t == "(")
+                        ++depth;
+                    else if (t == ")")
+                        --depth;
+                    else if (t == "{" && depth == 0)
+                        break;
+                    else if (t == "}" && depth == 0)
+                        break;
+                }
+                parseCtorInits(tokens, j + 1, open, cls);
+                j = open;
+            }
+            if (!methodName.empty())
+                cls.methodNames.insert(methodName);
+            if (j < bodyEnd && tokens[j].text == "{") {
+                const std::size_t close =
+                    std::min(matchingClose(tokens, j), bodyEnd);
+                if (!methodName.empty()) {
+                    MethodBody body;
+                    body.file = &file;
+                    body.bodyBegin = j + 1;
+                    body.bodyEnd = close;
+                    body.line = methodLine;
+                    body.requiresLock = pragmaNear(
+                        file.lexed.requiresLock, methodLine, 2);
+                    cls.bodies[methodName].push_back(body);
+                }
+                i = close;
+            } else {
+                i = j > i ? j - 1 : i;
+            }
+            chunk.clear();
+            continue;
+        }
+        if (token.text == "}") // stray (unbalanced fixture); resync
+        {
+            chunk.clear();
+            continue;
+        }
+        chunk.push_back(i);
+    }
+    flushMember();
+}
+
+/** Scan one file for class/struct definitions (including nested
+ *  ones, which the linear scan visits on its own). */
+void
+indexFileClasses(const SourceFile &file,
+                 std::map<std::string, IndexedClass> &classes)
+{
+    const std::vector<Token> &tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            (tokens[i].text != "class" && tokens[i].text != "struct"))
+            continue;
+        if (i > 0 && tokens[i - 1].text == "enum")
+            continue;
+        std::size_t j = i + 1;
+        if (j >= tokens.size() ||
+            tokens[j].kind != TokenKind::Identifier)
+            continue;
+        IndexedClass cls;
+        cls.name = tokens[j].text;
+        cls.file = file.relPath;
+        cls.line = tokens[i].line;
+        ++j;
+        if (j < tokens.size() && tokens[j].text == "final")
+            ++j;
+        if (j < tokens.size() && tokens[j].text == ":") {
+            int angle = 0;
+            std::string last;
+            ++j;
+            for (; j < tokens.size() && tokens[j].text != ";" &&
+                   !(tokens[j].text == "{" && angle == 0);
+                 ++j) {
+                const Token &t = tokens[j];
+                if (t.text == "<")
+                    ++angle;
+                else if (t.text == ">")
+                    --angle;
+                else if (t.text == "," && angle == 0) {
+                    if (!last.empty())
+                        cls.bases.push_back(last);
+                    last.clear();
+                } else if (t.kind == TokenKind::Identifier &&
+                           angle == 0 && t.text != "virtual" &&
+                           !isAccessSpecifier(t.text)) {
+                    last = t.text;
+                }
+            }
+            if (!last.empty())
+                cls.bases.push_back(last);
+        }
+        if (j >= tokens.size() || tokens[j].text != "{")
+            continue;
+        indexClassBody(file, j + 1, matchingClose(tokens, j), cls);
+        auto [it, fresh] = classes.try_emplace(cls.name, cls);
+        if (!fresh)
+            classes.try_emplace(cls.name + "@" + cls.file,
+                                std::move(cls));
+        else
+            (void)it;
+    }
+}
+
+/** Attach out-of-line `Class::method(...) { ... }` definitions (and
+ *  out-of-line constructor init-list extents) to indexed classes. */
+void
+indexOutOfLineBodies(const SourceFile &file,
+                     std::map<std::string, IndexedClass> &classes)
+{
+    const std::vector<Token> &tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Identifier ||
+            tokens[i + 1].text != "::")
+            continue;
+        // Walk the qualified chain: Id (:: Id)+
+        std::size_t j = i;
+        std::string clsName, methodName;
+        while (j + 2 < tokens.size() && tokens[j + 1].text == "::" &&
+               tokens[j + 2].kind == TokenKind::Identifier) {
+            clsName = tokens[j].text;
+            methodName = tokens[j + 2].text;
+            j += 2;
+        }
+        if (methodName.empty() || j + 1 >= tokens.size() ||
+            tokens[j + 1].text != "(")
+            continue;
+        // Destructor names lex as "~" + Identifier; the "~" sits
+        // before the method name token, so `~Foo` arrives here with
+        // methodName == "Foo" — treat it as the destructor.
+        const bool dtor = tokens[j - 1].text == "~";
+        auto found = classes.find(clsName);
+        if (found == classes.end()) {
+            i = j;
+            continue;
+        }
+        std::size_t k = matchingClose(tokens, j + 1) + 1;
+        while (k < tokens.size() && (tokens[k].text == "const" ||
+                                     tokens[k].text == "noexcept" ||
+                                     tokens[k].text == "&"))
+            ++k;
+        if (k < tokens.size() && tokens[k].text == ":" &&
+            methodName == clsName && !dtor) {
+            std::size_t open = k + 1;
+            int depth = 0;
+            for (; open < tokens.size(); ++open) {
+                const std::string &t = tokens[open].text;
+                if (t == "(")
+                    ++depth;
+                else if (t == ")")
+                    --depth;
+                else if ((t == "{" || t == ";") && depth == 0)
+                    break;
+            }
+            parseCtorInits(tokens, k + 1, open, found->second);
+            k = open;
+        }
+        if (k >= tokens.size() || tokens[k].text != "{") {
+            i = j;
+            continue;
+        }
+        MethodBody body;
+        body.file = &file;
+        body.bodyBegin = k + 1;
+        body.bodyEnd = matchingClose(tokens, k);
+        body.line = tokens[j].line;
+        body.outOfLine = true;
+        body.requiresLock =
+            pragmaNear(file.lexed.requiresLock, body.line, 2);
+        const std::string key = dtor ? "~" + methodName : methodName;
+        found->second.methodNames.insert(key);
+        found->second.bodies[key].push_back(body);
+        i = body.bodyEnd;
+    }
+}
+
+} // namespace
+
+const SourceFile *
+SemanticIndex::findFile(const std::string &relPath) const
+{
+    auto it = filesByPath_.find(relPath);
+    return it == filesByPath_.end() ? nullptr : it->second;
+}
+
+const IndexedClass *
+SemanticIndex::findClass(const std::string &name) const
+{
+    auto it = classes.find(name);
+    return it == classes.end() ? nullptr : &it->second;
+}
+
+std::string
+SemanticIndex::budgetShapeHash(const IndexedClass &cls) const
+{
+    std::vector<std::string> shape;
+    std::set<std::string> seen;
+    const auto emit = [&](const IndexedClass &c, const auto &self) {
+        if (!seen.insert(c.name).second)
+            return;
+        shape.push_back(c.name);
+        for (const Member &member : c.members) {
+            shape.push_back(member.name);
+            shape.insert(shape.end(), member.typeTokens.begin(),
+                         member.typeTokens.end());
+            shape.insert(shape.end(), member.initTokens.begin(),
+                         member.initTokens.end());
+            auto init = c.ctorInits.find(member.name);
+            if (init != c.ctorInits.end())
+                shape.insert(shape.end(), init->second.begin(),
+                             init->second.end());
+        }
+        // Recurse through member types defined in the tree so a
+        // geometry edit in a composed class (PathComponent, Ppm)
+        // drifts the owner's budget hash too.
+        for (const Member &member : c.members)
+            for (const std::string &t : member.typeTokens) {
+                auto sub = classes.find(t);
+                if (sub != classes.end() && sub->second.name != c.name)
+                    self(sub->second, self);
+            }
+    };
+    emit(cls, emit);
+    return fnv1a(shape);
+}
+
+void
+SemanticIndex::build(const std::vector<SourceFile> &files)
+{
+    classes.clear();
+    serdeClasses.clear();
+    includeEdges.clear();
+    filesByPath_.clear();
+
+    for (const SourceFile &file : files)
+        filesByPath_.emplace(file.relPath, &file);
+
+    for (const SourceFile &file : files) {
+        if (file.dir == "src")
+            for (ClassInfo &info : extractClasses(file)) {
+                auto [it, fresh] =
+                    serdeClasses.try_emplace(info.name, info);
+                if (!fresh)
+                    serdeClasses.try_emplace(
+                        info.name + "@" + info.file, info);
+                else
+                    (void)it;
+            }
+        indexFileClasses(file, classes);
+    }
+    for (const SourceFile &file : files)
+        indexOutOfLineBodies(file, classes);
+
+    // Resolve quoted includes against the scanned tree: includer-dir
+    // relative first, then src/-relative, then root-relative.
+    for (const SourceFile &file : files) {
+        const std::size_t slash = file.relPath.rfind('/');
+        const std::string dir =
+            slash == std::string::npos
+                ? std::string()
+                : file.relPath.substr(0, slash + 1);
+        for (const Include &include : file.lexed.includes) {
+            if (include.angled)
+                continue;
+            const SourceFile *target = nullptr;
+            for (const std::string &candidate :
+                 {dir + include.path, "src/" + include.path,
+                  include.path})
+                if ((target = findFile(candidate)) != nullptr)
+                    break;
+            if (target)
+                includeEdges[file.relPath].emplace_back(
+                    target->relPath, include.line);
+        }
+    }
+}
+
+} // namespace ibp::lint

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The ibp_lint semantic index: a shared preprocessor-lite pass over
+ * the lexed tree that every structural rule builds on.
+ *
+ * The index is three layers deep:
+ *
+ *  1. **Files** — `SourceFile` couples a path, its layer rank in the
+ *     include DAG, and the token stream from lexer.cc.
+ *  2. **Include graph** — quoted includes resolved against the
+ *     scanned tree (includer-relative, then src/-relative, then
+ *     root-relative), giving the include-graph rule its edges for
+ *     missing-own-header and cycle detection.
+ *  3. **Classes** — for every class/struct: the data members with
+ *     their declared type tokens and extent/initializer tokens, the
+ *     constructor member-init extents, and every method body as a
+ *     token range — including out-of-line `Class::method` definitions
+ *     found anywhere in the tree.  `guarded_by`/`requires_lock`
+ *     pragmas from the lexer are attached to the member or body they
+ *     annotate.
+ *
+ * The serde-era `ClassInfo`/`shapeHash` model is kept verbatim (the
+ * serde manifest hashes must stay byte-stable across this refactor);
+ * the richer `IndexedClass` model feeds the budget-accounting,
+ * hot-path-alloc and lock-discipline rules.
+ */
+
+#ifndef IBP_TOOLS_IBP_LINT_INDEX_HH_
+#define IBP_TOOLS_IBP_LINT_INDEX_HH_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace ibp::lint {
+
+/** The enforced include DAG, lowest layer first.  A file in layer L
+ *  may include headers from layers with rank <= rank(L) only. */
+extern const std::vector<std::string> kLayers;
+
+constexpr int kRankLocal = -1;   ///< "bench_util.hh"-style local header
+constexpr int kRankUnknown = 50; ///< quoted path outside the DAG
+constexpr int kRankApp = 100;    ///< bench/tools/tests/examples
+
+int layerRank(const std::string &layer);
+
+/** First path segment of an include path ("util/json.hh" -> "util"). */
+std::string firstSegment(const std::string &path);
+
+bool isAppDir(const std::string &dir);
+
+/** One scanned source file. */
+struct SourceFile
+{
+    std::string relPath;
+    std::string dir;     ///< "src", "bench", "tools", ...
+    std::string layer;   ///< src layer name, empty for app tier
+    int rank = kRankApp; ///< layer rank, kRankApp for app tier
+    std::string text;
+    std::vector<std::string> lines;
+    LexedFile lexed;
+};
+
+std::vector<std::string> splitLines(const std::string &text);
+
+/** Hex FNV-1a over a token sequence (0x1f separators). */
+std::string fnv1a(const std::vector<std::string> &tokens);
+
+/** Index of the token matching the brace/paren opened at @p open
+ *  (tokens[open] must be "{" or "("); tokens.size() if unbalanced. */
+std::size_t matchingClose(const std::vector<Token> &tokens,
+                          std::size_t open);
+
+bool isAccessSpecifier(const std::string &text);
+
+// ---------------------------------------------------------------------
+// Serde-era class model (hash format pinned by serde_manifest.json)
+
+struct ClassInfo
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+    std::vector<std::string> bases;
+    std::set<std::string> methods; ///< identifiers called/declared with
+                                   ///< '(' at class-body depth 1
+    bool declaresSaveState = false;
+    std::string shapeHash; ///< hex FNV-1a of the data-member tokens
+};
+
+/** Hash the serialized-shape-relevant declarations of a class body
+ *  (see lint.cc's serde-manifest rule; format is pinned). */
+std::string shapeHash(const std::vector<Token> &tokens,
+                      std::size_t bodyBegin, std::size_t bodyEnd);
+
+/** Extract every class/struct definition from one lexed file. */
+std::vector<ClassInfo> extractClasses(const SourceFile &file);
+
+// ---------------------------------------------------------------------
+// Semantic index
+
+/** One data member of an indexed class. */
+struct Member
+{
+    std::string name;
+    int line = 0;
+    std::vector<std::string> typeTokens; ///< declaration before the name
+    std::vector<std::string> initTokens; ///< array extent / initializer
+    std::string guardedBy; ///< mutex from a guarded_by() pragma
+};
+
+/** One method body (in-class or out-of-line) as a token range. */
+struct MethodBody
+{
+    const SourceFile *file = nullptr;
+    std::size_t bodyBegin = 0; ///< first token inside the '{'
+    std::size_t bodyEnd = 0;   ///< index of the matching '}'
+    int line = 0;              ///< line of the method name
+    bool outOfLine = false;
+    std::string requiresLock; ///< mutex from a requires_lock() pragma
+};
+
+struct IndexedClass
+{
+    std::string name;
+    std::string file; ///< file of the definition
+    int line = 0;
+    std::vector<std::string> bases;
+    std::vector<Member> members;           ///< declaration order
+    std::set<std::string> methodNames;     ///< declared or defined
+    std::map<std::string, std::vector<MethodBody>> bodies;
+    /** member -> constructor init-list extent tokens (all ctors). */
+    std::map<std::string, std::vector<std::string>> ctorInits;
+};
+
+struct SemanticIndex
+{
+    /** Class name -> definition.  A duplicate name is additionally
+     *  keyed as "Name@file" (first definition wins the plain key). */
+    std::map<std::string, IndexedClass> classes;
+    /** Serde-era model, same keying scheme. */
+    std::map<std::string, ClassInfo> serdeClasses;
+    /** file relPath -> resolved project-relative include targets
+     *  (quoted includes that name another scanned file). */
+    std::map<std::string, std::vector<std::pair<std::string, int>>>
+        includeEdges;
+
+    const SourceFile *findFile(const std::string &relPath) const;
+
+    /** Look up the primary definition of @p name (nullptr if none). */
+    const IndexedClass *findClass(const std::string &name) const;
+
+    /**
+     * FNV-1a shape hash of a class's (member -> extent-expression)
+     * map: member names, declared types, declaration initializers and
+     * constructor-init extents, recursed through member types that
+     * are themselves classes in the index (cycle-safe).  Pinned in
+     * tools/lint/budget_manifest.json by the budget-accounting rule.
+     */
+    std::string budgetShapeHash(const IndexedClass &cls) const;
+
+    /** Build the full index over @p files (pointers into the vector
+     *  are retained; the caller keeps it alive). */
+    void build(const std::vector<SourceFile> &files);
+
+  private:
+    std::map<std::string, const SourceFile *> filesByPath_;
+};
+
+} // namespace ibp::lint
+
+#endif // IBP_TOOLS_IBP_LINT_INDEX_HH_

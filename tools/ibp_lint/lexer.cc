@@ -18,8 +18,31 @@ isIdentBody(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** Record `ibp-lint: allow(rule-a, rule-b)` pragmas found in a
- *  comment whose text starts at @p line. */
+/** Split the parenthesized argument list that starts at @p i (just
+ *  past the '(') into comma/space-separated words. */
+std::vector<std::string>
+pragmaArgs(const std::string &comment, std::size_t i)
+{
+    std::vector<std::string> args;
+    std::string word;
+    for (; i < comment.size() && comment[i] != ')'; ++i) {
+        const char c = comment[i];
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!word.empty())
+                args.push_back(word);
+            word.clear();
+        } else {
+            word += c;
+        }
+    }
+    if (!word.empty())
+        args.push_back(word);
+    return args;
+}
+
+/** Record the `ibp-lint:` pragma family — allow(rule-a, rule-b),
+ *  guarded_by(mutex), requires_lock(mutex) — found in a comment whose
+ *  text starts at @p line. */
 void
 recordPragmas(LexedFile &out, const std::string &comment, int line)
 {
@@ -30,28 +53,23 @@ recordPragmas(LexedFile &out, const std::string &comment, int line)
         while (i < comment.size() &&
                std::isspace(static_cast<unsigned char>(comment[i])))
             ++i;
-        const std::string verb = "allow";
-        if (comment.compare(i, verb.size(), verb) == 0) {
-            i += verb.size();
-            while (i < comment.size() &&
-                   std::isspace(static_cast<unsigned char>(comment[i])))
-                ++i;
-            if (i < comment.size() && comment[i] == '(') {
-                ++i;
-                std::string rule;
-                for (; i < comment.size() && comment[i] != ')'; ++i) {
-                    const char c = comment[i];
-                    if (c == ',' || std::isspace(
-                                        static_cast<unsigned char>(c))) {
-                        if (!rule.empty())
-                            out.allows[line].insert(rule);
-                        rule.clear();
-                    } else {
-                        rule += c;
-                    }
-                }
-                if (!rule.empty())
+        std::string verb;
+        while (i < comment.size() &&
+               (isIdentBody(comment[i]) || comment[i] == '-'))
+            verb += comment[i++];
+        while (i < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[i])))
+            ++i;
+        if (i < comment.size() && comment[i] == '(') {
+            const std::vector<std::string> args =
+                pragmaArgs(comment, i + 1);
+            if (verb == "allow") {
+                for (const std::string &rule : args)
                     out.allows[line].insert(rule);
+            } else if (verb == "guarded_by" && !args.empty()) {
+                out.guards[line] = args.front();
+            } else if (verb == "requires_lock" && !args.empty()) {
+                out.requiresLock[line] = args.front();
             }
         }
         at = comment.find(marker, at + marker.size());

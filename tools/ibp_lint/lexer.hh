@@ -4,12 +4,13 @@
  *
  * This is not a compiler front end: it splits a translation unit into
  * identifiers, literals and punctuation with line numbers, strips
- * comments (capturing `// ibp-lint: allow(<rule>)` suppression
- * pragmas), and records #include directives.  That is exactly enough
- * surface for the project-invariant rules in lint.cc — include-graph
- * layering, banned-token determinism checks, and token-pattern
- * heuristics over class bodies — while staying dependency-free and
- * fast enough to lex the whole tree on every commit.
+ * comments (capturing the `// ibp-lint:` pragma family — allow(),
+ * guarded_by(), requires_lock()), and records #include directives.
+ * That is exactly enough surface for the project-invariant rules in
+ * lint.cc — include-graph layering, banned-token determinism checks,
+ * and the semantic-index passes in index.cc — while staying
+ * dependency-free and fast enough to lex the whole tree on every
+ * commit.
  */
 
 #ifndef IBP_TOOLS_IBP_LINT_LEXER_HH_
@@ -54,6 +55,14 @@ struct LexedFile
     /** line -> rule ids suppressed by an `ibp-lint: allow(...)`
      *  comment starting on that line ("all" suppresses every rule). */
     std::map<int, std::set<std::string>> allows;
+    /** line -> mutex name from `ibp-lint: guarded_by(<mutex>)`: the
+     *  data member declared on (or just below) that line may only be
+     *  touched while the named mutex is held (lock-discipline). */
+    std::map<int, std::string> guards;
+    /** line -> mutex name from `ibp-lint: requires_lock(<mutex>)`:
+     *  the method defined at that line is documented as called with
+     *  the named mutex already held. */
+    std::map<int, std::string> requiresLock;
     int lineCount = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include "util/json.hh"
 
+#include "index.hh"
 #include "lexer.hh"
 
 namespace ibp::lint {
@@ -15,279 +16,6 @@ namespace ibp::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------
-// Layer model
-
-/** The enforced include DAG, lowest layer first.  A file in layer L
- *  may include headers from layers with rank <= rank(L) only. */
-const std::vector<std::string> kLayers = {
-    "util", "trace", "obs", "workload", "predictors", "core", "sim",
-};
-
-constexpr int kRankLocal = -1;   ///< "bench_util.hh"-style local header
-constexpr int kRankUnknown = 50; ///< quoted path outside the DAG
-constexpr int kRankApp = 100;    ///< bench/tools/tests/examples
-
-int
-layerRank(const std::string &layer)
-{
-    for (std::size_t i = 0; i < kLayers.size(); ++i)
-        if (kLayers[i] == layer)
-            return static_cast<int>(i);
-    return kRankUnknown;
-}
-
-/** First path segment of an include path ("util/json.hh" -> "util"). */
-std::string
-firstSegment(const std::string &path)
-{
-    const std::size_t slash = path.find('/');
-    return slash == std::string::npos ? std::string()
-                                      : path.substr(0, slash);
-}
-
-bool
-isAppDir(const std::string &dir)
-{
-    return dir == "bench" || dir == "tools" || dir == "tests" ||
-           dir == "examples";
-}
-
-// ---------------------------------------------------------------------
-// Per-file state
-
-struct SourceFile
-{
-    std::string relPath;
-    std::string dir;     ///< "src", "bench", "tools", ...
-    std::string layer;   ///< src layer name, empty for app tier
-    int rank = kRankApp; ///< layer rank, kRankApp for app tier
-    std::string text;
-    std::vector<std::string> lines;
-    LexedFile lexed;
-};
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string current;
-    for (const char c : text) {
-        if (c == '\n') {
-            lines.push_back(current);
-            current.clear();
-        } else {
-            current += c;
-        }
-    }
-    if (!current.empty())
-        lines.push_back(current);
-    return lines;
-}
-
-// ---------------------------------------------------------------------
-// Class model (serde-coverage, serde-manifest, probe-name)
-
-struct ClassInfo
-{
-    std::string name;
-    std::string file;
-    int line = 0;
-    std::vector<std::string> bases;
-    std::set<std::string> methods; ///< identifiers called/declared with
-                                   ///< '(' at class-body depth 1
-    bool declaresSaveState = false;
-    std::string shapeHash; ///< hex FNV-1a of the data-member tokens
-};
-
-std::string
-fnv1a(const std::vector<std::string> &tokens)
-{
-    std::uint64_t hash = 1469598103934665603ULL;
-    for (const std::string &token : tokens) {
-        for (const char c : token) {
-            hash ^= static_cast<unsigned char>(c);
-            hash *= 1099511628211ULL;
-        }
-        hash ^= 0x1f; // token separator
-        hash *= 1099511628211ULL;
-    }
-    std::ostringstream hex;
-    hex << std::hex;
-    hex.width(16);
-    hex.fill('0');
-    hex << hash;
-    return hex.str();
-}
-
-/** Index of the token matching the brace/paren opened at @p open
- *  (tokens[open] must be "{" or "("); tokens.size() if unbalanced. */
-std::size_t
-matchingClose(const std::vector<Token> &tokens, std::size_t open)
-{
-    const std::string &opener = tokens[open].text;
-    const std::string closer = opener == "{" ? "}" : ")";
-    int depth = 0;
-    for (std::size_t i = open; i < tokens.size(); ++i) {
-        if (tokens[i].text == opener)
-            ++depth;
-        else if (tokens[i].text == closer && --depth == 0)
-            return i;
-    }
-    return tokens.size();
-}
-
-bool
-isAccessSpecifier(const std::string &text)
-{
-    return text == "public" || text == "private" || text == "protected";
-}
-
-/**
- * Hash the serialized-shape-relevant declarations of a class body:
- * every depth-1 statement that looks like a data member or nested type
- * definition.  Chunks containing a top-level '(' (function
- * declarations, macro splices like IBP_PROBE(...)) and chunks starting
- * with using/typedef/friend/template/static are skipped; brace-init
- * members and nested struct/enum bodies are included.  The result is a
- * deliberately coarse fingerprint: any change to it means the
- * checkpoint byte stream may have changed shape.
- */
-std::string
-shapeHash(const std::vector<Token> &tokens, std::size_t bodyBegin,
-          std::size_t bodyEnd)
-{
-    std::vector<std::string> shape;
-    std::vector<std::string> chunk;
-    bool chunkHasParen = false;
-
-    const auto flush = [&](bool keep) {
-        if (keep && !chunk.empty() && !chunkHasParen) {
-            static const std::set<std::string> excluded = {
-                "using", "typedef", "friend", "template", "static",
-            };
-            if (!excluded.count(chunk.front()))
-                for (std::string &t : chunk)
-                    shape.push_back(std::move(t));
-        }
-        chunk.clear();
-        chunkHasParen = false;
-    };
-
-    for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
-        const Token &token = tokens[i];
-        if (isAccessSpecifier(token.text) && i + 1 < bodyEnd &&
-            tokens[i + 1].text == ":") {
-            flush(false);
-            ++i;
-            continue;
-        }
-        if (token.text == "(") {
-            chunkHasParen = true;
-            i = std::min(matchingClose(tokens, i), bodyEnd);
-            continue;
-        }
-        if (token.text == "{") {
-            const std::size_t close =
-                std::min(matchingClose(tokens, i), bodyEnd);
-            if (chunkHasParen) {
-                // Function definition: skip the body, drop the chunk.
-                i = close;
-                flush(false);
-            } else {
-                // Brace-init member or nested type definition: its
-                // contents are shape-relevant.
-                for (std::size_t j = i; j <= close && j < bodyEnd; ++j)
-                    chunk.push_back(tokens[j].text);
-                i = close;
-            }
-            continue;
-        }
-        if (token.text == ";") {
-            flush(true);
-            continue;
-        }
-        chunk.push_back(token.text);
-    }
-    flush(true);
-    return fnv1a(shape);
-}
-
-/** Extract every class/struct definition from one lexed file. */
-std::vector<ClassInfo>
-extractClasses(const SourceFile &file)
-{
-    std::vector<ClassInfo> classes;
-    const std::vector<Token> &tokens = file.lexed.tokens;
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-        if (tokens[i].kind != TokenKind::Identifier ||
-            (tokens[i].text != "class" && tokens[i].text != "struct"))
-            continue;
-        if (i > 0 && tokens[i - 1].text == "enum")
-            continue; // enum class
-        std::size_t j = i + 1;
-        if (j >= tokens.size() ||
-            tokens[j].kind != TokenKind::Identifier)
-            continue; // anonymous
-        ClassInfo info;
-        info.name = tokens[j].text;
-        info.file = file.relPath;
-        info.line = tokens[i].line;
-        ++j;
-        if (j < tokens.size() && tokens[j].text == "final")
-            ++j;
-        if (j < tokens.size() && tokens[j].text == ":") {
-            // Base clause: remember the last identifier of each
-            // qualified base name at angle depth 0.
-            int angle = 0;
-            std::string last;
-            ++j;
-            for (; j < tokens.size() && tokens[j].text != ";" &&
-                   !(tokens[j].text == "{" && angle == 0);
-                 ++j) {
-                const Token &t = tokens[j];
-                if (t.text == "<")
-                    ++angle;
-                else if (t.text == ">")
-                    --angle;
-                else if (t.text == "," && angle == 0) {
-                    if (!last.empty())
-                        info.bases.push_back(last);
-                    last.clear();
-                } else if (t.kind == TokenKind::Identifier &&
-                           angle == 0 && t.text != "virtual" &&
-                           !isAccessSpecifier(t.text)) {
-                    last = t.text;
-                }
-            }
-            if (!last.empty())
-                info.bases.push_back(last);
-        }
-        if (j >= tokens.size() || tokens[j].text != "{")
-            continue; // forward declaration or variable
-        const std::size_t bodyBegin = j + 1;
-        const std::size_t bodyEnd = matchingClose(tokens, j);
-
-        int depth = 1;
-        for (std::size_t k = bodyBegin; k < bodyEnd; ++k) {
-            const Token &t = tokens[k];
-            if (t.text == "{")
-                ++depth;
-            else if (t.text == "}")
-                --depth;
-            else if (depth == 1 &&
-                     t.kind == TokenKind::Identifier &&
-                     k + 1 < bodyEnd && tokens[k + 1].text == "(")
-                info.methods.insert(t.text);
-        }
-        info.declaresSaveState = info.methods.count("saveState") > 0;
-        if (info.declaresSaveState || !info.bases.empty())
-            info.shapeHash = shapeHash(tokens, bodyBegin, bodyEnd);
-        classes.push_back(std::move(info));
-    }
-    return classes;
-}
 
 // ---------------------------------------------------------------------
 // The lint context
@@ -301,6 +29,7 @@ class Linter
     run()
     {
         collectFiles();
+        index_.build(files_);
         for (SourceFile &file : files_) {
             ruleLayering(file);
             ruleIncludeOrder(file);
@@ -308,10 +37,15 @@ class Linter
             ruleUnorderedIteration(file);
             ruleTableModulo(file);
         }
-        buildClassModel();
+        parseFactory();
         ruleSerdeCoverage();
         ruleSerdeManifest();
         ruleProbeNames();
+        ruleIncludeGraph();
+        ruleHotPathAlloc();
+        ruleLockDiscipline();
+        ruleBudgetAccounting();
+        ruleBudgetManifest();
         applyFixes();
         std::sort(result_.findings.begin(), result_.findings.end(),
                   [](const Finding &a, const Finding &b) {
@@ -717,34 +451,10 @@ class Linter
     // -----------------------------------------------------------------
     // Class model + serde rules
 
-    void
-    buildClassModel()
-    {
-        for (const SourceFile &file : files_) {
-            if (file.dir != "src")
-                continue;
-            for (ClassInfo &info : extractClasses(file)) {
-                auto [it, fresh] =
-                    classes_.try_emplace(info.name, info);
-                if (!fresh) {
-                    // Same name in two files (nested helpers like
-                    // "Slot"): key the duplicate by file to keep the
-                    // manifest deterministic.
-                    classes_.try_emplace(
-                        info.name + "@" + info.file, info);
-                }
-                fileByPath_.emplace(info.file, nullptr);
-            }
-        }
-    }
-
     const SourceFile *
     findFile(const std::string &relPath) const
     {
-        for (const SourceFile &file : files_)
-            if (file.relPath == relPath)
-                return &file;
-        return nullptr;
+        return index_.findFile(relPath);
     }
 
     /** True when @p name transitively derives from IndirectPredictor
@@ -755,8 +465,8 @@ class Linter
     {
         if (!seen.insert(name).second)
             return false;
-        auto it = classes_.find(name);
-        if (it == classes_.end())
+        auto it = index_.serdeClasses.find(name);
+        if (it == index_.serdeClasses.end())
             return false;
         for (const std::string &base : it->second.bases) {
             if (base == "IndirectPredictor")
@@ -778,8 +488,8 @@ class Linter
             return false; // the root's no-op default does not count
         if (!seen.insert(name).second)
             return false;
-        auto it = classes_.find(name);
-        if (it == classes_.end())
+        auto it = index_.serdeClasses.find(name);
+        if (it == index_.serdeClasses.end())
             return false;
         if (it->second.methods.count(method))
             return true;
@@ -846,7 +556,6 @@ class Linter
     void
     ruleSerdeCoverage()
     {
-        parseFactory();
         // Every factory-registered class plus every class deriving
         // from IndirectPredictor must carry the full serde surface.
         std::set<std::string> required;
@@ -855,15 +564,15 @@ class Linter
             if (!cls.empty())
                 required.insert(cls);
         }
-        for (const auto &[name, info] : classes_) {
+        for (const auto &[name, info] : index_.serdeClasses) {
             (void)info;
             std::set<std::string> seen;
             if (derivesFromPredictor(name, seen))
                 required.insert(name);
         }
         for (const std::string &name : required) {
-            auto it = classes_.find(name);
-            if (it == classes_.end()) {
+            auto it = index_.serdeClasses.find(name);
+            if (it == index_.serdeClasses.end()) {
                 // Registered in the factory but not found in src/.
                 Finding finding;
                 finding.rule = "serde-coverage";
@@ -899,7 +608,7 @@ class Linter
     {
         // Tracked set: every class that declares saveState() itself.
         std::map<std::string, const ClassInfo *> tracked;
-        for (const auto &[key, info] : classes_)
+        for (const auto &[key, info] : index_.serdeClasses)
             if (info.declaresSaveState)
                 tracked.emplace(key, &info);
         for (const auto &[key, info] : tracked)
@@ -1058,6 +767,498 @@ class Linter
     }
 
     // -----------------------------------------------------------------
+    // Rule: include-graph (missing own header, include cycles)
+
+    void
+    ruleIncludeGraph()
+    {
+        // A .cc with a same-stem sibling header must include it (the
+        // include-what-you-use own-header convention the
+        // include-order rule already sorts first).
+        for (const SourceFile &file : files_) {
+            if (file.relPath.size() < 3 ||
+                file.relPath.compare(file.relPath.size() - 3, 3,
+                                     ".cc") != 0)
+                continue;
+            const std::string own =
+                file.relPath.substr(0, file.relPath.size() - 3) +
+                ".hh";
+            if (!index_.findFile(own))
+                continue;
+            bool included = false;
+            auto edges = index_.includeEdges.find(file.relPath);
+            if (edges != index_.includeEdges.end())
+                for (const auto &[target, line] : edges->second) {
+                    (void)line;
+                    if (target == own)
+                        included = true;
+                }
+            if (!included)
+                report(file, "include-graph", 1,
+                       "missing own header: \"" +
+                           own.substr(own.rfind('/') + 1) +
+                           "\" exists next to this .cc but is not "
+                           "included (include it first so its "
+                           "self-containedness is compiler-checked)");
+        }
+
+        // Cycle detection over the resolved quoted-include graph.
+        std::map<std::string, int> color; // 0 white, 1 gray, 2 black
+        std::vector<std::string> stack;
+        std::set<std::string> reported;
+        const auto dfs = [&](const std::string &node,
+                             const auto &self) -> void {
+            color[node] = 1;
+            stack.push_back(node);
+            auto edges = index_.includeEdges.find(node);
+            if (edges != index_.includeEdges.end())
+                for (const auto &[next, line] : edges->second) {
+                    if (color[next] == 1) {
+                        auto at = std::find(stack.begin(),
+                                            stack.end(), next);
+                        std::vector<std::string> cycle(at,
+                                                       stack.end());
+                        // Canonical key: rotate the smallest member
+                        // to the front so each cycle reports once.
+                        auto min = std::min_element(cycle.begin(),
+                                                    cycle.end());
+                        std::rotate(cycle.begin(), min, cycle.end());
+                        std::string key;
+                        for (const std::string &f : cycle)
+                            key += f + ";";
+                        if (!reported.insert(key).second)
+                            continue;
+                        std::string path;
+                        for (const std::string &f : cycle)
+                            path += f + " -> ";
+                        path += cycle.front();
+                        const SourceFile *file =
+                            index_.findFile(node);
+                        if (file)
+                            report(*file, "include-graph", line,
+                                   "include cycle: " + path +
+                                       " (break it with a forward "
+                                       "declaration or by moving "
+                                       "the shared type down a "
+                                       "layer)");
+                    } else if (color[next] == 0) {
+                        self(next, self);
+                    }
+                }
+            stack.pop_back();
+            color[node] = 2;
+        };
+        for (const SourceFile &file : files_)
+            if (color[file.relPath] == 0)
+                dfs(file.relPath, dfs);
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: hot-path-alloc
+
+    void
+    ruleHotPathAlloc()
+    {
+        static const std::set<std::string> hot_methods = {
+            "predict", "update", "predictAndUpdate", "train",
+        };
+        static const std::set<std::string> banned_calls = {
+            "malloc",       "calloc", "realloc",
+            "push_back",    "emplace_back", "push_front",
+            "emplace_front", "resize", "reserve",
+            "to_string",
+        };
+        static const std::set<std::string> string_types = {
+            "string", "ostringstream", "stringstream",
+        };
+        for (const auto &[key, cls] : index_.classes) {
+            (void)key;
+            for (const std::string &method : hot_methods) {
+                auto bodies = cls.bodies.find(method);
+                if (bodies == cls.bodies.end())
+                    continue;
+                for (const MethodBody &body : bodies->second) {
+                    const SourceFile &file = *body.file;
+                    if (file.layer != "predictors" &&
+                        file.layer != "core")
+                        continue;
+                    const std::vector<Token> &tokens =
+                        file.lexed.tokens;
+                    for (std::size_t i = body.bodyBegin;
+                         i < body.bodyEnd; ++i) {
+                        const Token &t = tokens[i];
+                        if (t.kind != TokenKind::Identifier)
+                            continue;
+                        const bool called =
+                            i + 1 < body.bodyEnd &&
+                            tokens[i + 1].text == "(";
+                        std::string what;
+                        if (t.text == "new")
+                            what = "`new` allocation";
+                        else if (t.text == "throw")
+                            what = "`throw` (unwinding)";
+                        else if (banned_calls.count(t.text) && called)
+                            what = "`" + t.text + "()` (allocates)";
+                        else if (string_types.count(t.text))
+                            what = "std::" + t.text + " construction";
+                        if (what.empty())
+                            continue;
+                        report(file, "hot-path-alloc", t.line,
+                               what + " inside " + cls.name +
+                                   "::" + method +
+                                   "(), a per-branch hot path: "
+                                   "preallocate in the constructor "
+                                   "or move the slow path behind "
+                                   "`// ibp-lint: allow("
+                                   "hot-path-alloc)` with a comment "
+                                   "saying why it is cold");
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: lock-discipline
+
+    /** Mutexes locked in [begin, end): names appearing inside the
+     *  parens of a lock_guard/unique_lock/scoped_lock construction. */
+    static std::set<std::string>
+    lockedMutexes(const std::vector<Token> &tokens, std::size_t begin,
+                  std::size_t end)
+    {
+        static const std::set<std::string> lock_types = {
+            "lock_guard", "unique_lock", "scoped_lock",
+        };
+        std::set<std::string> locked;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (!lock_types.count(tokens[i].text))
+                continue;
+            // Skip the template argument list and the variable name:
+            // the next '(' or '{' opens the constructor arguments.
+            std::size_t j = i + 1;
+            while (j < end && tokens[j].text != "(" &&
+                   tokens[j].text != "{" && tokens[j].text != ";")
+                ++j;
+            if (j >= end || tokens[j].text == ";")
+                continue;
+            const std::size_t close =
+                std::min(matchingClose(tokens, j), end);
+            for (std::size_t k = j + 1; k < close; ++k)
+                if (tokens[k].kind == TokenKind::Identifier)
+                    locked.insert(tokens[k].text);
+            i = close;
+        }
+        return locked;
+    }
+
+    void
+    ruleLockDiscipline()
+    {
+        for (const auto &[key, cls] : index_.classes) {
+            (void)key;
+            std::map<std::string, std::string> guarded;
+            for (const Member &member : cls.members)
+                if (!member.guardedBy.empty())
+                    guarded[member.name] = member.guardedBy;
+            if (guarded.empty())
+                continue;
+            for (const auto &[method, bodies] : cls.bodies) {
+                // Constructors and destructors run before/after any
+                // sharing, matching clang thread-safety semantics.
+                if (method == cls.name ||
+                    method == "~" + cls.name)
+                    continue;
+                for (const MethodBody &body : bodies) {
+                    const std::vector<Token> &tokens =
+                        body.file->lexed.tokens;
+                    const std::set<std::string> locked =
+                        lockedMutexes(tokens, body.bodyBegin,
+                                      body.bodyEnd);
+                    std::set<std::string> flagged;
+                    for (std::size_t i = body.bodyBegin;
+                         i < body.bodyEnd; ++i) {
+                        const Token &t = tokens[i];
+                        if (t.kind != TokenKind::Identifier)
+                            continue;
+                        auto it = guarded.find(t.text);
+                        if (it == guarded.end())
+                            continue;
+                        const std::string &mutex = it->second;
+                        if (locked.count(mutex) ||
+                            body.requiresLock == mutex)
+                            continue;
+                        if (!flagged.insert(t.text).second)
+                            continue; // one finding per member/body
+                        report(*body.file, "lock-discipline", t.line,
+                               "member `" + t.text +
+                                   "` is guarded by `" + mutex +
+                                   "` but " + cls.name + "::" +
+                                   method +
+                                   "() touches it without "
+                                   "constructing a lock_guard/"
+                                   "unique_lock/scoped_lock on it "
+                                   "(or annotate the method "
+                                   "`// ibp-lint: requires_lock(" +
+                                   mutex + ")` if every caller "
+                                   "already holds it)");
+                    }
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Rule: budget-accounting
+
+    static bool
+    tableLike(const Member &member)
+    {
+        static const std::set<std::string> markers = {
+            "DirectTable",   "AssocTable",    "FlatMap",
+            "ShiftHistory",  "SymbolHistory", "FoldedHistory",
+            "SfsxsWord",     "TargetEntry",   "array",
+        };
+        for (const std::string &t : member.typeTokens)
+            if (markers.count(t))
+                return true;
+        return false;
+    }
+
+    /** Unique factory-registered classes that exist in the index. */
+    std::map<std::string, const IndexedClass *>
+    factoryClasses() const
+    {
+        std::map<std::string, const IndexedClass *> out;
+        for (const auto &[name, clsName] :
+             result_.factoryPredictors) {
+            (void)name;
+            const IndexedClass *cls = index_.findClass(clsName);
+            if (cls)
+                out.emplace(clsName, cls);
+        }
+        return out;
+    }
+
+    /** Every identifier reachable from @p cls's storageBits() bodies,
+     *  following calls into same-class helper methods. */
+    std::set<std::string>
+    storageBitsClosure(const IndexedClass &cls, bool &hasBody) const
+    {
+        std::set<std::string> referenced;
+        std::set<std::string> visited;
+        std::vector<std::string> queue = {"storageBits"};
+        hasBody = false;
+        while (!queue.empty()) {
+            const std::string method = queue.back();
+            queue.pop_back();
+            if (!visited.insert(method).second)
+                continue;
+            auto bodies = cls.bodies.find(method);
+            if (bodies == cls.bodies.end())
+                continue;
+            for (const MethodBody &body : bodies->second) {
+                hasBody = true;
+                const std::vector<Token> &tokens =
+                    body.file->lexed.tokens;
+                for (std::size_t i = body.bodyBegin;
+                     i < body.bodyEnd; ++i) {
+                    if (tokens[i].kind != TokenKind::Identifier)
+                        continue;
+                    referenced.insert(tokens[i].text);
+                    if (cls.methodNames.count(tokens[i].text))
+                        queue.push_back(tokens[i].text);
+                }
+            }
+        }
+        return referenced;
+    }
+
+    void
+    ruleBudgetAccounting()
+    {
+        for (const auto &[clsName, cls] : factoryClasses()) {
+            const SourceFile *file = index_.findFile(cls->file);
+            if (!file)
+                continue;
+            std::set<std::string> seen;
+            if (!declaresThroughChain(clsName, "storageBits", seen)) {
+                report(*file, "budget-accounting", cls->line,
+                       "factory predictor `" + clsName +
+                           "` does not override storageBits(): "
+                           "every lineup member must report its "
+                           "hardware cost so the fixed-budget "
+                           "comparison stays honest");
+                continue;
+            }
+            bool hasBody = false;
+            const std::set<std::string> referenced =
+                storageBitsClosure(*cls, hasBody);
+            if (!hasBody)
+                continue; // declaration-only trees (fixtures)
+            for (const Member &member : cls->members) {
+                if (!tableLike(member))
+                    continue;
+                if (referenced.count(member.name))
+                    continue;
+                report(*file, "budget-accounting", member.line,
+                       "table-like member `" + member.name +
+                           "` of `" + clsName +
+                           "` is not referenced in storageBits(): "
+                           "its entries are invisible to the "
+                           "hardware-budget audit (count it from "
+                           "the member itself, e.g. " + member.name +
+                           ".size() * entry_bits)");
+            }
+        }
+    }
+
+    void
+    ruleBudgetManifest()
+    {
+        std::map<std::string, std::pair<std::string, std::string>>
+            current; // factory name -> (class, shape)
+        for (const auto &[name, clsName] :
+             result_.factoryPredictors) {
+            const IndexedClass *cls = index_.findClass(clsName);
+            if (!cls)
+                continue;
+            current[name] = {clsName, index_.budgetShapeHash(*cls)};
+            result_.budgetHashes[name] = current[name].second;
+        }
+
+        const fs::path manifest_path =
+            fs::path(options_.root) / options_.budgetManifestPath;
+
+        if (options_.updateManifest) {
+            if (current.empty() && !fs::exists(manifest_path))
+                return; // no factory, nothing to pin
+            // Preserve recorded storage_bits: the static pass knows
+            // shapes, tools/budget_tool --update knows totals.
+            std::map<std::string, std::uint64_t> bits;
+            if (fs::exists(manifest_path)) {
+                std::ifstream in(manifest_path);
+                std::ostringstream buffer;
+                buffer << in.rdbuf();
+                const util::JsonValue doc =
+                    util::parseJson(buffer.str());
+                if (const util::JsonValue *old =
+                        doc.find("predictors"))
+                    for (const auto &[name, entry] :
+                         old->asObject())
+                        if (const util::JsonValue *b =
+                                entry.find("storage_bits"))
+                            bits[name] = b->asUint();
+            }
+            fs::create_directories(manifest_path.parent_path());
+            std::ofstream out(manifest_path);
+            util::JsonWriter json(out);
+            json.beginObject();
+            json.key("comment").value(
+                "Hardware-budget geometry manifest, generated by "
+                "`ibp_lint --update-manifest`.  Each factory name "
+                "pins its implementing class, an FNV-1a shape hash "
+                "of the class's (member -> extent-expression) map "
+                "(recursed through composed classes), and the "
+                "runtime storageBits() total recorded by "
+                "`budget_tool --update`.  The budget-accounting "
+                "lint rule fails on shape drift; CI cross-checks "
+                "storage_bits against the live build.");
+            json.key("format").value(1);
+            json.key("predictors").beginObject();
+            for (const auto &[name, entry] : current) {
+                json.key(name).beginObject();
+                json.key("class").value(entry.first);
+                json.key("shape").value(entry.second);
+                auto it = bits.find(name);
+                json.key("storage_bits")
+                    .value(it == bits.end() ? std::uint64_t{0}
+                                            : it->second);
+                json.endObject();
+            }
+            json.endObject();
+            json.endObject();
+            out << "\n";
+            result_.manifestUpdated = true;
+            return;
+        }
+
+        if (!fs::exists(manifest_path)) {
+            if (current.empty())
+                return;
+            Finding finding;
+            finding.rule = "budget-accounting";
+            finding.file = options_.budgetManifestPath;
+            finding.message =
+                "budget manifest missing; generate it with "
+                "`ibp_lint --update-manifest` (then record runtime "
+                "totals with `budget_tool --update`)";
+            if (ruleEnabled(finding.rule))
+                result_.findings.push_back(std::move(finding));
+            return;
+        }
+        std::ifstream in(manifest_path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const util::JsonValue doc = util::parseJson(buffer.str());
+        const util::JsonValue *recorded = doc.find("predictors");
+        std::map<std::string, std::pair<std::string, std::string>>
+            old_entries;
+        if (recorded)
+            for (const auto &[name, entry] : recorded->asObject()) {
+                const util::JsonValue *cls = entry.find("class");
+                const util::JsonValue *shape = entry.find("shape");
+                old_entries[name] = {cls ? cls->asString() : "",
+                                     shape ? shape->asString() : ""};
+            }
+
+        for (const auto &[name, entry] : current) {
+            const IndexedClass *cls =
+                index_.findClass(entry.first);
+            const SourceFile *file =
+                cls ? index_.findFile(cls->file) : nullptr;
+            auto it = old_entries.find(name);
+            if (it == old_entries.end()) {
+                if (file)
+                    report(*file, "budget-accounting", cls->line,
+                           "factory name `" + name +
+                               "` (class `" + entry.first +
+                               "`) has no budget manifest entry; "
+                               "audit its storageBits() against the "
+                               "2K-entry envelope, then run "
+                               "`ibp_lint --update-manifest` and "
+                               "`budget_tool --update`");
+                continue;
+            }
+            if (it->second.second != entry.second && file)
+                report(*file, "budget-accounting", cls->line,
+                       "table geometry shape of `" + entry.first +
+                           "` (registered as " + name +
+                           ") changed (manifest " +
+                           it->second.second + ", tree " +
+                           entry.second +
+                           "): re-audit storageBits() against the "
+                           "fixed hardware budget, then run "
+                           "`ibp_lint --update-manifest` and "
+                           "`budget_tool --update`");
+        }
+        for (const auto &[name, entry] : old_entries) {
+            (void)entry;
+            if (!current.count(name)) {
+                Finding finding;
+                finding.rule = "budget-accounting";
+                finding.file = options_.budgetManifestPath;
+                finding.message =
+                    "budget manifest entry `" + name +
+                    "` is no longer registered in the factory; run "
+                    "`ibp_lint --update-manifest`";
+                if (ruleEnabled(finding.rule))
+                    result_.findings.push_back(std::move(finding));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
     // --fix engine (include reordering)
 
     struct FixRun
@@ -1111,8 +1312,7 @@ class Linter
     Options options_;
     Result result_;
     std::vector<SourceFile> files_;
-    std::map<std::string, ClassInfo> classes_;
-    std::map<std::string, const SourceFile *> fileByPath_;
+    SemanticIndex index_;
     std::vector<FixRun> fixRuns_;
 };
 
@@ -1162,6 +1362,11 @@ writeJsonReport(std::ostream &out, const Options &options,
 
     json.key("serde_classes").beginObject();
     for (const auto &[name, hash] : result.serdeHashes)
+        json.key(name).value(hash);
+    json.endObject();
+
+    json.key("budget_predictors").beginObject();
+    for (const auto &[name, hash] : result.budgetHashes)
         json.key(name).value(hash);
     json.endObject();
 

@@ -35,6 +35,30 @@
  *  - probe-name                probe names registered in
  *                              snapshotProbes() not matching
  *                              [a-z0-9_]+(/[a-z0-9_]+)*
+ *
+ * Semantic-index rules (built on tools/ibp_lint/index.cc):
+ *
+ *  - budget-accounting         a factory predictor class missing a
+ *                              storageBits() override, a table-like
+ *                              data member (DirectTable/AssocTable/
+ *                              FlatMap/std::array/history register)
+ *                              unreferenced in its storageBits()
+ *                              expression, or a geometry shape drift
+ *                              against tools/lint/budget_manifest.json
+ *                              (regenerate with --update-manifest)
+ *  - hot-path-alloc            allocation, string construction or
+ *                              throw inside predict/update/
+ *                              predictAndUpdate/train bodies in
+ *                              src/predictors + src/core
+ *  - lock-discipline           a member annotated
+ *                              `// ibp-lint: guarded_by(m)` touched in
+ *                              a method body that neither constructs
+ *                              a lock_guard/unique_lock/scoped_lock
+ *                              on `m` nor carries
+ *                              `// ibp-lint: requires_lock(m)`
+ *  - include-graph             a .cc not including its same-stem
+ *                              sibling header, or a cycle in the
+ *                              resolved quoted-include graph
  */
 
 #ifndef IBP_TOOLS_IBP_LINT_LINT_HH_
@@ -61,12 +85,17 @@ struct Options
 {
     std::string root;                   ///< repository root to scan
     std::string manifestPath;           ///< relative to root
-    bool updateManifest = false;        ///< rewrite the serde manifest
+    std::string budgetManifestPath;     ///< relative to root
+    bool updateManifest = false;        ///< rewrite both manifests
     bool fix = false;                   ///< apply mechanical fixes
     bool fixDryRun = false;             ///< print the diff, touch nothing
     std::set<std::string> onlyRules;    ///< empty = all rules
 
-    Options() : manifestPath("tools/lint/serde_manifest.json") {}
+    Options()
+        : manifestPath("tools/lint/serde_manifest.json"),
+          budgetManifestPath("tools/lint/budget_manifest.json")
+    {
+    }
 };
 
 struct Result
@@ -78,6 +107,8 @@ struct Result
     std::map<std::string, std::string> factoryPredictors;
     /** checkpointed class -> current shape hash (hex). */
     std::map<std::string, std::string> serdeHashes;
+    /** factory name -> current budget geometry shape hash (hex). */
+    std::map<std::string, std::string> budgetHashes;
     std::string fixDiff;           ///< unified diff of --fix rewrites
     bool manifestUpdated = false;
 };

@@ -28,9 +28,15 @@ usage(std::ostream &out)
            "  --fix               reorder project includes into layer\n"
            "                      order in place\n"
            "  --fix-dry-run       print the --fix diff, change nothing\n"
-           "  --update-manifest   regenerate the serde shape manifest\n"
-           "  --manifest <path>   manifest path relative to the root\n"
+           "  --update-manifest   regenerate the serde and budget\n"
+           "                      shape manifests\n"
+           "  --manifest <path>   serde manifest path relative to the\n"
+           "                      root\n"
            "                      (default: tools/lint/serde_manifest.json)\n"
+           "  --budget-manifest <path>\n"
+           "                      budget manifest path relative to the\n"
+           "                      root\n"
+           "                      (default: tools/lint/budget_manifest.json)\n"
            "  --help              this text\n"
            "\n"
            "Suppress one finding with a comment on (or directly above)\n"
@@ -71,6 +77,9 @@ main(int argc, char **argv)
             options.root = need_value("--root");
         } else if (arg == "--manifest") {
             options.manifestPath = need_value("--manifest");
+        } else if (arg == "--budget-manifest") {
+            options.budgetManifestPath =
+                need_value("--budget-manifest");
         } else if (arg == "--rule") {
             options.onlyRules.insert(need_value("--rule"));
         } else {
@@ -91,7 +100,8 @@ main(int argc, char **argv)
     if ((options.fix || options.fixDryRun) && !result.fixDiff.empty())
         std::cerr << result.fixDiff;
     if (result.manifestUpdated)
-        std::cerr << "ibp_lint: wrote " << options.manifestPath << "\n";
+        std::cerr << "ibp_lint: wrote " << options.manifestPath
+                  << " and " << options.budgetManifestPath << "\n";
 
     if (json)
         ibp::lint::writeJsonReport(std::cout, options, result);
